@@ -1,0 +1,252 @@
+package xingtian_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus the design-choice ablations called out in
+// DESIGN.md §6. Each figure benchmark executes the corresponding experiment
+// from internal/experiments in quick mode and reports the headline metric;
+// run `go test -bench=. -benchmem` here, or use cmd/xt-experiments for the
+// full-size sweeps with printed tables.
+
+import (
+	"io"
+	"testing"
+
+	"xingtian/internal/baselines/rllibsim"
+	"xingtian/internal/broker"
+	"xingtian/internal/dummy"
+	"xingtian/internal/experiments"
+	"xingtian/internal/message"
+	"xingtian/internal/netsim"
+	"xingtian/internal/objectstore"
+	"xingtian/internal/serialize"
+)
+
+func quickSettings() experiments.Settings {
+	s := experiments.DefaultSettings()
+	s.Quick = true
+	return s
+}
+
+// benchExperiment runs a registered experiment once per iteration.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	run := experiments.Registry()[name]
+	if run == nil {
+		b.Fatalf("experiment %q not registered", name)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := run(quickSettings(), io.Discard); err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 (rollout sizes, transmission times in
+// both baselines, training times).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig4 regenerates Fig. 4 (single-machine transmission sweep).
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Fig. 5 (two-machine transmission).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Fig. 6 (convergence, XingTian vs RLLib).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Fig. 7 (time to complete the step budget).
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Fig. 8 (IMPALA throughput & wait analysis).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Fig. 9 (DQN throughput & replay placement).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Fig. 10 (PPO throughput & wait analysis).
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkFig11 regenerates Fig. 11 (scalability sweep).
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// Ablations ---------------------------------------------------------------------
+
+// BenchmarkAblationPushVsPull compares the two communication models on the
+// identical substrate and workload, reporting MB/s for each.
+func BenchmarkAblationPushVsPull(b *testing.B) {
+	cfg := dummy.Config{
+		Explorers:    4,
+		MessageBytes: 1 << 20,
+		Rounds:       5,
+		Net:          netsim.Config{Bandwidth: 1 << 30, TimeScale: 50},
+		Compress:     true,
+		PlaneNsPerKB: 1440,
+	}
+	b.Run("push", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := dummy.RunXingTian(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.ThroughputMBps, "MB/s")
+		}
+	})
+	b.Run("pull", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := rllibsim.RunDummy(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.ThroughputMBps, "MB/s")
+		}
+	})
+}
+
+// BenchmarkAblationCompression sweeps the compression decision on the real
+// XingTian channel with mildly compressible payloads.
+func BenchmarkAblationCompression(b *testing.B) {
+	base := dummy.Config{
+		Explorers:    2,
+		MessageBytes: 2 << 20,
+		Rounds:       5,
+		Net:          netsim.Config{Bandwidth: 1 << 30, TimeScale: 50},
+	}
+	for _, mode := range []struct {
+		name     string
+		compress bool
+	}{{"off", false}, {"lz4_1MB_threshold", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := base
+			cfg.Compress = mode.compress
+			for i := 0; i < b.N; i++ {
+				res, err := dummy.RunXingTian(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.ThroughputMBps, "MB/s")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationZeroCopy contrasts the object store's zero-copy reads
+// against a copy-per-hop design (what the router would pay if it copied
+// bodies at every dispatch).
+func BenchmarkAblationZeroCopy(b *testing.B) {
+	payload := make([]byte, 1<<20)
+	b.Run("zero_copy_store", func(b *testing.B) {
+		store := objectstore.New()
+		b.SetBytes(int64(len(payload)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			id := store.Put(payload, 1)
+			if _, err := store.Get(id); err != nil {
+				b.Fatal(err)
+			}
+			if err := store.Release(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("copy_per_hop", func(b *testing.B) {
+		store := objectstore.New()
+		b.SetBytes(int64(len(payload)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			id := store.Put(append([]byte(nil), payload...), 1) // sender copy
+			got, err := store.Get(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = append([]byte(nil), got...) // receiver copy
+			if err := store.Release(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkChannelRoundTrip measures the raw XingTian channel: one message
+// through send buffer -> object store -> router -> ID queue -> receive.
+func BenchmarkChannelRoundTrip(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		b.Run(sizeName(size), func(b *testing.B) {
+			br := broker.New(broker.Config{MachineID: 0})
+			defer br.Stop()
+			s, err := br.Register("s")
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := br.Register("r")
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := message.New(message.TypeDummy, "s", []string{"r"},
+					&message.DummyPayload{Data: payload})
+				if err := s.Send(m); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := r.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWeightsBroadcast measures a weights fan-out to 8 explorers.
+func BenchmarkWeightsBroadcast(b *testing.B) {
+	br := broker.New(broker.Config{MachineID: 0, Compressor: serialize.NewCompressor()})
+	defer br.Stop()
+	learner, err := br.Register("learner")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const fanout = 8
+	ports := make([]*broker.Port, fanout)
+	dst := make([]string, fanout)
+	for i := range ports {
+		dst[i] = nameOf(i)
+		p, err := br.Register(dst[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		ports[i] = p
+	}
+	weights := &message.WeightsPayload{Version: 1, Data: make([]float32, 100_000)}
+	b.SetBytes(int64(4 * len(weights.Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := message.New(message.TypeWeights, "learner", dst, weights)
+		if err := learner.Send(m); err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range ports {
+			if _, err := p.Recv(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<20:
+		return "1MB"
+	case n >= 64<<10:
+		return "64KB"
+	default:
+		return "1KB"
+	}
+}
+
+func nameOf(i int) string {
+	return string(rune('a'+i)) + "-explorer"
+}

@@ -1,0 +1,95 @@
+// Command xt-dummy runs the §5.1 data-transmission benchmark: the dummy
+// DRL algorithm that keeps DRL's communication mode while stripping the
+// computation, under any of the three framework architectures.
+//
+// Usage:
+//
+//	xt-dummy -framework xingtian -explorers 16 -size 1048576 -rounds 20
+//	xt-dummy -framework all -machines 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xingtian/internal/baselines/launchpadsim"
+	"xingtian/internal/baselines/rllibsim"
+	"xingtian/internal/dummy"
+	"xingtian/internal/netsim"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		framework    = flag.String("framework", "all", "xingtian | rllib | launchpad | all")
+		explorers    = flag.Int("explorers", 16, "number of dummy explorers")
+		size         = flag.Int("size", 1<<20, "message payload bytes")
+		rounds       = flag.Int("rounds", 20, "messages per explorer")
+		machines     = flag.Int("machines", 1, "simulated machines")
+		learnerAlone = flag.Bool("learner-alone", false, "place all explorers off the learner's machine")
+		compress     = flag.Bool("compress", true, "LZ4 compression above 1 MB")
+		scale        = flag.Float64("scale", 10, "time compression vs the paper's testbed")
+		plane        = flag.Int("plane", 1440, "emulated serialization plane cost (ns/KB)")
+	)
+	flag.Parse()
+
+	cfg := dummy.Config{
+		Explorers:    *explorers,
+		MessageBytes: *size,
+		Rounds:       *rounds,
+		Machines:     *machines,
+		LearnerAlone: *learnerAlone,
+		Compress:     *compress,
+		PlaneNsPerKB: *plane,
+		Net: netsim.Config{
+			Bandwidth: netsim.DefaultBandwidth,
+			Latency:   netsim.DefaultLatency,
+			TimeScale: *scale,
+		},
+	}
+
+	type entry struct {
+		name string
+		run  func(dummy.Config) (dummy.Result, error)
+	}
+	all := []entry{
+		{"xingtian", dummy.RunXingTian},
+		{"rllib", rllibsim.RunDummy},
+		{"launchpad", launchpadsim.RunDummy},
+	}
+	selected := all
+	if *framework != "all" {
+		selected = nil
+		for _, e := range all {
+			if e.name == *framework {
+				selected = []entry{e}
+			}
+		}
+		if selected == nil {
+			fmt.Fprintf(os.Stderr, "unknown framework %q\n", *framework)
+			return 2
+		}
+	}
+	fmt.Printf("dummy DRL transmission: %d explorers x %d rounds x %d bytes (%d machine(s), scale %.0fx)\n",
+		cfg.Explorers, cfg.Rounds, cfg.MessageBytes, maxInt(cfg.Machines, 1), *scale)
+	for _, e := range selected {
+		res, err := e.run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			return 1
+		}
+		fmt.Printf("%-10s %s\n", e.name, res)
+	}
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,59 @@
+// Command xt-experiments regenerates the paper's evaluation tables and
+// figures (Table 1, Figs. 4–11) plus the design-choice ablations.
+//
+// Usage:
+//
+//	xt-experiments -exp fig4          # one experiment
+//	xt-experiments -exp all           # every experiment, in order
+//	xt-experiments -exp fig11 -quick  # shrunken sweep (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xingtian/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		exp       = flag.String("exp", "all", "experiment id: "+strings.Join(experiments.Names(), ", ")+", or all")
+		quick     = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		scale     = flag.Float64("scale", 10, "time compression vs the paper's testbed")
+		plane     = flag.Int("plane", 1440, "emulated serialization plane cost (ns/KB)")
+		explorers = flag.Int("explorers", 0, "override explorer counts (0 = per-experiment defaults)")
+	)
+	flag.Parse()
+
+	s := experiments.Settings{
+		Scale:        *scale,
+		PlaneNsPerKB: *plane,
+		Quick:        *quick,
+		Explorers:    *explorers,
+	}
+
+	reg := experiments.Registry()
+	names := experiments.Names()
+	if *exp != "all" {
+		if _, ok := reg[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s, all\n",
+				*exp, strings.Join(names, ", "))
+			return 2
+		}
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		fmt.Printf("\n### experiment %s ###\n", name)
+		if err := reg[name](s, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", name, err)
+			return 1
+		}
+	}
+	return 0
+}

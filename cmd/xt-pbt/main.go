@@ -1,0 +1,108 @@
+// Command xt-pbt runs population-based training (§4.3) over the learning
+// rate of a zoo algorithm: isolated populations train concurrently, and
+// each generation the worst is replaced by a mutation of the best,
+// inheriting its weights.
+//
+// Usage:
+//
+//	xt-pbt -populations 4 -generations 3 -alg DQN -env CartPole
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"xingtian/internal/algorithm"
+	"xingtian/internal/core"
+	"xingtian/internal/env"
+	"xingtian/internal/pbt"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		populations = flag.Int("populations", 4, "concurrent populations")
+		generations = flag.Int("generations", 3, "exploit/explore cycles")
+		envName     = flag.String("env", "CartPole", "environment")
+		explorers   = flag.Int("explorers", 1, "explorers per population")
+		steps       = flag.Int64("steps", 2000, "steps per population per generation")
+		lr          = flag.Float64("lr", 1e-3, "initial learning rate")
+		seed        = flag.Int64("seed", 1, "search seed")
+	)
+	flag.Parse()
+
+	probe, err := env.Make(*envName, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	spec := algorithm.SpecFor(probe)
+
+	factory := func(rank int, hp pbt.Hyperparams, initial []float32) (*core.Session, error) {
+		cfg := algorithm.DefaultDQNConfig()
+		cfg.TrainStart = 200
+		cfg.TrainEvery = 4
+		cfg.LR = float32(hp["lr"])
+		algF := func(s int64) (core.Algorithm, error) {
+			d := algorithm.NewDQN(spec, cfg, s)
+			if initial != nil {
+				if err := d.LoadWeights(initial); err != nil {
+					return nil, err
+				}
+			}
+			return d, nil
+		}
+		agF := func(id int32, s int64) (core.Agent, error) {
+			e, err := env.Make(*envName, s)
+			if err != nil {
+				return nil, err
+			}
+			return algorithm.NewDQNAgent(spec, algorithm.NewEnvRunner(e, spec), s), nil
+		}
+		return core.NewSession(core.Config{
+			NumExplorers: *explorers,
+			RolloutLen:   100,
+			MaxSteps:     *steps,
+			MaxDuration:  2 * time.Minute,
+		}, algF, agF, int64(rank)*1000+*seed)
+	}
+
+	fmt.Printf("PBT: %d populations x %d generations on %s (initial lr %.2g)\n",
+		*populations, *generations, *envName, *lr)
+	res, err := pbt.Run(pbt.Config{
+		Populations: *populations,
+		Generations: *generations,
+		Initial:     pbt.Hyperparams{"lr": *lr},
+		Mutators: map[string]func(*rand.Rand, float64) float64{
+			"lr": pbt.PerturbMutator(0.8, 1.25),
+		},
+		Seed: *seed,
+	}, factory, func(s *core.Session) []float32 {
+		return s.Learner().Algorithm().Weights().Data
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbt: %v\n", err)
+		return 1
+	}
+	for _, gen := range res.Generations {
+		fmt.Printf("generation %d:\n", gen.Generation)
+		for _, p := range gen.Populations {
+			marker := " "
+			if p.Rank == gen.Populations[gen.Best].Rank {
+				marker = "*"
+			} else if p.Rank == gen.Populations[gen.Worst].Rank {
+				marker = "x"
+			}
+			fmt.Printf("  %s population %d: lr %.2e, mean return %.2f (%d steps)\n",
+				marker, p.Rank, p.Hyperparams["lr"], p.MeanReturn, p.Steps)
+		}
+	}
+	fmt.Printf("best: lr %.2e, mean return %.2f\n", res.BestHyperparams["lr"], res.BestReturn)
+	return 0
+}

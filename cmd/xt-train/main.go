@@ -1,0 +1,162 @@
+// Command xt-train runs one DRL training deployment: an algorithm from the
+// zoo on a named environment, with the deployment shape given by flags or a
+// JSON configuration file (the analogue of XingTian's YAML config).
+//
+// Usage:
+//
+//	xt-train -alg DQN -env CartPole -explorers 2 -steps 20000
+//	xt-train -config deploy.json
+//
+// Example deploy.json:
+//
+//	{
+//	  "algorithm": "IMPALA", "environment": "BeamRider",
+//	  "explorers": 8, "machines": 2, "rollout_len": 500,
+//	  "max_steps": 100000, "seed": 7
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"xingtian/internal/algorithm"
+	"xingtian/internal/core"
+	"xingtian/internal/env"
+)
+
+// fileConfig is the JSON deployment description.
+type fileConfig struct {
+	Algorithm   string `json:"algorithm"`
+	Environment string `json:"environment"`
+	Explorers   int    `json:"explorers"`
+	Machines    int    `json:"machines"`
+	RolloutLen  int    `json:"rollout_len"`
+	MaxSteps    int64  `json:"max_steps"`
+	MaxSeconds  int    `json:"max_seconds"`
+	Compress    bool   `json:"compress"`
+	Seed        int64  `json:"seed"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		algName    = flag.String("alg", "DQN", "DQN | PPO | IMPALA")
+		envName    = flag.String("env", "CartPole", "CartPole | BeamRider | Breakout | Qbert | SpaceInvaders")
+		explorers  = flag.Int("explorers", 2, "parallel explorers")
+		machines   = flag.Int("machines", 1, "simulated machines")
+		rolloutLen = flag.Int("rollout", 200, "steps per rollout message")
+		steps      = flag.Int64("steps", 20_000, "stop after consuming this many steps")
+		seconds    = flag.Int("seconds", 300, "wall-clock limit")
+		compress   = flag.Bool("compress", false, "LZ4 compression above 1 MB")
+		seed       = flag.Int64("seed", 1, "run seed")
+		configPath = flag.String("config", "", "JSON deployment config (overrides flags)")
+	)
+	flag.Parse()
+
+	fc := fileConfig{
+		Algorithm: *algName, Environment: *envName,
+		Explorers: *explorers, Machines: *machines, RolloutLen: *rolloutLen,
+		MaxSteps: *steps, MaxSeconds: *seconds, Compress: *compress, Seed: *seed,
+	}
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "read config: %v\n", err)
+			return 2
+		}
+		if err := json.Unmarshal(data, &fc); err != nil {
+			fmt.Fprintf(os.Stderr, "parse config: %v\n", err)
+			return 2
+		}
+	}
+
+	algF, agF, err := buildFactories(fc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	fmt.Printf("training %s on %s: %d explorer(s), %d machine(s), budget %d steps\n",
+		fc.Algorithm, fc.Environment, fc.Explorers, max(fc.Machines, 1), fc.MaxSteps)
+
+	report, err := core.Run(core.Config{
+		NumExplorers: fc.Explorers,
+		RolloutLen:   fc.RolloutLen,
+		MaxSteps:     fc.MaxSteps,
+		MaxDuration:  time.Duration(fc.MaxSeconds) * time.Second,
+		Machines:     fc.Machines,
+		Compress:     fc.Compress,
+	}, algF, agF, fc.Seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "run: %v\n", err)
+		return 1
+	}
+	fmt.Printf("done in %v\n", report.Duration.Round(time.Millisecond))
+	fmt.Printf("  steps consumed:   %d (%.0f steps/s)\n", report.StepsConsumed, report.Throughput)
+	fmt.Printf("  train sessions:   %d\n", report.TrainIters)
+	fmt.Printf("  episodes:         %d (mean return %.2f)\n", report.Episodes, report.MeanReturn)
+	fmt.Printf("  learner wait avg: %v\n", report.MeanWait.Round(time.Microsecond))
+	fmt.Printf("  transmission avg: %v\n", report.MeanTransmission.Round(time.Microsecond))
+	return 0
+}
+
+// buildFactories wires the zoo algorithm and agents for the config.
+func buildFactories(fc fileConfig) (core.AlgorithmFactory, core.AgentFactory, error) {
+	probe, err := env.Make(fc.Environment, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	spec := algorithm.SpecFor(probe)
+
+	mkEnv := func(seed int64) (env.Env, error) { return env.Make(fc.Environment, seed) }
+	switch fc.Algorithm {
+	case "DQN":
+		cfg := algorithm.DefaultDQNConfig()
+		return func(seed int64) (core.Algorithm, error) {
+				return algorithm.NewDQN(spec, cfg, seed), nil
+			}, func(id int32, seed int64) (core.Agent, error) {
+				e, err := mkEnv(seed)
+				if err != nil {
+					return nil, err
+				}
+				return algorithm.NewDQNAgent(spec, algorithm.NewEnvRunner(e, spec), seed), nil
+			}, nil
+	case "PPO":
+		cfg := algorithm.DefaultPPOConfig(fc.Explorers)
+		return func(seed int64) (core.Algorithm, error) {
+				return algorithm.NewPPO(spec, cfg, seed), nil
+			}, func(id int32, seed int64) (core.Agent, error) {
+				e, err := mkEnv(seed)
+				if err != nil {
+					return nil, err
+				}
+				return algorithm.NewPPOAgent(spec, algorithm.NewEnvRunner(e, spec), seed), nil
+			}, nil
+	case "IMPALA":
+		cfg := algorithm.DefaultIMPALAConfig()
+		return func(seed int64) (core.Algorithm, error) {
+				return algorithm.NewIMPALA(spec, cfg, seed), nil
+			}, func(id int32, seed int64) (core.Agent, error) {
+				e, err := mkEnv(seed)
+				if err != nil {
+					return nil, err
+				}
+				return algorithm.NewIMPALAAgent(spec, algorithm.NewEnvRunner(e, spec), seed), nil
+			}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown algorithm %q (want DQN, PPO, or IMPALA)", fc.Algorithm)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

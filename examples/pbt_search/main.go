@@ -1,0 +1,72 @@
+// Population-based training over DQN's learning rate on CartPole (§4.3):
+// four isolated populations (broker sets) train concurrently; each
+// generation the center scheduler eliminates the worst, mutates the best's
+// hyperparameters, and hands its weights to the replacement.
+//
+//	go run ./examples/pbt_search
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"xingtian"
+)
+
+func main() {
+	e := xingtian.NewCartPole(0)
+	spec := xingtian.SpecFor(e)
+
+	factory := func(rank int, hp xingtian.Hyperparams, initial []float32) (*xingtian.Session, error) {
+		cfg := xingtian.DefaultDQNConfig()
+		cfg.TrainStart = 300
+		cfg.TrainEvery = 2
+		cfg.LR = float32(hp["lr"])
+		algF := func(seed int64) (xingtian.Algorithm, error) {
+			d := xingtian.NewDQN(spec, cfg, seed)
+			if initial != nil {
+				if err := d.LoadWeights(initial); err != nil {
+					return nil, err
+				}
+			}
+			return d, nil
+		}
+		agF := func(id int32, seed int64) (xingtian.Agent, error) {
+			runner := xingtian.NewEnvRunner(xingtian.NewCartPole(seed), spec)
+			return xingtian.NewDQNAgent(spec, runner, seed), nil
+		}
+		return xingtian.NewSession(xingtian.Config{
+			NumExplorers: 1,
+			RolloutLen:   100,
+			MaxSteps:     5_000,
+			MaxDuration:  time.Minute,
+		}, algF, agF, int64(rank)*1000+1)
+	}
+
+	res, err := xingtian.RunPBT(xingtian.PBTConfig{
+		Populations: 4,
+		Generations: 3,
+		Initial:     xingtian.Hyperparams{"lr": 1e-3},
+		Mutators: map[string]func(*rand.Rand, float64) float64{
+			"lr": xingtian.PerturbMutator(0.8, 1.25),
+		},
+		Seed: 42,
+	}, factory, func(s *xingtian.Session) []float32 {
+		return s.Learner().Algorithm().Weights().Data
+	})
+	if err != nil {
+		log.Fatalf("pbt: %v", err)
+	}
+
+	for _, gen := range res.Generations {
+		fmt.Printf("generation %d:\n", gen.Generation)
+		for _, p := range gen.Populations {
+			fmt.Printf("  population %d: lr %.2e -> mean return %.1f\n",
+				p.Rank, p.Hyperparams["lr"], p.MeanReturn)
+		}
+	}
+	fmt.Printf("best combination: lr %.2e (mean return %.1f)\n",
+		res.BestHyperparams["lr"], res.BestReturn)
+}

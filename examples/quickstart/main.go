@@ -1,0 +1,50 @@
+// Quickstart: train DQN on CartPole through the full XingTian framework —
+// decentralized explorers and learner joined by the asynchronous channel —
+// in about forty lines of public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xingtian"
+)
+
+func main() {
+	e := xingtian.NewCartPole(0)
+	spec := xingtian.SpecFor(e)
+
+	cfg := xingtian.DefaultDQNConfig()
+	cfg.TrainStart = 500
+	cfg.TrainEvery = 2
+	cfg.LR = 3e-4
+	cfg.TargetSyncEvery = 200
+
+	algF := func(seed int64) (xingtian.Algorithm, error) {
+		return xingtian.NewDQN(spec, cfg, seed), nil
+	}
+	agF := func(id int32, seed int64) (xingtian.Agent, error) {
+		runner := xingtian.NewEnvRunner(xingtian.NewCartPole(seed), spec)
+		return xingtian.NewDQNAgent(spec, runner, seed), nil
+	}
+
+	report, err := xingtian.Run(xingtian.Config{
+		NumExplorers: 1,
+		RolloutLen:   100,
+		MaxSteps:     400_000,
+		MaxDuration:  2 * time.Minute,
+	}, algF, agF, 1)
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	fmt.Printf("trained on %d steps in %v (%.0f steps/s)\n",
+		report.StepsConsumed, report.Duration.Round(time.Millisecond), report.Throughput)
+	fmt.Printf("episodes: %d, mean return over the last window: %.1f\n",
+		report.Episodes, report.MeanReturn)
+	fmt.Printf("learner waited %v on average for rollouts (transmission overlapped training)\n",
+		report.MeanWait.Round(time.Microsecond))
+}

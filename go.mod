@@ -1,0 +1,3 @@
+module xingtian
+
+go 1.22

@@ -1,0 +1,178 @@
+package algorithm
+
+import (
+	"testing"
+
+	"xingtian/internal/env"
+)
+
+func pendulumSpec() (ContinuousSpec, env.ContinuousEnv) {
+	e := env.NewPendulum(1)
+	spec := ContinuousSpecFor(e)
+	spec.Hidden = []int{32, 32}
+	return spec, e
+}
+
+func TestContinuousSpecFor(t *testing.T) {
+	spec, _ := pendulumSpec()
+	if spec.FeatureDim != 3 || spec.ActionDim != 1 || spec.ActionBound != 2 {
+		t.Fatalf("spec = %+v", spec)
+	}
+}
+
+func TestDDPGAgentActionsBounded(t *testing.T) {
+	spec, e := pendulumSpec()
+	agent := NewDDPGAgent(spec, NewContinuousEnvRunner(e), 2)
+	agent.NoiseStd = 0.5
+	b, err := agent.Rollout(200)
+	if err != nil {
+		t.Fatalf("Rollout: %v", err)
+	}
+	if len(b.Steps) != 200 {
+		t.Fatalf("steps = %d", len(b.Steps))
+	}
+	for i, s := range b.Steps {
+		if len(s.ActionVec) != 1 {
+			t.Fatalf("step %d: action dim %d", i, len(s.ActionVec))
+		}
+		if s.ActionVec[0] < -2 || s.ActionVec[0] > 2 {
+			t.Fatalf("step %d: action %v outside ±2", i, s.ActionVec[0])
+		}
+		if s.Obs.Vec == nil {
+			t.Fatalf("step %d: missing observation", i)
+		}
+	}
+}
+
+func TestDDPGTrainGating(t *testing.T) {
+	spec, e := pendulumSpec()
+	cfg := DefaultDDPGConfig()
+	cfg.TrainStart = 100
+	cfg.TrainEvery = 2
+	cfg.BatchSize = 16
+	d := NewDDPG(spec, cfg, 1)
+	agent := NewDDPGAgent(spec, NewContinuousEnvRunner(e), 2)
+
+	b, err := agent.Rollout(50)
+	if err != nil {
+		t.Fatalf("Rollout: %v", err)
+	}
+	d.PrepareData(b)
+	if _, ok, _ := d.TryTrain(); ok {
+		t.Fatal("DDPG trained below TrainStart")
+	}
+	b2, _ := agent.Rollout(60)
+	d.PrepareData(b2)
+	if d.ReplayLen() != 110 {
+		t.Fatalf("ReplayLen = %d", d.ReplayLen())
+	}
+	sessions := 0
+	for {
+		res, ok, err := d.TryTrain()
+		if err != nil {
+			t.Fatalf("TryTrain: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if res.StepsConsumed != 16 {
+			t.Fatalf("StepsConsumed = %d", res.StepsConsumed)
+		}
+		sessions++
+	}
+	if sessions != 55 {
+		t.Fatalf("sessions = %d, want 55 (110 inserts / 2)", sessions)
+	}
+}
+
+func TestDDPGWeightsRoundTrip(t *testing.T) {
+	spec, e := pendulumSpec()
+	d := NewDDPG(spec, DefaultDDPGConfig(), 1)
+	agent := NewDDPGAgent(spec, NewContinuousEnvRunner(e), 2)
+	w := d.Weights()
+	if err := agent.SetWeights(w); err != nil {
+		t.Fatalf("SetWeights: %v", err)
+	}
+	if agent.WeightsVersion() != w.Version {
+		t.Fatalf("version = %d", agent.WeightsVersion())
+	}
+	if err := d.LoadWeights(w.Data); err != nil {
+		t.Fatalf("LoadWeights: %v", err)
+	}
+	if err := d.LoadWeights(w.Data[:5]); err == nil {
+		t.Fatal("short weights did not error")
+	}
+}
+
+func TestDDPGSoftUpdateMovesTargets(t *testing.T) {
+	spec, _ := pendulumSpec()
+	cfg := DefaultDDPGConfig()
+	cfg.Tau = 0.5
+	d := NewDDPG(spec, cfg, 1)
+	// Perturb the online actor, then soft-update and check the target moved
+	// halfway.
+	w := d.actor.FlatWeights()
+	before := d.actorTarget.FlatWeights()[0]
+	w[0] += 1
+	if err := d.actor.SetFlatWeights(w); err != nil {
+		t.Fatal(err)
+	}
+	d.softUpdate(d.actorTarget, d.actor)
+	after := d.actorTarget.FlatWeights()[0]
+	moved := after - before
+	if moved < 0.49 || moved > 0.51 {
+		t.Fatalf("target moved %v, want ≈0.5 with τ=0.5", moved)
+	}
+}
+
+func TestDDPGLearnsPendulum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	spec, e := pendulumSpec()
+	cfg := DefaultDDPGConfig()
+	cfg.TrainStart = 500
+	cfg.TrainEvery = 1
+	cfg.BatchSize = 64
+	d := NewDDPG(spec, cfg, 3)
+	runner := NewContinuousEnvRunner(e)
+	agent := NewDDPGAgent(spec, runner, 4)
+	agent.NoiseStd = 0.15
+	if err := agent.SetWeights(d.Weights()); err != nil {
+		t.Fatal(err)
+	}
+
+	var early, best float64
+	best = -1e18
+	const fragments = 120
+	for i := 0; i < fragments; i++ {
+		b, err := agent.Rollout(100)
+		if err != nil {
+			t.Fatalf("Rollout %d: %v", i, err)
+		}
+		d.PrepareData(b)
+		for {
+			_, ok, err := d.TryTrain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		_ = agent.SetWeights(d.Weights())
+		if i == fragments/4 {
+			_, early = runner.EpisodeStats()
+		}
+		if i >= fragments/2 {
+			if _, m := runner.EpisodeStats(); m > best {
+				best = m
+			}
+		}
+	}
+	// Pendulum random policy scores ≈ −1100..−1400; a learning agent should
+	// clearly improve (good policies approach −200).
+	if best < early+150 || best < -900 {
+		t.Fatalf("DDPG did not learn Pendulum: early %.0f -> best %.0f", early, best)
+	}
+}

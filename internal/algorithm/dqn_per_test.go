@@ -1,0 +1,113 @@
+package algorithm
+
+import (
+	"testing"
+)
+
+func TestDQNPrioritizedTrains(t *testing.T) {
+	spec, e := cartpoleSpec(t)
+	cfg := DefaultDQNConfig()
+	cfg.TrainStart = 64
+	cfg.TrainEvery = 4
+	cfg.BatchSize = 16
+	cfg.Prioritized = true
+	d := NewDQN(spec, cfg, 1)
+	if d.cfg.PriorityAlpha != 0.6 || d.cfg.PriorityBeta != 0.4 {
+		t.Fatalf("PER defaults = α %v β %v", d.cfg.PriorityAlpha, d.cfg.PriorityBeta)
+	}
+	agent := NewDQNAgent(spec, NewEnvRunner(e, spec), 2)
+	b, err := agent.Rollout(100)
+	if err != nil {
+		t.Fatalf("Rollout: %v", err)
+	}
+	d.PrepareData(b)
+	if d.ReplayLen() != 100 {
+		t.Fatalf("ReplayLen = %d", d.ReplayLen())
+	}
+	sessions := 0
+	for {
+		res, ok, err := d.TryTrain()
+		if err != nil {
+			t.Fatalf("TryTrain: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if res.StepsConsumed != 16 {
+			t.Fatalf("StepsConsumed = %d", res.StepsConsumed)
+		}
+		sessions++
+	}
+	if sessions != 25 {
+		t.Fatalf("sessions = %d, want 25 (100 inserts / 4)", sessions)
+	}
+	if err := d.SampleLatencyProbe(); err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+}
+
+func TestDQNPrioritizedLearnsCartPole(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	spec, e := cartpoleSpec(t)
+	cfg := DefaultDQNConfig()
+	cfg.TrainStart = 500
+	cfg.TrainEvery = 2
+	cfg.BatchSize = 32
+	cfg.TargetSyncEvery = 200
+	cfg.LR = 3e-4
+	cfg.BroadcastEvery = 5
+	cfg.Prioritized = true
+	d := NewDQN(spec, cfg, 3)
+	agent := NewDQNAgent(spec, NewEnvRunner(e, spec), 4)
+	agent.epsilonDecay = 0.9995
+
+	early, best := learnLoop(t,
+		d.PrepareData,
+		func() bool {
+			_, ok, err := d.TryTrain()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ok
+		},
+		func() { _ = agent.SetWeights(d.Weights()) },
+		agent, 250, 100)
+	if best < early+20 || best < 60 {
+		t.Fatalf("prioritized DQN did not learn CartPole: early %.1f -> best %.1f", early, best)
+	}
+}
+
+func TestDoubleDQNTrains(t *testing.T) {
+	spec, e := cartpoleSpec(t)
+	cfg := DefaultDQNConfig()
+	cfg.TrainStart = 32
+	cfg.TrainEvery = 4
+	cfg.BatchSize = 8
+	cfg.Double = true
+	d := NewDQN(spec, cfg, 1)
+	agent := NewDQNAgent(spec, NewEnvRunner(e, spec), 2)
+	b, err := agent.Rollout(64)
+	if err != nil {
+		t.Fatalf("Rollout: %v", err)
+	}
+	d.PrepareData(b)
+	trained := 0
+	for {
+		res, ok, err := d.TryTrain()
+		if err != nil {
+			t.Fatalf("TryTrain: %v", err)
+		}
+		if !ok {
+			break
+		}
+		if res.StepsConsumed != 8 {
+			t.Fatalf("StepsConsumed = %d", res.StepsConsumed)
+		}
+		trained++
+	}
+	if trained != 16 {
+		t.Fatalf("sessions = %d, want 16", trained)
+	}
+}

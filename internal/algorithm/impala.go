@@ -1,0 +1,337 @@
+package algorithm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"xingtian/internal/core"
+	"xingtian/internal/message"
+	"xingtian/internal/nn"
+	"xingtian/internal/rollout"
+	"xingtian/internal/tensor"
+)
+
+// IMPALAConfig holds IMPALA hyperparameters (Espeholt et al., 2018).
+type IMPALAConfig struct {
+	Gamma       float32
+	RhoBar      float32 // V-trace ρ̄ truncation
+	CBar        float32 // V-trace c̄ truncation
+	LR          float32
+	ValueCoef   float32
+	EntropyCoef float32
+	// MaxQueue bounds the pending-batch queue; older batches are dropped
+	// first when exceeded (off-policy correction handles moderate lag, but
+	// unbounded queues would hide learner saturation).
+	MaxQueue int
+}
+
+// DefaultIMPALAConfig returns standard IMPALA hyperparameters.
+func DefaultIMPALAConfig() IMPALAConfig {
+	return IMPALAConfig{
+		Gamma:       0.99,
+		RhoBar:      1.0,
+		CBar:        1.0,
+		LR:          1e-3,
+		ValueCoef:   0.5,
+		EntropyCoef: 0.01,
+		MaxQueue:    64,
+	}
+}
+
+// IMPALA is the learner side of the Importance Weighted Actor-Learner
+// Architecture: it trains on whichever explorer's rollout arrives next
+// (Fig. 1(c)), corrects the policy lag with V-trace, and sends updated
+// weights exactly to the contributing explorer.
+type IMPALA struct {
+	cfg    IMPALAConfig
+	spec   ModelSpec
+	rng    *rand.Rand
+	policy *nn.Network
+	value  *nn.Network
+	pOpt   nn.Optimizer
+	vOpt   nn.Optimizer
+
+	mu      sync.Mutex
+	queue   []*rollout.Batch
+	dropped int64
+	version int64
+}
+
+var _ core.Algorithm = (*IMPALA)(nil)
+
+// NewIMPALA builds an IMPALA learner.
+func NewIMPALA(spec ModelSpec, cfg IMPALAConfig, seed int64) *IMPALA {
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	return &IMPALA{
+		cfg:    cfg,
+		spec:   spec,
+		rng:    rng,
+		policy: spec.BuildPolicy(rng),
+		value:  spec.BuildValue(rng),
+		pOpt:   nn.NewRMSProp(cfg.LR),
+		vOpt:   nn.NewRMSProp(cfg.LR),
+	}
+}
+
+// Name implements core.Algorithm.
+func (im *IMPALA) Name() string { return "IMPALA" }
+
+// PrepareData queues a batch; the oldest batches are dropped beyond
+// MaxQueue.
+func (im *IMPALA) PrepareData(b *rollout.Batch) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	im.queue = append(im.queue, b)
+	if len(im.queue) > im.cfg.MaxQueue {
+		drop := len(im.queue) - im.cfg.MaxQueue
+		im.queue = append(im.queue[:0], im.queue[drop:]...)
+		im.dropped += int64(drop)
+	}
+}
+
+// Dropped reports batches discarded due to learner saturation.
+func (im *IMPALA) Dropped() int64 {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return im.dropped
+}
+
+// TryTrain implements core.Algorithm: one session per queued batch,
+// broadcasting to the batch's producer only.
+func (im *IMPALA) TryTrain() (core.TrainResult, bool, error) {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if len(im.queue) == 0 {
+		return core.TrainResult{}, false, nil
+	}
+	b := im.queue[0]
+	im.queue = im.queue[1:]
+	if len(b.Steps) == 0 {
+		return core.TrainResult{}, false, fmt.Errorf("impala: empty batch from explorer %d", b.ExplorerID)
+	}
+	loss := im.trainOn(b)
+	im.version++
+	return core.TrainResult{
+		StepsConsumed: len(b.Steps),
+		Broadcast:     true,
+		Targets:       []int32{b.ExplorerID},
+		Loss:          loss,
+	}, true, nil
+}
+
+// trainOn performs one V-trace actor-critic update (caller holds mu).
+func (im *IMPALA) trainOn(b *rollout.Batch) float32 {
+	n := len(b.Steps)
+	x := tensor.New(n, im.spec.FeatureDim)
+	for i := range b.Steps {
+		copy(x.Data[i*im.spec.FeatureDim:], im.spec.Featurize(b.Steps[i].Obs))
+	}
+
+	// Bootstrap value first: the later batch Forward must be the one whose
+	// activations the value net caches for Backward.
+	var bootstrap float32
+	if !b.Steps[n-1].Done {
+		bv := im.value.Forward(tensor.FromSlice(1, im.spec.FeatureDim, im.spec.Featurize(b.BootstrapObs)))
+		bootstrap = bv.Data[0]
+	}
+
+	// Current-policy log-probs and values.
+	im.policy.ZeroGrads()
+	logits := im.policy.Forward(x)
+	logp := logits.Clone()
+	logp.LogSoftmaxRows()
+	probs := logits.Clone()
+	probs.SoftmaxRows()
+
+	im.value.ZeroGrads()
+	v := im.value.Forward(x)
+
+	// Truncated importance weights against the recorded behavior logits.
+	rho := make([]float32, n)
+	c := make([]float32, n)
+	for t := 0; t < n; t++ {
+		s := &b.Steps[t]
+		behaviorLP := behaviorLogProb(s.Logits, int(s.Action))
+		ratio := float32(math.Exp(float64(logp.At(t, int(s.Action)) - behaviorLP)))
+		rho[t] = minf(ratio, im.cfg.RhoBar)
+		c[t] = minf(ratio, im.cfg.CBar)
+	}
+
+	// V-trace targets, computed backwards:
+	// vs_t = V_t + δ_t + γ c_t (vs_{t+1} − V_{t+1}).
+	vs := make([]float32, n+1)
+	nextV := bootstrap
+	vs[n] = bootstrap
+	for t := n - 1; t >= 0; t-- {
+		s := &b.Steps[t]
+		mask := float32(1)
+		if s.Done {
+			mask = 0
+			nextV = 0
+			vs[t+1] = 0
+		}
+		delta := rho[t] * (s.Reward + im.cfg.Gamma*nextV*mask - v.Data[t])
+		vs[t] = v.Data[t] + delta + im.cfg.Gamma*mask*c[t]*(vs[t+1]-nextV)
+		nextV = v.Data[t]
+	}
+
+	// Policy gradient with V-trace advantages plus entropy bonus.
+	grad := tensor.New(n, im.spec.NumActions)
+	var totalLoss float32
+	scale := 1 / float32(n)
+	for t := 0; t < n; t++ {
+		s := &b.Steps[t]
+		mask := float32(1)
+		if s.Done {
+			mask = 0
+		}
+		adv := rho[t] * (s.Reward + im.cfg.Gamma*vs[t+1]*mask - v.Data[t])
+		a := int(s.Action)
+		totalLoss -= logp.At(t, a) * adv
+
+		var entropy float32
+		for col := 0; col < im.spec.NumActions; col++ {
+			pc := probs.At(t, col)
+			if pc > 1e-12 {
+				entropy -= pc * float32(math.Log(float64(pc)))
+			}
+		}
+		totalLoss -= im.cfg.EntropyCoef * entropy
+
+		for col := 0; col < im.spec.NumActions; col++ {
+			pc := probs.At(t, col)
+			delta := float32(0)
+			if col == a {
+				delta = 1
+			}
+			g := -adv * (delta - pc)
+			logPC := float32(math.Log(float64(pc + 1e-12)))
+			g += im.cfg.EntropyCoef * pc * (logPC + entropy)
+			grad.Set(t, col, g*scale)
+		}
+	}
+	im.policy.Backward(grad)
+	im.policy.ClipGradNorm(40)
+	im.pOpt.Step(im.policy)
+
+	// Value regression toward the V-trace targets.
+	target := tensor.New(n, 1)
+	copy(target.Data, vs[:n])
+	vGrad := tensor.New(n, 1)
+	vLoss := nn.MSELoss(v, target, vGrad)
+	vGrad.ScaleInPlace(im.cfg.ValueCoef)
+	im.value.Backward(vGrad)
+	im.value.ClipGradNorm(40)
+	im.vOpt.Step(im.value)
+
+	return totalLoss*scale + im.cfg.ValueCoef*vLoss
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// behaviorLogProb computes log softmax(logits)[action] for the recorded
+// behavior policy.
+func behaviorLogProb(logits []float32, action int) float32 {
+	if len(logits) == 0 || action >= len(logits) {
+		return 0
+	}
+	maxV := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(float64(v - maxV))
+	}
+	return logits[action] - maxV - float32(math.Log(sum))
+}
+
+// Weights implements core.Algorithm.
+func (im *IMPALA) Weights() *message.WeightsPayload {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	return &message.WeightsPayload{
+		Version: im.version,
+		Data:    actorCriticWeights(im.policy, im.value),
+	}
+}
+
+// LoadWeights restores the actor-critic parameters from a combined payload
+// (PBT weight inheritance).
+func (im *IMPALA) LoadWeights(data []float32) error {
+	im.mu.Lock()
+	defer im.mu.Unlock()
+	if err := setActorCriticWeights(im.policy, im.value, data); err != nil {
+		return fmt.Errorf("impala load: %w", err)
+	}
+	return nil
+}
+
+// IMPALAAgent is the explorer side: stochastic policy sampling that records
+// the behavior logits V-trace needs.
+type IMPALAAgent struct {
+	spec   ModelSpec
+	policy *nn.Network
+	value  *nn.Network
+	rng    *rand.Rand
+
+	version int64
+	runner  *EnvRunner
+}
+
+var _ core.Agent = (*IMPALAAgent)(nil)
+
+// NewIMPALAAgent builds an explorer agent for IMPALA.
+func NewIMPALAAgent(spec ModelSpec, runner *EnvRunner, seed int64) *IMPALAAgent {
+	rng := rand.New(rand.NewSource(seed))
+	return &IMPALAAgent{
+		spec:   spec,
+		policy: spec.BuildPolicy(rng),
+		value:  spec.BuildValue(rng),
+		rng:    rng,
+		runner: runner,
+	}
+}
+
+// OnPolicy implements core.Agent: IMPALA tolerates policy lag.
+func (a *IMPALAAgent) OnPolicy() bool { return false }
+
+// SetWeights implements core.Agent.
+func (a *IMPALAAgent) SetWeights(w *message.WeightsPayload) error {
+	if err := setActorCriticWeights(a.policy, a.value, w.Data); err != nil {
+		return fmt.Errorf("impala agent: %w", err)
+	}
+	a.version = w.Version
+	return nil
+}
+
+// WeightsVersion implements core.Agent.
+func (a *IMPALAAgent) WeightsVersion() int64 { return a.version }
+
+// EpisodeStats implements core.Agent.
+func (a *IMPALAAgent) EpisodeStats() (int64, float64) { return a.runner.EpisodeStats() }
+
+// Rollout implements core.Agent.
+func (a *IMPALAAgent) Rollout(n int) (*rollout.Batch, error) {
+	return a.runner.Collect(n, a.version, func(feats []float32) (int, float32, float32, []float32) {
+		x := tensor.FromSlice(1, len(feats), feats)
+		logits := a.policy.Forward(x)
+		logp := logits.Clone()
+		logp.LogSoftmaxRows()
+		action := sampleLogits(a.rng, logp)
+		behavior := append([]float32(nil), logits.Data...)
+		return action, 0, logp.At(0, action), behavior
+	})
+}

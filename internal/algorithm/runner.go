@@ -1,0 +1,73 @@
+package algorithm
+
+import (
+	"fmt"
+
+	"xingtian/internal/env"
+	"xingtian/internal/rollout"
+)
+
+// EnvRunner drives one environment instance and assembles rollout fragments.
+// It factors the handle_env_feedback mechanics shared by every agent:
+// stepping, episode bookkeeping, auto-reset, and bootstrap observations.
+type EnvRunner struct {
+	e       *env.EpisodeTracker
+	spec    ModelSpec
+	current env.Obs
+	started bool
+}
+
+// PolicyFunc decides an action from featurized observations and returns the
+// behavior annotations to record: (action, value estimate, log-prob,
+// behavior logits). Agents that don't need an annotation return zero/nil.
+type PolicyFunc func(feats []float32) (action int, value, logProb float32, logits []float32)
+
+// NewEnvRunner wraps an environment.
+func NewEnvRunner(e env.Env, spec ModelSpec) *EnvRunner {
+	return &EnvRunner{e: env.NewEpisodeTracker(e), spec: spec}
+}
+
+// EpisodeStats reports completed episodes and mean return over the last 20.
+func (r *EnvRunner) EpisodeStats() (int64, float64) {
+	return int64(r.e.Episodes()), r.e.MeanReturn(20)
+}
+
+// Collect runs the policy for n steps (resetting episodes as they end) and
+// returns the assembled batch annotated with weightsVersion.
+func (r *EnvRunner) Collect(n int, weightsVersion int64, policy PolicyFunc) (*rollout.Batch, error) {
+	if !r.started {
+		obs, err := r.e.Reset()
+		if err != nil {
+			return nil, fmt.Errorf("runner reset: %w", err)
+		}
+		r.current = obs
+		r.started = true
+	}
+	b := &rollout.Batch{WeightsVersion: weightsVersion, Steps: make([]rollout.Step, 0, n)}
+	for i := 0; i < n; i++ {
+		feats := r.spec.Featurize(r.current)
+		action, value, logProb, logits := policy(feats)
+		next, reward, done, err := r.e.Step(action)
+		if err != nil {
+			return nil, fmt.Errorf("runner step: %w", err)
+		}
+		b.Steps = append(b.Steps, rollout.Step{
+			Obs:     r.current,
+			Action:  int32(action),
+			Reward:  float32(reward),
+			Done:    done,
+			Value:   value,
+			LogProb: logProb,
+			Logits:  logits,
+		})
+		if done {
+			next, err = r.e.Reset()
+			if err != nil {
+				return nil, fmt.Errorf("runner reset: %w", err)
+			}
+		}
+		r.current = next
+	}
+	b.BootstrapObs = r.current
+	return b, nil
+}

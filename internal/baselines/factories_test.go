@@ -1,0 +1,52 @@
+package baselines_test
+
+import (
+	"testing"
+
+	"xingtian/internal/algorithm"
+	"xingtian/internal/core"
+	"xingtian/internal/env"
+)
+
+func specCartPole() algorithm.ModelSpec {
+	spec := algorithm.SpecFor(env.NewCartPole(0))
+	spec.Hidden = []int{16}
+	return spec
+}
+
+func impalaFactories(t *testing.T) (core.AlgorithmFactory, core.AgentFactory) {
+	t.Helper()
+	spec := specCartPole()
+	return func(seed int64) (core.Algorithm, error) {
+			return algorithm.NewIMPALA(spec, algorithm.DefaultIMPALAConfig(), seed), nil
+		}, func(id int32, seed int64) (core.Agent, error) {
+			return algorithm.NewIMPALAAgent(spec, algorithm.NewEnvRunner(env.NewCartPole(seed), spec), seed), nil
+		}
+}
+
+func ppoFactories(t *testing.T, n int) (core.AlgorithmFactory, core.AgentFactory) {
+	t.Helper()
+	spec := specCartPole()
+	return func(seed int64) (core.Algorithm, error) {
+			cfg := algorithm.DefaultPPOConfig(n)
+			cfg.Epochs = 2
+			return algorithm.NewPPO(spec, cfg, seed), nil
+		}, func(id int32, seed int64) (core.Agent, error) {
+			return algorithm.NewPPOAgent(spec, algorithm.NewEnvRunner(env.NewCartPole(seed), spec), seed), nil
+		}
+}
+
+func dqnFactories(t *testing.T) (core.AlgorithmFactory, core.AgentFactory) {
+	t.Helper()
+	spec := specCartPole()
+	return func(seed int64) (core.Algorithm, error) {
+			cfg := algorithm.DefaultDQNConfig()
+			cfg.TrainStart = 100
+			cfg.TrainEvery = 4
+			cfg.BatchSize = 16
+			cfg.BroadcastEvery = 10
+			return algorithm.NewDQN(spec, cfg, seed), nil
+		}, func(id int32, seed int64) (core.Agent, error) {
+			return algorithm.NewDQNAgent(spec, algorithm.NewEnvRunner(env.NewCartPole(seed), spec), seed), nil
+		}
+}

@@ -1,0 +1,8 @@
+package rllibsim
+
+import "math/rand"
+
+// newSplitRand derives an independent RNG stream for the replay actor.
+func newSplitRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ 0x1E3779B97F4A7C15))
+}

@@ -1,0 +1,138 @@
+// Package rllibsim reimplements the communication architecture of RLLib
+// (Liang et al., 2018) over the same substrate XingTian uses, so benchmarks
+// isolate the paper's variable: pull-based centrally-scheduled communication
+// versus XingTian's push-based asynchronous channel.
+//
+// The model follows Section 2.2 of the paper:
+//
+//   - A central driver owns the control loop; explorers are actors that do
+//     nothing until the driver asks.
+//   - Data moves through wrapped RPCs plus a distributed object store:
+//     the producing actor serializes and copies the payload into the store;
+//     the consuming driver copies it back out before deserializing.
+//   - Communication cannot start until the receiving component is scheduled
+//     and asks for data, so transmission serializes with computation.
+package rllibsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xingtian/internal/dummy"
+	"xingtian/internal/message"
+	"xingtian/internal/netsim"
+	"xingtian/internal/rpcsim"
+	"xingtian/internal/serialize"
+)
+
+// DefaultRPC approximates Ray's per-call overhead.
+var DefaultRPC = rpcsim.Config{CallOverhead: 200 * time.Microsecond}
+
+// storeCopy models the Ray object-store hop: one full copy of the payload.
+// (XingTian's shared-memory communicator is zero-copy; this is the
+// difference the paper's Fig. 4 measures.)
+func storeCopy(p []byte) []byte {
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out
+}
+
+// RunDummy executes the §5.1 transmission benchmark under the RLLib model:
+// each round the driver issues a parallel pull to every explorer actor,
+// waits for all responses (ray.get barrier), then copies each payload out
+// of the object store and deserializes it serially before the next round
+// may start.
+func RunDummy(cfg dummy.Config) (dummy.Result, error) {
+	cfg = normalizeDummy(cfg)
+	net := netsim.New(cfg.Net)
+	rpcCfg := DefaultRPC
+	rpcCfg.TimeScale = cfg.Net.TimeScale
+
+	comp := serialize.Compressor{}
+	if cfg.Compress {
+		comp = serialize.NewCompressor()
+	}
+	comp.PackNsPerKB = cfg.PlaneNsPerKB
+
+	payload := dummy.MakePayload(cfg.MessageBytes)
+
+	// Explorer actors: serialize on demand, then pay the object-store copy.
+	actors := make([]*rpcsim.Server, cfg.Explorers)
+	for i := range actors {
+		machine := dummyExplorerMachine(cfg, i)
+		actors[i] = rpcsim.NewServer(machine, net, rpcCfg, func(method string, _ []byte) ([]byte, error) {
+			raw, err := serialize.Marshal(&message.DummyPayload{Data: payload})
+			if err != nil {
+				return nil, err
+			}
+			framed, _ := comp.Pack(raw)
+			// Ray marshals task results into the distributed object store:
+			// a second full plane pass over the payload plus the copy.
+			serialize.PlaneDelay(len(framed), comp.PackNsPerKB)
+			return storeCopy(framed), nil // put into the object store
+		})
+	}
+	defer func() {
+		for _, a := range actors {
+			a.Stop()
+		}
+	}()
+
+	driver := rpcsim.NewClient(0, net)
+	start := time.Now()
+	var total int64
+	for r := 0; r < cfg.Rounds; r++ {
+		responses := make([][]byte, cfg.Explorers)
+		errs := make([]error, cfg.Explorers)
+		var wg sync.WaitGroup
+		for i, a := range actors {
+			wg.Add(1)
+			go func(i int, a *rpcsim.Server) {
+				defer wg.Done()
+				responses[i], errs[i] = driver.Call(a, "sample", nil)
+			}(i, a)
+		}
+		wg.Wait() // the ray.get barrier
+		for i, framed := range responses {
+			if errs[i] != nil {
+				return dummy.Result{}, fmt.Errorf("rllibsim dummy: %w", errs[i])
+			}
+			local := storeCopy(framed)                           // copy out of the object store
+			serialize.PlaneDelay(len(local), comp.PackNsPerKB/8) // store fetch
+			raw, err := comp.Unpack(local)
+			if err != nil {
+				return dummy.Result{}, err
+			}
+			body, err := serialize.Unmarshal(raw)
+			if err != nil {
+				return dummy.Result{}, err
+			}
+			total += int64(len(body.(*message.DummyPayload).Data))
+		}
+	}
+	return dummy.NewResult(total, time.Since(start)), nil
+}
+
+func normalizeDummy(cfg dummy.Config) dummy.Config {
+	if cfg.Explorers < 1 {
+		cfg.Explorers = 1
+	}
+	if cfg.Rounds < 1 {
+		cfg.Rounds = 1
+	}
+	if cfg.Machines < 1 {
+		cfg.Machines = 1
+	}
+	return cfg
+}
+
+func dummyExplorerMachine(cfg dummy.Config, i int) int {
+	if cfg.LearnerAlone {
+		if cfg.Machines <= 1 {
+			return 1
+		}
+		return 1 + i%(cfg.Machines-1)
+	}
+	return i % cfg.Machines
+}

@@ -1,0 +1,377 @@
+// Package broker implements XingTian's broker process: the shared-memory
+// communicator (object store + header queue), the per-client ID queues, and
+// the algorithm-agnostic router that pushes every message toward its
+// destinations the moment it is produced.
+//
+// The broker is deliberately ignorant of DRL semantics — it never inspects
+// bodies, only header metadata — which is what makes the channel reusable
+// across PPO, DQN, IMPALA, the dummy benchmark algorithm, and PBT broker
+// sets. Cross-machine forwarding is delegated to a Remote implementation
+// (an in-process simulated network or a real TCP fabric).
+package broker
+
+import (
+	"fmt"
+	"sync"
+
+	"xingtian/internal/message"
+	"xingtian/internal/objectstore"
+	"xingtian/internal/queue"
+	"xingtian/internal/serialize"
+)
+
+// Remote forwards a framed message toward a broker on another machine.
+// Implementations model or implement the inter-machine data fabric.
+type Remote interface {
+	// Forward delivers the header and framed body to dstMachine's broker.
+	Forward(srcMachine, dstMachine int, h *message.Header, framed []byte) error
+}
+
+// Broker is one machine's communication hub.
+type Broker struct {
+	machineID  int
+	store      *objectstore.Store
+	headerQ    *queue.Queue[*message.Header]
+	compressor serialize.Compressor
+	remote     Remote
+	locator    Locator
+
+	mu         sync.Mutex
+	idQueues   map[string]*queue.Queue[*message.Header]
+	forwarders map[int]*queue.Queue[forwardItem]
+
+	wg         sync.WaitGroup
+	routerDone chan struct{}
+	stopped    bool
+}
+
+// forwardItem is one cross-machine transfer awaiting its ordered turn on
+// the per-destination forwarder.
+type forwardItem struct {
+	header *message.Header
+	framed []byte
+	objID  objectstore.ID
+}
+
+// Locator resolves a client name to the machine hosting it.
+type Locator interface {
+	// Locate returns the machine ID for the named client and whether the
+	// name is known.
+	Locate(name string) (int, bool)
+}
+
+// Config parameterizes a broker.
+type Config struct {
+	// MachineID identifies the machine this broker serves.
+	MachineID int
+	// Compressor frames bodies entering the object store. The zero value
+	// disables compression; use serialize.NewCompressor for the 1 MB
+	// default.
+	Compressor serialize.Compressor
+	// Remote forwards cross-machine traffic; nil restricts the broker to
+	// one machine.
+	Remote Remote
+	// Locator resolves destination names to machines; nil treats all names
+	// as local.
+	Locator Locator
+}
+
+// New starts a broker and its router goroutine.
+func New(cfg Config) *Broker {
+	b := &Broker{
+		machineID:  cfg.MachineID,
+		store:      objectstore.New(),
+		headerQ:    queue.New[*message.Header](),
+		compressor: cfg.Compressor,
+		remote:     cfg.Remote,
+		locator:    cfg.Locator,
+		idQueues:   make(map[string]*queue.Queue[*message.Header]),
+		forwarders: make(map[int]*queue.Queue[forwardItem]),
+		routerDone: make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go func() {
+		defer close(b.routerDone)
+		b.route()
+	}()
+	return b
+}
+
+// MachineID returns the broker's machine.
+func (b *Broker) MachineID() int { return b.machineID }
+
+// Store exposes the shared-memory object store (for tests and stats).
+func (b *Broker) Store() *objectstore.Store { return b.store }
+
+// Register attaches a named client process and returns its Port. The name
+// must be unique per broker.
+func (b *Broker) Register(name string) (*Port, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stopped {
+		return nil, fmt.Errorf("broker: register %q on stopped broker", name)
+	}
+	if _, exists := b.idQueues[name]; exists {
+		return nil, fmt.Errorf("broker: client %q already registered", name)
+	}
+	q := queue.New[*message.Header]()
+	b.idQueues[name] = q
+	return &Port{broker: b, name: name, idQueue: q}, nil
+}
+
+// Unregister detaches a client, closing its ID queue.
+func (b *Broker) Unregister(name string) {
+	b.mu.Lock()
+	q := b.idQueues[name]
+	delete(b.idQueues, name)
+	b.mu.Unlock()
+	if q != nil {
+		q.Close()
+	}
+}
+
+func (b *Broker) idQueue(name string) *queue.Queue[*message.Header] {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.idQueues[name]
+}
+
+// localRemoteSplit partitions destinations into local names and the set of
+// remote machines involved.
+func (b *Broker) localRemoteSplit(dst []string) (local []string, remoteMachines map[int][]string) {
+	for _, d := range dst {
+		machine := b.machineID
+		if b.locator != nil {
+			if m, ok := b.locator.Locate(d); ok {
+				machine = m
+			}
+		}
+		if machine == b.machineID {
+			local = append(local, d)
+			continue
+		}
+		if remoteMachines == nil {
+			remoteMachines = make(map[int][]string)
+		}
+		remoteMachines[machine] = append(remoteMachines[machine], d)
+	}
+	return local, remoteMachines
+}
+
+// route is the algorithm-agnostic router: it monitors the shared-memory
+// communicator's header queue and dispatches each header to the ID queues
+// of all destination processes (and to peer brokers for remote
+// destinations).
+func (b *Broker) route() {
+	defer b.wg.Done()
+	for {
+		h, err := b.headerQ.Get()
+		if err != nil {
+			return // broker stopped
+		}
+		local, remotes := b.localRemoteSplit(h.Dst)
+
+		for _, name := range local {
+			q := b.idQueue(name)
+			if q == nil {
+				// Unknown local client: drop this destination's reference
+				// so the body is not leaked.
+				_ = b.store.Release(h.ObjectID)
+				continue
+			}
+			if err := q.Put(h); err != nil {
+				_ = b.store.Release(h.ObjectID)
+			}
+		}
+
+		for machine, names := range remotes {
+			framed, err := b.store.Get(h.ObjectID)
+			if err != nil {
+				continue
+			}
+			if b.remote == nil {
+				_ = b.store.Release(h.ObjectID)
+				continue
+			}
+			fh := *h // shallow copy; Dst narrowed to the target machine
+			fh.Dst = names
+			// Hand the transfer to the per-destination forwarder: transfers
+			// to one machine stay ordered (so newer weights never lose to
+			// older ones), while transfers to different machines — and all
+			// local routing — overlap, the paper's aggressive push.
+			fq := b.forwarder(machine)
+			if fq == nil || fq.Put(forwardItem{header: &fh, framed: framed, objID: h.ObjectID}) != nil {
+				_ = b.store.Release(h.ObjectID)
+			}
+		}
+	}
+}
+
+// forwarder returns (creating on first use) the ordered transfer queue for
+// a destination machine.
+func (b *Broker) forwarder(machine int) *queue.Queue[forwardItem] {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stopped {
+		return nil
+	}
+	fq, ok := b.forwarders[machine]
+	if !ok {
+		fq = queue.New[forwardItem]()
+		b.forwarders[machine] = fq
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			for {
+				item, err := fq.Get()
+				if err != nil {
+					return
+				}
+				_ = b.remote.Forward(b.machineID, machine, item.header, item.framed)
+				_ = b.store.Release(item.objID)
+			}
+		}()
+	}
+	return fq
+}
+
+// InjectRemote accepts a message forwarded from another machine's broker:
+// the framed body enters this machine's object store and the header is
+// dispatched to local ID queues. It implements the receiving half of
+// Remote.Forward.
+func (b *Broker) InjectRemote(h *message.Header, framed []byte) error {
+	local, _ := b.localRemoteSplit(h.Dst)
+	if len(local) == 0 {
+		return nil
+	}
+	body := append([]byte(nil), framed...) // own the bytes on this machine
+	id := b.store.Put(body, len(local))
+	nh := *h
+	nh.ObjectID = id
+	for _, name := range local {
+		q := b.idQueue(name)
+		if q == nil {
+			_ = b.store.Release(id)
+			continue
+		}
+		if err := q.Put(&nh); err != nil {
+			_ = b.store.Release(id)
+		}
+	}
+	return nil
+}
+
+// Stop shuts the router down and closes all client queues. It is
+// idempotent and waits for in-flight forwards to finish.
+func (b *Broker) Stop() {
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		return
+	}
+	b.stopped = true
+	queues := make([]*queue.Queue[*message.Header], 0, len(b.idQueues))
+	for _, q := range b.idQueues {
+		queues = append(queues, q)
+	}
+	b.mu.Unlock()
+
+	b.headerQ.Close()
+	<-b.routerDone // router drains the header queue before forwarders close
+	b.mu.Lock()
+	forwarders := make([]*queue.Queue[forwardItem], 0, len(b.forwarders))
+	for _, fq := range b.forwarders {
+		forwarders = append(forwarders, fq)
+	}
+	b.mu.Unlock()
+	for _, fq := range forwarders {
+		fq.Close() // forwarders drain queued transfers, then exit
+	}
+	b.wg.Wait()
+	for _, q := range queues {
+		q.Close()
+	}
+}
+
+// Port is a client's attachment to the broker: Send serializes and pushes a
+// message into the shared-memory communicator; Recv blocks on the client's
+// ID queue and materializes the next message. Send runs on the client's
+// sender thread and Recv on its receiver thread, keeping all communication
+// work off the workhorse threads.
+type Port struct {
+	broker  *Broker
+	name    string
+	idQueue *queue.Queue[*message.Header]
+}
+
+// Name returns the client name this port was registered under.
+func (p *Port) Name() string { return p.name }
+
+// Send serializes, optionally compresses, and stores the message body, then
+// publishes the header to the router. It returns once the message has been
+// handed to the asynchronous channel — not once it is delivered.
+func (p *Port) Send(m *message.Message) error {
+	raw, err := serialize.Marshal(m.Body)
+	if err != nil {
+		return fmt.Errorf("broker send from %s: %w", p.name, err)
+	}
+	framed, compressed := p.broker.compressor.Pack(raw)
+
+	local, remotes := p.broker.localRemoteSplit(m.Header.Dst)
+	refs := len(local) + len(remotes)
+	if refs == 0 {
+		return nil // no reachable destination; drop silently like a router
+	}
+	h := m.Header
+	h.ObjectID = p.broker.store.Put(framed, refs)
+	h.BodySize = len(framed)
+	h.Compressed = compressed
+	if err := p.broker.headerQ.Put(h); err != nil {
+		// Router is gone; reclaim all references.
+		for i := 0; i < refs; i++ {
+			_ = p.broker.store.Release(h.ObjectID)
+		}
+		return fmt.Errorf("broker send from %s: %w", p.name, err)
+	}
+	return nil
+}
+
+// Recv blocks until a message addressed to this client arrives, fetches the
+// body from the object store (releasing the reference), and decodes it.
+func (p *Port) Recv() (*message.Message, error) {
+	h, err := p.idQueue.Get()
+	if err != nil {
+		return nil, err
+	}
+	return p.materialize(h)
+}
+
+// TryRecv is the non-blocking variant of Recv.
+func (p *Port) TryRecv() (*message.Message, error) {
+	h, err := p.idQueue.TryGet()
+	if err != nil {
+		return nil, err
+	}
+	return p.materialize(h)
+}
+
+func (p *Port) materialize(h *message.Header) (*message.Message, error) {
+	framed, err := p.broker.store.Get(h.ObjectID)
+	if err != nil {
+		return nil, fmt.Errorf("broker recv at %s: %w", p.name, err)
+	}
+	raw, err := p.broker.compressor.Unpack(framed)
+	if err != nil {
+		return nil, fmt.Errorf("broker recv at %s: %w", p.name, err)
+	}
+	body, err := serialize.Unmarshal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("broker recv at %s: %w", p.name, err)
+	}
+	_ = p.broker.store.Release(h.ObjectID)
+	return &message.Message{Header: h, Body: body}, nil
+}
+
+// Pending reports how many undelivered headers wait in this client's ID
+// queue.
+func (p *Port) Pending() int { return p.idQueue.Len() }

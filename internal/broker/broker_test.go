@@ -1,0 +1,456 @@
+package broker
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"xingtian/internal/message"
+	"xingtian/internal/netsim"
+	"xingtian/internal/queue"
+	"xingtian/internal/serialize"
+)
+
+func singleMachine(t *testing.T) *Broker {
+	t.Helper()
+	b := New(Config{MachineID: 0})
+	t.Cleanup(b.Stop)
+	return b
+}
+
+func dummyMsg(src string, dst []string, payload []byte) *message.Message {
+	return message.New(message.TypeDummy, src, dst, &message.DummyPayload{Data: payload})
+}
+
+func TestSendRecvSingleDestination(t *testing.T) {
+	b := singleMachine(t)
+	sender, err := b.Register("explorer-0")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	receiver, err := b.Register("learner")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	payload := []byte("rollout bytes")
+	if err := sender.Send(dummyMsg("explorer-0", []string{"learner"}, payload)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := receiver.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	body, ok := got.Body.(*message.DummyPayload)
+	if !ok {
+		t.Fatalf("body type %T", got.Body)
+	}
+	if !bytes.Equal(body.Data, payload) {
+		t.Fatal("payload mismatch")
+	}
+	if got.Header.Src != "explorer-0" {
+		t.Fatalf("Src = %q", got.Header.Src)
+	}
+}
+
+func TestBodyReleasedAfterDelivery(t *testing.T) {
+	b := singleMachine(t)
+	s, _ := b.Register("s")
+	r, _ := b.Register("r")
+	if err := s.Send(dummyMsg("s", []string{"r"}, make([]byte, 512))); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := r.Recv(); err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for b.Store().Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("object store holds %d objects after delivery", b.Store().Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBroadcastToMultipleDestinations(t *testing.T) {
+	b := singleMachine(t)
+	learner, _ := b.Register("learner")
+	var explorers []*Port
+	for i := 0; i < 4; i++ {
+		p, err := b.Register(fmt.Sprintf("explorer-%d", i))
+		if err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		explorers = append(explorers, p)
+	}
+	dst := []string{"explorer-0", "explorer-1", "explorer-2", "explorer-3"}
+	w := &message.WeightsPayload{Version: 3, Data: []float32{1, 2, 3}}
+	if err := learner.Send(message.New(message.TypeWeights, "learner", dst, w)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	for i, p := range explorers {
+		got, err := p.Recv()
+		if err != nil {
+			t.Fatalf("explorer %d Recv: %v", i, err)
+		}
+		wp := got.Body.(*message.WeightsPayload)
+		if wp.Version != 3 || len(wp.Data) != 3 {
+			t.Fatalf("explorer %d got %+v", i, wp)
+		}
+	}
+	// All references released exactly once.
+	deadline := time.Now().Add(time.Second)
+	for b.Store().Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("store still holds %d objects after broadcast consumed", b.Store().Len())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestUnknownDestinationDoesNotLeak(t *testing.T) {
+	b := singleMachine(t)
+	s, _ := b.Register("s")
+	if err := s.Send(dummyMsg("s", []string{"ghost"}, make([]byte, 100))); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for b.Store().Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("message to unknown destination leaked in store")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	b := singleMachine(t)
+	if _, err := b.Register("x"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if _, err := b.Register("x"); err == nil {
+		t.Fatal("duplicate Register did not error")
+	}
+}
+
+func TestSendUnsupportedBody(t *testing.T) {
+	b := singleMachine(t)
+	s, _ := b.Register("s")
+	if _, err := b.Register("r"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	m := message.New(message.TypeDummy, "s", []string{"r"}, 42)
+	if err := s.Send(m); err == nil {
+		t.Fatal("Send with unsupported body did not error")
+	}
+}
+
+func TestStopUnblocksReceivers(t *testing.T) {
+	b := New(Config{MachineID: 0})
+	r, _ := b.Register("r")
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Stop()
+	select {
+	case err := <-done:
+		if !errors.Is(err, queue.ErrClosed) {
+			t.Fatalf("Recv after Stop = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock after Stop")
+	}
+	b.Stop() // idempotent
+}
+
+func TestCompressionAppliedAboveThreshold(t *testing.T) {
+	b := New(Config{MachineID: 0, Compressor: serialize.Compressor{Threshold: 1024}})
+	defer b.Stop()
+	s, _ := b.Register("s")
+	r, _ := b.Register("r")
+	payload := bytes.Repeat([]byte("abcd"), 4096) // compressible 16 KB
+	if err := s.Send(dummyMsg("s", []string{"r"}, payload)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := r.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if !got.Header.Compressed {
+		t.Fatal("16 KB compressible body not compressed with 1 KB threshold")
+	}
+	if got.Header.BodySize >= len(payload) {
+		t.Fatalf("BodySize = %d, want < %d", got.Header.BodySize, len(payload))
+	}
+	if !bytes.Equal(got.Body.(*message.DummyPayload).Data, payload) {
+		t.Fatal("payload corrupted by compression")
+	}
+}
+
+func TestConcurrentSendersOneReceiver(t *testing.T) {
+	b := singleMachine(t)
+	const senders = 8
+	const perSender = 50
+	receiver, _ := b.Register("learner")
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		name := fmt.Sprintf("explorer-%d", i)
+		p, err := b.Register(name)
+		if err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		wg.Add(1)
+		go func(p *Port, name string) {
+			defer wg.Done()
+			for j := 0; j < perSender; j++ {
+				if err := p.Send(dummyMsg(name, []string{"learner"}, []byte(name))); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}(p, name)
+	}
+	counts := make(map[string]int)
+	for i := 0; i < senders*perSender; i++ {
+		got, err := receiver.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		counts[got.Header.Src]++
+	}
+	wg.Wait()
+	for name, c := range counts {
+		if c != perSender {
+			t.Fatalf("received %d from %s, want %d", c, name, perSender)
+		}
+	}
+}
+
+// Cluster (multi-machine) tests ----------------------------------------------
+
+func fastCluster(t *testing.T) *Cluster {
+	t.Helper()
+	net := netsim.New(netsim.Config{Bandwidth: 1 << 30, Latency: 0, TimeScale: 1})
+	c := NewCluster(net)
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestClusterCrossMachineDelivery(t *testing.T) {
+	c := fastCluster(t)
+	if _, err := c.AddBroker(0, serialize.Compressor{}); err != nil {
+		t.Fatalf("AddBroker: %v", err)
+	}
+	if _, err := c.AddBroker(1, serialize.Compressor{}); err != nil {
+		t.Fatalf("AddBroker: %v", err)
+	}
+	s, err := c.Register(0, "explorer-0")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	r, err := c.Register(1, "learner")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	payload := bytes.Repeat([]byte{7}, 10_000)
+	if err := s.Send(dummyMsg("explorer-0", []string{"learner"}, payload)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := r.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if !bytes.Equal(got.Body.(*message.DummyPayload).Data, payload) {
+		t.Fatal("cross-machine payload mismatch")
+	}
+	if c.Network().BytesSent(0) == 0 {
+		t.Fatal("cross-machine transfer did not use the NIC")
+	}
+}
+
+func TestClusterMixedLocalRemoteBroadcast(t *testing.T) {
+	c := fastCluster(t)
+	if _, err := c.AddBroker(0, serialize.Compressor{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddBroker(1, serialize.Compressor{}); err != nil {
+		t.Fatal(err)
+	}
+	learner, err := c.Register(0, "learner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := c.Register(0, "explorer-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := c.Register(1, "explorer-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &message.WeightsPayload{Version: 9, Data: make([]float32, 100)}
+	if err := learner.Send(message.New(message.TypeWeights, "learner",
+		[]string{"explorer-0", "explorer-1"}, w)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	for _, p := range []*Port{local, remote} {
+		got, err := p.Recv()
+		if err != nil {
+			t.Fatalf("%s Recv: %v", p.Name(), err)
+		}
+		if got.Body.(*message.WeightsPayload).Version != 9 {
+			t.Fatalf("%s got wrong weights", p.Name())
+		}
+	}
+	// Remote copy should have crossed machine 0 -> 1 exactly once.
+	if sent := c.Network().BytesSent(0); sent < 400 {
+		t.Fatalf("BytesSent(0) = %d; expected one weights transfer", sent)
+	}
+}
+
+func TestClusterIntraMachineBypassesNIC(t *testing.T) {
+	c := fastCluster(t)
+	if _, err := c.AddBroker(0, serialize.Compressor{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Register(0, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Register(0, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send(dummyMsg("a", []string{"b"}, make([]byte, 100_000))); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := r.Recv(); err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if c.Network().BytesSent(0) != 0 {
+		t.Fatal("intra-machine message used the NIC")
+	}
+}
+
+func TestClusterDuplicateNameRejected(t *testing.T) {
+	c := fastCluster(t)
+	if _, err := c.AddBroker(0, serialize.Compressor{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddBroker(1, serialize.Compressor{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(0, "learner"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register(1, "learner"); err == nil {
+		t.Fatal("cluster accepted duplicate client name on another machine")
+	}
+}
+
+func TestClusterUnknownMachine(t *testing.T) {
+	c := fastCluster(t)
+	if _, err := c.Register(5, "x"); err == nil {
+		t.Fatal("Register on unknown machine did not error")
+	}
+	if _, err := c.AddBroker(0, serialize.Compressor{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddBroker(0, serialize.Compressor{}); err == nil {
+		t.Fatal("duplicate AddBroker did not error")
+	}
+}
+
+func BenchmarkSendRecvLocal64KB(b *testing.B) {
+	br := New(Config{MachineID: 0})
+	defer br.Stop()
+	s, err := br.Register("s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := br.Register("r")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Send(dummyMsg("s", []string{"r"}, payload)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTryRecvEmptyAndAfterSend(t *testing.T) {
+	b := singleMachine(t)
+	s, _ := b.Register("s")
+	r, _ := b.Register("r")
+	if _, err := r.TryRecv(); !errors.Is(err, queue.ErrEmpty) {
+		t.Fatalf("TryRecv on empty = %v, want ErrEmpty", err)
+	}
+	if err := s.Send(dummyMsg("s", []string{"r"}, []byte("x"))); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		m, err := r.TryRecv()
+		if err == nil {
+			if string(m.Body.(*message.DummyPayload).Data) != "x" {
+				t.Fatal("wrong payload")
+			}
+			return
+		}
+		if !errors.Is(err, queue.ErrEmpty) {
+			t.Fatalf("TryRecv: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message never routed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestUnregisterClosesQueue(t *testing.T) {
+	b := singleMachine(t)
+	r, _ := b.Register("r")
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	b.Unregister("r")
+	select {
+	case err := <-done:
+		if !errors.Is(err, queue.ErrClosed) {
+			t.Fatalf("Recv after Unregister = %v, want ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Recv did not unblock after Unregister")
+	}
+	// The name is reusable afterwards.
+	if _, err := b.Register("r"); err != nil {
+		t.Fatalf("re-Register after Unregister: %v", err)
+	}
+}
+
+func TestPortName(t *testing.T) {
+	b := singleMachine(t)
+	p, _ := b.Register("some-client")
+	if p.Name() != "some-client" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("Pending = %d", p.Pending())
+	}
+}

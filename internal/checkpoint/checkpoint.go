@@ -1,0 +1,93 @@
+// Package checkpoint persists DNN parameters to disk and restores them —
+// the fault-tolerance mechanism §4.2 describes: the Algorithm class "saves
+// the checkpoints of the DNNs periodically to restore DNN parameters after
+// failure".
+//
+// Files are written atomically (temp file + rename) so a crash mid-write
+// never corrupts the latest good checkpoint.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// ErrCorrupt is returned when a checkpoint file fails validation.
+var ErrCorrupt = errors.New("checkpoint: corrupt file")
+
+// magic identifies checkpoint files.
+const magic = 0x58544350 // "XTCP"
+
+// State is a restorable parameter snapshot.
+type State struct {
+	// Version is the weights version at save time.
+	Version int64
+	// Weights are the flattened parameters.
+	Weights []float32
+}
+
+// Save writes the state to path atomically.
+func Save(path string, s State) error {
+	buf := make([]byte, 0, 24+4*len(s.Weights))
+	buf = binary.LittleEndian.AppendUint32(buf, magic)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Version))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Weights)))
+	for _, w := range s.Weights {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(w))
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint save: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint save: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("checkpoint save: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates a checkpoint.
+func Load(path string) (State, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return State{}, fmt.Errorf("checkpoint load: %w", err)
+	}
+	if len(data) < 20 {
+		return State{}, fmt.Errorf("file too short: %w", ErrCorrupt)
+	}
+	body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return State{}, fmt.Errorf("checksum mismatch: %w", ErrCorrupt)
+	}
+	if binary.LittleEndian.Uint32(body) != magic {
+		return State{}, fmt.Errorf("bad magic: %w", ErrCorrupt)
+	}
+	version := int64(binary.LittleEndian.Uint64(body[4:]))
+	n := int(binary.LittleEndian.Uint32(body[12:]))
+	if len(body) != 16+4*n {
+		return State{}, fmt.Errorf("length mismatch: %w", ErrCorrupt)
+	}
+	weights := make([]float32, n)
+	for i := range weights {
+		weights[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[16+4*i:]))
+	}
+	return State{Version: version, Weights: weights}, nil
+}

@@ -1,0 +1,115 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	in := State{Version: 42, Weights: []float32{1.5, -2.25, 0, 3e8}}
+	if err := Save(path, in); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	out, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if out.Version != in.Version || len(out.Weights) != len(in.Weights) {
+		t.Fatalf("Load = %+v", out)
+	}
+	for i := range in.Weights {
+		if in.Weights[i] != out.Weights[i] {
+			t.Fatalf("weight %d mismatch", i)
+		}
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := Save(path, State{Version: 1, Weights: []float32{1}}); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	if err := Save(path, State{Version: 2, Weights: []float32{2, 3}}); err != nil {
+		t.Fatalf("Save overwrite: %v", err)
+	}
+	out, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if out.Version != 2 || len(out.Weights) != 2 {
+		t.Fatalf("Load after overwrite = %+v", out)
+	}
+	// No stray temp files.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("Load missing file did not error")
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := Save(path, State{Version: 7, Weights: []float32{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8] ^= 0xFF // flip a version byte; checksum must catch it
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load corrupt = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := os.WriteFile(path, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load truncated = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestPropertyRoundTrip: arbitrary states survive the disk round trip.
+func TestPropertyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(version int64, weights []float32) bool {
+		i++
+		path := filepath.Join(dir, "w.ckpt")
+		if err := Save(path, State{Version: version, Weights: weights}); err != nil {
+			return false
+		}
+		out, err := Load(path)
+		if err != nil || out.Version != version || len(out.Weights) != len(weights) {
+			return false
+		}
+		for j := range weights {
+			// NaN != NaN; compare bit patterns via == only for non-NaN.
+			if weights[j] == weights[j] && out.Weights[j] != weights[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

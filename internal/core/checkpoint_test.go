@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xingtian/internal/checkpoint"
+	"xingtian/internal/core"
+)
+
+func TestLearnerCheckpoints(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "learner.ckpt")
+	algF, agF := quickDQNFactories(t)
+	rep, err := core.Run(core.Config{
+		NumExplorers:    1,
+		RolloutLen:      50,
+		MaxSteps:        1000,
+		MaxDuration:     30 * time.Second,
+		CheckpointPath:  path,
+		CheckpointEvery: 10,
+	}, algF, agF, 9)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.TrainIters < 10 {
+		t.Fatalf("TrainIters = %d, want >= 10 for a checkpoint", rep.TrainIters)
+	}
+	st, err := checkpoint.Load(path)
+	if err != nil {
+		t.Fatalf("Load checkpoint: %v", err)
+	}
+	if len(st.Weights) == 0 {
+		t.Fatal("checkpoint has no weights")
+	}
+
+	// Restore into a fresh learner: the weights must fit the architecture.
+	alg, err := algF(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type loader interface{ LoadWeights([]float32) error }
+	ld, ok := alg.(loader)
+	if !ok {
+		t.Fatal("DQN does not implement LoadWeights")
+	}
+	if err := ld.LoadWeights(st.Weights); err != nil {
+		t.Fatalf("restore after failure: %v", err)
+	}
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xingtian/internal/broker"
+	"xingtian/internal/message"
+	"xingtian/internal/netsim"
+	"xingtian/internal/serialize"
+	"xingtian/internal/stats"
+)
+
+// Config describes one XingTian deployment, mirroring the paper's
+// configuration file: which machines exist, where the learner lives, how
+// many explorers run, and when training stops.
+type Config struct {
+	// NumExplorers is the total explorer count across all machines.
+	NumExplorers int
+	// RolloutLen is the number of steps per rollout message.
+	RolloutLen int
+	// MaxSteps stops the run after the learner consumes this many steps.
+	MaxSteps int64
+	// MaxDuration stops the run on wall time regardless of progress
+	// (0 = no limit).
+	MaxDuration time.Duration
+	// Machines is the deployment width; the learner runs on machine 0 and
+	// explorers are assigned round-robin. Values < 1 mean a single machine.
+	Machines int
+	// Compress enables the 1 MB-threshold LZ4 compression of the paper.
+	Compress bool
+	// PlaneNsPerKB emulates a slower serialization plane
+	// (serialize.Compressor.PackNsPerKB); 0 uses the raw Go codec.
+	PlaneNsPerKB int
+	// Net overrides the simulated network (zero value = paper defaults).
+	Net netsim.Config
+	// SeriesBucket sets the throughput series resolution (default 1s).
+	SeriesBucket time.Duration
+	// TargetReturn stops the run once the mean episode return across
+	// explorers reaches this value (0 = disabled).
+	TargetReturn float64
+	// CheckpointPath, when set, periodically saves the learner's DNN
+	// parameters (every CheckpointEvery training sessions; default 100).
+	CheckpointPath  string
+	CheckpointEvery int64
+	// MaxInflight bounds un-acknowledged rollout fragments per explorer
+	// (0 = DefaultMaxInflight; < 0 disables flow control).
+	MaxInflight int
+}
+
+// Report summarizes a completed run — the measurements behind Figs. 6–11.
+type Report struct {
+	// StepsConsumed is the learner's total (throughput numerator).
+	StepsConsumed int64
+	// TrainIters is the number of training sessions.
+	TrainIters int64
+	// Duration is the measured wall time.
+	Duration time.Duration
+	// Throughput is StepsConsumed per second.
+	Throughput float64
+	// ThroughputSeries is the bucketed steps/s timeline.
+	ThroughputSeries []float64
+	// MeanWait is the trainer's average block time waiting for rollouts.
+	MeanWait time.Duration
+	// WaitCDF is the empirical CDF of those waits (Fig. 8(c)).
+	WaitCDF []stats.CDFPoint
+	// MeanTransmission is the average rollout creation→delivery latency.
+	MeanTransmission time.Duration
+	// Episodes and MeanReturn aggregate explorer episode statistics.
+	Episodes   int64
+	MeanReturn float64
+	// StepsGenerated is the total steps produced by explorers.
+	StepsGenerated int64
+}
+
+// Session is a running XingTian deployment under a center controller.
+type Session struct {
+	cfg       Config
+	cluster   *broker.Cluster
+	learner   *Learner
+	explorers []*Explorer
+	ctrlPort  *broker.Port
+	start     time.Time
+
+	statsMu   sync.Mutex
+	nodeStats map[string]*message.StatsPayload
+
+	wg sync.WaitGroup
+}
+
+// NewSession builds the full deployment: brokers on every machine, the
+// learner on machine 0, and explorers spread round-robin — the structure of
+// Fig. 2(b), with the learner's machine as the data-transmission center.
+func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64) (*Session, error) {
+	if cfg.NumExplorers < 1 {
+		cfg.NumExplorers = 1
+	}
+	if cfg.Machines < 1 {
+		cfg.Machines = 1
+	}
+	comp := serialize.Compressor{}
+	if cfg.Compress {
+		comp = serialize.NewCompressor()
+	}
+	comp.PackNsPerKB = cfg.PlaneNsPerKB
+	cluster := broker.NewCluster(netsim.New(cfg.Net))
+	for m := 0; m < cfg.Machines; m++ {
+		if _, err := cluster.AddBroker(m, comp); err != nil {
+			cluster.Stop()
+			return nil, err
+		}
+	}
+
+	s := &Session{cfg: cfg, cluster: cluster}
+
+	alg, err := algF(seed)
+	if err != nil {
+		cluster.Stop()
+		return nil, fmt.Errorf("core: build algorithm: %w", err)
+	}
+	learnerPort, err := cluster.Register(0, LearnerName)
+	if err != nil {
+		cluster.Stop()
+		return nil, err
+	}
+	ids := make([]int32, cfg.NumExplorers)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	s.learner = NewLearner(alg, learnerPort, LearnerConfig{
+		Explorers:       ids,
+		MaxSteps:        cfg.MaxSteps,
+		SeriesBucket:    cfg.SeriesBucket,
+		CheckpointPath:  cfg.CheckpointPath,
+		CheckpointEvery: cfg.CheckpointEvery,
+	})
+
+	ctrlPort, err := cluster.Register(0, ControllerName)
+	if err != nil {
+		cluster.Stop()
+		return nil, err
+	}
+	s.ctrlPort = ctrlPort
+	s.nodeStats = make(map[string]*message.StatsPayload)
+
+	for i := 0; i < cfg.NumExplorers; i++ {
+		machine := i % cfg.Machines
+		agent, err := agF(int32(i), seed+int64(i)+1)
+		if err != nil {
+			cluster.Stop()
+			return nil, fmt.Errorf("core: build agent %d: %w", i, err)
+		}
+		port, err := cluster.Register(machine, ExplorerName(int32(i)))
+		if err != nil {
+			cluster.Stop()
+			return nil, err
+		}
+		ex := NewExplorer(int32(i), agent, port, cfg.RolloutLen)
+		if cfg.MaxInflight != 0 {
+			ex.SetMaxInflight(cfg.MaxInflight)
+		}
+		s.explorers = append(s.explorers, ex)
+	}
+	return s, nil
+}
+
+// Start launches every process and seeds explorers with the learner's
+// initial weights so all behavior policies begin in sync. The center
+// controller's collector thread starts here too, receiving the periodic
+// statistics messages workhorse threads emit.
+func (s *Session) Start() {
+	s.start = time.Now()
+	s.wg.Add(1)
+	go s.collectStats()
+	s.learner.Start()
+	for _, e := range s.explorers {
+		e.Start()
+	}
+	s.learner.broadcastWeights(nil)
+}
+
+// collectStats is the center controller's receive loop.
+func (s *Session) collectStats() {
+	defer s.wg.Done()
+	for {
+		m, err := s.ctrlPort.Recv()
+		if err != nil {
+			return // broker stopped
+		}
+		if stats, ok := m.Body.(*message.StatsPayload); ok {
+			s.statsMu.Lock()
+			s.nodeStats[stats.Node] = stats
+			s.statsMu.Unlock()
+		}
+	}
+}
+
+// ControllerStats snapshots the latest statistics message per node, as
+// collected by the center controller.
+func (s *Session) ControllerStats() map[string]message.StatsPayload {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	out := make(map[string]message.StatsPayload, len(s.nodeStats))
+	for k, v := range s.nodeStats {
+		out[k] = *v
+	}
+	return out
+}
+
+// Wait blocks until the learner reaches its goal, the optional wall-clock
+// limit expires, or the optional target return is reached.
+func (s *Session) Wait() {
+	var timeout <-chan time.Time
+	if s.cfg.MaxDuration > 0 {
+		t := time.NewTimer(s.cfg.MaxDuration)
+		defer t.Stop()
+		timeout = t.C
+	}
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.learner.Done():
+			return
+		case <-timeout:
+			return
+		case <-ticker.C:
+			if s.cfg.TargetReturn > 0 {
+				_, mean := s.aggregateEpisodes()
+				if mean >= s.cfg.TargetReturn {
+					return
+				}
+			}
+		}
+	}
+}
+
+func (s *Session) aggregateEpisodes() (int64, float64) {
+	var episodes int64
+	var weighted float64
+	for _, e := range s.explorers {
+		n, mean := e.EpisodeStats()
+		episodes += n
+		weighted += mean * float64(n)
+	}
+	if episodes == 0 {
+		return 0, 0
+	}
+	return episodes, weighted / float64(episodes)
+}
+
+// Stop shuts the deployment down: a shutdown command is broadcast to every
+// process (the center controller's role in the paper), then brokers close
+// and all threads are joined.
+func (s *Session) Stop() *Report {
+	duration := time.Since(s.start)
+
+	// Broadcast shutdown like the center controller.
+	dst := make([]string, 0, len(s.explorers)+1)
+	for _, e := range s.explorers {
+		dst = append(dst, ExplorerName(e.id))
+	}
+	dst = append(dst, LearnerName)
+	_ = s.ctrlPort.Send(message.New(message.TypeControl, ControllerName, dst,
+		&message.ControlPayload{Kind: message.ControlShutdown}))
+
+	s.learner.Stop()
+	for _, e := range s.explorers {
+		e.Stop()
+	}
+	s.cluster.Stop() // closes ID queues, unblocking receiver threads
+	s.learner.Join()
+	for _, e := range s.explorers {
+		e.Join()
+	}
+	s.wg.Wait() // the controller's collector thread
+
+	episodes, meanReturn := s.aggregateEpisodes()
+	var generated int64
+	for _, e := range s.explorers {
+		generated += e.StepsGenerated()
+	}
+	steps := s.learner.StepsConsumed()
+	rep := &Report{
+		StepsConsumed:    steps,
+		TrainIters:       s.learner.TrainIters(),
+		Duration:         duration,
+		Throughput:       float64(steps) / duration.Seconds(),
+		ThroughputSeries: s.learner.Series.PerSecond(),
+		MeanWait:         s.learner.WaitHist.Mean(),
+		WaitCDF:          s.learner.WaitHist.CDF(),
+		MeanTransmission: s.learner.TransHist.Mean(),
+		Episodes:         episodes,
+		MeanReturn:       meanReturn,
+		StepsGenerated:   generated,
+	}
+	return rep
+}
+
+// Learner exposes the learner for inspection in tests and experiments.
+func (s *Session) Learner() *Learner { return s.learner }
+
+// Err returns the first process error observed, if any.
+func (s *Session) Err() error {
+	if err := s.learner.Err(); err != nil {
+		return err
+	}
+	for _, e := range s.explorers {
+		if err := e.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes a full session: build, start, wait, stop.
+func Run(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64) (*Report, error) {
+	s, err := NewSession(cfg, algF, agF, seed)
+	if err != nil {
+		return nil, err
+	}
+	s.Start()
+	s.Wait()
+	rep := s.Stop()
+	if err := s.Err(); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}

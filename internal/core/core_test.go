@@ -1,0 +1,220 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"xingtian/internal/algorithm"
+	"xingtian/internal/core"
+	"xingtian/internal/env"
+	"xingtian/internal/netsim"
+)
+
+func quickDQNFactories(t *testing.T) (core.AlgorithmFactory, core.AgentFactory) {
+	t.Helper()
+	e := env.NewCartPole(0)
+	spec := algorithm.SpecFor(e)
+	spec.Hidden = []int{16}
+	algF := func(seed int64) (core.Algorithm, error) {
+		cfg := algorithm.DefaultDQNConfig()
+		cfg.TrainStart = 100
+		cfg.TrainEvery = 2
+		cfg.BatchSize = 16
+		cfg.BroadcastEvery = 5
+		return algorithm.NewDQN(spec, cfg, seed), nil
+	}
+	agF := func(id int32, seed int64) (core.Agent, error) {
+		envInst := env.NewCartPole(seed)
+		return algorithm.NewDQNAgent(spec, algorithm.NewEnvRunner(envInst, spec), seed), nil
+	}
+	return algF, agF
+}
+
+func quickIMPALAFactories(t *testing.T) (core.AlgorithmFactory, core.AgentFactory) {
+	t.Helper()
+	e := env.NewCartPole(0)
+	spec := algorithm.SpecFor(e)
+	spec.Hidden = []int{16}
+	algF := func(seed int64) (core.Algorithm, error) {
+		return algorithm.NewIMPALA(spec, algorithm.DefaultIMPALAConfig(), seed), nil
+	}
+	agF := func(id int32, seed int64) (core.Agent, error) {
+		envInst := env.NewCartPole(seed)
+		return algorithm.NewIMPALAAgent(spec, algorithm.NewEnvRunner(envInst, spec), seed), nil
+	}
+	return algF, agF
+}
+
+func quickPPOFactories(t *testing.T, explorers int) (core.AlgorithmFactory, core.AgentFactory) {
+	t.Helper()
+	e := env.NewCartPole(0)
+	spec := algorithm.SpecFor(e)
+	spec.Hidden = []int{16}
+	algF := func(seed int64) (core.Algorithm, error) {
+		cfg := algorithm.DefaultPPOConfig(explorers)
+		cfg.Epochs = 2
+		return algorithm.NewPPO(spec, cfg, seed), nil
+	}
+	agF := func(id int32, seed int64) (core.Agent, error) {
+		envInst := env.NewCartPole(seed)
+		return algorithm.NewPPOAgent(spec, algorithm.NewEnvRunner(envInst, spec), seed), nil
+	}
+	return algF, agF
+}
+
+func TestSessionDQNSingleMachine(t *testing.T) {
+	algF, agF := quickDQNFactories(t)
+	rep, err := core.Run(core.Config{
+		NumExplorers: 2,
+		RolloutLen:   50,
+		MaxSteps:     1500,
+		MaxDuration:  30 * time.Second,
+	}, algF, agF, 1)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.StepsConsumed < 1500 {
+		t.Fatalf("StepsConsumed = %d, want >= 1500", rep.StepsConsumed)
+	}
+	if rep.TrainIters == 0 {
+		t.Fatal("no training sessions ran")
+	}
+	if rep.Episodes == 0 {
+		t.Fatal("no episodes completed")
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("Throughput = %v", rep.Throughput)
+	}
+	if rep.StepsGenerated == 0 {
+		t.Fatal("explorers generated no steps")
+	}
+}
+
+func TestSessionIMPALAMultiMachine(t *testing.T) {
+	algF, agF := quickIMPALAFactories(t)
+	rep, err := core.Run(core.Config{
+		NumExplorers: 4,
+		RolloutLen:   40,
+		MaxSteps:     2000,
+		MaxDuration:  30 * time.Second,
+		Machines:     2,
+		Net:          netsim.Config{Bandwidth: 1 << 30, TimeScale: 1},
+	}, algF, agF, 2)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.StepsConsumed < 2000 {
+		t.Fatalf("StepsConsumed = %d, want >= 2000", rep.StepsConsumed)
+	}
+	// Wait/transmission histograms must have been populated.
+	if rep.MeanTransmission <= 0 {
+		t.Fatal("MeanTransmission not measured")
+	}
+}
+
+func TestSessionPPOSynchronous(t *testing.T) {
+	algF, agF := quickPPOFactories(t, 3)
+	rep, err := core.Run(core.Config{
+		NumExplorers: 3,
+		RolloutLen:   64,
+		MaxSteps:     1920, // 10 iterations of 3x64
+		MaxDuration:  30 * time.Second,
+	}, algF, agF, 3)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.StepsConsumed < 1920 {
+		t.Fatalf("StepsConsumed = %d, want >= 1920", rep.StepsConsumed)
+	}
+	// PPO consumes one batch per explorer per iteration.
+	perIter := int64(3 * 64)
+	if rep.StepsConsumed%perIter != 0 {
+		t.Fatalf("StepsConsumed = %d, want a multiple of %d", rep.StepsConsumed, perIter)
+	}
+}
+
+func TestSessionStopsOnMaxDuration(t *testing.T) {
+	algF, agF := quickDQNFactories(t)
+	start := time.Now()
+	rep, err := core.Run(core.Config{
+		NumExplorers: 1,
+		RolloutLen:   50,
+		MaxSteps:     1 << 40, // unreachable
+		MaxDuration:  300 * time.Millisecond,
+	}, algF, agF, 4)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Run took %v despite 300ms MaxDuration", elapsed)
+	}
+	if rep.Duration < 250*time.Millisecond {
+		t.Fatalf("Duration = %v, want >= 250ms", rep.Duration)
+	}
+}
+
+func TestSessionThroughputSeriesPopulated(t *testing.T) {
+	algF, agF := quickIMPALAFactories(t)
+	rep, err := core.Run(core.Config{
+		NumExplorers: 2,
+		RolloutLen:   50,
+		MaxSteps:     3000,
+		MaxDuration:  30 * time.Second,
+		SeriesBucket: 50 * time.Millisecond,
+	}, algF, agF, 5)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.ThroughputSeries) == 0 {
+		t.Fatal("empty throughput series")
+	}
+	var total float64
+	for _, r := range rep.ThroughputSeries {
+		total += r * 0.05
+	}
+	if total < float64(rep.StepsConsumed)/2 {
+		t.Fatalf("series accounts for %v steps of %d consumed", total, rep.StepsConsumed)
+	}
+}
+
+func TestSessionCompressionOn(t *testing.T) {
+	algF, agF := quickIMPALAFactories(t)
+	rep, err := core.Run(core.Config{
+		NumExplorers: 1,
+		RolloutLen:   50,
+		MaxSteps:     500,
+		MaxDuration:  30 * time.Second,
+		Compress:     true,
+	}, algF, agF, 6)
+	if err != nil {
+		t.Fatalf("Run with compression: %v", err)
+	}
+	if rep.StepsConsumed < 500 {
+		t.Fatalf("StepsConsumed = %d", rep.StepsConsumed)
+	}
+}
+
+func TestSessionWaitHistogramRecorded(t *testing.T) {
+	algF, agF := quickIMPALAFactories(t)
+	s, err := core.NewSession(core.Config{
+		NumExplorers: 2,
+		RolloutLen:   50,
+		MaxSteps:     2000,
+		MaxDuration:  30 * time.Second,
+	}, algF, agF, 7)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	s.Start()
+	s.Wait()
+	rep := s.Stop()
+	if err := s.Err(); err != nil {
+		t.Fatalf("session error: %v", err)
+	}
+	if s.Learner().WaitHist.Count() == 0 {
+		t.Fatal("learner never recorded a wait — the trainer must block at least once at startup")
+	}
+	if len(rep.WaitCDF) == 0 {
+		t.Fatal("empty wait CDF")
+	}
+}

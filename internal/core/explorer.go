@@ -1,0 +1,278 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"xingtian/internal/broker"
+	"xingtian/internal/buffer"
+	"xingtian/internal/message"
+	"xingtian/internal/queue"
+)
+
+// Explorer is the explorer process of Fig. 2(a): a rollout worker thread
+// produces rollout fragments into the send buffer; the sender thread pushes
+// them into the shared-memory communicator immediately; the receiver thread
+// pulls weights broadcasts into the receive buffer, where the worker applies
+// them between fragments.
+type Explorer struct {
+	id          int32
+	agent       Agent
+	port        *broker.Port
+	sendBuf     *buffer.Buffer
+	recvBuf     *buffer.Buffer
+	rolloutLen  int
+	maxInflight int
+	learner     string
+
+	wg      sync.WaitGroup
+	stopped chan struct{}
+	stopOne sync.Once
+
+	mu             sync.Mutex
+	stepsGenerated int64
+	lastErr        error
+
+	fragmentsSinceWeights int
+}
+
+// ExplorerName formats the canonical client name for an explorer ID.
+func ExplorerName(id int32) string { return fmt.Sprintf("explorer-%d", id) }
+
+// LearnerName is the canonical client name of the learner process.
+const LearnerName = "learner"
+
+// ControllerName is the canonical client name of the center controller.
+const ControllerName = "controller"
+
+// DefaultMaxInflight bounds un-acknowledged rollout fragments per explorer.
+// Weight broadcasts act as credits: the paper's channel pushes aggressively
+// but its shared-memory store is finite, which imposes exactly this kind of
+// flow control. Without it a fast explorer would burn CPU and memory
+// producing rollouts a saturated learner must drop.
+const DefaultMaxInflight = 4
+
+// NewExplorer builds an explorer attached to the given broker port.
+func NewExplorer(id int32, agent Agent, port *broker.Port, rolloutLen int) *Explorer {
+	if rolloutLen <= 0 {
+		rolloutLen = 200
+	}
+	return &Explorer{
+		id:          id,
+		agent:       agent,
+		port:        port,
+		sendBuf:     buffer.New(),
+		recvBuf:     buffer.New(),
+		rolloutLen:  rolloutLen,
+		maxInflight: DefaultMaxInflight,
+		learner:     LearnerName,
+		stopped:     make(chan struct{}),
+	}
+}
+
+// SetMaxInflight overrides the flow-control window (<= 0 disables it).
+// Call before Start.
+func (e *Explorer) SetMaxInflight(n int) { e.maxInflight = n }
+
+// Start launches the three explorer threads.
+func (e *Explorer) Start() {
+	e.wg.Add(3)
+	go e.senderLoop()
+	go e.receiverLoop()
+	go e.workerLoop()
+}
+
+// senderLoop monitors the send buffer's header queue and pushes each staged
+// message into the communicator the moment it appears.
+func (e *Explorer) senderLoop() {
+	defer e.wg.Done()
+	for {
+		m, err := e.sendBuf.Next()
+		if err != nil {
+			return
+		}
+		if err := e.port.Send(m); err != nil {
+			if errors.Is(err, queue.ErrClosed) {
+				return // channel torn down during shutdown
+			}
+			e.fail(fmt.Errorf("explorer %d send: %w", e.id, err))
+			return
+		}
+	}
+}
+
+// receiverLoop monitors the explorer's ID queue and copies arriving
+// messages into the local receive buffer immediately.
+func (e *Explorer) receiverLoop() {
+	defer e.wg.Done()
+	for {
+		m, err := e.port.Recv()
+		if err != nil {
+			e.recvBuf.Close()
+			return
+		}
+		if err := e.recvBuf.Put(m); err != nil {
+			return
+		}
+	}
+}
+
+// workerLoop is the rollout worker thread.
+func (e *Explorer) workerLoop() {
+	defer e.wg.Done()
+	defer e.sendBuf.Close()
+	for {
+		select {
+		case <-e.stopped:
+			return
+		default:
+		}
+
+		// Apply any weights waiting in the local receive buffer. Off-policy
+		// agents drain opportunistically; on-policy agents block after
+		// shipping a fragment so every fragment uses the latest parameters.
+		// Note the asymmetry the paper exploits: the *transmission* of the
+		// previous fragment already happened asynchronously on the sender
+		// thread while this worker was still interacting with the
+		// environment.
+		e.mu.Lock()
+		mustWait := e.agent.OnPolicy() && e.fragmentsSinceWeights > 0
+		if e.maxInflight > 0 && e.fragmentsSinceWeights >= e.maxInflight {
+			mustWait = true // credit exhausted: wait for a weights broadcast
+		}
+		e.mu.Unlock()
+		if !e.drainReceived(mustWait) {
+			return
+		}
+
+		batch, err := e.agent.Rollout(e.rolloutLen)
+		if err != nil {
+			e.fail(fmt.Errorf("explorer %d rollout: %w", e.id, err))
+			return
+		}
+		batch.ExplorerID = e.id
+		e.mu.Lock()
+		e.stepsGenerated += int64(len(batch.Steps))
+		e.mu.Unlock()
+
+		m := message.New(message.TypeRollout, ExplorerName(e.id), []string{e.learner}, batch)
+		if err := e.sendBuf.Put(m); err != nil {
+			return
+		}
+		e.mu.Lock()
+		e.fragmentsSinceWeights++
+		generated := e.stepsGenerated
+		e.mu.Unlock()
+
+		// Periodic statistics to the center controller (§3.2.2): workhorse
+		// threads put stats messages into the local send buffer and the
+		// asynchronous channel does the rest.
+		episodes, meanReturn := e.agent.EpisodeStats()
+		stats := &message.StatsPayload{
+			Node:           ExplorerName(e.id),
+			Episodes:       episodes,
+			MeanReturn:     meanReturn,
+			StepsGenerated: generated,
+			UnixNanos:      time.Now().UnixNano(),
+		}
+		if err := e.sendBuf.Put(message.New(message.TypeStats, ExplorerName(e.id),
+			[]string{ControllerName}, stats)); err != nil {
+			return
+		}
+	}
+}
+
+// drainReceived applies queued messages. When block is true it waits for at
+// least one message (on-policy synchronization). It returns false when the
+// explorer should shut down.
+func (e *Explorer) drainReceived(block bool) bool {
+	if block {
+		for {
+			m, err := e.recvBuf.Next()
+			if err != nil {
+				return false
+			}
+			if !e.apply(m) {
+				return false
+			}
+			if m.Header.Type == message.TypeWeights {
+				break
+			}
+		}
+	}
+	for {
+		m, err := e.recvBuf.TryNext()
+		if errors.Is(err, queue.ErrEmpty) {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		if !e.apply(m) {
+			return false
+		}
+	}
+}
+
+// apply processes one received message; it returns false on shutdown.
+func (e *Explorer) apply(m *message.Message) bool {
+	switch body := m.Body.(type) {
+	case *message.WeightsPayload:
+		if err := e.agent.SetWeights(body); err != nil {
+			e.fail(fmt.Errorf("explorer %d set weights: %w", e.id, err))
+			return false
+		}
+		e.mu.Lock()
+		e.fragmentsSinceWeights = 0
+		e.mu.Unlock()
+	case *message.ControlPayload:
+		if body.Kind == message.ControlShutdown {
+			e.stopOne.Do(func() { close(e.stopped) })
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Explorer) fail(err error) {
+	e.mu.Lock()
+	if e.lastErr == nil {
+		e.lastErr = err
+	}
+	e.mu.Unlock()
+}
+
+// Err returns the first error the explorer hit, if any.
+func (e *Explorer) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastErr
+}
+
+// StepsGenerated reports the number of rollout steps produced so far.
+func (e *Explorer) StepsGenerated() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stepsGenerated
+}
+
+// EpisodeStats proxies the agent's episode statistics.
+func (e *Explorer) EpisodeStats() (int64, float64) { return e.agent.EpisodeStats() }
+
+// Stop signals all explorer threads to finish: the worker observes the
+// stopped channel (and the closed receive buffer if it is blocked waiting
+// for weights). The receiver thread unblocks when the broker closes this
+// client's ID queue, so callers must stop the broker before Join.
+func (e *Explorer) Stop() {
+	e.stopOne.Do(func() { close(e.stopped) })
+	e.recvBuf.Close()
+}
+
+// Join waits for all three explorer threads to exit. Call after Stop and
+// after the owning broker has been stopped (which closes the ID queue the
+// receiver thread blocks on).
+func (e *Explorer) Join() {
+	e.wg.Wait()
+}

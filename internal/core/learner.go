@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xingtian/internal/broker"
+	"xingtian/internal/buffer"
+	"xingtian/internal/checkpoint"
+	"xingtian/internal/message"
+	"xingtian/internal/queue"
+	"xingtian/internal/stats"
+)
+
+// Learner is the learner process of Fig. 2(a): the trainer thread consumes
+// rollouts from the local receive buffer and runs training sessions; the
+// receiver thread keeps that buffer filled as messages arrive (so rollout
+// transmission overlaps training); the sender thread pushes weight
+// broadcasts out the moment the trainer stages them.
+type Learner struct {
+	alg       Algorithm
+	port      *broker.Port
+	sendBuf   *buffer.Buffer
+	recvBuf   *buffer.Buffer
+	explorers []int32
+	maxSteps  int64
+
+	checkpointPath  string
+	checkpointEvery int64
+
+	// Measurement hooks for the evaluation figures.
+	WaitHist  *stats.Histogram // time the trainer waits for rollouts (Fig 8(c))
+	TransHist *stats.Histogram // message creation -> receive-buffer latency
+	Series    *stats.Series    // steps consumed per wall-time bucket
+
+	stepsConsumed atomic.Int64
+	trainIters    atomic.Int64
+
+	rolloutsSinceBroadcast atomic.Int64
+
+	wg      sync.WaitGroup
+	stopped chan struct{}
+	stopOne sync.Once
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// LearnerConfig parameterizes a learner.
+type LearnerConfig struct {
+	// Explorers lists all explorer IDs (for full broadcasts).
+	Explorers []int32
+	// MaxSteps stops the learner after consuming this many rollout steps
+	// (<= 0 means run until stopped).
+	MaxSteps int64
+	// SeriesBucket is the throughput series bucket width (default 1s).
+	SeriesBucket time.Duration
+	// CheckpointPath, when set, makes the trainer save the DNN parameters
+	// every CheckpointEvery sessions (the paper's §4.2 fault tolerance).
+	CheckpointPath  string
+	CheckpointEvery int64
+}
+
+// NewLearner builds a learner around an algorithm and a broker port.
+func NewLearner(alg Algorithm, port *broker.Port, cfg LearnerConfig) *Learner {
+	bucket := cfg.SeriesBucket
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = 100
+	}
+	return &Learner{
+		alg:             alg,
+		port:            port,
+		sendBuf:         buffer.New(),
+		recvBuf:         buffer.New(),
+		explorers:       append([]int32(nil), cfg.Explorers...),
+		maxSteps:        cfg.MaxSteps,
+		checkpointPath:  cfg.CheckpointPath,
+		checkpointEvery: every,
+		WaitHist:        stats.NewHistogram(),
+		TransHist:       stats.NewHistogram(),
+		Series:          stats.NewSeries(bucket),
+		stopped:         make(chan struct{}),
+	}
+}
+
+// Start launches the three learner threads.
+func (l *Learner) Start() {
+	l.wg.Add(3)
+	go l.senderLoop()
+	go l.receiverLoop()
+	go l.trainerLoop()
+}
+
+func (l *Learner) senderLoop() {
+	defer l.wg.Done()
+	for {
+		m, err := l.sendBuf.Next()
+		if err != nil {
+			return
+		}
+		if err := l.port.Send(m); err != nil {
+			if errors.Is(err, queue.ErrClosed) {
+				return // channel torn down during shutdown
+			}
+			l.fail(fmt.Errorf("learner send: %w", err))
+			return
+		}
+	}
+}
+
+func (l *Learner) receiverLoop() {
+	defer l.wg.Done()
+	for {
+		m, err := l.port.Recv()
+		if err != nil {
+			l.recvBuf.Close()
+			return
+		}
+		if m.Header.Type == message.TypeRollout {
+			l.TransHist.Observe(time.Duration(time.Now().UnixNano() - m.Header.CreatedNanos))
+		}
+		if err := l.recvBuf.Put(m); err != nil {
+			return
+		}
+	}
+}
+
+// trainerLoop is the trainer thread: ingest whatever has already arrived,
+// train when ready, stage weight broadcasts, and account the time spent
+// actually waiting for data (the paper's "XingTian Actual Wait").
+func (l *Learner) trainerLoop() {
+	defer l.wg.Done()
+	defer l.sendBuf.Close()
+	for {
+		select {
+		case <-l.stopped:
+			return
+		default:
+		}
+
+		// Drain everything that has arrived without blocking.
+		ingested := l.drainNonBlocking()
+
+		res, ok, err := l.alg.TryTrain()
+		if err != nil {
+			l.fail(fmt.Errorf("learner train: %w", err))
+			return
+		}
+		if !ok {
+			// Warm-up acknowledgement: explorers bound their un-acknowledged
+			// fragments on weights broadcasts, so an algorithm that cannot
+			// train yet (e.g. DQN below TrainStart) must keep re-issuing its
+			// current weights or the deployment deadlocks with every
+			// explorer out of credit and the learner short of data.
+			if l.rolloutsSinceBroadcast.Load() >= int64(len(l.explorers)) {
+				l.broadcastWeights(nil)
+			}
+			// Not enough data: now block. This is the only place the trainer
+			// waits on communication, and the wait it observes is what is
+			// left of the transmission after overlap.
+			if ingested == 0 {
+				waitStart := time.Now()
+				m, err := l.recvBuf.Next()
+				if err != nil {
+					return
+				}
+				l.WaitHist.Observe(time.Since(waitStart))
+				if !l.ingest(m) {
+					return
+				}
+			}
+			continue
+		}
+
+		iters := l.trainIters.Add(1)
+		consumed := l.stepsConsumed.Add(int64(res.StepsConsumed))
+		l.Series.Add(float64(res.StepsConsumed))
+
+		if res.Broadcast {
+			l.broadcastWeights(res.Targets)
+		}
+		if l.checkpointPath != "" && iters%l.checkpointEvery == 0 {
+			w := l.alg.Weights()
+			if err := checkpoint.Save(l.checkpointPath, checkpoint.State{
+				Version: w.Version,
+				Weights: w.Data,
+			}); err != nil {
+				l.fail(fmt.Errorf("learner checkpoint: %w", err))
+				return
+			}
+		}
+		if l.maxSteps > 0 && consumed >= l.maxSteps {
+			l.stopOne.Do(func() { close(l.stopped) })
+			return
+		}
+	}
+}
+
+// drainCap bounds how many messages one trainer cycle ingests before it
+// must attempt to train again — otherwise a producer that stays ahead of
+// PrepareData would starve training entirely.
+const drainCap = 16
+
+func (l *Learner) drainNonBlocking() int {
+	n := 0
+	for n < drainCap {
+		m, err := l.recvBuf.TryNext()
+		if errors.Is(err, queue.ErrEmpty) || errors.Is(err, queue.ErrClosed) {
+			return n
+		}
+		if err != nil {
+			return n
+		}
+		if !l.ingest(m) {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// ingest routes one received message; it returns false on shutdown.
+func (l *Learner) ingest(m *message.Message) bool {
+	switch body := m.Body.(type) {
+	case *message.RolloutBody:
+		l.alg.PrepareData(body)
+		l.rolloutsSinceBroadcast.Add(1)
+	case *message.ControlPayload:
+		if body.Kind == message.ControlShutdown {
+			l.stopOne.Do(func() { close(l.stopped) })
+			return false
+		}
+	}
+	return true
+}
+
+// broadcastWeights stages a weights message for the sender thread.
+func (l *Learner) broadcastWeights(targets []int32) {
+	w := l.alg.Weights()
+	dst := make([]string, 0, len(l.explorers))
+	if targets == nil {
+		for _, id := range l.explorers {
+			dst = append(dst, ExplorerName(id))
+		}
+	} else {
+		for _, id := range targets {
+			dst = append(dst, ExplorerName(id))
+		}
+	}
+	if len(dst) == 0 {
+		return
+	}
+	m := message.New(message.TypeWeights, LearnerName, dst, w)
+	m.Header.WeightsVersion = w.Version
+	_ = l.sendBuf.Put(m)
+	l.rolloutsSinceBroadcast.Store(0)
+}
+
+func (l *Learner) fail(err error) {
+	l.mu.Lock()
+	if l.lastErr == nil {
+		l.lastErr = err
+	}
+	l.mu.Unlock()
+	l.stopOne.Do(func() { close(l.stopped) })
+}
+
+// Err returns the first error the learner hit, if any.
+func (l *Learner) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastErr
+}
+
+// Algorithm exposes the learner's algorithm (e.g. for PBT weight export).
+func (l *Learner) Algorithm() Algorithm { return l.alg }
+
+// StepsConsumed reports total rollout steps used for training so far.
+func (l *Learner) StepsConsumed() int64 { return l.stepsConsumed.Load() }
+
+// TrainIters reports completed training sessions.
+func (l *Learner) TrainIters() int64 { return l.trainIters.Load() }
+
+// Done returns a channel closed when the learner finishes (goal reached,
+// shutdown command, or error).
+func (l *Learner) Done() <-chan struct{} { return l.stopped }
+
+// Stop signals the learner threads to finish.
+func (l *Learner) Stop() {
+	l.stopOne.Do(func() { close(l.stopped) })
+	l.recvBuf.Close()
+}
+
+// Join waits for the learner threads after Stop and broker shutdown.
+func (l *Learner) Join() { l.wg.Wait() }

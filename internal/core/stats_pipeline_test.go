@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"xingtian/internal/core"
+)
+
+// TestControllerCollectsStats verifies the §3.2.2 statistics pipeline:
+// explorers emit stats messages through the channel and the center
+// controller's collector stores the latest per node.
+func TestControllerCollectsStats(t *testing.T) {
+	algF, agF := quickDQNFactories(t)
+	s, err := core.NewSession(core.Config{
+		NumExplorers: 2,
+		RolloutLen:   50,
+		MaxSteps:     1000,
+		MaxDuration:  30 * time.Second,
+	}, algF, agF, 12)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	s.Start()
+	s.Wait()
+
+	deadline := time.Now().Add(2 * time.Second)
+	var got map[string]struct{ steps int64 }
+	for {
+		stats := s.ControllerStats()
+		got = map[string]struct{ steps int64 }{}
+		for node, st := range stats {
+			got[node] = struct{ steps int64 }{st.StepsGenerated}
+		}
+		if len(got) >= 2 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	s.Stop()
+	if err := s.Err(); err != nil {
+		t.Fatalf("session error: %v", err)
+	}
+	if len(got) < 2 {
+		t.Fatalf("controller collected stats from %d nodes, want 2: %v", len(got), got)
+	}
+	for node, st := range got {
+		if st.steps == 0 {
+			t.Fatalf("node %s reported 0 generated steps", node)
+		}
+	}
+}

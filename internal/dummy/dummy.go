@@ -1,0 +1,197 @@
+// Package dummy implements the paper's §5.1 data-transmission benchmark:
+// a dummy DRL algorithm that keeps DRL's communication mode but strips the
+// computation. Explorers send a fixed number of equal-size messages as fast
+// as they can; the learner receives them asynchronously in rounds (one
+// message per explorer per round, sender identity ignored) and reports the
+// end-to-end latency and throughput.
+//
+// This package hosts the XingTian implementation and the shared Result
+// type; the RLLib- and Launchpad-style implementations live in
+// internal/baselines and run over the identical substrate so only the
+// communication architecture differs.
+package dummy
+
+import (
+	"fmt"
+	"time"
+
+	"xingtian/internal/broker"
+	"xingtian/internal/message"
+	"xingtian/internal/netsim"
+	"xingtian/internal/serialize"
+)
+
+// Config parameterizes a transmission benchmark run.
+type Config struct {
+	// Explorers is the number of dummy explorers.
+	Explorers int
+	// MessageBytes is the payload size per message.
+	MessageBytes int
+	// Rounds is how many messages each explorer sends (paper: 20).
+	Rounds int
+	// Machines spreads explorers round-robin; the learner is on machine 0.
+	// Values < 1 mean one machine.
+	Machines int
+	// LearnerAlone places the learner on machine 0 and all explorers on
+	// other machines (the paper's "16 remote explorers" configuration).
+	LearnerAlone bool
+	// Net configures the simulated network.
+	Net netsim.Config
+	// Compress enables the 1 MB LZ4 threshold.
+	Compress bool
+	// PlaneNsPerKB emulates a slower serialization plane (see
+	// serialize.Compressor.PackNsPerKB); 0 uses the raw Go codec.
+	PlaneNsPerKB int
+}
+
+// Result reports a transmission benchmark outcome.
+type Result struct {
+	// TotalBytes is the payload volume the learner received.
+	TotalBytes int64
+	// Duration is the end-to-end latency: first send to last receive.
+	Duration time.Duration
+	// ThroughputMBps is TotalBytes per second in MB/s.
+	ThroughputMBps float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%.2f MB/s over %v", r.ThroughputMBps, r.Duration)
+}
+
+func (c Config) normalize() Config {
+	if c.Explorers < 1 {
+		c.Explorers = 1
+	}
+	if c.Rounds < 1 {
+		c.Rounds = 1
+	}
+	if c.Machines < 1 {
+		c.Machines = 1
+	}
+	return c
+}
+
+func (c Config) explorerMachine(i int) int {
+	if c.LearnerAlone {
+		// All explorers off machine 0, spread over machines 1..Machines-1.
+		if c.Machines <= 1 {
+			return 1
+		}
+		return 1 + i%(c.Machines-1)
+	}
+	return i % c.Machines
+}
+
+// RunXingTian executes the benchmark over the XingTian channel: every
+// explorer pushes its messages immediately; the learner's receive loop just
+// drains its ID queue. Transmission of message k+1 overlaps the learner's
+// deserialization of message k — the overlap the paper exploits.
+func RunXingTian(cfg Config) (Result, error) {
+	cfg = cfg.normalize()
+	comp := serialize.Compressor{}
+	if cfg.Compress {
+		comp = serialize.NewCompressor()
+	}
+	comp.PackNsPerKB = cfg.PlaneNsPerKB
+	cluster := broker.NewCluster(netsim.New(cfg.Net))
+	defer cluster.Stop()
+
+	machines := cfg.Machines
+	if cfg.LearnerAlone && machines < 2 {
+		machines = 2
+	}
+	for m := 0; m < machines; m++ {
+		if _, err := cluster.AddBroker(m, comp); err != nil {
+			return Result{}, err
+		}
+	}
+	learnerPort, err := cluster.Register(0, "learner")
+	if err != nil {
+		return Result{}, err
+	}
+	type exp struct {
+		port *broker.Port
+		name string
+	}
+	explorers := make([]exp, cfg.Explorers)
+	for i := range explorers {
+		name := fmt.Sprintf("explorer-%d", i)
+		port, err := cluster.Register(cfg.explorerMachine(i), name)
+		if err != nil {
+			return Result{}, err
+		}
+		explorers[i] = exp{port: port, name: name}
+	}
+
+	payload := MakePayload(cfg.MessageBytes)
+
+	start := time.Now()
+	errs := make(chan error, cfg.Explorers)
+	for _, ex := range explorers {
+		go func(ex exp) {
+			for r := 0; r < cfg.Rounds; r++ {
+				m := message.New(message.TypeDummy, ex.name, []string{"learner"},
+					&message.DummyPayload{Data: payload})
+				m.Header.Round = int32(r)
+				if err := ex.port.Send(m); err != nil {
+					errs <- fmt.Errorf("dummy explorer %s: %w", ex.name, err)
+					return
+				}
+			}
+			errs <- nil
+		}(ex)
+	}
+
+	var total int64
+	for r := 0; r < cfg.Rounds; r++ {
+		for i := 0; i < cfg.Explorers; i++ {
+			m, err := learnerPort.Recv()
+			if err != nil {
+				return Result{}, fmt.Errorf("dummy learner: %w", err)
+			}
+			body, ok := m.Body.(*message.DummyPayload)
+			if !ok {
+				return Result{}, fmt.Errorf("dummy learner: unexpected body %T", m.Body)
+			}
+			total += int64(len(body.Data))
+		}
+	}
+	duration := time.Since(start)
+
+	for range explorers {
+		if err := <-errs; err != nil {
+			return Result{}, err
+		}
+	}
+	return NewResult(total, duration), nil
+}
+
+// MakePayload builds the benchmark message body: pseudo-random bytes over a
+// limited alphabet, mimicking serialized float tensors — mildly compressible
+// (LZ4 gets ~20-30%), so compression does real work on both ends without
+// collapsing the payload. All three framework implementations use this same
+// generator so their workloads are identical.
+func MakePayload(n int) []byte {
+	payload := make([]byte, n)
+	state := uint64(0x2545F4914F6CDD1D)
+	for i := range payload {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		payload[i] = byte(state & 0x3F)
+	}
+	return payload
+}
+
+// NewResult computes derived fields.
+func NewResult(totalBytes int64, d time.Duration) Result {
+	secs := d.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	return Result{
+		TotalBytes:     totalBytes,
+		Duration:       d,
+		ThroughputMBps: float64(totalBytes) / (1 << 20) / secs,
+	}
+}

@@ -1,0 +1,126 @@
+package dummy
+
+import (
+	"testing"
+	"time"
+
+	"xingtian/internal/netsim"
+)
+
+func fastNet() netsim.Config {
+	return netsim.Config{Bandwidth: 1 << 30, Latency: 0, TimeScale: 1}
+}
+
+func TestRunXingTianSingleExplorer(t *testing.T) {
+	res, err := RunXingTian(Config{
+		Explorers:    1,
+		MessageBytes: 64 << 10,
+		Rounds:       5,
+		Net:          fastNet(),
+	})
+	if err != nil {
+		t.Fatalf("RunXingTian: %v", err)
+	}
+	want := int64(5 * (64 << 10))
+	if res.TotalBytes != want {
+		t.Fatalf("TotalBytes = %d, want %d", res.TotalBytes, want)
+	}
+	if res.ThroughputMBps <= 0 {
+		t.Fatalf("Throughput = %v", res.ThroughputMBps)
+	}
+}
+
+func TestRunXingTianManyExplorers(t *testing.T) {
+	res, err := RunXingTian(Config{
+		Explorers:    8,
+		MessageBytes: 16 << 10,
+		Rounds:       4,
+		Net:          fastNet(),
+	})
+	if err != nil {
+		t.Fatalf("RunXingTian: %v", err)
+	}
+	if want := int64(8 * 4 * (16 << 10)); res.TotalBytes != want {
+		t.Fatalf("TotalBytes = %d, want %d", res.TotalBytes, want)
+	}
+}
+
+func TestRunXingTianTwoMachines(t *testing.T) {
+	res, err := RunXingTian(Config{
+		Explorers:    4,
+		MessageBytes: 32 << 10,
+		Rounds:       3,
+		Machines:     2,
+		Net:          netsim.Config{Bandwidth: 100 << 20, Latency: 0, TimeScale: 1},
+	})
+	if err != nil {
+		t.Fatalf("RunXingTian 2 machines: %v", err)
+	}
+	if res.TotalBytes != int64(4*3*(32<<10)) {
+		t.Fatalf("TotalBytes = %d", res.TotalBytes)
+	}
+}
+
+func TestRunXingTianLearnerAlone(t *testing.T) {
+	res, err := RunXingTian(Config{
+		Explorers:    2,
+		MessageBytes: 8 << 10,
+		Rounds:       3,
+		Machines:     2,
+		LearnerAlone: true,
+		Net:          netsim.Config{Bandwidth: 100 << 20, Latency: 0, TimeScale: 1},
+	})
+	if err != nil {
+		t.Fatalf("RunXingTian learner alone: %v", err)
+	}
+	if res.TotalBytes != int64(2*3*(8<<10)) {
+		t.Fatalf("TotalBytes = %d", res.TotalBytes)
+	}
+}
+
+func TestRunXingTianCompression(t *testing.T) {
+	// 2 MB highly structured payload crosses the 1 MB threshold.
+	res, err := RunXingTian(Config{
+		Explorers:    1,
+		MessageBytes: 2 << 20,
+		Rounds:       2,
+		Compress:     true,
+		Net:          fastNet(),
+	})
+	if err != nil {
+		t.Fatalf("RunXingTian compressed: %v", err)
+	}
+	if res.TotalBytes != int64(2*(2<<20)) {
+		t.Fatalf("TotalBytes = %d (payload must survive compression)", res.TotalBytes)
+	}
+}
+
+func TestResultDerivation(t *testing.T) {
+	r := NewResult(10<<20, 2*time.Second)
+	if r.ThroughputMBps < 4.9 || r.ThroughputMBps > 5.1 {
+		t.Fatalf("ThroughputMBps = %v, want 5", r.ThroughputMBps)
+	}
+	if r.String() == "" {
+		t.Fatal("String empty")
+	}
+	if z := NewResult(100, 0); z.ThroughputMBps <= 0 {
+		t.Fatalf("zero-duration result = %v", z.ThroughputMBps)
+	}
+}
+
+func TestExplorerMachinePlacement(t *testing.T) {
+	cfg := Config{Machines: 3}
+	if m := cfg.explorerMachine(4); m != 1 {
+		t.Fatalf("round robin machine = %d, want 1", m)
+	}
+	cfg = Config{Machines: 3, LearnerAlone: true}
+	for i := 0; i < 6; i++ {
+		if m := cfg.explorerMachine(i); m == 0 {
+			t.Fatalf("LearnerAlone placed explorer %d on machine 0", i)
+		}
+	}
+	cfg = Config{Machines: 1, LearnerAlone: true}
+	if m := cfg.explorerMachine(0); m != 1 {
+		t.Fatalf("LearnerAlone with 1 machine = %d, want 1", m)
+	}
+}

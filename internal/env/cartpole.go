@@ -1,0 +1,95 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+)
+
+// CartPole implements the classic CartPole-v1 control problem with the
+// standard OpenAI Gym physics: a pole hinged on a cart that the agent pushes
+// left or right; reward is +1 per step until the pole falls or the cart
+// leaves the track, capped at 500 steps.
+type CartPole struct {
+	rng   *rand.Rand
+	state [4]float64 // x, xDot, theta, thetaDot
+	steps int
+	done  bool
+}
+
+var _ Env = (*CartPole)(nil)
+
+// CartPole physics constants (Gym CartPole-v1).
+const (
+	cpGravity     = 9.8
+	cpMassCart    = 1.0
+	cpMassPole    = 0.1
+	cpTotalMass   = cpMassCart + cpMassPole
+	cpLength      = 0.5 // half pole length
+	cpPoleMassLen = cpMassPole * cpLength
+	cpForceMag    = 10.0
+	cpTau         = 0.02 // seconds per step
+	cpThetaLimit  = 12 * 2 * math.Pi / 360
+	cpXLimit      = 2.4
+	cpMaxSteps    = 500
+)
+
+// NewCartPole returns a CartPole environment with its own deterministic RNG.
+func NewCartPole(seed int64) *CartPole {
+	return &CartPole{rng: rand.New(rand.NewSource(seed)), done: true}
+}
+
+// Name implements Env.
+func (c *CartPole) Name() string { return "CartPole" }
+
+// NumActions implements Env: push left (0) or right (1).
+func (c *CartPole) NumActions() int { return 2 }
+
+// FeatureDim implements Env.
+func (c *CartPole) FeatureDim() int { return 4 }
+
+// Reset implements Env.
+func (c *CartPole) Reset() (Obs, error) {
+	for i := range c.state {
+		c.state[i] = c.rng.Float64()*0.1 - 0.05
+	}
+	c.steps = 0
+	c.done = false
+	return c.obs(), nil
+}
+
+// Step implements Env.
+func (c *CartPole) Step(action int) (Obs, float64, bool, error) {
+	if c.done {
+		return Obs{}, 0, true, ErrDone
+	}
+	force := cpForceMag
+	if action == 0 {
+		force = -cpForceMag
+	}
+	x, xDot, theta, thetaDot := c.state[0], c.state[1], c.state[2], c.state[3]
+	cosT := math.Cos(theta)
+	sinT := math.Sin(theta)
+	temp := (force + cpPoleMassLen*thetaDot*thetaDot*sinT) / cpTotalMass
+	thetaAcc := (cpGravity*sinT - cosT*temp) /
+		(cpLength * (4.0/3.0 - cpMassPole*cosT*cosT/cpTotalMass))
+	xAcc := temp - cpPoleMassLen*thetaAcc*cosT/cpTotalMass
+
+	// Euler integration, matching Gym.
+	x += cpTau * xDot
+	xDot += cpTau * xAcc
+	theta += cpTau * thetaDot
+	thetaDot += cpTau * thetaAcc
+	c.state = [4]float64{x, xDot, theta, thetaDot}
+	c.steps++
+
+	failed := x < -cpXLimit || x > cpXLimit || theta < -cpThetaLimit || theta > cpThetaLimit
+	c.done = failed || c.steps >= cpMaxSteps
+	return c.obs(), 1.0, c.done, nil
+}
+
+func (c *CartPole) obs() Obs {
+	return Obs{Vec: []float32{
+		float32(c.state[0]), float32(c.state[1]),
+		float32(c.state[2]), float32(c.state[3]),
+	}}
+}

@@ -1,0 +1,216 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MountainCar implements the classic MountainCar-v0 problem with Gym
+// physics: an under-powered car must rock back and forth to reach the flag
+// on the right hill. Reward is −1 per step; episodes cap at 200 steps.
+type MountainCar struct {
+	rng      *rand.Rand
+	position float64
+	velocity float64
+	steps    int
+	done     bool
+}
+
+var _ Env = (*MountainCar)(nil)
+
+// MountainCar constants (Gym MountainCar-v0).
+const (
+	mcMinPos   = -1.2
+	mcMaxPos   = 0.6
+	mcMaxSpeed = 0.07
+	mcGoalPos  = 0.5
+	mcForce    = 0.001
+	mcGravity  = 0.0025
+	mcMaxSteps = 200
+)
+
+// NewMountainCar returns a MountainCar environment.
+func NewMountainCar(seed int64) *MountainCar {
+	return &MountainCar{rng: rand.New(rand.NewSource(seed)), done: true}
+}
+
+// Name implements Env.
+func (m *MountainCar) Name() string { return "MountainCar" }
+
+// NumActions implements Env: push left, no push, push right.
+func (m *MountainCar) NumActions() int { return 3 }
+
+// FeatureDim implements Env.
+func (m *MountainCar) FeatureDim() int { return 2 }
+
+// Reset implements Env.
+func (m *MountainCar) Reset() (Obs, error) {
+	m.position = m.rng.Float64()*0.2 - 0.6 // U[-0.6, -0.4]
+	m.velocity = 0
+	m.steps = 0
+	m.done = false
+	return m.obs(), nil
+}
+
+// Step implements Env.
+func (m *MountainCar) Step(action int) (Obs, float64, bool, error) {
+	if m.done {
+		return Obs{}, 0, true, ErrDone
+	}
+	m.velocity += float64(action-1)*mcForce - mcGravity*math.Cos(3*m.position)
+	m.velocity = clamp(m.velocity, -mcMaxSpeed, mcMaxSpeed)
+	m.position += m.velocity
+	m.position = clamp(m.position, mcMinPos, mcMaxPos)
+	if m.position == mcMinPos && m.velocity < 0 {
+		m.velocity = 0
+	}
+	m.steps++
+	reached := m.position >= mcGoalPos
+	m.done = reached || m.steps >= mcMaxSteps
+	return m.obs(), -1, m.done, nil
+}
+
+func (m *MountainCar) obs() Obs {
+	return Obs{Vec: []float32{float32(m.position), float32(m.velocity)}}
+}
+
+// Acrobot implements the classic Acrobot-v1 problem: a two-link pendulum
+// must swing its free end above the bar by applying torque to the middle
+// joint. Reward is −1 per step until the goal height, capped at 500 steps.
+type Acrobot struct {
+	rng   *rand.Rand
+	state [4]float64 // theta1, theta2, dtheta1, dtheta2
+	steps int
+	done  bool
+}
+
+var _ Env = (*Acrobot)(nil)
+
+// Acrobot constants (Gym Acrobot-v1, book parameterization).
+const (
+	abDT        = 0.2
+	abLinkLen1  = 1.0
+	abLinkMass1 = 1.0
+	abLinkMass2 = 1.0
+	abLinkCom1  = 0.5
+	abLinkCom2  = 0.5
+	abLinkMOI   = 1.0
+	abMaxVel1   = 4 * math.Pi
+	abMaxVel2   = 9 * math.Pi
+	abGrav      = 9.8
+	abMaxSteps  = 500
+)
+
+// NewAcrobot returns an Acrobot environment.
+func NewAcrobot(seed int64) *Acrobot {
+	return &Acrobot{rng: rand.New(rand.NewSource(seed)), done: true}
+}
+
+// Name implements Env.
+func (a *Acrobot) Name() string { return "Acrobot" }
+
+// NumActions implements Env: torque −1, 0, +1.
+func (a *Acrobot) NumActions() int { return 3 }
+
+// FeatureDim implements Env: cos/sin of both angles plus both velocities.
+func (a *Acrobot) FeatureDim() int { return 6 }
+
+// Reset implements Env.
+func (a *Acrobot) Reset() (Obs, error) {
+	for i := range a.state {
+		a.state[i] = a.rng.Float64()*0.2 - 0.1
+	}
+	a.steps = 0
+	a.done = false
+	return a.obs(), nil
+}
+
+// Step implements Env, integrating the dynamics with RK4 as Gym does.
+func (a *Acrobot) Step(action int) (Obs, float64, bool, error) {
+	if a.done {
+		return Obs{}, 0, true, ErrDone
+	}
+	torque := float64(action - 1)
+	a.state = rk4(a.state, torque, abDT)
+	a.state[0] = wrapAngle(a.state[0])
+	a.state[1] = wrapAngle(a.state[1])
+	a.state[2] = clamp(a.state[2], -abMaxVel1, abMaxVel1)
+	a.state[3] = clamp(a.state[3], -abMaxVel2, abMaxVel2)
+	a.steps++
+	goal := -math.Cos(a.state[0])-math.Cos(a.state[1]+a.state[0]) > 1.0
+	a.done = goal || a.steps >= abMaxSteps
+	reward := -1.0
+	if goal {
+		reward = 0
+	}
+	return a.obs(), reward, a.done, nil
+}
+
+func (a *Acrobot) obs() Obs {
+	return Obs{Vec: []float32{
+		float32(math.Cos(a.state[0])), float32(math.Sin(a.state[0])),
+		float32(math.Cos(a.state[1])), float32(math.Sin(a.state[1])),
+		float32(a.state[2]), float32(a.state[3]),
+	}}
+}
+
+// acrobotDerivs computes the state derivatives for the two-link dynamics.
+func acrobotDerivs(s [4]float64, torque float64) [4]float64 {
+	m1, m2 := abLinkMass1, abLinkMass2
+	l1 := abLinkLen1
+	lc1, lc2 := abLinkCom1, abLinkCom2
+	i1, i2 := abLinkMOI, abLinkMOI
+	g := abGrav
+	theta1, theta2, dtheta1, dtheta2 := s[0], s[1], s[2], s[3]
+
+	d1 := m1*lc1*lc1 + m2*(l1*l1+lc2*lc2+2*l1*lc2*math.Cos(theta2)) + i1 + i2
+	d2 := m2*(lc2*lc2+l1*lc2*math.Cos(theta2)) + i2
+	phi2 := m2 * lc2 * g * math.Cos(theta1+theta2-math.Pi/2)
+	phi1 := -m2*l1*lc2*dtheta2*dtheta2*math.Sin(theta2) -
+		2*m2*l1*lc2*dtheta2*dtheta1*math.Sin(theta2) +
+		(m1*lc1+m2*l1)*g*math.Cos(theta1-math.Pi/2) + phi2
+	ddtheta2 := (torque + d2/d1*phi1 - m2*l1*lc2*dtheta1*dtheta1*math.Sin(theta2) - phi2) /
+		(m2*lc2*lc2 + i2 - d2*d2/d1)
+	ddtheta1 := -(d2*ddtheta2 + phi1) / d1
+	return [4]float64{dtheta1, dtheta2, ddtheta1, ddtheta2}
+}
+
+// rk4 integrates the acrobot dynamics one step.
+func rk4(s [4]float64, torque, dt float64) [4]float64 {
+	add := func(a [4]float64, b [4]float64, scale float64) [4]float64 {
+		var out [4]float64
+		for i := range out {
+			out[i] = a[i] + b[i]*scale
+		}
+		return out
+	}
+	k1 := acrobotDerivs(s, torque)
+	k2 := acrobotDerivs(add(s, k1, dt/2), torque)
+	k3 := acrobotDerivs(add(s, k2, dt/2), torque)
+	k4 := acrobotDerivs(add(s, k3, dt), torque)
+	var out [4]float64
+	for i := range out {
+		out[i] = s[i] + dt/6*(k1[i]+2*k2[i]+2*k3[i]+k4[i])
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func wrapAngle(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a < -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}

@@ -1,0 +1,236 @@
+package env
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMountainCarEpisodeShape(t *testing.T) {
+	m := NewMountainCar(1)
+	obs, err := m.Reset()
+	if err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if len(obs.Vec) != 2 {
+		t.Fatalf("obs dim = %d", len(obs.Vec))
+	}
+	if obs.Vec[0] < -0.6 || obs.Vec[0] > -0.4 {
+		t.Fatalf("initial position %v outside [-0.6, -0.4]", obs.Vec[0])
+	}
+	steps := 0
+	var total float64
+	for {
+		_, r, done, err := m.Step(steps % 3)
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		total += r
+		steps++
+		if done {
+			break
+		}
+		if steps > mcMaxSteps+1 {
+			t.Fatal("episode exceeded the step cap")
+		}
+	}
+	if total != -float64(steps) {
+		t.Fatalf("return %v, want -steps %d", total, steps)
+	}
+}
+
+func TestMountainCarRockingReachesGoal(t *testing.T) {
+	// The energy-pumping policy (push in the direction of motion) must
+	// solve MountainCar well before the cap.
+	m := NewMountainCar(2)
+	obs, err := m.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for steps := 0; steps < mcMaxSteps; steps++ {
+		action := 0
+		if obs.Vec[1] >= 0 {
+			action = 2
+		}
+		next, _, done, err := m.Step(action)
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if done {
+			if next.Vec[0] < float32(mcGoalPos) {
+				t.Fatalf("episode ended at position %v without reaching the goal", next.Vec[0])
+			}
+			return
+		}
+		obs = next
+	}
+	t.Fatal("energy-pumping policy did not reach the goal")
+}
+
+func TestMountainCarStepAfterDone(t *testing.T) {
+	m := NewMountainCar(1)
+	if _, _, _, err := m.Step(0); !errors.Is(err, ErrDone) {
+		t.Fatalf("Step before Reset = %v, want ErrDone", err)
+	}
+}
+
+func TestAcrobotEpisodeShape(t *testing.T) {
+	a := NewAcrobot(1)
+	obs, err := a.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.Vec) != 6 {
+		t.Fatalf("obs dim = %d", len(obs.Vec))
+	}
+	// cos²+sin² = 1 for both links.
+	for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+		s := obs.Vec[pair[0]]*obs.Vec[pair[0]] + obs.Vec[pair[1]]*obs.Vec[pair[1]]
+		if math.Abs(float64(s)-1) > 1e-5 {
+			t.Fatalf("cos²+sin² = %v", s)
+		}
+	}
+	steps := 0
+	for {
+		_, r, done, err := a.Step(steps % 3)
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if !done && r != -1 {
+			t.Fatalf("non-terminal reward = %v, want -1", r)
+		}
+		steps++
+		if done {
+			break
+		}
+		if steps > abMaxSteps+1 {
+			t.Fatal("episode exceeded the step cap")
+		}
+	}
+}
+
+func TestAcrobotVelocitiesBounded(t *testing.T) {
+	a := NewAcrobot(3)
+	if _, err := a.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		obs, _, done, err := a.Step(2) // constant torque
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if done {
+			break
+		}
+		if v := float64(obs.Vec[4]); v < -abMaxVel1-1e-6 || v > abMaxVel1+1e-6 {
+			t.Fatalf("dtheta1 = %v outside ±%v", v, abMaxVel1)
+		}
+		if v := float64(obs.Vec[5]); v < -abMaxVel2-1e-6 || v > abMaxVel2+1e-6 {
+			t.Fatalf("dtheta2 = %v outside ±%v", v, abMaxVel2)
+		}
+	}
+}
+
+func TestPendulumEpisodeShape(t *testing.T) {
+	p := NewPendulum(1)
+	obs, err := p.Reset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.Vec) != 3 {
+		t.Fatalf("obs dim = %d", len(obs.Vec))
+	}
+	steps := 0
+	for {
+		_, r, done, err := p.StepContinuous([]float32{1.0})
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if r > 0 {
+			t.Fatalf("reward %v > 0; Pendulum rewards are costs", r)
+		}
+		steps++
+		if done {
+			break
+		}
+	}
+	if steps != pdMaxSteps {
+		t.Fatalf("episode length %d, want %d", steps, pdMaxSteps)
+	}
+}
+
+func TestPendulumTorqueClamped(t *testing.T) {
+	p := NewPendulum(2)
+	if _, err := p.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	// A huge torque must behave like the clamped maximum: run two
+	// identically seeded envs with torque 100 and torque 2.
+	q := NewPendulum(2)
+	if _, err := q.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	o1, r1, _, err := p.StepContinuous([]float32{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, r2, _, err := q.StepContinuous([]float32{pdMaxTorque})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 || o1.Vec[2] != o2.Vec[2] {
+		t.Fatalf("torque 100 (%v, %v) != clamped torque 2 (%v, %v)", r1, o1.Vec, r2, o2.Vec)
+	}
+}
+
+func TestPendulumStepAfterDone(t *testing.T) {
+	p := NewPendulum(1)
+	if _, _, _, err := p.StepContinuous([]float32{0}); !errors.Is(err, ErrDone) {
+		t.Fatalf("Step before Reset = %v, want ErrDone", err)
+	}
+}
+
+// TestPropertyPendulumRewardBounded: the cost function is bounded by its
+// analytic maximum (π² + 0.1·8² + 0.001·2² ≈ 16.27).
+func TestPropertyPendulumRewardBounded(t *testing.T) {
+	f := func(seed int64, torques []float32) bool {
+		p := NewPendulum(seed)
+		if _, err := p.Reset(); err != nil {
+			return false
+		}
+		for _, u := range torques {
+			_, r, done, err := p.StepContinuous([]float32{u})
+			if err != nil {
+				return false
+			}
+			if r > 0 || r < -16.5 {
+				return false
+			}
+			if done {
+				if _, err := p.Reset(); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakeClassicEnvs(t *testing.T) {
+	for _, name := range []string{"MountainCar", "Acrobot"} {
+		e, err := Make(name, 1)
+		if err != nil {
+			t.Fatalf("Make(%q): %v", name, err)
+		}
+		if e.Name() != name {
+			t.Fatalf("Name = %q", e.Name())
+		}
+		if _, err := e.Reset(); err != nil {
+			t.Fatalf("%s Reset: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package env
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ContinuousEnv is the gym-style interface for continuous-action
+// environments (the DDPG family). Actions are vectors in
+// [−ActionBound, +ActionBound]^ActionDim.
+type ContinuousEnv interface {
+	// Name identifies the environment.
+	Name() string
+	// Reset starts a new episode.
+	Reset() (Obs, error)
+	// StepContinuous applies a continuous action vector.
+	StepContinuous(action []float32) (Obs, float64, bool, error)
+	// ActionDim is the action vector length.
+	ActionDim() int
+	// ActionBound is the symmetric action magnitude limit.
+	ActionBound() float32
+	// FeatureDim is the observation feature width.
+	FeatureDim() int
+}
+
+// Pendulum implements the classic Pendulum-v1 swing-up problem with Gym
+// physics: apply torque to swing a pendulum upright and hold it there.
+// Reward is −(θ² + 0.1·θ̇² + 0.001·u²); episodes run 200 steps.
+type Pendulum struct {
+	rng      *rand.Rand
+	theta    float64
+	thetaDot float64
+	steps    int
+	done     bool
+}
+
+var _ ContinuousEnv = (*Pendulum)(nil)
+
+// Pendulum constants (Gym Pendulum-v1).
+const (
+	pdMaxSpeed  = 8.0
+	pdMaxTorque = 2.0
+	pdDT        = 0.05
+	pdGravity   = 10.0
+	pdMass      = 1.0
+	pdLength    = 1.0
+	pdMaxSteps  = 200
+)
+
+// NewPendulum returns a Pendulum environment.
+func NewPendulum(seed int64) *Pendulum {
+	return &Pendulum{rng: rand.New(rand.NewSource(seed)), done: true}
+}
+
+// Name implements ContinuousEnv.
+func (p *Pendulum) Name() string { return "Pendulum" }
+
+// ActionDim implements ContinuousEnv.
+func (p *Pendulum) ActionDim() int { return 1 }
+
+// ActionBound implements ContinuousEnv.
+func (p *Pendulum) ActionBound() float32 { return pdMaxTorque }
+
+// FeatureDim implements ContinuousEnv: cos θ, sin θ, θ̇.
+func (p *Pendulum) FeatureDim() int { return 3 }
+
+// Reset implements ContinuousEnv.
+func (p *Pendulum) Reset() (Obs, error) {
+	p.theta = p.rng.Float64()*2*math.Pi - math.Pi
+	p.thetaDot = p.rng.Float64()*2 - 1
+	p.steps = 0
+	p.done = false
+	return p.obs(), nil
+}
+
+// StepContinuous implements ContinuousEnv.
+func (p *Pendulum) StepContinuous(action []float32) (Obs, float64, bool, error) {
+	if p.done {
+		return Obs{}, 0, true, ErrDone
+	}
+	u := 0.0
+	if len(action) > 0 {
+		u = clamp(float64(action[0]), -pdMaxTorque, pdMaxTorque)
+	}
+	cost := angleNorm(p.theta)*angleNorm(p.theta) +
+		0.1*p.thetaDot*p.thetaDot + 0.001*u*u
+
+	// θ̈ = 3g/(2l)·sin θ + 3/(m l²)·u
+	acc := 3*pdGravity/(2*pdLength)*math.Sin(p.theta) +
+		3/(pdMass*pdLength*pdLength)*u
+	p.thetaDot = clamp(p.thetaDot+acc*pdDT, -pdMaxSpeed, pdMaxSpeed)
+	p.theta += p.thetaDot * pdDT
+	p.steps++
+	p.done = p.steps >= pdMaxSteps
+	return p.obs(), -cost, p.done, nil
+}
+
+func (p *Pendulum) obs() Obs {
+	return Obs{Vec: []float32{
+		float32(math.Cos(p.theta)),
+		float32(math.Sin(p.theta)),
+		float32(p.thetaDot),
+	}}
+}
+
+// angleNorm wraps an angle into [−π, π].
+func angleNorm(a float64) float64 { return wrapAngle(a) }

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickSettings() Settings {
+	s := DefaultSettings()
+	s.Quick = true
+	return s
+}
+
+// TestAllExperimentsRunQuick smoke-tests every registered experiment in
+// quick mode: each must complete without error and emit at least one table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness")
+	}
+	reg := Registry()
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			run, ok := reg[name]
+			if !ok {
+				t.Fatalf("experiment %q not registered", name)
+			}
+			var buf bytes.Buffer
+			if err := run(quickSettings(), &buf); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s produced no table:\n%s", name, out)
+			}
+			t.Logf("%s output:\n%s", name, out)
+		})
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != len(Names()) {
+		t.Fatalf("registry has %d entries, Names lists %d", len(reg), len(Names()))
+	}
+	for _, n := range Names() {
+		if reg[n] == nil {
+			t.Fatalf("experiment %q missing from registry", n)
+		}
+	}
+}
+
+func TestTableFprintAlignment(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows: []Row{
+			{Label: "row-one", Values: []string{"1", "2"}},
+			{Label: "r2", Values: []string{"100000", "3"}},
+		},
+		Notes: []string{"a note"},
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"demo", "long-column", "row-one", "100000", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSettingsNormalization(t *testing.T) {
+	s := Settings{Scale: 0, PlaneNsPerKB: -5}.normalized()
+	if s.Scale != 1 || s.PlaneNsPerKB != 0 {
+		t.Fatalf("normalized = %+v", s)
+	}
+	net := DefaultSettings().Net()
+	if net.TimeScale != 10 {
+		t.Fatalf("Net timescale = %v", net.TimeScale)
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	if sizeLabel(1<<20) != "1MB" || sizeLabel(16<<10) != "16KB" {
+		t.Fatalf("sizeLabel = %s %s", sizeLabel(1<<20), sizeLabel(16<<10))
+	}
+}
+
+func TestRoundsForBudget(t *testing.T) {
+	s := DefaultSettings()
+	if r := roundsFor(1<<10, 1, s); r != 20 {
+		t.Fatalf("small message rounds = %d, want cap 20", r)
+	}
+	if r := roundsFor(64<<20, 16, s); r != 2 {
+		t.Fatalf("huge message rounds = %d, want floor 2", r)
+	}
+	s.Quick = true
+	if r := roundsFor(64<<20, 16, s); r != 3 {
+		t.Fatalf("quick rounds = %d", r)
+	}
+}

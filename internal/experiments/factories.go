@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xingtian/internal/algorithm"
+	"xingtian/internal/core"
+	"xingtian/internal/env"
+)
+
+// expSpec builds the model spec for an environment name. Arcade games
+// expose compact state features (34 inputs) alongside their frame payloads,
+// so the same hidden sizes work everywhere.
+func expSpec(envName string) (algorithm.ModelSpec, error) {
+	e, err := env.Make(envName, 0)
+	if err != nil {
+		return algorithm.ModelSpec{}, err
+	}
+	spec := algorithm.SpecFor(e)
+	if envName != "CartPole" {
+		spec.Hidden = []int{64, 64}
+	} else {
+		spec.Hidden = []int{32, 32}
+	}
+	return spec, nil
+}
+
+// expSpecLight builds the throughput-experiment model: heavy pooling and a
+// tiny hidden layer. The paper trains on a V100 where a session takes
+// ~32 ms against ~300 ms of transmission; on a 1-core CPU host the same
+// model would invert that ratio, so the throughput figures (8-11) train a
+// deliberately small network while the rollout payloads stay full-size
+// frames — preserving the paper's transmission:training proportions.
+func expSpecLight(envName string) (algorithm.ModelSpec, error) {
+	spec, err := expSpec(envName)
+	if err != nil {
+		return algorithm.ModelSpec{}, err
+	}
+	spec.Hidden = []int{16}
+	return spec, nil
+}
+
+// factories builds the (learner, agent) constructors for an algorithm/env
+// pair, shared by the XingTian and RLLib-model runs so both frameworks
+// train identical models.
+func factories(algName, envName string, explorers int) (core.AlgorithmFactory, core.AgentFactory, error) {
+	return factoriesWithSpec(algName, envName, explorers, expSpec)
+}
+
+// factoriesLight is the throughput-figure variant (see expSpecLight).
+func factoriesLight(algName, envName string, explorers int) (core.AlgorithmFactory, core.AgentFactory, error) {
+	return factoriesWithSpec(algName, envName, explorers, expSpecLight)
+}
+
+func factoriesWithSpec(algName, envName string, explorers int, mkSpec func(string) (algorithm.ModelSpec, error)) (core.AlgorithmFactory, core.AgentFactory, error) {
+	spec, err := mkSpec(envName)
+	if err != nil {
+		return nil, nil, err
+	}
+	var algF core.AlgorithmFactory
+	var agF core.AgentFactory
+	switch algName {
+	case "DQN":
+		cfg := algorithm.DefaultDQNConfig()
+		cfg.ReplayCapacity = 100_000
+		cfg.TrainStart = 1000
+		cfg.TrainEvery = 4
+		cfg.BatchSize = 32
+		cfg.LR = 3e-4
+		cfg.TargetSyncEvery = 200
+		cfg.BroadcastEvery = 10
+		algF = func(seed int64) (core.Algorithm, error) {
+			return algorithm.NewDQN(spec, cfg, seed), nil
+		}
+		agF = func(id int32, seed int64) (core.Agent, error) {
+			e, err := env.Make(envName, seed)
+			if err != nil {
+				return nil, err
+			}
+			return algorithm.NewDQNAgent(spec, algorithm.NewEnvRunner(e, spec), seed), nil
+		}
+	case "PPO":
+		cfg := algorithm.DefaultPPOConfig(explorers)
+		cfg.Epochs = 2
+		algF = func(seed int64) (core.Algorithm, error) {
+			return algorithm.NewPPO(spec, cfg, seed), nil
+		}
+		agF = func(id int32, seed int64) (core.Agent, error) {
+			e, err := env.Make(envName, seed)
+			if err != nil {
+				return nil, err
+			}
+			return algorithm.NewPPOAgent(spec, algorithm.NewEnvRunner(e, spec), seed), nil
+		}
+	case "IMPALA":
+		cfg := algorithm.DefaultIMPALAConfig()
+		algF = func(seed int64) (core.Algorithm, error) {
+			return algorithm.NewIMPALA(spec, cfg, seed), nil
+		}
+		agF = func(id int32, seed int64) (core.Agent, error) {
+			e, err := env.Make(envName, seed)
+			if err != nil {
+				return nil, err
+			}
+			return algorithm.NewIMPALAAgent(spec, algorithm.NewEnvRunner(e, spec), seed), nil
+		}
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown algorithm %q", algName)
+	}
+	return algF, agF, nil
+}
+
+// rolloutLenFor mirrors the paper's per-message step counts: 200 for
+// CartPole, 500 for Atari — scaled down in quick mode.
+func rolloutLenFor(envName string, quick bool) int {
+	if quick {
+		if envName == "CartPole" {
+			return 50
+		}
+		return 50
+	}
+	if envName == "CartPole" {
+		return 200
+	}
+	return 500
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"xingtian/internal/baselines/rllibsim"
+	"xingtian/internal/core"
+)
+
+// fig11Point is one explorer-count configuration of the scalability sweep.
+type fig11Point struct {
+	Explorers int
+	Machines  int
+}
+
+// fig11Sweep mirrors the paper's 2..256-explorer sweep at a 1-core-friendly
+// scale: {2..32} in one machine, 48 in two machines, 64 in four. The
+// paper's crossover — RLLib degrading when the deployment reaches four
+// machines while XingTian keeps improving — appears at the last point.
+func fig11Sweep(s Settings) []fig11Point {
+	if s.Quick {
+		return []fig11Point{{2, 1}, {4, 1}, {8, 2}}
+	}
+	return []fig11Point{
+		{2, 1}, {4, 1}, {8, 1}, {16, 1}, {32, 1},
+		{48, 2}, {64, 4},
+	}
+}
+
+// RunFig11 regenerates Fig. 11: IMPALA throughput under different scale
+// deployments, XingTian versus RLLib.
+func RunFig11(s Settings, w io.Writer) error {
+	s = s.normalized()
+	dur := runDuration(s)
+
+	table := &Table{
+		Title:   "Fig 11: IMPALA scalability (steps/s) vs explorer count",
+		Columns: []string{"machines", "XingTian steps/s", "RLLib steps/s", "XT/RL"},
+		Notes: []string{
+			"paper sweep is 2..256 explorers over up to 4 machines; counts here are scaled for a 1-core host",
+			"paper: RLLib throughput drops at 4 machines while XingTian gains 91.12% over it",
+		},
+	}
+	for _, p := range fig11Sweep(s) {
+		algF, agF, err := factoriesLight("IMPALA", "BeamRider", p.Explorers)
+		if err != nil {
+			return err
+		}
+		rolloutLen := rolloutLenFor("BeamRider", s.Quick)
+
+		xt, err := core.Run(core.Config{
+			NumExplorers: p.Explorers,
+			RolloutLen:   rolloutLen,
+			MaxDuration:  dur,
+			MaxInflight:  1, // 1-core host: wider windows only buy GC pressure
+			Machines:     p.Machines,
+			Compress:     false, // plane emulation already charges serialize+compress (see DESIGN.md)
+			PlaneNsPerKB: s.PlaneNsPerKB,
+			Net:          s.Net(),
+		}, algF, agF, 41)
+		if err != nil {
+			return fmt.Errorf("fig11 xt %d explorers: %w", p.Explorers, err)
+		}
+		rl, err := rllibsim.RunAlgorithm(rllibsim.AlgoConfig{
+			NumExplorers: p.Explorers,
+			RolloutLen:   rolloutLen,
+			MaxDuration:  dur,
+			Machines:     p.Machines,
+			Compress:     false, // plane emulation already charges serialize+compress (see DESIGN.md)
+			PlaneNsPerKB: s.PlaneNsPerKB,
+			Net:          s.Net(),
+		}, algF, agF, 41)
+		if err != nil {
+			return fmt.Errorf("fig11 rllib %d explorers: %w", p.Explorers, err)
+		}
+		table.Rows = append(table.Rows, Row{
+			Label: fmt.Sprintf("%d explorers", p.Explorers),
+			Values: []string{
+				fmt.Sprintf("%d", p.Machines),
+				fmt.Sprintf("%.0f", xt.Throughput),
+				fmt.Sprintf("%.0f", rl.Throughput),
+				fmt.Sprintf("%.2fx", xt.Throughput/rl.Throughput),
+			},
+		})
+	}
+	table.Fprint(w)
+	_ = time.Now // keep time import if durations change
+	return nil
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"xingtian/internal/baselines/launchpadsim"
+	"xingtian/internal/baselines/rllibsim"
+	"xingtian/internal/dummy"
+	"xingtian/internal/netsim"
+)
+
+// fig4Sizes is the message-size sweep (paper: 1 KB – 64 MB). The quick
+// variant and the Launchpad runs use truncated sweeps (Reverb's simulated
+// table is, as in the paper, orders of magnitude slower — running it at
+// 64 MB×20 rounds would dominate the whole harness for no extra insight).
+var fig4Sizes = []int{1 << 10, 16 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20}
+
+// RunFig4 regenerates Fig. 4: single-machine data-transmission throughput
+// and end-to-end latency versus message size, for 1 and 16 explorers,
+// across the three frameworks.
+func RunFig4(s Settings, w io.Writer) error {
+	s = s.normalized()
+	for _, explorers := range fig4Counts(s) {
+		table := &Table{
+			Title: fmt.Sprintf("Fig 4: single-machine transmission, %d explorer(s)", explorers),
+			Columns: []string{
+				"XingTian MB/s", "RLLib MB/s", "Launchpad MB/s",
+				"XT latency", "RLLib latency", "LP latency",
+			},
+			Notes: []string{
+				fmt.Sprintf("time scale %.0fx; divide rates by the scale for paper-equivalents", s.Scale),
+				"Launchpad is skipped above 4 MB (simulated Reverb table cost dominates, as in the paper)",
+			},
+		}
+		for _, size := range fig4SizeSweep(s) {
+			rounds := roundsFor(size, explorers, s)
+			cfg := dummy.Config{
+				Explorers:    explorers,
+				MessageBytes: size,
+				Rounds:       rounds,
+				Net:          s.Net(),
+				Compress:     true,
+				PlaneNsPerKB: s.PlaneNsPerKB,
+			}
+			xt, err := dummy.RunXingTian(cfg)
+			if err != nil {
+				return fmt.Errorf("fig4 xingtian: %w", err)
+			}
+			rl, err := rllibsim.RunDummy(cfg)
+			if err != nil {
+				return fmt.Errorf("fig4 rllib: %w", err)
+			}
+			lpLabel, lpLatency := "-", "-"
+			if size <= 4<<20 {
+				lp, err := launchpadsim.RunDummy(cfg)
+				if err != nil {
+					return fmt.Errorf("fig4 launchpad: %w", err)
+				}
+				lpLabel = fmt.Sprintf("%.1f", lp.ThroughputMBps)
+				lpLatency = lp.Duration.Round(msRound).String()
+			}
+			table.Rows = append(table.Rows, Row{
+				Label: sizeLabel(size),
+				Values: []string{
+					fmt.Sprintf("%.1f", xt.ThroughputMBps),
+					fmt.Sprintf("%.1f", rl.ThroughputMBps),
+					lpLabel,
+					xt.Duration.Round(msRound).String(),
+					rl.Duration.Round(msRound).String(),
+					lpLatency,
+				},
+			})
+		}
+		table.Fprint(w)
+	}
+	return nil
+}
+
+// RunFig5 regenerates Fig. 5: two-machine transmission — XingTian with 32
+// explorers (16 per machine), XingTian with 16 remote explorers (learner
+// alone on machine 0), and RLLib with 32 explorers spread over both.
+// The NIC bandwidth line is reported for reference.
+func RunFig5(s Settings, w io.Writer) error {
+	s = s.normalized()
+	exp32, exp16 := 32, 16
+	if s.Quick {
+		exp32, exp16 = 8, 4
+	}
+	// The NIC must stay the binding resource for this figure: at high time
+	// scales the effective wire rate exceeds the host's real memory speed
+	// and the cross-machine contrast disappears. Cap the network scale at
+	// 3x while the plane emulation keeps the caller's scale.
+	net := s.Net()
+	if net.TimeScale > 3 {
+		net.TimeScale = 3
+	}
+	table := &Table{
+		Title: "Fig 5: two-machine transmission",
+		Columns: []string{
+			"XT 32exp MB/s", "XT 16 remote MB/s", "RLLib 32exp MB/s",
+			"XT32 latency", "XT16r latency", "RL32 latency",
+		},
+		Notes: []string{
+			fmt.Sprintf("NIC bandwidth reference: %.2f MB/s x net scale %.0f = %.0f MB/s effective",
+				netsim.DefaultBandwidth/(1<<20), net.TimeScale, netsim.DefaultBandwidth/(1<<20)*net.TimeScale),
+			"the paper's shape: XT-16-remote rides the NIC line, XT-32 doubles it (local half bypasses the wire), RLLib-32 stays below it",
+		},
+	}
+	for _, size := range fig5SizeSweep(s) {
+		rounds := roundsFor(size, exp32, s)
+
+		// XingTian, 16 explorers per machine.
+		xt32, err := dummy.RunXingTian(dummy.Config{
+			Explorers: exp32, MessageBytes: size, Rounds: rounds,
+			Machines: 2, Net: net, Compress: true, PlaneNsPerKB: s.PlaneNsPerKB,
+		})
+		if err != nil {
+			return fmt.Errorf("fig5 xt32: %w", err)
+		}
+		// XingTian, learner alone; all explorers remote.
+		xt16, err := dummy.RunXingTian(dummy.Config{
+			Explorers: exp16, MessageBytes: size, Rounds: rounds,
+			Machines: 2, LearnerAlone: true, Net: net, Compress: true, PlaneNsPerKB: s.PlaneNsPerKB,
+		})
+		if err != nil {
+			return fmt.Errorf("fig5 xt16 remote: %w", err)
+		}
+		// RLLib, 32 explorers spread over two machines.
+		rl32, err := rllibsim.RunDummy(dummy.Config{
+			Explorers: exp32, MessageBytes: size, Rounds: rounds,
+			Machines: 2, Net: net, Compress: true, PlaneNsPerKB: s.PlaneNsPerKB,
+		})
+		if err != nil {
+			return fmt.Errorf("fig5 rl32: %w", err)
+		}
+		table.Rows = append(table.Rows, Row{
+			Label: sizeLabel(size),
+			Values: []string{
+				fmt.Sprintf("%.1f", xt32.ThroughputMBps),
+				fmt.Sprintf("%.1f", xt16.ThroughputMBps),
+				fmt.Sprintf("%.1f", rl32.ThroughputMBps),
+				xt32.Duration.Round(msRound).String(),
+				xt16.Duration.Round(msRound).String(),
+				rl32.Duration.Round(msRound).String(),
+			},
+		})
+	}
+	table.Fprint(w)
+	return nil
+}
+
+const msRound = 1e6 // time.Millisecond without importing time here
+
+func fig4Counts(s Settings) []int {
+	if s.Explorers > 0 {
+		return []int{s.Explorers}
+	}
+	if s.Quick {
+		return []int{1, 4}
+	}
+	return []int{1, 16}
+}
+
+func fig4SizeSweep(s Settings) []int {
+	if s.Quick {
+		return []int{16 << 10, 1 << 20}
+	}
+	return fig4Sizes
+}
+
+func fig5SizeSweep(s Settings) []int {
+	if s.Quick {
+		return []int{256 << 10}
+	}
+	return []int{64 << 10, 1 << 20, 4 << 20, 16 << 20}
+}
+
+// roundsFor keeps each point's total volume bounded (≈512 MB) so large
+// sweeps neither thrash memory nor dominate the harness.
+func roundsFor(size, explorers int, s Settings) int {
+	if s.Quick {
+		return 3
+	}
+	const budget = 256 << 20
+	rounds := budget / (size * explorers)
+	if rounds > 20 {
+		return 20 // the paper's message count
+	}
+	if rounds < 2 {
+		return 2
+	}
+	return rounds
+}
+
+func sizeLabel(size int) string {
+	switch {
+	case size >= 1<<20:
+		return fmt.Sprintf("%dMB", size>>20)
+	default:
+		return fmt.Sprintf("%dKB", size>>10)
+	}
+}

@@ -1,0 +1,292 @@
+// Package fabric implements the real inter-machine data fabric of Fig. 2(b)
+// over TCP: brokers on different machines exchange framed messages through
+// persistent connections. netsim models this fabric for experiments; this
+// package is the production code path, exercised over loopback in the
+// integration tests and by examples/distributed.
+//
+// Wire format per message: a 4-byte big-endian frame length, then a
+// gob-encoded header, then the framed body bytes.
+package fabric
+
+import (
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"xingtian/internal/broker"
+	"xingtian/internal/message"
+)
+
+// MaxFrameSize bounds a single fabric frame (1 GiB) to reject corrupt
+// length prefixes before allocating.
+const MaxFrameSize = 1 << 30
+
+// ErrNoRoute is returned when forwarding to a machine with no connection.
+var ErrNoRoute = errors.New("fabric: no route to machine")
+
+// wireHeader is the gob-encoded subset of message.Header that crosses the
+// wire (object IDs are machine-local and re-assigned on arrival).
+type wireHeader struct {
+	ID             uint64
+	Type           uint8
+	Src            string
+	Dst            []string
+	BodySize       int
+	Compressed     bool
+	CreatedNanos   int64
+	WeightsVersion int64
+	Round          int32
+	SrcMachine     int
+}
+
+// Node is one machine's endpoint in the fabric.
+type Node struct {
+	machineID int
+	ln        net.Listener
+
+	mu       sync.Mutex
+	peers    map[int]*peerConn
+	accepted map[net.Conn]struct{}
+	broker   *broker.Broker
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+var _ broker.Remote = (*Node)(nil)
+
+type peerConn struct {
+	conn net.Conn
+	mu   sync.Mutex // serializes frame writes
+}
+
+// Listen starts a fabric node accepting peer connections on addr
+// (e.g. "127.0.0.1:0").
+func Listen(machineID int, addr string) (*Node, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fabric listen: %w", err)
+	}
+	n := &Node{
+		machineID: machineID,
+		ln:        ln,
+		peers:     make(map[int]*peerConn),
+		accepted:  make(map[net.Conn]struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the node's listening address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// AttachBroker sets the broker that receives injected remote messages.
+// It must be called before traffic arrives.
+func (n *Node) AttachBroker(b *broker.Broker) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.broker = b
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.accepted[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.readLoop(conn)
+			n.mu.Lock()
+			delete(n.accepted, conn)
+			n.mu.Unlock()
+		}()
+	}
+}
+
+// Connect dials a peer machine's fabric node. The connection is used for
+// outbound forwarding; the peer learns our machine ID from message headers.
+func (n *Node) Connect(peerMachine int, addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fabric connect to machine %d: %w", peerMachine, err)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = conn.Close()
+		return errors.New("fabric: node closed")
+	}
+	n.peers[peerMachine] = &peerConn{conn: conn}
+	n.mu.Unlock()
+	// The dialed connection is bidirectional: read replies too.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.readLoop(conn)
+	}()
+	return nil
+}
+
+// Forward implements broker.Remote: it frames the header and body and
+// writes them to the peer connection.
+func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []byte) error {
+	n.mu.Lock()
+	peer := n.peers[dstMachine]
+	n.mu.Unlock()
+	if peer == nil {
+		return fmt.Errorf("%w %d", ErrNoRoute, dstMachine)
+	}
+	wh := wireHeader{
+		ID:             h.ID,
+		Type:           uint8(h.Type),
+		Src:            h.Src,
+		Dst:            h.Dst,
+		BodySize:       h.BodySize,
+		Compressed:     h.Compressed,
+		CreatedNanos:   h.CreatedNanos,
+		WeightsVersion: h.WeightsVersion,
+		Round:          h.Round,
+		SrcMachine:     srcMachine,
+	}
+	var hdrBuf bytesBuffer
+	if err := gob.NewEncoder(&hdrBuf).Encode(&wh); err != nil {
+		return fmt.Errorf("fabric encode header: %w", err)
+	}
+	frameLen := 4 + len(hdrBuf.b) + len(framed)
+	prefix := make([]byte, 8)
+	binary.BigEndian.PutUint32(prefix[0:], uint32(frameLen))
+	binary.BigEndian.PutUint32(prefix[4:], uint32(len(hdrBuf.b)))
+
+	peer.mu.Lock()
+	defer peer.mu.Unlock()
+	if _, err := peer.conn.Write(prefix); err != nil {
+		return fmt.Errorf("fabric write: %w", err)
+	}
+	if _, err := peer.conn.Write(hdrBuf.b); err != nil {
+		return fmt.Errorf("fabric write header: %w", err)
+	}
+	if _, err := peer.conn.Write(framed); err != nil {
+		return fmt.Errorf("fabric write body: %w", err)
+	}
+	return nil
+}
+
+// readLoop decodes inbound frames and injects them into the local broker.
+func (n *Node) readLoop(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	prefix := make([]byte, 8)
+	for {
+		if _, err := io.ReadFull(conn, prefix); err != nil {
+			return
+		}
+		frameLen := binary.BigEndian.Uint32(prefix[0:])
+		hdrLen := binary.BigEndian.Uint32(prefix[4:])
+		if frameLen > MaxFrameSize || hdrLen+4 > frameLen {
+			return // corrupt stream
+		}
+		payload := make([]byte, frameLen-4)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		var wh wireHeader
+		if err := gob.NewDecoder(&sliceReader{b: payload[:hdrLen]}).Decode(&wh); err != nil {
+			return
+		}
+		body := payload[hdrLen:]
+		h := &message.Header{
+			ID:             wh.ID,
+			Type:           message.Type(wh.Type),
+			Src:            wh.Src,
+			Dst:            wh.Dst,
+			BodySize:       wh.BodySize,
+			Compressed:     wh.Compressed,
+			CreatedNanos:   wh.CreatedNanos,
+			WeightsVersion: wh.WeightsVersion,
+			Round:          wh.Round,
+		}
+		n.mu.Lock()
+		b := n.broker
+		n.mu.Unlock()
+		if b != nil {
+			_ = b.InjectRemote(h, body)
+		}
+	}
+}
+
+// Stop closes the listener and all peer connections and waits for loops.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	peers := n.peers
+	n.peers = map[int]*peerConn{}
+	accepted := make([]net.Conn, 0, len(n.accepted))
+	for c := range n.accepted {
+		accepted = append(accepted, c)
+	}
+	n.mu.Unlock()
+
+	_ = n.ln.Close()
+	for _, p := range peers {
+		_ = p.conn.Close()
+	}
+	for _, c := range accepted {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+}
+
+// StaticLocator is a fixed name→machine table implementing broker.Locator
+// for fabric deployments where process placement is known from the
+// configuration file (as in the paper).
+type StaticLocator map[string]int
+
+var _ broker.Locator = (StaticLocator)(nil)
+
+// Locate implements broker.Locator.
+func (l StaticLocator) Locate(name string) (int, bool) {
+	m, ok := l[name]
+	return m, ok
+}
+
+// Small io helpers (avoid bytes dependency churn) -----------------------------
+
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+type sliceReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.pos:])
+	r.pos += n
+	return n, nil
+}

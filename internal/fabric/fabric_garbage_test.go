@@ -1,0 +1,88 @@
+package fabric
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"xingtian/internal/broker"
+)
+
+// TestGarbageStreamDoesNotPanic feeds a fabric listener corrupt frames:
+// the connection must be dropped cleanly without panicking or wedging the
+// node.
+func TestGarbageStreamDoesNotPanic(t *testing.T) {
+	node, err := Listen(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	b := broker.New(broker.Config{MachineID: 0})
+	defer b.Stop()
+	node.AttachBroker(b)
+
+	cases := [][]byte{
+		{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0},              // frame length > MaxFrameSize
+		{0, 0, 0, 8, 0, 0, 0, 16},                         // header length > frame length
+		{0, 0, 0, 12, 0, 0, 0, 4, 1, 2, 3, 4, 9, 9, 9, 9}, // undecodable gob header
+	}
+	for i, payload := range cases {
+		conn, err := net.Dial("tcp", node.Addr())
+		if err != nil {
+			t.Fatalf("case %d dial: %v", i, err)
+		}
+		if _, err := conn.Write(payload); err != nil {
+			t.Fatalf("case %d write: %v", i, err)
+		}
+		// The node should close the connection; reads will hit EOF.
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 1)
+		if _, err := conn.Read(buf); err == nil {
+			t.Fatalf("case %d: node did not close corrupt connection", i)
+		}
+		_ = conn.Close()
+	}
+	// The node must still accept healthy traffic afterwards.
+	conn, err := net.Dial("tcp", node.Addr())
+	if err != nil {
+		t.Fatalf("post-garbage dial: %v", err)
+	}
+	defer func() { _ = conn.Close() }()
+	// A zero-destination valid frame: harmless but parseable is hard to
+	// hand-craft with gob; instead just confirm the listener still accepts.
+	if err := conn.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	hdr := make([]byte, 8)
+	binary.BigEndian.PutUint32(hdr[0:], 4)
+	binary.BigEndian.PutUint32(hdr[4:], 0)
+	if _, err := conn.Write(hdr); err != nil {
+		t.Fatalf("post-garbage write: %v", err)
+	}
+}
+
+// TestOversizeFrameRejected checks the MaxFrameSize guard.
+func TestOversizeFrameRejected(t *testing.T) {
+	node, err := Listen(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	conn, err := net.Dial("tcp", node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	frame := make([]byte, 8)
+	binary.BigEndian.PutUint32(frame[0:], uint32(MaxFrameSize)+1)
+	binary.BigEndian.PutUint32(frame[4:], 16)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("oversize frame did not close the connection")
+	}
+}

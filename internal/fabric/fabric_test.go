@@ -1,0 +1,277 @@
+package fabric
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"xingtian/internal/broker"
+	"xingtian/internal/message"
+	"xingtian/internal/serialize"
+)
+
+// twoMachines wires two brokers over a loopback TCP fabric:
+// machine 0 hosts "learner", machine 1 hosts "explorer-0".
+func twoMachines(t *testing.T) (learner, explorer *broker.Port, cleanup func()) {
+	t.Helper()
+	locator := StaticLocator{"learner": 0, "explorer-0": 1}
+
+	node0, err := Listen(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen 0: %v", err)
+	}
+	node1, err := Listen(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen 1: %v", err)
+	}
+	b0 := broker.New(broker.Config{MachineID: 0, Remote: node0, Locator: locator})
+	b1 := broker.New(broker.Config{MachineID: 1, Remote: node1, Locator: locator})
+	node0.AttachBroker(b0)
+	node1.AttachBroker(b1)
+	if err := node0.Connect(1, node1.Addr()); err != nil {
+		t.Fatalf("Connect 0->1: %v", err)
+	}
+	if err := node1.Connect(0, node0.Addr()); err != nil {
+		t.Fatalf("Connect 1->0: %v", err)
+	}
+
+	learner, err = b0.Register("learner")
+	if err != nil {
+		t.Fatalf("Register learner: %v", err)
+	}
+	explorer, err = b1.Register("explorer-0")
+	if err != nil {
+		t.Fatalf("Register explorer: %v", err)
+	}
+	return learner, explorer, func() {
+		b0.Stop()
+		b1.Stop()
+		node0.Stop()
+		node1.Stop()
+	}
+}
+
+func TestCrossMachineOverTCP(t *testing.T) {
+	learner, explorer, cleanup := twoMachines(t)
+	defer cleanup()
+
+	payload := bytes.Repeat([]byte{42}, 100_000)
+	m := message.New(message.TypeDummy, "explorer-0", []string{"learner"},
+		&message.DummyPayload{Data: payload})
+	if err := explorer.Send(m); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := learner.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if !bytes.Equal(got.Body.(*message.DummyPayload).Data, payload) {
+		t.Fatal("payload corrupted over TCP fabric")
+	}
+	if got.Header.Src != "explorer-0" {
+		t.Fatalf("Src = %q", got.Header.Src)
+	}
+}
+
+func TestBidirectionalTraffic(t *testing.T) {
+	learner, explorer, cleanup := twoMachines(t)
+	defer cleanup()
+
+	// Rollout direction.
+	if err := explorer.Send(message.New(message.TypeDummy, "explorer-0",
+		[]string{"learner"}, &message.DummyPayload{Data: []byte("up")})); err != nil {
+		t.Fatalf("Send up: %v", err)
+	}
+	if _, err := learner.Recv(); err != nil {
+		t.Fatalf("Recv up: %v", err)
+	}
+	// Weights direction.
+	w := &message.WeightsPayload{Version: 5, Data: []float32{1, 2, 3}}
+	if err := learner.Send(message.New(message.TypeWeights, "learner",
+		[]string{"explorer-0"}, w)); err != nil {
+		t.Fatalf("Send down: %v", err)
+	}
+	got, err := explorer.Recv()
+	if err != nil {
+		t.Fatalf("Recv down: %v", err)
+	}
+	if got.Body.(*message.WeightsPayload).Version != 5 {
+		t.Fatal("weights corrupted over fabric")
+	}
+}
+
+func TestManyMessagesOrderedPerSender(t *testing.T) {
+	learner, explorer, cleanup := twoMachines(t)
+	defer cleanup()
+
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			m := message.New(message.TypeDummy, "explorer-0", []string{"learner"},
+				&message.DummyPayload{Data: []byte{byte(i)}})
+			m.Header.Round = int32(i)
+			if err := explorer.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		got, err := learner.Recv()
+		if err != nil {
+			t.Fatalf("Recv %d: %v", i, err)
+		}
+		if got.Header.Round != int32(i) {
+			t.Fatalf("message %d arrived out of order (round %d)", i, got.Header.Round)
+		}
+	}
+}
+
+func TestCompressedBodiesCrossFabric(t *testing.T) {
+	locator := StaticLocator{"a": 0, "b": 1}
+	node0, err := Listen(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node1, err := Listen(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := serialize.Compressor{Threshold: 1024}
+	b0 := broker.New(broker.Config{MachineID: 0, Remote: node0, Locator: locator, Compressor: comp})
+	b1 := broker.New(broker.Config{MachineID: 1, Remote: node1, Locator: locator, Compressor: comp})
+	node0.AttachBroker(b0)
+	node1.AttachBroker(b1)
+	if err := node0.Connect(1, node1.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		b0.Stop()
+		b1.Stop()
+		node0.Stop()
+		node1.Stop()
+	}()
+	a, err := b0.Register("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bPort, err := b1.Register("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("xingtian"), 10_000)
+	if err := a.Send(message.New(message.TypeDummy, "a", []string{"b"},
+		&message.DummyPayload{Data: payload})); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got, err := bPort.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if !got.Header.Compressed {
+		t.Fatal("body not compressed")
+	}
+	if !bytes.Equal(got.Body.(*message.DummyPayload).Data, payload) {
+		t.Fatal("compressed payload corrupted over fabric")
+	}
+}
+
+func TestForwardNoRoute(t *testing.T) {
+	node, err := Listen(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	h := &message.Header{ID: 1, Dst: []string{"x"}}
+	if err := node.Forward(0, 7, h, []byte("data")); !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("Forward without route = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestStopIdempotentAndUnblocks(t *testing.T) {
+	node, err := Listen(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		node.Stop()
+		node.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop hung")
+	}
+}
+
+func TestLocator(t *testing.T) {
+	l := StaticLocator{"learner": 0, "explorer-3": 2}
+	if m, ok := l.Locate("explorer-3"); !ok || m != 2 {
+		t.Fatalf("Locate = %d,%v", m, ok)
+	}
+	if _, ok := l.Locate("ghost"); ok {
+		t.Fatal("Locate(ghost) = ok")
+	}
+}
+
+func TestConcurrentSendersOverFabric(t *testing.T) {
+	locator := StaticLocator{"learner": 0}
+	for i := 0; i < 4; i++ {
+		locator[fmt.Sprintf("explorer-%d", i)] = 1
+	}
+	node0, err := Listen(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node1, err := Listen(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := broker.New(broker.Config{MachineID: 0, Remote: node0, Locator: locator})
+	b1 := broker.New(broker.Config{MachineID: 1, Remote: node1, Locator: locator})
+	node0.AttachBroker(b0)
+	node1.AttachBroker(b1)
+	if err := node1.Connect(0, node0.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		b0.Stop()
+		b1.Stop()
+		node0.Stop()
+		node1.Stop()
+	}()
+	learner, err := b0.Register("learner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perSender = 25
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("explorer-%d", i)
+		port, err := b1.Register(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func(port *broker.Port, name string) {
+			for j := 0; j < perSender; j++ {
+				_ = port.Send(message.New(message.TypeDummy, name, []string{"learner"},
+					&message.DummyPayload{Data: []byte(name)}))
+			}
+		}(port, name)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 4*perSender; i++ {
+		got, err := learner.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		counts[got.Header.Src]++
+	}
+	for name, c := range counts {
+		if c != perSender {
+			t.Fatalf("%s delivered %d, want %d", name, c, perSender)
+		}
+	}
+}

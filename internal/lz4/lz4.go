@@ -1,0 +1,248 @@
+// Package lz4 implements the LZ4 block format (compression and
+// decompression) from scratch using only the standard library.
+//
+// XingTian compresses message bodies larger than 1 MB with LZ4 before
+// inserting them into the shared-memory object store; this package is that
+// substrate. Only the block format is implemented (no frame format, no
+// checksums) because blocks travel inside our own message envelope which
+// already carries lengths.
+//
+// Format reference: https://github.com/lz4/lz4/blob/dev/doc/lz4_Block_format.md
+package lz4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrCorrupt is returned when decompression encounters malformed input.
+	ErrCorrupt = errors.New("lz4: corrupt input")
+	// ErrDstTooSmall is returned when the destination buffer cannot hold the
+	// decompressed output.
+	ErrDstTooSmall = errors.New("lz4: destination too small")
+)
+
+const (
+	minMatch    = 4  // smallest encodable match
+	lastLits    = 5  // the final 5 bytes must be literals
+	mfLimit     = 12 // matches must not start within 12 bytes of the end
+	hashLog     = 16
+	hashShift   = 32 - hashLog
+	maxOffset   = 65535
+	tokenMaxL   = 15 // literal-length nibble saturation
+	tokenMaxM   = 15 // match-length nibble saturation
+	hashPrime   = 2654435761
+	skipTrigger = 6 // compression speed/ratio trade-off (like reference impl)
+)
+
+// CompressBound returns the maximum compressed size for an input of length n.
+func CompressBound(n int) int {
+	return n + n/255 + 16
+}
+
+// Compress appends the LZ4 block encoding of src to dst and returns the
+// extended buffer. Compressing empty input yields an empty block.
+func Compress(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	if len(src) < mfLimit+1 {
+		return emitFinalLiterals(dst, src)
+	}
+
+	var table [1 << hashLog]int32 // position+1 of a recent occurrence of each 4-byte hash
+	anchor := 0                   // start of pending literals
+	pos := 0
+	limit := len(src) - mfLimit // last position a match may start at
+
+	for pos <= limit {
+		// Find a match by hashing 4 bytes with adaptive skipping.
+		step := 1
+		searches := 1 << skipTrigger
+		matchPos := -1
+		for {
+			h := hash4(binary.LittleEndian.Uint32(src[pos:]))
+			cand := int(table[h]) - 1
+			table[h] = int32(pos + 1)
+			if cand >= 0 && pos-cand <= maxOffset &&
+				binary.LittleEndian.Uint32(src[cand:]) == binary.LittleEndian.Uint32(src[pos:]) {
+				matchPos = cand
+				break
+			}
+			pos += step
+			step = searches >> skipTrigger
+			searches++
+			if pos > limit {
+				return emitFinalLiterals(dst, src[anchor:])
+			}
+		}
+
+		// Extend the match backwards over pending literals.
+		for matchPos > 0 && pos > anchor && src[matchPos-1] == src[pos-1] {
+			matchPos--
+			pos--
+		}
+
+		// Extend forwards; the match may not run into the last-literals zone.
+		matchLen := minMatch
+		maxLen := len(src) - lastLits - pos
+		for matchLen < maxLen && src[matchPos+matchLen] == src[pos+matchLen] {
+			matchLen++
+		}
+		if matchLen < minMatch {
+			// Cannot happen given the 4-byte hash check, but keep the
+			// invariant explicit for safety.
+			pos++
+			continue
+		}
+
+		dst = emitSequence(dst, src[anchor:pos], pos-matchPos, matchLen)
+		pos += matchLen
+		anchor = pos
+
+		// Prime the table inside the match for future references.
+		if pos <= limit {
+			h := hash4(binary.LittleEndian.Uint32(src[pos-2:]))
+			table[h] = int32(pos - 2 + 1)
+		}
+	}
+	return emitFinalLiterals(dst, src[anchor:])
+}
+
+// hash4 maps a 4-byte window to a table slot.
+func hash4(u uint32) uint32 {
+	return (u * hashPrime) >> hashShift
+}
+
+// emitSequence writes one token + literals + offset + extended match length.
+func emitSequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	ml := matchLen - minMatch
+	token := byte(0)
+	if litLen >= tokenMaxL {
+		token = tokenMaxL << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	if ml >= tokenMaxM {
+		token |= tokenMaxM
+	} else {
+		token |= byte(ml)
+	}
+	dst = append(dst, token)
+	if litLen >= tokenMaxL {
+		dst = appendLength(dst, litLen-tokenMaxL)
+	}
+	dst = append(dst, literals...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if ml >= tokenMaxM {
+		dst = appendLength(dst, ml-tokenMaxM)
+	}
+	return dst
+}
+
+// emitFinalLiterals writes the trailing literals-only sequence.
+func emitFinalLiterals(dst, literals []byte) []byte {
+	litLen := len(literals)
+	if litLen == 0 {
+		return dst
+	}
+	if litLen >= tokenMaxL {
+		dst = append(dst, tokenMaxL<<4)
+		dst = appendLength(dst, litLen-tokenMaxL)
+	} else {
+		dst = append(dst, byte(litLen)<<4)
+	}
+	return append(dst, literals...)
+}
+
+// appendLength writes the LZ4 extended-length encoding (runs of 255 plus a
+// terminator byte < 255).
+func appendLength(dst []byte, n int) []byte {
+	for n >= 255 {
+		dst = append(dst, 255)
+		n -= 255
+	}
+	return append(dst, byte(n))
+}
+
+// Decompress decodes an LZ4 block from src into dst, which must be exactly
+// the original length. It returns the number of bytes written.
+func Decompress(dst, src []byte) (int, error) {
+	di, si := 0, 0
+	for si < len(src) {
+		token := src[si]
+		si++
+
+		// Literals.
+		litLen := int(token >> 4)
+		if litLen == tokenMaxL {
+			n, used, err := readLength(src[si:])
+			if err != nil {
+				return 0, err
+			}
+			litLen += n
+			si += used
+		}
+		if si+litLen > len(src) {
+			return 0, fmt.Errorf("literal run past input end: %w", ErrCorrupt)
+		}
+		if di+litLen > len(dst) {
+			return 0, fmt.Errorf("literal run: %w", ErrDstTooSmall)
+		}
+		copy(dst[di:], src[si:si+litLen])
+		si += litLen
+		di += litLen
+
+		if si == len(src) {
+			// Final literals-only sequence.
+			return di, nil
+		}
+
+		// Match.
+		if si+2 > len(src) {
+			return 0, fmt.Errorf("truncated offset: %w", ErrCorrupt)
+		}
+		offset := int(binary.LittleEndian.Uint16(src[si:]))
+		si += 2
+		if offset == 0 || offset > di {
+			return 0, fmt.Errorf("offset %d at output %d: %w", offset, di, ErrCorrupt)
+		}
+		matchLen := int(token&0x0F) + minMatch
+		if token&0x0F == tokenMaxM {
+			n, used, err := readLength(src[si:])
+			if err != nil {
+				return 0, err
+			}
+			matchLen += n
+			si += used
+		}
+		if di+matchLen > len(dst) {
+			return 0, fmt.Errorf("match run: %w", ErrDstTooSmall)
+		}
+		// Overlapping copy must proceed byte-forward.
+		for i := 0; i < matchLen; i++ {
+			dst[di+i] = dst[di-offset+i]
+		}
+		di += matchLen
+	}
+	return di, nil
+}
+
+// readLength decodes the extended-length byte run, returning the value and
+// the number of bytes consumed.
+func readLength(src []byte) (n, used int, err error) {
+	for {
+		if used >= len(src) {
+			return 0, 0, fmt.Errorf("truncated length: %w", ErrCorrupt)
+		}
+		b := src[used]
+		used++
+		n += int(b)
+		if b != 255 {
+			return n, used, nil
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package lz4
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	comp := Compress(nil, src)
+	dst := make([]byte, len(src))
+	n, err := Decompress(dst, comp)
+	if err != nil {
+		t.Fatalf("Decompress(%d bytes): %v", len(src), err)
+	}
+	if n != len(src) {
+		t.Fatalf("Decompress wrote %d bytes, want %d", n, len(src))
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("round trip mismatch for %d-byte input", len(src))
+	}
+	return comp
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	comp := Compress(nil, nil)
+	if len(comp) != 0 {
+		t.Fatalf("Compress(empty) = %d bytes, want 0", len(comp))
+	}
+	n, err := Decompress(nil, comp)
+	if err != nil || n != 0 {
+		t.Fatalf("Decompress(empty) = %d, %v", n, err)
+	}
+}
+
+func TestRoundTripTiny(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		src := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i * 7)
+		}
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripAllSame(t *testing.T) {
+	src := bytes.Repeat([]byte{0xAB}, 100_000)
+	comp := roundTrip(t, src)
+	if len(comp) >= len(src)/100 {
+		t.Fatalf("compressed %d bytes to %d; highly repetitive input should compress > 100x", len(src), len(comp))
+	}
+}
+
+func TestRoundTripText(t *testing.T) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 5000))
+	comp := roundTrip(t, src)
+	if len(comp) >= len(src)/4 {
+		t.Fatalf("compressed %d to %d; repetitive text should compress > 4x", len(src), len(comp))
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{13, 100, 4096, 1 << 16, 1 << 20} {
+		src := make([]byte, n)
+		rng.Read(src)
+		comp := roundTrip(t, src)
+		if len(comp) > CompressBound(n) {
+			t.Fatalf("compressed size %d exceeds CompressBound(%d)=%d", len(comp), n, CompressBound(n))
+		}
+	}
+}
+
+func TestRoundTripStructuredFloats(t *testing.T) {
+	// Simulates serialized DNN weights: small floats with shared exponent
+	// bytes, moderately compressible.
+	rng := rand.New(rand.NewSource(2))
+	src := make([]byte, 1<<20)
+	for i := 0; i < len(src); i += 4 {
+		src[i] = byte(rng.Intn(64))
+		src[i+1] = 0
+		src[i+2] = byte(rng.Intn(4))
+		src[i+3] = 62
+	}
+	comp := roundTrip(t, src)
+	if len(comp) >= len(src) {
+		t.Fatalf("structured data did not compress: %d -> %d", len(src), len(comp))
+	}
+}
+
+func TestRoundTripOverlappingMatches(t *testing.T) {
+	// Period-1, 2, 3 repeats exercise the overlapping-copy path.
+	for _, period := range []int{1, 2, 3, 4, 7} {
+		pat := make([]byte, period)
+		for i := range pat {
+			pat[i] = byte(i + 1)
+		}
+		src := bytes.Repeat(pat, 3000/period+1)
+		roundTrip(t, src)
+	}
+}
+
+func TestDecompressCorruptOffset(t *testing.T) {
+	// Token demands a match with offset 0 — invalid.
+	src := []byte{0x10, 'a', 0x00, 0x00}
+	dst := make([]byte, 64)
+	if _, err := Decompress(dst, src); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decompress invalid offset = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecompressOffsetBeyondOutput(t *testing.T) {
+	// One literal then a match reaching before the start of output.
+	src := []byte{0x10, 'a', 0x05, 0x00}
+	dst := make([]byte, 64)
+	if _, err := Decompress(dst, src); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decompress offset>output = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecompressTruncatedLiterals(t *testing.T) {
+	src := []byte{0xF0, 0x05} // claims 20 literals, provides none
+	dst := make([]byte, 64)
+	if _, err := Decompress(dst, src); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decompress truncated literals = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecompressDstTooSmall(t *testing.T) {
+	src := []byte("hello world, hello world, hello world, hello world")
+	comp := Compress(nil, src)
+	dst := make([]byte, len(src)-10)
+	if _, err := Decompress(dst, comp); !errors.Is(err, ErrDstTooSmall) {
+		t.Fatalf("Decompress small dst = %v, want ErrDstTooSmall", err)
+	}
+}
+
+func TestDecompressTruncatedLengthRun(t *testing.T) {
+	src := []byte{0xF0, 255, 255} // extended literal length never terminates
+	dst := make([]byte, 2048)
+	if _, err := Decompress(dst, src); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decompress truncated length = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCompressAppendsToDst(t *testing.T) {
+	prefix := []byte("header:")
+	src := bytes.Repeat([]byte("data"), 100)
+	out := Compress(prefix, src)
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("Compress did not preserve dst prefix")
+	}
+	dst := make([]byte, len(src))
+	n, err := Decompress(dst, out[len(prefix):])
+	if err != nil || n != len(src) {
+		t.Fatalf("Decompress after prefix: n=%d err=%v", n, err)
+	}
+}
+
+// TestPropertyRoundTrip: arbitrary byte slices survive compress/decompress.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		comp := Compress(nil, src)
+		dst := make([]byte, len(src))
+		n, err := Decompress(dst, comp)
+		return err == nil && n == len(src) && bytes.Equal(dst, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRepetitiveRoundTrip: inputs built from a tiny alphabet (high
+// match density) survive round trips — stresses the match-emission paths.
+func TestPropertyRepetitiveRoundTrip(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]byte, int(size))
+		for i := range src {
+			src[i] = byte(rng.Intn(3))
+		}
+		comp := Compress(nil, src)
+		dst := make([]byte, len(src))
+		n, err := Decompress(dst, comp)
+		return err == nil && n == len(src) && bytes.Equal(dst, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDecompressNeverPanics: arbitrary garbage input must produce an
+// error or a result, never a panic or out-of-bounds write.
+func TestPropertyDecompressNeverPanics(t *testing.T) {
+	f := func(garbage []byte, dstSize uint16) bool {
+		dst := make([]byte, int(dstSize%8192))
+		_, _ = Decompress(dst, garbage)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]byte, 1<<20)
+	for i := 0; i < len(src); i += 8 {
+		v := rng.Intn(256)
+		for j := 0; j < 8 && i+j < len(src); j++ {
+			src[i+j] = byte(v)
+		}
+	}
+	buf := make([]byte, 0, CompressBound(len(src)))
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Compress(buf[:0], src)
+	}
+}
+
+func BenchmarkDecompress1MB(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]byte, 1<<20)
+	for i := 0; i < len(src); i += 8 {
+		v := rng.Intn(256)
+		for j := 0; j < 8 && i+j < len(src); j++ {
+			src[i+j] = byte(v)
+		}
+	}
+	comp := Compress(nil, src)
+	dst := make([]byte, len(src))
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(dst, comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

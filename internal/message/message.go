@@ -1,0 +1,141 @@
+// Package message defines the message envelope that travels through
+// XingTian's asynchronous communication channel: a lightweight header
+// (what flows through header and ID queues) and a typed body (what lives in
+// the shared-memory object store).
+package message
+
+import (
+	"sync/atomic"
+	"time"
+
+	"xingtian/internal/objectstore"
+	"xingtian/internal/rollout"
+)
+
+// Type tags the payload carried by a message.
+type Type uint8
+
+// Message types. The router treats them uniformly (it is algorithm
+// agnostic); types exist so workhorse threads can dispatch received bodies.
+const (
+	TypeRollout Type = iota + 1
+	TypeWeights
+	TypeStats
+	TypeControl
+	TypeDummy
+)
+
+// String returns a human-readable type name.
+func (t Type) String() string {
+	switch t {
+	case TypeRollout:
+		return "rollout"
+	case TypeWeights:
+		return "weights"
+	case TypeStats:
+		return "stats"
+	case TypeControl:
+		return "control"
+	case TypeDummy:
+		return "dummy"
+	default:
+		return "unknown"
+	}
+}
+
+// Header is the metadata that travels through header queues and ID queues.
+// It is intentionally small: queues carry headers, the object store carries
+// bodies.
+type Header struct {
+	// ID is unique per process for the lifetime of the run.
+	ID uint64
+	// Type tags the body.
+	Type Type
+	// Src is the producing node ("explorer-3", "learner", ...).
+	Src string
+	// Dst lists destination nodes; weights broadcasts have several.
+	Dst []string
+	// ObjectID locates the serialized body in the object store once the
+	// sender thread has inserted it; zero until then.
+	ObjectID objectstore.ID
+	// BodySize is the serialized (possibly compressed) body length.
+	BodySize int
+	// Compressed records whether the stored body is LZ4-compressed.
+	Compressed bool
+	// CreatedNanos is the production timestamp (for latency accounting).
+	CreatedNanos int64
+	// WeightsVersion annotates weights messages.
+	WeightsVersion int64
+	// Round annotates dummy-benchmark messages with their round index.
+	Round int32
+}
+
+// Message couples a header with its in-process body. Inside a process the
+// body stays a typed Go value; it is serialized only when crossing the
+// process boundary through the shared-memory communicator.
+type Message struct {
+	Header *Header
+	Body   any
+}
+
+// Payload bodies -------------------------------------------------------------
+
+// WeightsPayload carries flattened DNN parameters from the learner.
+type WeightsPayload struct {
+	Version int64
+	Data    []float32
+}
+
+// StatsPayload carries periodic metrics from workhorse threads to the
+// center controller.
+type StatsPayload struct {
+	Node           string
+	Episodes       int64
+	MeanReturn     float64
+	StepsGenerated int64
+	StepsConsumed  int64
+	TrainIters     int64
+	UnixNanos      int64
+}
+
+// ControlKind enumerates controller commands.
+type ControlKind uint8
+
+// Controller commands.
+const (
+	ControlShutdown ControlKind = iota + 1
+	ControlStart
+	ControlSetHyperparams
+)
+
+// ControlPayload carries a control command from a controller.
+type ControlPayload struct {
+	Kind ControlKind
+	// Hyperparams is set for ControlSetHyperparams (PBT mutation).
+	Hyperparams map[string]float64
+}
+
+// DummyPayload is the opaque byte body used by the §5.1 data-transmission
+// benchmark.
+type DummyPayload struct {
+	Data []byte
+}
+
+// RolloutBody aliases the rollout batch for readability at use sites.
+type RolloutBody = rollout.Batch
+
+var nextID atomic.Uint64
+
+// New creates a message with a fresh ID and the current timestamp.
+func New(t Type, src string, dst []string, body any) *Message {
+	return &Message{
+		Header: &Header{
+			ID:           nextID.Add(1),
+			Type:         t,
+			Src:          src,
+			Dst:          dst,
+			CreatedNanos: time.Now().UnixNano(),
+		},
+		Body: body,
+	}
+}

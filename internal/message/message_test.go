@@ -1,0 +1,74 @@
+package message
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewAssignsUniqueIDs(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		m := New(TypeRollout, "src", []string{"dst"}, nil)
+		if seen[m.Header.ID] {
+			t.Fatalf("duplicate message ID %d", m.Header.ID)
+		}
+		seen[m.Header.ID] = true
+	}
+}
+
+func TestNewIDsUniqueUnderConcurrency(t *testing.T) {
+	const goroutines, each = 8, 500
+	ids := make(chan uint64, goroutines*each)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				ids <- New(TypeStats, "s", nil, nil).Header.ID
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[uint64]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate ID %d under concurrency", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNewPopulatesHeader(t *testing.T) {
+	before := time.Now().UnixNano()
+	m := New(TypeWeights, "learner", []string{"explorer-0", "explorer-1"}, &WeightsPayload{Version: 3})
+	after := time.Now().UnixNano()
+	h := m.Header
+	if h.Type != TypeWeights || h.Src != "learner" || len(h.Dst) != 2 {
+		t.Fatalf("header = %+v", h)
+	}
+	if h.CreatedNanos < before || h.CreatedNanos > after {
+		t.Fatalf("CreatedNanos %d outside [%d, %d]", h.CreatedNanos, before, after)
+	}
+	if m.Body.(*WeightsPayload).Version != 3 {
+		t.Fatal("body lost")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{
+		TypeRollout: "rollout",
+		TypeWeights: "weights",
+		TypeStats:   "stats",
+		TypeControl: "control",
+		TypeDummy:   "dummy",
+		Type(99):    "unknown",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}

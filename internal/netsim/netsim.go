@@ -1,0 +1,151 @@
+// Package netsim simulates the multi-machine network of the paper's
+// distributed deployments: each machine has one NIC with finite bandwidth
+// (default 118.04 MB/s, the paper's measured iperf number for its 1 GbE
+// fabric) and a propagation latency.
+//
+// Transfers carry real byte counts and block the caller for the simulated
+// wire time, with contention: concurrent transfers queue on the sender's
+// egress NIC and the receiver's ingress NIC exactly like frames on a single
+// physical link. A TimeScale factor lets experiments compress wall-clock
+// time while preserving relative shapes (all durations divide by the same
+// constant).
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultBandwidth is the paper's measured inter-machine NIC bandwidth.
+const DefaultBandwidth = 118.04 * 1024 * 1024 // bytes/second
+
+// DefaultLatency approximates LAN round-trip propagation.
+const DefaultLatency = 200 * time.Microsecond
+
+// Config parameterizes a simulated network.
+type Config struct {
+	// Bandwidth is the per-NIC bandwidth in bytes per second.
+	Bandwidth float64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// TimeScale divides all simulated durations (1 = real time; 100 = run
+	// 100× faster while preserving ratios). Values < 1 are treated as 1.
+	TimeScale float64
+}
+
+// DefaultConfig returns the paper's testbed parameters at real time scale.
+func DefaultConfig() Config {
+	return Config{Bandwidth: DefaultBandwidth, Latency: DefaultLatency, TimeScale: 1}
+}
+
+// nic serializes occupancy of one direction of a machine's network card.
+type nic struct {
+	mu       sync.Mutex
+	nextFree time.Time
+	bytes    int64
+}
+
+// reserve books dur of exclusive NIC time starting no earlier than now and
+// returns the moment the reservation ends.
+func (n *nic) reserve(dur time.Duration, size int) time.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	start := time.Now()
+	if n.nextFree.After(start) {
+		start = n.nextFree
+	}
+	end := start.Add(dur)
+	n.nextFree = end
+	n.bytes += int64(size)
+	return end
+}
+
+type machine struct {
+	egress  nic
+	ingress nic
+}
+
+// Network is a set of machines joined by a full mesh of NIC-limited paths.
+type Network struct {
+	cfg Config
+
+	mu       sync.Mutex
+	machines map[int]*machine
+}
+
+// New returns a network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.Bandwidth <= 0 {
+		cfg.Bandwidth = DefaultBandwidth
+	}
+	if cfg.TimeScale < 1 {
+		cfg.TimeScale = 1
+	}
+	return &Network{cfg: cfg, machines: make(map[int]*machine)}
+}
+
+func (n *Network) machineFor(id int) *machine {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m, ok := n.machines[id]
+	if !ok {
+		m = &machine{}
+		n.machines[id] = m
+	}
+	return m
+}
+
+// Transfer blocks the caller for the simulated time to move size bytes from
+// machine src to machine dst. Transfers within one machine are free (they
+// go through shared memory, not the NIC).
+func (n *Network) Transfer(src, dst, size int) {
+	if src == dst || size <= 0 {
+		return
+	}
+	wire := time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second) / n.cfg.TimeScale)
+	latency := time.Duration(float64(n.cfg.Latency) / n.cfg.TimeScale)
+
+	egressEnd := n.machineFor(src).egress.reserve(wire, size)
+	// Ingress occupancy starts when bytes begin arriving; approximating the
+	// pipeline, book the same duration on the receiving NIC no earlier than
+	// the egress reservation.
+	ingress := &n.machineFor(dst).ingress
+	ingress.mu.Lock()
+	start := egressEnd.Add(-wire)
+	if ingress.nextFree.After(start) {
+		start = ingress.nextFree
+	}
+	end := start.Add(wire)
+	ingress.nextFree = end
+	ingress.bytes += int64(size)
+	ingress.mu.Unlock()
+
+	deadline := end.Add(latency)
+	if d := time.Until(deadline); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// BytesSent reports total bytes that left machine id over its egress NIC.
+func (n *Network) BytesSent(id int) int64 {
+	m := n.machineFor(id)
+	m.egress.mu.Lock()
+	defer m.egress.mu.Unlock()
+	return m.egress.bytes
+}
+
+// BytesReceived reports total bytes that entered machine id over its
+// ingress NIC.
+func (n *Network) BytesReceived(id int) int64 {
+	m := n.machineFor(id)
+	m.ingress.mu.Lock()
+	defer m.ingress.mu.Unlock()
+	return m.ingress.bytes
+}
+
+// String describes the network configuration.
+func (n *Network) String() string {
+	return fmt.Sprintf("netsim(bw=%.1fMB/s latency=%v scale=%.0fx)",
+		n.cfg.Bandwidth/(1024*1024), n.cfg.Latency, n.cfg.TimeScale)
+}

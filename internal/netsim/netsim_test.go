@@ -1,0 +1,141 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// testNet returns a fast network: 1 MB per 10ms (100 MB/s) scaled 1×,
+// with negligible latency, so tests stay quick but measurable.
+func testNet() *Network {
+	return New(Config{Bandwidth: 100 * 1024 * 1024, Latency: 0, TimeScale: 1})
+}
+
+func TestIntraMachineFree(t *testing.T) {
+	n := testNet()
+	start := time.Now()
+	n.Transfer(1, 1, 64<<20)
+	if d := time.Since(start); d > 5*time.Millisecond {
+		t.Fatalf("intra-machine transfer took %v, want ~0", d)
+	}
+	if n.BytesSent(1) != 0 {
+		t.Fatal("intra-machine transfer counted NIC bytes")
+	}
+}
+
+func TestTransferTakesWireTime(t *testing.T) {
+	n := testNet()
+	start := time.Now()
+	n.Transfer(1, 2, 10<<20) // 10 MB at 100 MB/s = 100 ms
+	d := time.Since(start)
+	if d < 80*time.Millisecond || d > 400*time.Millisecond {
+		t.Fatalf("10MB transfer took %v, want ≈100ms", d)
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	n := testNet()
+	n.Transfer(1, 2, 1000)
+	n.Transfer(1, 3, 500)
+	n.Transfer(3, 2, 200)
+	if got := n.BytesSent(1); got != 1500 {
+		t.Fatalf("BytesSent(1) = %d, want 1500", got)
+	}
+	if got := n.BytesReceived(2); got != 1200 {
+		t.Fatalf("BytesReceived(2) = %d, want 1200", got)
+	}
+	if got := n.BytesSent(2); got != 0 {
+		t.Fatalf("BytesSent(2) = %d, want 0", got)
+	}
+}
+
+func TestContentionSerializesEgress(t *testing.T) {
+	n := testNet()
+	const transfers = 4
+	const size = 2 << 20 // 2 MB each = 20 ms each at 100MB/s
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < transfers; i++ {
+		wg.Add(1)
+		go func(dst int) {
+			defer wg.Done()
+			n.Transfer(1, 2+dst, size)
+		}(i)
+	}
+	wg.Wait()
+	d := time.Since(start)
+	// Four 20ms transfers sharing one egress NIC must take ≈80ms, not 20ms.
+	if d < 60*time.Millisecond {
+		t.Fatalf("4 concurrent transfers finished in %v; egress NIC not serializing", d)
+	}
+}
+
+func TestIngressContention(t *testing.T) {
+	n := testNet()
+	const size = 2 << 20
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			n.Transfer(2+src, 1, size) // four distinct senders, one receiver
+		}(i)
+	}
+	wg.Wait()
+	d := time.Since(start)
+	if d < 60*time.Millisecond {
+		t.Fatalf("4 senders into one machine finished in %v; ingress NIC not serializing", d)
+	}
+}
+
+func TestTimeScaleCompressesDurations(t *testing.T) {
+	slow := New(Config{Bandwidth: 10 * 1024 * 1024, Latency: 0, TimeScale: 1})
+	fast := New(Config{Bandwidth: 10 * 1024 * 1024, Latency: 0, TimeScale: 50})
+	size := 2 << 20 // 200 ms at 10 MB/s
+
+	start := time.Now()
+	fast.Transfer(1, 2, size)
+	fastD := time.Since(start)
+
+	start = time.Now()
+	slow.Transfer(1, 2, size)
+	slowD := time.Since(start)
+
+	if fastD*10 > slowD {
+		t.Fatalf("timescale 50 took %v vs real %v; want ≥10x compression", fastD, slowD)
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	n := New(Config{Bandwidth: 1 << 40, Latency: 50 * time.Millisecond, TimeScale: 1})
+	start := time.Now()
+	n.Transfer(1, 2, 10)
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("transfer with 50ms latency took %v", d)
+	}
+}
+
+func TestZeroSizeNoop(t *testing.T) {
+	n := testNet()
+	start := time.Now()
+	n.Transfer(1, 2, 0)
+	n.Transfer(1, 2, -5)
+	if d := time.Since(start); d > 5*time.Millisecond {
+		t.Fatalf("zero-size transfers took %v", d)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	n := New(Config{})
+	if n.cfg.Bandwidth != DefaultBandwidth {
+		t.Fatalf("default bandwidth = %v", n.cfg.Bandwidth)
+	}
+	if n.cfg.TimeScale != 1 {
+		t.Fatalf("default timescale = %v", n.cfg.TimeScale)
+	}
+	if got := n.String(); got == "" {
+		t.Fatal("String() empty")
+	}
+}

@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"math"
+
+	"xingtian/internal/tensor"
+)
+
+// Optimizer updates network parameters from accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the network's current gradients and then
+	// leaves the gradients untouched (callers usually ZeroGrads after).
+	Step(n *Network)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float32
+	Momentum float32
+	velocity [][]float32
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float32) *SGD {
+	return &SGD{LR: lr, Momentum: momentum}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(n *Network) {
+	params := n.Params()
+	grads := n.Grads()
+	if o.velocity == nil {
+		o.velocity = make([][]float32, len(params))
+		for i, p := range params {
+			o.velocity[i] = make([]float32, len(p.Data))
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		v := o.velocity[i]
+		for j := range p.Data {
+			v[j] = o.Momentum*v[j] - o.LR*g.Data[j]
+			p.Data[j] += v[j]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba, 2015).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float32
+	t                     int
+	m, v                  [][]float32
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam returns an Adam optimizer with standard defaults for unset
+// moments (β1=0.9, β2=0.999, ε=1e-8).
+func NewAdam(lr float32) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(n *Network) {
+	params := n.Params()
+	grads := n.Grads()
+	if o.m == nil {
+		o.m = make([][]float32, len(params))
+		o.v = make([][]float32, len(params))
+		for i, p := range params {
+			o.m[i] = make([]float32, len(p.Data))
+			o.v[i] = make([]float32, len(p.Data))
+		}
+	}
+	o.t++
+	bc1 := 1 - float32(math.Pow(float64(o.Beta1), float64(o.t)))
+	bc2 := 1 - float32(math.Pow(float64(o.Beta2), float64(o.t)))
+	for i, p := range params {
+		g := grads[i]
+		m, v := o.m[i], o.v[i]
+		for j := range p.Data {
+			gj := g.Data[j]
+			m[j] = o.Beta1*m[j] + (1-o.Beta1)*gj
+			v[j] = o.Beta2*v[j] + (1-o.Beta2)*gj*gj
+			mhat := m[j] / bc1
+			vhat := v[j] / bc2
+			p.Data[j] -= o.LR * mhat / (float32(math.Sqrt(float64(vhat))) + o.Eps)
+		}
+	}
+}
+
+// RMSProp is the RMSProp optimizer used by the original IMPALA paper.
+type RMSProp struct {
+	LR, Decay, Eps float32
+	sq             [][]float32
+}
+
+var _ Optimizer = (*RMSProp)(nil)
+
+// NewRMSProp returns an RMSProp optimizer (decay=0.99, ε=1e-8).
+func NewRMSProp(lr float32) *RMSProp {
+	return &RMSProp{LR: lr, Decay: 0.99, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *RMSProp) Step(n *Network) {
+	params := n.Params()
+	grads := n.Grads()
+	if o.sq == nil {
+		o.sq = make([][]float32, len(params))
+		for i, p := range params {
+			o.sq[i] = make([]float32, len(p.Data))
+		}
+	}
+	for i, p := range params {
+		g := grads[i]
+		sq := o.sq[i]
+		for j := range p.Data {
+			gj := g.Data[j]
+			sq[j] = o.Decay*sq[j] + (1-o.Decay)*gj*gj
+			p.Data[j] -= o.LR * gj / (float32(math.Sqrt(float64(sq[j]))) + o.Eps)
+		}
+	}
+}
+
+// Loss helpers ---------------------------------------------------------------
+
+// MSELoss returns the mean-squared error between pred and target and writes
+// the gradient dLoss/dPred into gradOut (which must share pred's shape).
+func MSELoss(pred, target, gradOut *tensor.Tensor) float32 {
+	n := float32(len(pred.Data))
+	var loss float32
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		gradOut.Data[i] = 2 * d / n
+	}
+	return loss / n
+}
+
+// HuberLoss returns the mean Huber (smooth-L1) loss with threshold delta and
+// writes the gradient into gradOut.
+func HuberLoss(pred, target, gradOut *tensor.Tensor, delta float32) float32 {
+	n := float32(len(pred.Data))
+	var loss float32
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		abs := d
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs <= delta {
+			loss += 0.5 * d * d
+			gradOut.Data[i] = d / n
+		} else {
+			loss += delta * (abs - 0.5*delta)
+			if d > 0 {
+				gradOut.Data[i] = delta / n
+			} else {
+				gradOut.Data[i] = -delta / n
+			}
+		}
+	}
+	return loss / n
+}
+
+// SoftmaxCrossEntropy computes mean cross-entropy between logits and integer
+// labels, writing dLoss/dLogits into gradOut. It returns the loss.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int, gradOut *tensor.Tensor) float32 {
+	probs := logits.Clone()
+	probs.SoftmaxRows()
+	n := float32(logits.Rows)
+	var loss float32
+	for r := 0; r < logits.Rows; r++ {
+		p := probs.At(r, labels[r])
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= float32(math.Log(float64(p)))
+		for c := 0; c < logits.Cols; c++ {
+			g := probs.At(r, c)
+			if c == labels[r] {
+				g -= 1
+			}
+			gradOut.Set(r, c, g/n)
+		}
+	}
+	return loss / n
+}

@@ -1,0 +1,147 @@
+// Package objectstore implements the shared-memory object store at the heart
+// of XingTian's broker process.
+//
+// Message bodies are inserted once and referenced by ID from message headers
+// travelling through the header and ID queues; receivers fetch bodies by ID
+// without copies (Get returns the stored slice). Reference counting lets the
+// router pin a body once per destination so that a broadcast (e.g. updated
+// DNN parameters to N explorers) is freed exactly after the last receiver
+// has copied it out.
+package objectstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNotFound is returned when an object ID is absent from the store.
+var ErrNotFound = errors.New("objectstore: object not found")
+
+// ID identifies an object in a store. IDs are unique per store for its
+// lifetime (monotonic, never reused).
+type ID uint64
+
+// Stats is a snapshot of store occupancy counters.
+type Stats struct {
+	// Objects is the number of live objects.
+	Objects int
+	// Bytes is the total size of live objects.
+	Bytes int64
+	// PeakBytes is the high-water mark of Bytes.
+	PeakBytes int64
+	// TotalPut is the cumulative number of Put calls.
+	TotalPut int64
+	// TotalReleased is the cumulative number of objects fully released.
+	TotalReleased int64
+}
+
+type entry struct {
+	data []byte
+	refs int
+}
+
+// Store is an in-memory object store with reference counting. It models the
+// plasma/Arrow shared-memory store of the paper: zero-copy reads, explicit
+// pin/release life cycle. The zero value is not usable; use New.
+type Store struct {
+	mu      sync.Mutex
+	next    ID
+	objects map[ID]*entry
+	stats   Stats
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{objects: make(map[ID]*entry)}
+}
+
+// Put inserts data with an initial reference count of refs (refs < 1 is
+// treated as 1) and returns its ID. The store takes ownership of data; the
+// caller must not mutate it afterwards — this is the zero-copy contract.
+func (s *Store) Put(data []byte, refs int) ID {
+	if refs < 1 {
+		refs = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	id := s.next
+	s.objects[id] = &entry{data: data, refs: refs}
+	s.stats.Objects++
+	s.stats.Bytes += int64(len(data))
+	s.stats.TotalPut++
+	if s.stats.Bytes > s.stats.PeakBytes {
+		s.stats.PeakBytes = s.stats.Bytes
+	}
+	return id
+}
+
+// Get returns the object's bytes without copying. The returned slice is
+// shared: callers must treat it as read-only and must not use it after the
+// object's final Release.
+func (s *Store) Get(id ID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("get %d: %w", id, ErrNotFound)
+	}
+	return e.data, nil
+}
+
+// Pin increments the object's reference count, e.g. when the router adds an
+// additional destination after insertion.
+func (s *Store) Pin(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("pin %d: %w", id, ErrNotFound)
+	}
+	e.refs++
+	return nil
+}
+
+// Release decrements the object's reference count and frees it when the
+// count reaches zero. Releasing an unknown ID returns ErrNotFound.
+func (s *Store) Release(id ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("release %d: %w", id, ErrNotFound)
+	}
+	e.refs--
+	if e.refs <= 0 {
+		s.stats.Objects--
+		s.stats.Bytes -= int64(len(e.data))
+		s.stats.TotalReleased++
+		delete(s.objects, id)
+	}
+	return nil
+}
+
+// Refs reports the current reference count of id, or 0 when absent.
+func (s *Store) Refs(id ID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.objects[id]; ok {
+		return e.refs
+	}
+	return 0
+}
+
+// Stats returns a snapshot of occupancy counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Len reports the number of live objects.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.objects)
+}

@@ -1,0 +1,208 @@
+package objectstore
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestPutGet(t *testing.T) {
+	s := New()
+	data := []byte("rollout payload")
+	id := s.Put(data, 1)
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatalf("Get = %q, want %q", got, data)
+	}
+}
+
+func TestGetIsZeroCopy(t *testing.T) {
+	s := New()
+	data := []byte{1, 2, 3}
+	id := s.Put(data, 1)
+	got, err := s.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if &got[0] != &data[0] {
+		t.Fatal("Get copied the data; want shared backing array")
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	s := New()
+	if _, err := s.Get(42); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get unknown = %v, want ErrNotFound", err)
+	}
+}
+
+func TestReleaseFreesAtZero(t *testing.T) {
+	s := New()
+	id := s.Put([]byte("x"), 2)
+	if err := s.Release(id); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if _, err := s.Get(id); err != nil {
+		t.Fatalf("Get after first Release: %v (object should survive)", err)
+	}
+	if err := s.Release(id); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if _, err := s.Get(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after final Release = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPinExtendsLifetime(t *testing.T) {
+	s := New()
+	id := s.Put([]byte("broadcast"), 1)
+	if err := s.Pin(id); err != nil {
+		t.Fatalf("Pin: %v", err)
+	}
+	if err := s.Release(id); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if s.Refs(id) != 1 {
+		t.Fatalf("Refs = %d, want 1", s.Refs(id))
+	}
+	if err := s.Release(id); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if s.Refs(id) != 0 {
+		t.Fatalf("Refs after final release = %d, want 0", s.Refs(id))
+	}
+}
+
+func TestReleaseUnknown(t *testing.T) {
+	s := New()
+	if err := s.Release(7); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Release unknown = %v, want ErrNotFound", err)
+	}
+}
+
+func TestIDsNeverReused(t *testing.T) {
+	s := New()
+	seen := make(map[ID]bool)
+	for i := 0; i < 1000; i++ {
+		id := s.Put([]byte{byte(i)}, 1)
+		if seen[id] {
+			t.Fatalf("ID %d reused", id)
+		}
+		seen[id] = true
+		if err := s.Release(id); err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := New()
+	a := s.Put(make([]byte, 100), 1)
+	b := s.Put(make([]byte, 50), 1)
+	st := s.Stats()
+	if st.Objects != 2 || st.Bytes != 150 {
+		t.Fatalf("Stats = %+v, want Objects=2 Bytes=150", st)
+	}
+	if st.PeakBytes != 150 {
+		t.Fatalf("PeakBytes = %d, want 150", st.PeakBytes)
+	}
+	if err := s.Release(a); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	st = s.Stats()
+	if st.Objects != 1 || st.Bytes != 50 {
+		t.Fatalf("Stats after release = %+v, want Objects=1 Bytes=50", st)
+	}
+	if st.PeakBytes != 150 {
+		t.Fatalf("PeakBytes after release = %d, want 150 (high-water mark)", st.PeakBytes)
+	}
+	if err := s.Release(b); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	st = s.Stats()
+	if st.TotalPut != 2 || st.TotalReleased != 2 {
+		t.Fatalf("TotalPut/TotalReleased = %d/%d, want 2/2", st.TotalPut, st.TotalReleased)
+	}
+}
+
+func TestPutZeroRefsTreatedAsOne(t *testing.T) {
+	s := New()
+	id := s.Put([]byte("x"), 0)
+	if got := s.Refs(id); got != 1 {
+		t.Fatalf("Refs = %d, want 1", got)
+	}
+}
+
+func TestConcurrentBroadcastLifecycle(t *testing.T) {
+	const receivers = 16
+	s := New()
+	id := s.Put(make([]byte, 1024), receivers)
+	var wg sync.WaitGroup
+	for i := 0; i < receivers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Get(id); err != nil {
+				t.Errorf("Get: %v", err)
+			}
+			if err := s.Release(id); err != nil {
+				t.Errorf("Release: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after all receivers released, want 0", s.Len())
+	}
+}
+
+// TestPropertyByteAccounting: for any sequence of payload sizes, the store's
+// byte accounting equals the sum of live payload sizes at every step.
+func TestPropertyByteAccounting(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := New()
+		var live int64
+		ids := make([]ID, 0, len(sizes))
+		for _, sz := range sizes {
+			n := int(sz % 4096)
+			ids = append(ids, s.Put(make([]byte, n), 1))
+			live += int64(n)
+			if s.Stats().Bytes != live {
+				return false
+			}
+		}
+		for i, id := range ids {
+			if err := s.Release(id); err != nil {
+				return false
+			}
+			live -= int64(sizes[i] % 4096)
+			if s.Stats().Bytes != live {
+				return false
+			}
+		}
+		return s.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPutGetRelease(b *testing.B) {
+	s := New()
+	payload := make([]byte, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := s.Put(payload, 1)
+		if _, err := s.Get(id); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Release(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package pbt implements population-based training (Jaderberg et al., 2017)
+// on top of XingTian, following §4.3 of the paper: each population is an
+// isolated broker set (a rank) running its own learner and explorers with
+// its own hyperparameter combination; the center controller acts as the PBT
+// scheduler, periodically killing the worst population and respawning it
+// with mutated hyperparameters and the best population's weights.
+package pbt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"xingtian/internal/core"
+)
+
+// Hyperparams is one population's hyperparameter combination.
+type Hyperparams map[string]float64
+
+// clone deep-copies the map.
+func (h Hyperparams) clone() Hyperparams {
+	out := make(Hyperparams, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// SessionFactory builds a ready-to-start session for one population given
+// its hyperparameters and initial weights (nil on the first generation).
+// The factory owns translating Hyperparams into algorithm configs.
+type SessionFactory func(rank int, hp Hyperparams, initialWeights []float32) (*core.Session, error)
+
+// Config parameterizes a PBT search.
+type Config struct {
+	// Populations is the number of concurrent populations (broker sets).
+	Populations int
+	// Generations is the number of exploit/explore cycles.
+	Generations int
+	// Interval is how long each generation trains before evaluation.
+	Interval time.Duration
+	// Mutators generate candidate values per hyperparameter given the
+	// parent value (e.g. perturb by ×0.8 / ×1.2).
+	Mutators map[string]func(rng *rand.Rand, parent float64) float64
+	// Initial is the starting hyperparameter combination; each population
+	// gets an independently mutated copy.
+	Initial Hyperparams
+	// Seed drives mutation and population seeding.
+	Seed int64
+}
+
+// PopulationResult records one population's outcome in one generation.
+type PopulationResult struct {
+	Rank        int
+	Hyperparams Hyperparams
+	MeanReturn  float64
+	Steps       int64
+}
+
+// GenerationResult records a full generation.
+type GenerationResult struct {
+	Generation  int
+	Populations []PopulationResult
+	// Best and Worst index into Populations.
+	Best, Worst int
+}
+
+// Result is the outcome of a PBT run.
+type Result struct {
+	Generations []GenerationResult
+	// BestHyperparams is the best population's combination at the end.
+	BestHyperparams Hyperparams
+	// BestReturn is its mean episode return.
+	BestReturn float64
+}
+
+// Run executes the PBT loop: for each generation, run all populations for
+// Interval, rank them by mean episode return, replace the worst with a
+// mutation of the best (inheriting its weights), and continue.
+func Run(cfg Config, factory SessionFactory, weightsOf func(s *core.Session) []float32) (*Result, error) {
+	if cfg.Populations < 2 {
+		return nil, fmt.Errorf("pbt: need at least 2 populations, got %d", cfg.Populations)
+	}
+	if cfg.Generations < 1 {
+		cfg.Generations = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	hps := make([]Hyperparams, cfg.Populations)
+	weights := make([][]float32, cfg.Populations)
+	for i := range hps {
+		hps[i] = mutate(rng, cfg.Mutators, cfg.Initial)
+	}
+
+	result := &Result{}
+	for gen := 0; gen < cfg.Generations; gen++ {
+		genRes := GenerationResult{Generation: gen}
+
+		// Run every population for one interval. Populations are isolated
+		// broker sets; they run concurrently like the paper's ranked
+		// brokers.
+		type popOutcome struct {
+			res PopulationResult
+			w   []float32
+			err error
+		}
+		outcomes := make([]popOutcome, cfg.Populations)
+		done := make(chan int, cfg.Populations)
+		for i := 0; i < cfg.Populations; i++ {
+			go func(i int) {
+				defer func() { done <- i }()
+				s, err := factory(i, hps[i], weights[i])
+				if err != nil {
+					outcomes[i].err = fmt.Errorf("pbt: population %d: %w", i, err)
+					return
+				}
+				s.Start()
+				s.Wait()
+				rep := s.Stop()
+				if err := s.Err(); err != nil {
+					outcomes[i].err = fmt.Errorf("pbt: population %d: %w", i, err)
+					return
+				}
+				outcomes[i].res = PopulationResult{
+					Rank:        i,
+					Hyperparams: hps[i].clone(),
+					MeanReturn:  rep.MeanReturn,
+					Steps:       rep.StepsConsumed,
+				}
+				if weightsOf != nil {
+					outcomes[i].w = weightsOf(s)
+				}
+			}(i)
+		}
+		for range outcomes {
+			<-done
+		}
+		for i := range outcomes {
+			if outcomes[i].err != nil {
+				return nil, outcomes[i].err
+			}
+			genRes.Populations = append(genRes.Populations, outcomes[i].res)
+			weights[i] = outcomes[i].w
+		}
+
+		// Rank: exploit the best, eliminate the worst.
+		order := make([]int, cfg.Populations)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return genRes.Populations[order[a]].MeanReturn > genRes.Populations[order[b]].MeanReturn
+		})
+		genRes.Best = order[0]
+		genRes.Worst = order[len(order)-1]
+		result.Generations = append(result.Generations, genRes)
+
+		if gen < cfg.Generations-1 {
+			best, worst := genRes.Best, genRes.Worst
+			// The eliminated population restarts with the best population's
+			// weights (so it catches up) and a mutated combination.
+			hps[worst] = mutate(rng, cfg.Mutators, hps[best])
+			weights[worst] = append([]float32(nil), weights[best]...)
+		}
+	}
+
+	last := result.Generations[len(result.Generations)-1]
+	result.BestHyperparams = last.Populations[last.Best].Hyperparams
+	result.BestReturn = last.Populations[last.Best].MeanReturn
+	return result, nil
+}
+
+// mutate applies every configured mutator to a copy of parent.
+func mutate(rng *rand.Rand, mutators map[string]func(*rand.Rand, float64) float64, parent Hyperparams) Hyperparams {
+	out := parent.clone()
+	// Iterate in sorted key order for deterministic mutation under a seed.
+	keys := make([]string, 0, len(mutators))
+	for k := range mutators {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if v, ok := out[k]; ok {
+			out[k] = mutators[k](rng, v)
+		}
+	}
+	return out
+}
+
+// PerturbMutator returns the standard PBT perturbation: multiply by lo or
+// hi with equal probability.
+func PerturbMutator(lo, hi float64) func(*rand.Rand, float64) float64 {
+	return func(rng *rand.Rand, parent float64) float64 {
+		if rng.Intn(2) == 0 {
+			return parent * lo
+		}
+		return parent * hi
+	}
+}

@@ -1,0 +1,149 @@
+package pbt
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"xingtian/internal/algorithm"
+	"xingtian/internal/core"
+	"xingtian/internal/env"
+)
+
+// cartpoleFactory builds small DQN populations whose learning rate comes
+// from the hyperparameter combination.
+func cartpoleFactory(t *testing.T) SessionFactory {
+	t.Helper()
+	spec := algorithm.SpecFor(env.NewCartPole(0))
+	spec.Hidden = []int{16}
+	return func(rank int, hp Hyperparams, initial []float32) (*core.Session, error) {
+		algF := func(seed int64) (core.Algorithm, error) {
+			cfg := algorithm.DefaultDQNConfig()
+			cfg.TrainStart = 100
+			cfg.TrainEvery = 4
+			cfg.BatchSize = 16
+			cfg.LR = float32(hp["lr"])
+			d := algorithm.NewDQN(spec, cfg, seed)
+			if initial != nil {
+				if err := d.LoadWeights(initial); err != nil {
+					return nil, err
+				}
+			}
+			return d, nil
+		}
+		agF := func(id int32, seed int64) (core.Agent, error) {
+			return algorithm.NewDQNAgent(spec, algorithm.NewEnvRunner(env.NewCartPole(seed), spec), seed), nil
+		}
+		return core.NewSession(core.Config{
+			NumExplorers: 1,
+			RolloutLen:   50,
+			MaxSteps:     400,
+			MaxDuration:  10 * time.Second,
+		}, algF, agF, int64(rank)*100+1)
+	}
+}
+
+func weightsOf(s *core.Session) []float32 {
+	return s.Learner().Algorithm().Weights().Data
+}
+
+func TestRunRequiresTwoPopulations(t *testing.T) {
+	_, err := Run(Config{Populations: 1}, nil, nil)
+	if err == nil {
+		t.Fatal("Run with 1 population did not error")
+	}
+}
+
+func TestPBTRunsGenerations(t *testing.T) {
+	cfg := Config{
+		Populations: 3,
+		Generations: 2,
+		Initial:     Hyperparams{"lr": 1e-3},
+		Mutators: map[string]func(*rand.Rand, float64) float64{
+			"lr": PerturbMutator(0.8, 1.25),
+		},
+		Seed: 1,
+	}
+	res, err := Run(cfg, cartpoleFactory(t), weightsOf)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Generations) != 2 {
+		t.Fatalf("Generations = %d, want 2", len(res.Generations))
+	}
+	for _, gen := range res.Generations {
+		if len(gen.Populations) != 3 {
+			t.Fatalf("gen %d has %d populations", gen.Generation, len(gen.Populations))
+		}
+		best := gen.Populations[gen.Best].MeanReturn
+		worst := gen.Populations[gen.Worst].MeanReturn
+		if best < worst {
+			t.Fatalf("gen %d: best %.1f < worst %.1f", gen.Generation, best, worst)
+		}
+		for _, p := range gen.Populations {
+			if p.Steps == 0 {
+				t.Fatalf("population %d consumed no steps", p.Rank)
+			}
+			if p.Hyperparams["lr"] <= 0 {
+				t.Fatalf("population %d has bad lr %v", p.Rank, p.Hyperparams["lr"])
+			}
+		}
+	}
+	if res.BestHyperparams["lr"] <= 0 {
+		t.Fatalf("BestHyperparams = %v", res.BestHyperparams)
+	}
+}
+
+func TestMutateChangesOnlyConfiguredKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	parent := Hyperparams{"lr": 1.0, "gamma": 0.99}
+	mutators := map[string]func(*rand.Rand, float64) float64{
+		"lr": PerturbMutator(0.5, 2.0),
+	}
+	child := mutate(rng, mutators, parent)
+	if child["gamma"] != 0.99 {
+		t.Fatalf("gamma mutated: %v", child["gamma"])
+	}
+	if child["lr"] != 0.5 && child["lr"] != 2.0 {
+		t.Fatalf("lr = %v, want 0.5 or 2.0", child["lr"])
+	}
+	if parent["lr"] != 1.0 {
+		t.Fatal("mutate modified the parent map")
+	}
+}
+
+func TestMutateDeterministicUnderSeed(t *testing.T) {
+	mutators := map[string]func(*rand.Rand, float64) float64{
+		"a": PerturbMutator(0.8, 1.2),
+		"b": PerturbMutator(0.8, 1.2),
+		"c": PerturbMutator(0.8, 1.2),
+	}
+	parent := Hyperparams{"a": 1, "b": 2, "c": 3}
+	m1 := mutate(rand.New(rand.NewSource(7)), mutators, parent)
+	m2 := mutate(rand.New(rand.NewSource(7)), mutators, parent)
+	for k := range parent {
+		if m1[k] != m2[k] {
+			t.Fatalf("mutation of %q not deterministic: %v vs %v", k, m1[k], m2[k])
+		}
+	}
+}
+
+func TestPerturbMutator(t *testing.T) {
+	m := PerturbMutator(0.8, 1.25)
+	rng := rand.New(rand.NewSource(3))
+	sawLo, sawHi := false, false
+	for i := 0; i < 100; i++ {
+		v := m(rng, 10)
+		switch v {
+		case 8:
+			sawLo = true
+		case 12.5:
+			sawHi = true
+		default:
+			t.Fatalf("PerturbMutator produced %v", v)
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Fatal("PerturbMutator never produced one of its branches")
+	}
+}

@@ -1,0 +1,197 @@
+// Package queue provides blocking FIFO queues with close semantics.
+//
+// These queues are the Go analogue of Python's queue.Queue and
+// multiprocessing.Queue that the XingTian paper builds its asynchronous
+// communication channel on: a monitoring goroutine blocks on Get and wakes
+// the moment a producer puts a new item, which is what makes the channel
+// event-driven rather than polled.
+package queue
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a queue that has been closed and,
+// for Get, fully drained.
+var ErrClosed = errors.New("queue: closed")
+
+// ErrTimeout is returned by GetTimeout when the deadline expires before an
+// item becomes available.
+var ErrTimeout = errors.New("queue: timeout")
+
+// ErrEmpty is returned by TryGet when the queue is empty.
+var ErrEmpty = errors.New("queue: empty")
+
+// ErrFull is returned by TryPut when a bounded queue is at capacity.
+var ErrFull = errors.New("queue: full")
+
+// Queue is an unbounded (or bounded, see NewBounded) blocking FIFO.
+// The zero value is not usable; construct with New or NewBounded.
+type Queue[T any] struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	items    []T
+	head     int
+	capacity int // 0 means unbounded
+	closed   bool
+}
+
+// New returns an unbounded queue.
+func New[T any]() *Queue[T] {
+	q := &Queue[T]{}
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
+	return q
+}
+
+// NewBounded returns a queue that holds at most capacity items; Put blocks
+// while full. capacity must be positive.
+func NewBounded[T any](capacity int) *Queue[T] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	q := New[T]()
+	q.capacity = capacity
+	return q
+}
+
+// Put appends item, blocking while a bounded queue is full.
+// It returns ErrClosed if the queue is closed.
+func (q *Queue[T]) Put(item T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.capacity > 0 && q.size() >= q.capacity && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.push(item)
+	q.notEmpty.Signal()
+	return nil
+}
+
+// TryPut appends item without blocking. It returns ErrFull when a bounded
+// queue is at capacity and ErrClosed when the queue is closed.
+func (q *Queue[T]) TryPut(item T) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.capacity > 0 && q.size() >= q.capacity {
+		return ErrFull
+	}
+	q.push(item)
+	q.notEmpty.Signal()
+	return nil
+}
+
+// Get removes and returns the oldest item, blocking until one is available.
+// After Close, Get keeps returning queued items until the queue drains, then
+// returns ErrClosed.
+func (q *Queue[T]) Get() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size() == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	return q.popLocked()
+}
+
+// TryGet removes and returns the oldest item without blocking, or ErrEmpty.
+func (q *Queue[T]) TryGet() (T, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.size() == 0 {
+		var zero T
+		if q.closed {
+			return zero, ErrClosed
+		}
+		return zero, ErrEmpty
+	}
+	return q.popLocked()
+}
+
+// GetTimeout behaves like Get but gives up after d, returning ErrTimeout.
+func (q *Queue[T]) GetTimeout(d time.Duration) (T, error) {
+	deadline := time.Now().Add(d)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size() == 0 && !q.closed {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			var zero T
+			return zero, ErrTimeout
+		}
+		q.waitTimeout(remaining)
+	}
+	return q.popLocked()
+}
+
+// waitTimeout waits on notEmpty for at most d. The caller must hold q.mu.
+func (q *Queue[T]) waitTimeout(d time.Duration) {
+	timer := time.AfterFunc(d, func() {
+		q.mu.Lock()
+		q.notEmpty.Broadcast()
+		q.mu.Unlock()
+	})
+	q.notEmpty.Wait()
+	timer.Stop()
+}
+
+func (q *Queue[T]) popLocked() (T, error) {
+	if q.size() == 0 {
+		var zero T
+		return zero, ErrClosed
+	}
+	item := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release reference for GC
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	q.notFull.Signal()
+	return item, nil
+}
+
+func (q *Queue[T]) push(item T) {
+	q.items = append(q.items, item)
+}
+
+func (q *Queue[T]) size() int {
+	return len(q.items) - q.head
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size()
+}
+
+// Close marks the queue closed. Pending and future Puts fail with ErrClosed;
+// Gets drain remaining items and then fail with ErrClosed. Close is
+// idempotent.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}

@@ -1,0 +1,196 @@
+// Package replay implements experience-replay buffers for off-policy DRL.
+//
+// In XingTian the replay buffer lives inside the learner's trainer thread,
+// so sampling is a local operation (the paper's Fig. 9 analysis: ~8 ms local
+// sample vs ~62 ms remote sample-and-transmit in RLLib). The buffers here
+// are deliberately not goroutine-safe for that reason: a single trainer owns
+// them. Uniform and prioritized (sum-tree) variants are provided.
+package replay
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Transition is one (s, a, r, s', done) tuple with preprocessed feature
+// observations.
+type Transition struct {
+	Obs     []float32
+	NextObs []float32
+	Action  int
+	// ActionVec is the continuous action for DDPG-family algorithms.
+	ActionVec []float32
+	Reward    float32
+	Done      bool
+}
+
+// Buffer is a uniform-sampling ring replay buffer.
+type Buffer struct {
+	data     []Transition
+	capacity int
+	next     int
+	full     bool
+}
+
+// NewBuffer returns a buffer holding at most capacity transitions.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Buffer{data: make([]Transition, 0, capacity), capacity: capacity}
+}
+
+// Add appends a transition, evicting the oldest when full.
+func (b *Buffer) Add(t Transition) {
+	if len(b.data) < b.capacity {
+		b.data = append(b.data, t)
+		return
+	}
+	b.full = true
+	b.data[b.next] = t
+	b.next = (b.next + 1) % b.capacity
+}
+
+// Len returns the number of stored transitions.
+func (b *Buffer) Len() int { return len(b.data) }
+
+// Sample draws n transitions uniformly at random (with replacement).
+func (b *Buffer) Sample(rng *rand.Rand, n int) ([]Transition, error) {
+	if len(b.data) == 0 {
+		return nil, fmt.Errorf("replay: sample from empty buffer")
+	}
+	out := make([]Transition, n)
+	for i := 0; i < n; i++ {
+		out[i] = b.data[rng.Intn(len(b.data))]
+	}
+	return out, nil
+}
+
+// PrioritizedBuffer is a proportional prioritized replay buffer
+// (Schaul et al., 2016) backed by a sum tree.
+type PrioritizedBuffer struct {
+	capacity int
+	alpha    float64
+	tree     []float64 // binary sum tree, size 2*capacity
+	data     []Transition
+	next     int
+	size     int
+	maxPrio  float64
+}
+
+// NewPrioritizedBuffer returns a prioritized buffer. alpha controls how
+// strongly priorities bias sampling (0 = uniform).
+func NewPrioritizedBuffer(capacity int, alpha float64) *PrioritizedBuffer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	// Round capacity up to a power of two for a clean tree.
+	capPow := 1
+	for capPow < capacity {
+		capPow *= 2
+	}
+	return &PrioritizedBuffer{
+		capacity: capPow,
+		alpha:    alpha,
+		tree:     make([]float64, 2*capPow),
+		data:     make([]Transition, capPow),
+		maxPrio:  1.0,
+	}
+}
+
+// Len returns the number of stored transitions.
+func (p *PrioritizedBuffer) Len() int { return p.size }
+
+// Add inserts a transition with the current maximum priority so new
+// experience is sampled at least once.
+func (p *PrioritizedBuffer) Add(t Transition) {
+	idx := p.next
+	p.data[idx] = t
+	p.setPriority(idx, p.maxPrio)
+	p.next = (p.next + 1) % p.capacity
+	if p.size < p.capacity {
+		p.size++
+	}
+}
+
+func (p *PrioritizedBuffer) setPriority(idx int, prio float64) {
+	weighted := math.Pow(prio, p.alpha)
+	node := idx + p.capacity
+	delta := weighted - p.tree[node]
+	for node >= 1 {
+		p.tree[node] += delta
+		node /= 2
+	}
+}
+
+// total returns the sum of all priorities.
+func (p *PrioritizedBuffer) total() float64 { return p.tree[1] }
+
+// Sample draws n transitions proportional to priority. It returns the
+// transitions, their buffer indices (for UpdatePriorities), and normalized
+// importance-sampling weights computed with exponent beta.
+func (p *PrioritizedBuffer) Sample(rng *rand.Rand, n int, beta float64) ([]Transition, []int, []float32, error) {
+	if p.size == 0 {
+		return nil, nil, nil, fmt.Errorf("replay: sample from empty prioritized buffer")
+	}
+	out := make([]Transition, n)
+	indices := make([]int, n)
+	weights := make([]float32, n)
+	total := p.total()
+	maxW := 0.0
+	for i := 0; i < n; i++ {
+		target := rng.Float64() * total
+		node := 1
+		for node < p.capacity {
+			left := 2 * node
+			if target <= p.tree[left] || p.tree[2*node+1] == 0 {
+				node = left
+			} else {
+				target -= p.tree[left]
+				node = 2*node + 1
+			}
+		}
+		idx := node - p.capacity
+		if idx >= p.size { // numerical edge: clamp into the live region
+			idx = p.size - 1
+			node = idx + p.capacity
+		}
+		indices[i] = idx
+		out[i] = p.data[idx]
+		prob := p.tree[node] / total
+		w := math.Pow(float64(p.size)*prob, -beta)
+		weights[i] = float32(w)
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > 0 {
+		for i := range weights {
+			weights[i] /= float32(maxW)
+		}
+	}
+	return out, indices, weights, nil
+}
+
+// UpdatePriorities assigns new priorities (e.g. TD errors) to the sampled
+// indices.
+func (p *PrioritizedBuffer) UpdatePriorities(indices []int, priorities []float64) error {
+	if len(indices) != len(priorities) {
+		return fmt.Errorf("replay: %d indices but %d priorities", len(indices), len(priorities))
+	}
+	for i, idx := range indices {
+		if idx < 0 || idx >= p.capacity {
+			return fmt.Errorf("replay: index %d out of range", idx)
+		}
+		prio := priorities[i]
+		if prio <= 0 {
+			prio = 1e-6
+		}
+		p.setPriority(idx, prio)
+		if prio > p.maxPrio {
+			p.maxPrio = prio
+		}
+	}
+	return nil
+}

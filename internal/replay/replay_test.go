@@ -1,0 +1,226 @@
+package replay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func tr(v float32) Transition {
+	return Transition{Obs: []float32{v}, NextObs: []float32{v + 1}, Action: int(v), Reward: v}
+}
+
+func TestBufferAddLen(t *testing.T) {
+	b := NewBuffer(3)
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", b.Len())
+	}
+	for i := 0; i < 5; i++ {
+		b.Add(tr(float32(i)))
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d after overflow, want capacity 3", b.Len())
+	}
+}
+
+func TestBufferEvictsOldest(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 5; i++ {
+		b.Add(tr(float32(i)))
+	}
+	// 0 and 1 must be evicted.
+	rng := rand.New(rand.NewSource(1))
+	seen := map[float32]bool{}
+	for i := 0; i < 200; i++ {
+		s, err := b.Sample(rng, 1)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		seen[s[0].Reward] = true
+	}
+	if seen[0] || seen[1] {
+		t.Fatal("evicted transitions were sampled")
+	}
+	if !seen[2] || !seen[3] || !seen[4] {
+		t.Fatalf("recent transitions missing from samples: %v", seen)
+	}
+}
+
+func TestBufferSampleEmpty(t *testing.T) {
+	b := NewBuffer(3)
+	if _, err := b.Sample(rand.New(rand.NewSource(1)), 1); err == nil {
+		t.Fatal("Sample from empty buffer did not error")
+	}
+}
+
+func TestBufferSampleSize(t *testing.T) {
+	b := NewBuffer(10)
+	b.Add(tr(1))
+	s, err := b.Sample(rand.New(rand.NewSource(1)), 32)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if len(s) != 32 {
+		t.Fatalf("Sample returned %d, want 32 (with replacement)", len(s))
+	}
+}
+
+func TestPrioritizedAddSample(t *testing.T) {
+	p := NewPrioritizedBuffer(8, 0.6)
+	for i := 0; i < 8; i++ {
+		p.Add(tr(float32(i)))
+	}
+	if p.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", p.Len())
+	}
+	rng := rand.New(rand.NewSource(2))
+	s, idx, w, err := p.Sample(rng, 4, 0.4)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if len(s) != 4 || len(idx) != 4 || len(w) != 4 {
+		t.Fatalf("Sample sizes = %d/%d/%d", len(s), len(idx), len(w))
+	}
+	for _, wi := range w {
+		if wi <= 0 || wi > 1.0001 {
+			t.Fatalf("IS weight %v outside (0,1]", wi)
+		}
+	}
+}
+
+func TestPrioritizedBiasTowardHighPriority(t *testing.T) {
+	p := NewPrioritizedBuffer(16, 1.0)
+	for i := 0; i < 16; i++ {
+		p.Add(tr(float32(i)))
+	}
+	// Give index 5 overwhelming priority.
+	prios := make([]float64, 16)
+	idxs := make([]int, 16)
+	for i := range prios {
+		idxs[i] = i
+		prios[i] = 0.001
+	}
+	prios[5] = 1000
+	if err := p.UpdatePriorities(idxs, prios); err != nil {
+		t.Fatalf("UpdatePriorities: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	hits := 0
+	const draws = 500
+	for i := 0; i < draws; i++ {
+		_, idx, _, err := p.Sample(rng, 1, 0)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		if idx[0] == 5 {
+			hits++
+		}
+	}
+	if hits < draws*9/10 {
+		t.Fatalf("high-priority item drawn %d/%d times; want > 90%%", hits, draws)
+	}
+}
+
+func TestPrioritizedAlphaZeroIsUniform(t *testing.T) {
+	p := NewPrioritizedBuffer(4, 0)
+	for i := 0; i < 4; i++ {
+		p.Add(tr(float32(i)))
+	}
+	// With alpha=0 every item has weighted priority 1 regardless of updates.
+	if err := p.UpdatePriorities([]int{0}, []float64{1e6}); err != nil {
+		t.Fatalf("UpdatePriorities: %v", err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		_, idx, _, err := p.Sample(rng, 1, 0)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		counts[idx[0]]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("alpha=0 sampling not uniform: counts[%d] = %d / 4000", i, c)
+		}
+	}
+}
+
+func TestPrioritizedUpdateErrors(t *testing.T) {
+	p := NewPrioritizedBuffer(4, 0.5)
+	p.Add(tr(0))
+	if err := p.UpdatePriorities([]int{0, 1}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths did not error")
+	}
+	if err := p.UpdatePriorities([]int{99}, []float64{1}); err == nil {
+		t.Fatal("out-of-range index did not error")
+	}
+}
+
+func TestPrioritizedSampleEmpty(t *testing.T) {
+	p := NewPrioritizedBuffer(4, 0.5)
+	if _, _, _, err := p.Sample(rand.New(rand.NewSource(1)), 1, 0.4); err == nil {
+		t.Fatal("Sample from empty prioritized buffer did not error")
+	}
+}
+
+func TestPrioritizedOverwrite(t *testing.T) {
+	p := NewPrioritizedBuffer(4, 0.5)
+	for i := 0; i < 9; i++ { // wraps twice
+		p.Add(tr(float32(i)))
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", p.Len())
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		s, _, _, err := p.Sample(rng, 1, 0.4)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		if s[0].Reward < 5 {
+			t.Fatalf("sampled evicted transition with reward %v", s[0].Reward)
+		}
+	}
+}
+
+// TestPropertySumTreeConsistent: after arbitrary add/update sequences the
+// root of the sum tree equals the sum of all leaf priorities.
+func TestPropertySumTreeConsistent(t *testing.T) {
+	f := func(ops []uint8) bool {
+		p := NewPrioritizedBuffer(16, 1.0)
+		for _, op := range ops {
+			if op%2 == 0 {
+				p.Add(tr(float32(op)))
+			} else if p.Len() > 0 {
+				idx := int(op) % p.Len()
+				if err := p.UpdatePriorities([]int{idx}, []float64{float64(op%7) + 0.5}); err != nil {
+					return false
+				}
+			}
+		}
+		var leafSum float64
+		for i := 0; i < p.capacity; i++ {
+			leafSum += p.tree[p.capacity+i]
+		}
+		return math.Abs(leafSum-p.total()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPrioritizedSample(b *testing.B) {
+	p := NewPrioritizedBuffer(1<<16, 0.6)
+	for i := 0; i < 1<<16; i++ {
+		p.Add(tr(float32(i)))
+	}
+	rng := rand.New(rand.NewSource(6))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := p.Sample(rng, 32, 0.4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

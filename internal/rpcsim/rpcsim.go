@@ -1,0 +1,98 @@
+// Package rpcsim provides the request/response transfer primitive both
+// baseline frameworks are built on: RLLib-style wrapped RPCs over Ray's
+// object store, and Launchpad/Reverb's gRPC services.
+//
+// The defining property — and the contrast with XingTian's channel — is that
+// every byte moves only when the *receiver* asks: a Call blocks the caller
+// for the request hop, the (serialized) handler execution, and the response
+// hop. Handlers on one server run serially, like tasks on a Ray actor or a
+// single Reverb table, which is exactly the bottleneck the paper measures.
+package rpcsim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"xingtian/internal/netsim"
+)
+
+// ErrStopped is returned by calls against a stopped server.
+var ErrStopped = errors.New("rpcsim: server stopped")
+
+// Handler processes one request and returns the response payload.
+type Handler func(method string, payload []byte) ([]byte, error)
+
+// Config parameterizes RPC cost modelling.
+type Config struct {
+	// CallOverhead is the fixed per-call stack cost (marshalling, dispatch,
+	// scheduling). Ray-style RPCs ≈ 200µs; gRPC services ≈ 1ms.
+	CallOverhead time.Duration
+	// TimeScale divides simulated overheads, mirroring netsim.Config.
+	TimeScale float64
+}
+
+// Server is an actor-style RPC endpoint: one handler, serial execution.
+type Server struct {
+	machine int
+	net     *netsim.Network
+	cfg     Config
+	handler Handler
+
+	mu      sync.Mutex // serializes handler execution (actor semantics)
+	stopped bool
+}
+
+// NewServer returns a server on the given simulated machine.
+func NewServer(machine int, net *netsim.Network, cfg Config, h Handler) *Server {
+	if cfg.TimeScale < 1 {
+		cfg.TimeScale = 1
+	}
+	return &Server{machine: machine, net: net, cfg: cfg, handler: h}
+}
+
+// Machine returns the server's machine ID.
+func (s *Server) Machine() int { return s.machine }
+
+// Stop rejects future calls.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+}
+
+// Client issues calls from one simulated machine.
+type Client struct {
+	machine int
+	net     *netsim.Network
+}
+
+// NewClient returns a client on the given machine.
+func NewClient(machine int, net *netsim.Network) *Client {
+	return &Client{machine: machine, net: net}
+}
+
+// Call performs a blocking RPC: request transfer, serialized handler
+// execution (with the per-call overhead), response transfer.
+func (c *Client) Call(s *Server, method string, payload []byte) ([]byte, error) {
+	const wireOverhead = 128
+	c.net.Transfer(c.machine, s.machine, len(payload)+wireOverhead)
+
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("call %q: %w", method, ErrStopped)
+	}
+	if s.cfg.CallOverhead > 0 {
+		time.Sleep(time.Duration(float64(s.cfg.CallOverhead) / s.cfg.TimeScale))
+	}
+	resp, err := s.handler(method, payload)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("call %q: %w", method, err)
+	}
+
+	c.net.Transfer(s.machine, c.machine, len(resp)+wireOverhead)
+	return resp, nil
+}

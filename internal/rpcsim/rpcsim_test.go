@@ -1,0 +1,136 @@
+package rpcsim
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"xingtian/internal/netsim"
+)
+
+func fastNet() *netsim.Network {
+	return netsim.New(netsim.Config{Bandwidth: 1 << 30, Latency: 0, TimeScale: 1})
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	net := fastNet()
+	srv := NewServer(0, net, Config{}, func(method string, payload []byte) ([]byte, error) {
+		if method != "echo" {
+			t.Errorf("method = %q", method)
+		}
+		return append([]byte("re:"), payload...), nil
+	})
+	cli := NewClient(1, net)
+	resp, err := cli.Call(srv, "echo", []byte("hi"))
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if !bytes.Equal(resp, []byte("re:hi")) {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestCallUsesNetworkBothWays(t *testing.T) {
+	net := fastNet()
+	srv := NewServer(0, net, Config{}, func(_ string, p []byte) ([]byte, error) {
+		return make([]byte, 5000), nil
+	})
+	cli := NewClient(1, net)
+	if _, err := cli.Call(srv, "get", make([]byte, 3000)); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if sent := net.BytesSent(1); sent < 3000 {
+		t.Fatalf("request bytes = %d", sent)
+	}
+	if sent := net.BytesSent(0); sent < 5000 {
+		t.Fatalf("response bytes = %d", sent)
+	}
+}
+
+func TestHandlerErrorsPropagate(t *testing.T) {
+	net := fastNet()
+	wantErr := errors.New("boom")
+	srv := NewServer(0, net, Config{}, func(string, []byte) ([]byte, error) {
+		return nil, wantErr
+	})
+	cli := NewClient(0, net)
+	if _, err := cli.Call(srv, "x", nil); !errors.Is(err, wantErr) {
+		t.Fatalf("Call = %v, want wrapped boom", err)
+	}
+}
+
+func TestStoppedServer(t *testing.T) {
+	net := fastNet()
+	srv := NewServer(0, net, Config{}, func(string, []byte) ([]byte, error) { return nil, nil })
+	srv.Stop()
+	cli := NewClient(0, net)
+	if _, err := cli.Call(srv, "x", nil); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Call after Stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestActorSerialization(t *testing.T) {
+	net := fastNet()
+	var inHandler, maxInHandler int
+	var mu sync.Mutex
+	srv := NewServer(0, net, Config{}, func(string, []byte) ([]byte, error) {
+		mu.Lock()
+		inHandler++
+		if inHandler > maxInHandler {
+			maxInHandler = inHandler
+		}
+		mu.Unlock()
+		time.Sleep(2 * time.Millisecond)
+		mu.Lock()
+		inHandler--
+		mu.Unlock()
+		return nil, nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			cli := NewClient(m, net)
+			if _, err := cli.Call(srv, "op", nil); err != nil {
+				t.Errorf("Call: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if maxInHandler != 1 {
+		t.Fatalf("handler concurrency = %d, want 1 (actor semantics)", maxInHandler)
+	}
+}
+
+func TestCallOverheadApplied(t *testing.T) {
+	net := fastNet()
+	srv := NewServer(0, net, Config{CallOverhead: 20 * time.Millisecond}, func(string, []byte) ([]byte, error) {
+		return nil, nil
+	})
+	cli := NewClient(0, net)
+	start := time.Now()
+	if _, err := cli.Call(srv, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("call with 20ms overhead took %v", d)
+	}
+}
+
+func TestTimeScaleReducesOverhead(t *testing.T) {
+	net := fastNet()
+	srv := NewServer(0, net, Config{CallOverhead: 100 * time.Millisecond, TimeScale: 100}, func(string, []byte) ([]byte, error) {
+		return nil, nil
+	})
+	cli := NewClient(0, net)
+	start := time.Now()
+	if _, err := cli.Call(srv, "x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 50*time.Millisecond {
+		t.Fatalf("scaled call took %v, want ≈1ms", d)
+	}
+}

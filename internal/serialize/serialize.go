@@ -1,0 +1,508 @@
+// Package serialize converts message bodies to and from bytes at the
+// process boundary, with optional LZ4 compression above a size threshold —
+// the "serialization & deserialization, compression & decompression" costs
+// that XingTian moves off the critical path and prior frameworks pay
+// serially.
+//
+// Encodings are hand-rolled over encoding/binary (no reflection): message
+// bodies dominate the data plane, so the codec must be cheap and
+// allocation-conscious.
+package serialize
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"xingtian/internal/env"
+	"xingtian/internal/lz4"
+	"xingtian/internal/message"
+	"xingtian/internal/rollout"
+)
+
+// ErrBadPayload is returned when decoding malformed or unknown payloads.
+var ErrBadPayload = errors.New("serialize: bad payload")
+
+// Payload type tags on the wire.
+const (
+	tagRollout byte = iota + 1
+	tagWeights
+	tagStats
+	tagControl
+	tagDummy
+)
+
+// Marshal encodes a message body into bytes. Supported bodies are
+// *rollout.Batch, *message.WeightsPayload, *message.StatsPayload,
+// *message.ControlPayload, and *message.DummyPayload.
+func Marshal(body any) ([]byte, error) {
+	switch b := body.(type) {
+	case *rollout.Batch:
+		return marshalRollout(b), nil
+	case *message.WeightsPayload:
+		return marshalWeights(b), nil
+	case *message.StatsPayload:
+		return marshalStats(b), nil
+	case *message.ControlPayload:
+		return marshalControl(b), nil
+	case *message.DummyPayload:
+		out := make([]byte, 1+len(b.Data))
+		out[0] = tagDummy
+		copy(out[1:], b.Data)
+		return out, nil
+	default:
+		return nil, fmt.Errorf("serialize: unsupported body type %T: %w", body, ErrBadPayload)
+	}
+}
+
+// Unmarshal decodes bytes produced by Marshal back into a typed body.
+func Unmarshal(data []byte) (any, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("empty payload: %w", ErrBadPayload)
+	}
+	switch data[0] {
+	case tagRollout:
+		return unmarshalRollout(data[1:])
+	case tagWeights:
+		return unmarshalWeights(data[1:])
+	case tagStats:
+		return unmarshalStats(data[1:])
+	case tagControl:
+		return unmarshalControl(data[1:])
+	case tagDummy:
+		// One copy: the receiver thread "copies the message body to the
+		// local buffer immediately" (paper §3.2.1); the object-store read
+		// itself is zero-copy, this is the copy-out into the receive buffer.
+		return &message.DummyPayload{Data: append([]byte(nil), data[1:]...)}, nil
+	default:
+		return nil, fmt.Errorf("unknown payload tag %d: %w", data[0], ErrBadPayload)
+	}
+}
+
+// Low-level append helpers ----------------------------------------------------
+
+func putU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func putU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+func putF32(dst []byte, v float32) []byte {
+	return putU32(dst, math.Float32bits(v))
+}
+
+func putF64(dst []byte, v float64) []byte {
+	return putU64(dst, math.Float64bits(v))
+}
+
+func putF32s(dst []byte, vs []float32) []byte {
+	dst = putU32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = putF32(dst, v)
+	}
+	return dst
+}
+
+func putBytes(dst, b []byte) []byte {
+	dst = putU32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+func putString(dst []byte, s string) []byte {
+	dst = putU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// reader is a bounds-checked cursor over a payload.
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.pos+8 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *reader) f32() float32 { return math.Float32frombits(r.u32()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *reader) byte() byte {
+	if r.err != nil || r.pos >= len(r.data) {
+		r.fail()
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.pos+n > len(r.data) {
+		r.fail()
+		return nil
+	}
+	out := append([]byte(nil), r.data[r.pos:r.pos+n]...)
+	r.pos += n
+	return out
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+func (r *reader) f32s() []float32 {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.pos+4*n > len(r.data) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(r.data[r.pos:]))
+		r.pos += 4
+	}
+	return out
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("truncated payload at offset %d: %w", r.pos, ErrBadPayload)
+	}
+}
+
+// Observation encoding ---------------------------------------------------------
+
+const (
+	obsNone  byte = 0
+	obsVec   byte = 1
+	obsFrame byte = 2
+	obsBoth  byte = 3
+)
+
+func putObs(dst []byte, o env.Obs) []byte {
+	switch {
+	case o.Frame != nil && o.Vec != nil:
+		dst = append(dst, obsBoth)
+		dst = putU32(dst, uint32(o.FrameH))
+		dst = putU32(dst, uint32(o.FrameW))
+		dst = putU32(dst, uint32(o.FrameN))
+		dst = putBytes(dst, o.Frame)
+		dst = putF32s(dst, o.Vec)
+	case o.Frame != nil:
+		dst = append(dst, obsFrame)
+		dst = putU32(dst, uint32(o.FrameH))
+		dst = putU32(dst, uint32(o.FrameW))
+		dst = putU32(dst, uint32(o.FrameN))
+		dst = putBytes(dst, o.Frame)
+	case o.Vec != nil:
+		dst = append(dst, obsVec)
+		dst = putF32s(dst, o.Vec)
+	default:
+		dst = append(dst, obsNone)
+	}
+	return dst
+}
+
+func (r *reader) obs() env.Obs {
+	switch r.byte() {
+	case obsBoth:
+		o := env.Obs{}
+		o.FrameH = int(r.u32())
+		o.FrameW = int(r.u32())
+		o.FrameN = int(r.u32())
+		o.Frame = r.bytes()
+		o.Vec = r.f32s()
+		return o
+	case obsFrame:
+		o := env.Obs{}
+		o.FrameH = int(r.u32())
+		o.FrameW = int(r.u32())
+		o.FrameN = int(r.u32())
+		o.Frame = r.bytes()
+		return o
+	case obsVec:
+		return env.Obs{Vec: r.f32s()}
+	default:
+		return env.Obs{}
+	}
+}
+
+// Rollout batch ----------------------------------------------------------------
+
+func marshalRollout(b *rollout.Batch) []byte {
+	out := make([]byte, 0, 64+b.SizeBytes())
+	out = append(out, tagRollout)
+	out = putU32(out, uint32(b.ExplorerID))
+	out = putU64(out, uint64(b.WeightsVersion))
+	out = putU32(out, uint32(len(b.Steps)))
+	for i := range b.Steps {
+		s := &b.Steps[i]
+		out = putObs(out, s.Obs)
+		out = putU32(out, uint32(s.Action))
+		out = putF32s(out, s.ActionVec)
+		out = putF32(out, s.Reward)
+		if s.Done {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = putF32(out, s.Value)
+		out = putF32(out, s.LogProb)
+		out = putF32s(out, s.Logits)
+	}
+	out = putObs(out, b.BootstrapObs)
+	return out
+}
+
+func unmarshalRollout(data []byte) (*rollout.Batch, error) {
+	r := &reader{data: data}
+	b := &rollout.Batch{
+		ExplorerID:     int32(r.u32()),
+		WeightsVersion: int64(r.u64()),
+	}
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n < 0 || n > len(data) { // each step takes >1 byte; cheap sanity bound
+		return nil, fmt.Errorf("rollout step count %d: %w", n, ErrBadPayload)
+	}
+	if n > 0 {
+		b.Steps = make([]rollout.Step, n)
+	}
+	for i := 0; i < n; i++ {
+		s := &b.Steps[i]
+		s.Obs = r.obs()
+		s.Action = int32(r.u32())
+		s.ActionVec = r.f32s()
+		s.Reward = r.f32()
+		s.Done = r.byte() == 1
+		s.Value = r.f32()
+		s.LogProb = r.f32()
+		s.Logits = r.f32s()
+	}
+	b.BootstrapObs = r.obs()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return b, nil
+}
+
+// Weights ------------------------------------------------------------------------
+
+func marshalWeights(w *message.WeightsPayload) []byte {
+	out := make([]byte, 0, 16+4*len(w.Data))
+	out = append(out, tagWeights)
+	out = putU64(out, uint64(w.Version))
+	out = putF32s(out, w.Data)
+	return out
+}
+
+func unmarshalWeights(data []byte) (*message.WeightsPayload, error) {
+	r := &reader{data: data}
+	w := &message.WeightsPayload{Version: int64(r.u64()), Data: r.f32s()}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return w, nil
+}
+
+// Stats --------------------------------------------------------------------------
+
+func marshalStats(s *message.StatsPayload) []byte {
+	out := make([]byte, 0, 96)
+	out = append(out, tagStats)
+	out = putString(out, s.Node)
+	out = putU64(out, uint64(s.Episodes))
+	out = putF64(out, s.MeanReturn)
+	out = putU64(out, uint64(s.StepsGenerated))
+	out = putU64(out, uint64(s.StepsConsumed))
+	out = putU64(out, uint64(s.TrainIters))
+	out = putU64(out, uint64(s.UnixNanos))
+	return out
+}
+
+func unmarshalStats(data []byte) (*message.StatsPayload, error) {
+	r := &reader{data: data}
+	s := &message.StatsPayload{
+		Node:           r.str(),
+		Episodes:       int64(r.u64()),
+		MeanReturn:     r.f64(),
+		StepsGenerated: int64(r.u64()),
+		StepsConsumed:  int64(r.u64()),
+		TrainIters:     int64(r.u64()),
+		UnixNanos:      int64(r.u64()),
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return s, nil
+}
+
+// Control ------------------------------------------------------------------------
+
+func marshalControl(c *message.ControlPayload) []byte {
+	out := make([]byte, 0, 32)
+	out = append(out, tagControl, byte(c.Kind))
+	out = putU32(out, uint32(len(c.Hyperparams)))
+	for k, v := range c.Hyperparams {
+		out = putString(out, k)
+		out = putF64(out, v)
+	}
+	return out
+}
+
+func unmarshalControl(data []byte) (*message.ControlPayload, error) {
+	r := &reader{data: data}
+	c := &message.ControlPayload{Kind: message.ControlKind(r.byte())}
+	n := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > 0 {
+		if n > len(data) {
+			return nil, fmt.Errorf("control hyperparam count %d: %w", n, ErrBadPayload)
+		}
+		c.Hyperparams = make(map[string]float64, n)
+		for i := 0; i < n; i++ {
+			k := r.str()
+			v := r.f64()
+			if r.err != nil {
+				return nil, r.err
+			}
+			c.Hyperparams[k] = v
+		}
+	}
+	return c, nil
+}
+
+// Compression ----------------------------------------------------------------------
+
+// DefaultCompressionThreshold matches the paper: bodies larger than 1 MB are
+// LZ4-compressed by default.
+const DefaultCompressionThreshold = 1 << 20
+
+// Compressor applies threshold-gated LZ4 framing to serialized bodies.
+// A zero Compressor never compresses; use NewCompressor for the default.
+type Compressor struct {
+	// Threshold is the minimum body size to compress; <= 0 disables
+	// compression entirely.
+	Threshold int
+	// PackNsPerKB emulates the send-side serialization plane: the paper's
+	// artifact pays Python pickle + LZ4 costs of ~70-140 MB/s per stage,
+	// while this Go codec runs >1 GB/s, which would hide the architectural
+	// differences the paper measures. The cost is charged as *virtual time*
+	// (sleep) rather than CPU spin so that concurrent senders overlap the
+	// way they do on the paper's 72-core testbed even when this host has
+	// fewer cores — see DESIGN.md, substitution table. The receive side
+	// (shared-memory copy + LZ4 decompress) charges 1/8 of it. 0 disables.
+	PackNsPerKB int
+}
+
+// PlaneDelay blocks for size×nsPerKB/1024 nanoseconds of emulated
+// data-plane occupancy. Baseline frameworks call it directly to charge
+// additional stages (e.g. Ray's object-store marshalling) that XingTian's
+// zero-copy path does not have.
+func PlaneDelay(size, nsPerKB int) {
+	if nsPerKB <= 0 || size <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(int64(size) * int64(nsPerKB) / 1024))
+}
+
+// unpackNsPerKB is the receive-side emulation rate.
+func (c Compressor) unpackNsPerKB() int { return c.PackNsPerKB / 8 }
+
+// NewCompressor returns a compressor with the paper's 1 MB default.
+func NewCompressor() Compressor {
+	return Compressor{Threshold: DefaultCompressionThreshold}
+}
+
+// Frame flags.
+const (
+	frameRaw byte = 0
+	frameLZ4 byte = 1
+)
+
+// Pack frames raw bytes for the object store, compressing when raw meets the
+// threshold and compression actually shrinks it. It returns the framed body
+// and whether compression was applied.
+func (c Compressor) Pack(raw []byte) ([]byte, bool) {
+	PlaneDelay(len(raw), c.PackNsPerKB)
+	if c.Threshold > 0 && len(raw) >= c.Threshold {
+		comp := make([]byte, 0, lz4.CompressBound(len(raw))+9)
+		comp = append(comp, frameLZ4)
+		comp = binary.LittleEndian.AppendUint64(comp, uint64(len(raw)))
+		comp = lz4.Compress(comp, raw)
+		if len(comp) < len(raw)+9 {
+			return comp, true
+		}
+	}
+	out := make([]byte, 0, len(raw)+1)
+	out = append(out, frameRaw)
+	return append(out, raw...), false
+}
+
+// Unpack reverses Pack on behalf of a compressor, charging the same
+// emulation work as Pack did.
+func (c Compressor) Unpack(framed []byte) ([]byte, error) {
+	raw, err := Unpack(framed)
+	if err != nil {
+		return nil, err
+	}
+	PlaneDelay(len(raw), c.unpackNsPerKB())
+	return raw, nil
+}
+
+// Unpack reverses Pack, returning the original serialized body.
+func Unpack(framed []byte) ([]byte, error) {
+	if len(framed) == 0 {
+		return nil, fmt.Errorf("empty frame: %w", ErrBadPayload)
+	}
+	switch framed[0] {
+	case frameRaw:
+		return framed[1:], nil
+	case frameLZ4:
+		if len(framed) < 9 {
+			return nil, fmt.Errorf("truncated lz4 frame: %w", ErrBadPayload)
+		}
+		rawLen := binary.LittleEndian.Uint64(framed[1:9])
+		if rawLen > 1<<32 {
+			return nil, fmt.Errorf("implausible frame size %d: %w", rawLen, ErrBadPayload)
+		}
+		out := make([]byte, rawLen)
+		n, err := lz4.Decompress(out, framed[9:])
+		if err != nil {
+			return nil, fmt.Errorf("lz4 frame: %w", err)
+		}
+		if uint64(n) != rawLen {
+			return nil, fmt.Errorf("lz4 frame decoded %d of %d bytes: %w", n, rawLen, ErrBadPayload)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown frame flag %d: %w", framed[0], ErrBadPayload)
+	}
+}

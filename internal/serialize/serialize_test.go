@@ -1,0 +1,315 @@
+package serialize
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"xingtian/internal/env"
+	"xingtian/internal/message"
+	"xingtian/internal/rollout"
+)
+
+func sampleBatch(rng *rand.Rand, steps int, frames bool) *rollout.Batch {
+	b := &rollout.Batch{ExplorerID: 3, WeightsVersion: 42}
+	for i := 0; i < steps; i++ {
+		s := rollout.Step{
+			Action:  int32(rng.Intn(4)),
+			Reward:  rng.Float32() * 10,
+			Done:    rng.Intn(5) == 0,
+			Value:   rng.Float32(),
+			LogProb: -rng.Float32(),
+			Logits:  []float32{rng.Float32(), rng.Float32(), rng.Float32(), rng.Float32()},
+		}
+		if frames {
+			f := make([]byte, 84*84*2)
+			rng.Read(f)
+			s.Obs = env.Obs{Frame: f, FrameH: 84, FrameW: 84, FrameN: 2}
+		} else {
+			s.Obs = env.Obs{Vec: []float32{rng.Float32(), rng.Float32(), rng.Float32(), rng.Float32()}}
+		}
+		b.Steps = append(b.Steps, s)
+	}
+	b.BootstrapObs = env.Obs{Vec: []float32{1, 2, 3, 4}}
+	return b
+}
+
+func TestRolloutRoundTripVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := sampleBatch(rng, 20, false)
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	out, ok := got.(*rollout.Batch)
+	if !ok {
+		t.Fatalf("Unmarshal returned %T", got)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("rollout batch round trip mismatch")
+	}
+}
+
+func TestRolloutRoundTripFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := sampleBatch(rng, 5, true)
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	out := got.(*rollout.Batch)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("frame batch round trip mismatch")
+	}
+	if len(data) < 5*84*84*2 {
+		t.Fatalf("serialized size %d smaller than raw frames; frames must dominate", len(data))
+	}
+}
+
+func TestWeightsRoundTrip(t *testing.T) {
+	in := &message.WeightsPayload{Version: 7, Data: []float32{1.5, -2.25, 0, 3e8}}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("weights round trip = %+v", got)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := &message.StatsPayload{
+		Node: "explorer-5", Episodes: 12, MeanReturn: 123.5,
+		StepsGenerated: 99, StepsConsumed: 98, TrainIters: 10, UnixNanos: 12345,
+	}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("stats round trip = %+v", got)
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	in := &message.ControlPayload{
+		Kind:        message.ControlSetHyperparams,
+		Hyperparams: map[string]float64{"lr": 0.001, "gamma": 0.99},
+	}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatalf("control round trip = %+v", got)
+	}
+	// Empty hyperparams.
+	in2 := &message.ControlPayload{Kind: message.ControlShutdown}
+	data, _ = Marshal(in2)
+	got, err = Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in2, got) {
+		t.Fatalf("shutdown round trip = %+v", got)
+	}
+}
+
+func TestDummyRoundTrip(t *testing.T) {
+	in := &message.DummyPayload{Data: bytes.Repeat([]byte{0xAB}, 1000)}
+	data, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in, got) {
+		t.Fatal("dummy round trip mismatch")
+	}
+}
+
+func TestMarshalUnsupported(t *testing.T) {
+	if _, err := Marshal(42); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("Marshal(int) = %v, want ErrBadPayload", err)
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{99},         // unknown tag
+		{tagRollout}, // truncated
+		{tagWeights, 1, 2},
+		{tagStats, 0xFF},
+		{tagControl},
+	}
+	for i, c := range cases {
+		if _, err := Unmarshal(c); err == nil {
+			t.Fatalf("case %d: Unmarshal(%v) succeeded on malformed input", i, c)
+		}
+	}
+}
+
+func TestPackBelowThresholdRaw(t *testing.T) {
+	c := NewCompressor()
+	raw := make([]byte, 1000)
+	framed, compressed := c.Pack(raw)
+	if compressed {
+		t.Fatal("1 KB body compressed despite 1 MB threshold")
+	}
+	out, err := Unpack(framed)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if !bytes.Equal(out, raw) {
+		t.Fatal("raw frame round trip mismatch")
+	}
+}
+
+func TestPackAboveThresholdCompresses(t *testing.T) {
+	c := NewCompressor()
+	raw := bytes.Repeat([]byte("rollout"), 200_000) // 1.4 MB, compressible
+	framed, compressed := c.Pack(raw)
+	if !compressed {
+		t.Fatal("compressible 1.4 MB body not compressed")
+	}
+	if len(framed) >= len(raw)/2 {
+		t.Fatalf("framed %d bytes of %d raw; want strong compression", len(framed), len(raw))
+	}
+	out, err := Unpack(framed)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if !bytes.Equal(out, raw) {
+		t.Fatal("lz4 frame round trip mismatch")
+	}
+}
+
+func TestPackIncompressibleFallsBack(t *testing.T) {
+	c := Compressor{Threshold: 1024}
+	rng := rand.New(rand.NewSource(3))
+	raw := make([]byte, 64*1024)
+	rng.Read(raw)
+	framed, compressed := c.Pack(raw)
+	out, err := Unpack(framed)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if !bytes.Equal(out, raw) {
+		t.Fatal("incompressible round trip mismatch")
+	}
+	if compressed && len(framed) > len(raw)+9 {
+		t.Fatal("kept a compression that grew the payload")
+	}
+}
+
+func TestCompressionDisabled(t *testing.T) {
+	c := Compressor{Threshold: 0}
+	raw := bytes.Repeat([]byte{1}, 4<<20)
+	framed, compressed := c.Pack(raw)
+	if compressed {
+		t.Fatal("disabled compressor compressed")
+	}
+	if len(framed) != len(raw)+1 {
+		t.Fatalf("framed size %d, want raw+1", len(framed))
+	}
+}
+
+func TestUnpackMalformed(t *testing.T) {
+	if _, err := Unpack(nil); err == nil {
+		t.Fatal("Unpack(nil) succeeded")
+	}
+	if _, err := Unpack([]byte{frameLZ4, 1, 2}); err == nil {
+		t.Fatal("Unpack(truncated lz4) succeeded")
+	}
+	if _, err := Unpack([]byte{7}); err == nil {
+		t.Fatal("Unpack(unknown flag) succeeded")
+	}
+}
+
+// TestPropertyRolloutRoundTrip: random batches survive marshal/unmarshal.
+func TestPropertyRolloutRoundTrip(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := sampleBatch(rng, int(steps%50), seed%2 == 0)
+		data, err := Marshal(in)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyUnmarshalNeverPanics on arbitrary garbage.
+func TestPropertyUnmarshalNeverPanics(t *testing.T) {
+	f := func(garbage []byte) bool {
+		_, _ = Unmarshal(garbage)
+		_, _ = Unpack(garbage)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMarshalRollout500Frames(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	batch := sampleBatch(rng, 100, true)
+	b.SetBytes(int64(batch.SizeBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalRollout(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	data, err := Marshal(sampleBatch(rng, 100, true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

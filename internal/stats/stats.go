@@ -1,0 +1,218 @@
+// Package stats provides the measurement utilities behind the paper's
+// evaluation figures: throughput meters (rollout steps consumed per second),
+// latency histograms and CDFs (Fig. 8(c)), and time-bucketed series
+// (the throughput timelines of Figs. 8–10).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Meter counts events and bytes over wall time.
+type Meter struct {
+	mu      sync.Mutex
+	start   time.Time
+	events  int64
+	bytes   int64
+	started bool
+}
+
+// NewMeter returns an idle meter; the clock starts at the first Add.
+func NewMeter() *Meter { return &Meter{} }
+
+// Add records n events carrying the given total bytes.
+func (m *Meter) Add(n int, bytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		m.start = time.Now()
+		m.started = true
+	}
+	m.events += int64(n)
+	m.bytes += bytes
+}
+
+// Snapshot returns totals and rates since the first Add.
+func (m *Meter) Snapshot() (events, bytes int64, perSec, bytesPerSec float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		return 0, 0, 0, 0
+	}
+	elapsed := time.Since(m.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	return m.events, m.bytes, float64(m.events) / elapsed, float64(m.bytes) / elapsed
+}
+
+// Histogram collects duration samples for percentile and CDF reporting.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean of all samples (0 when empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range h.samples {
+		total += s
+	}
+	return total / time.Duration(len(h.samples))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// FractionBelow returns the fraction of samples strictly below d — the CDF
+// evaluated at d, e.g. Fig. 8(c)'s "96.61% of waits are under 20 ms".
+func (h *Histogram) FractionBelow(d time.Duration) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range h.samples {
+		if s < d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(h.samples))
+}
+
+// CDF returns (value, cumulative fraction) points for plotting.
+func (h *Histogram) CDF() []CDFPoint {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), h.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := make([]CDFPoint, len(sorted))
+	for i, s := range sorted {
+		out[i] = CDFPoint{Value: s, Fraction: float64(i+1) / float64(len(sorted))}
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    time.Duration
+	Fraction float64
+}
+
+// Series buckets event counts into fixed wall-time windows, producing the
+// throughput-over-time curves of Figs. 8(a), 9(a), and 10(a).
+type Series struct {
+	mu      sync.Mutex
+	start   time.Time
+	bucket  time.Duration
+	counts  []float64
+	started bool
+}
+
+// NewSeries returns a series with the given bucket width.
+func NewSeries(bucket time.Duration) *Series {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	return &Series{bucket: bucket}
+}
+
+// Add records value at the current time.
+func (s *Series) Add(value float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started {
+		s.start = time.Now()
+		s.started = true
+	}
+	idx := int(time.Since(s.start) / s.bucket)
+	for len(s.counts) <= idx {
+		s.counts = append(s.counts, 0)
+	}
+	s.counts[idx] += value
+}
+
+// PerSecond returns the bucketed series normalized to events per second.
+func (s *Series) PerSecond() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.counts))
+	sec := s.bucket.Seconds()
+	for i, c := range s.counts {
+		out[i] = c / sec
+	}
+	return out
+}
+
+// Mean returns the average per-second rate across all complete buckets.
+func (s *Series) Mean() float64 {
+	rates := s.PerSecond()
+	if len(rates) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rates {
+		sum += r
+	}
+	return sum / float64(len(rates))
+}
+
+// FormatBytes renders a byte count human-readably for experiment output.
+func FormatBytes(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GB", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MB", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KB", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}

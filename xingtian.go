@@ -1,0 +1,119 @@
+// Package xingtian is the public API of the XingTian deep-reinforcement-
+// learning framework (Pan et al., Middleware '22): decentralized explorer
+// and learner processes joined by an asynchronous, sender-initiated
+// communication channel that overlaps communication with computation.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	e := xingtian.NewCartPole(0)
+//	spec := xingtian.SpecFor(e)
+//	algF := func(seed int64) (xingtian.Algorithm, error) {
+//		return xingtian.NewDQN(spec, xingtian.DefaultDQNConfig(), seed), nil
+//	}
+//	agF := func(id int32, seed int64) (xingtian.Agent, error) {
+//		runner := xingtian.NewEnvRunner(xingtian.NewCartPole(seed), spec)
+//		return xingtian.NewDQNAgent(spec, runner, seed), nil
+//	}
+//	report, err := xingtian.Run(xingtian.Config{
+//		NumExplorers: 4,
+//		RolloutLen:   100,
+//		MaxSteps:     50_000,
+//	}, algF, agF, 1)
+//
+// The framework pieces live in internal packages; this package re-exports
+// the researcher-facing surface: the deployment Config/Run entry points,
+// the four §4.2 interfaces (Environment via env.Env, Model via ModelSpec,
+// Algorithm, Agent), the algorithm zoo (DQN, PPO, IMPALA), and the PBT
+// extension.
+package xingtian
+
+import (
+	"xingtian/internal/core"
+	"xingtian/internal/env"
+	"xingtian/internal/pbt"
+)
+
+// Deployment ------------------------------------------------------------------
+
+// Config describes one XingTian deployment (machines, explorers, stop
+// conditions). See core.Config for field documentation.
+type Config = core.Config
+
+// Report summarizes a completed run: throughput, wait/transmission
+// latencies, and episode statistics.
+type Report = core.Report
+
+// Session is a running deployment under a center controller.
+type Session = core.Session
+
+// Run builds, starts, waits for, and stops a deployment.
+func Run(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64) (*Report, error) {
+	return core.Run(cfg, algF, agF, seed)
+}
+
+// NewSession builds a deployment without starting it.
+func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64) (*Session, error) {
+	return core.NewSession(cfg, algF, agF, seed)
+}
+
+// Researcher interfaces (§4.2) --------------------------------------------------
+
+// Agent is the explorer-side interface: action inference and rollout
+// assembly.
+type Agent = core.Agent
+
+// Algorithm is the learner-side interface: data preparation and training.
+type Algorithm = core.Algorithm
+
+// TrainResult describes one training session.
+type TrainResult = core.TrainResult
+
+// AgentFactory builds one explorer's agent.
+type AgentFactory = core.AgentFactory
+
+// AlgorithmFactory builds the learner's algorithm.
+type AlgorithmFactory = core.AlgorithmFactory
+
+// Environments ------------------------------------------------------------------
+
+// Env is the gym-style environment interface.
+type Env = env.Env
+
+// Obs is an environment observation (frame stack or feature vector).
+type Obs = env.Obs
+
+// MakeEnv constructs a named environment: CartPole, MountainCar, Acrobot,
+// BeamRider, Breakout, Qbert, or SpaceInvaders.
+func MakeEnv(name string, seed int64) (Env, error) { return env.Make(name, seed) }
+
+// NewCartPole returns the classic CartPole-v1 control environment.
+func NewCartPole(seed int64) Env { return env.NewCartPole(seed) }
+
+// ContinuousEnv is the continuous-action environment interface.
+type ContinuousEnv = env.ContinuousEnv
+
+// NewPendulum returns the classic Pendulum-v1 continuous-control
+// environment.
+func NewPendulum(seed int64) ContinuousEnv { return env.NewPendulum(seed) }
+
+// Population-based training ------------------------------------------------------
+
+// PBTConfig parameterizes a population-based training search.
+type PBTConfig = pbt.Config
+
+// PBTResult is the outcome of a PBT run.
+type PBTResult = pbt.Result
+
+// Hyperparams is one population's hyperparameter combination.
+type Hyperparams = pbt.Hyperparams
+
+// SessionFactory builds one population's session.
+type SessionFactory = pbt.SessionFactory
+
+// RunPBT executes the population-based training loop (§4.3).
+func RunPBT(cfg PBTConfig, factory SessionFactory, weightsOf func(*Session) []float32) (*PBTResult, error) {
+	return pbt.Run(cfg, factory, weightsOf)
+}
+
+// PerturbMutator returns the standard PBT perturbation mutator.
+var PerturbMutator = pbt.PerturbMutator

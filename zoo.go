@@ -1,0 +1,135 @@
+package xingtian
+
+import (
+	"xingtian/internal/algorithm"
+)
+
+// The DRL algorithm zoo: the paper ships DQN, PPO, IMPALA (among others) as
+// reference implementations over the framework; these re-exports are the
+// supported set in this reproduction.
+
+// ModelSpec describes the network family for an environment (the paper's
+// Model class).
+type ModelSpec = algorithm.ModelSpec
+
+// SpecFor derives a ModelSpec from an environment.
+func SpecFor(e Env) ModelSpec { return algorithm.SpecFor(e) }
+
+// EnvRunner drives one environment and assembles rollout fragments.
+type EnvRunner = algorithm.EnvRunner
+
+// NewEnvRunner wraps an environment for an agent.
+func NewEnvRunner(e Env, spec ModelSpec) *EnvRunner { return algorithm.NewEnvRunner(e, spec) }
+
+// DQN --------------------------------------------------------------------------
+
+// DQNConfig holds DQN hyperparameters.
+type DQNConfig = algorithm.DQNConfig
+
+// DQN is the value-based off-policy learner with a trainer-local replay
+// buffer.
+type DQN = algorithm.DQN
+
+// DQNAgent is DQN's ε-greedy explorer agent.
+type DQNAgent = algorithm.DQNAgent
+
+// DefaultDQNConfig returns the paper's DQN setup.
+func DefaultDQNConfig() DQNConfig { return algorithm.DefaultDQNConfig() }
+
+// NewDQN builds a DQN learner.
+func NewDQN(spec ModelSpec, cfg DQNConfig, seed int64) *DQN {
+	return algorithm.NewDQN(spec, cfg, seed)
+}
+
+// NewDQNAgent builds a DQN explorer agent.
+func NewDQNAgent(spec ModelSpec, runner *EnvRunner, seed int64) *DQNAgent {
+	return algorithm.NewDQNAgent(spec, runner, seed)
+}
+
+// PPO --------------------------------------------------------------------------
+
+// PPOConfig holds PPO hyperparameters.
+type PPOConfig = algorithm.PPOConfig
+
+// PPO is the on-policy actor-critic learner with GAE and clipped surrogate.
+type PPO = algorithm.PPO
+
+// PPOAgent is PPO's stochastic explorer agent.
+type PPOAgent = algorithm.PPOAgent
+
+// DefaultPPOConfig returns standard PPO hyperparameters for n explorers.
+func DefaultPPOConfig(n int) PPOConfig { return algorithm.DefaultPPOConfig(n) }
+
+// NewPPO builds a PPO learner.
+func NewPPO(spec ModelSpec, cfg PPOConfig, seed int64) *PPO {
+	return algorithm.NewPPO(spec, cfg, seed)
+}
+
+// NewPPOAgent builds a PPO explorer agent.
+func NewPPOAgent(spec ModelSpec, runner *EnvRunner, seed int64) *PPOAgent {
+	return algorithm.NewPPOAgent(spec, runner, seed)
+}
+
+// IMPALA -----------------------------------------------------------------------
+
+// IMPALAConfig holds IMPALA hyperparameters.
+type IMPALAConfig = algorithm.IMPALAConfig
+
+// IMPALA is the off-policy actor-critic learner with V-trace correction.
+type IMPALA = algorithm.IMPALA
+
+// IMPALAAgent is IMPALA's explorer agent, recording behavior logits.
+type IMPALAAgent = algorithm.IMPALAAgent
+
+// DefaultIMPALAConfig returns standard IMPALA hyperparameters.
+func DefaultIMPALAConfig() IMPALAConfig { return algorithm.DefaultIMPALAConfig() }
+
+// NewIMPALA builds an IMPALA learner.
+func NewIMPALA(spec ModelSpec, cfg IMPALAConfig, seed int64) *IMPALA {
+	return algorithm.NewIMPALA(spec, cfg, seed)
+}
+
+// NewIMPALAAgent builds an IMPALA explorer agent.
+func NewIMPALAAgent(spec ModelSpec, runner *EnvRunner, seed int64) *IMPALAAgent {
+	return algorithm.NewIMPALAAgent(spec, runner, seed)
+}
+
+// DDPG -------------------------------------------------------------------------
+
+// DDPGConfig holds DDPG hyperparameters.
+type DDPGConfig = algorithm.DDPGConfig
+
+// DDPG is the continuous-control off-policy actor-critic learner.
+type DDPG = algorithm.DDPG
+
+// DDPGAgent is DDPG's explorer agent with Gaussian exploration noise.
+type DDPGAgent = algorithm.DDPGAgent
+
+// ContinuousSpec describes actor-critic networks for continuous control.
+type ContinuousSpec = algorithm.ContinuousSpec
+
+// ContinuousEnvRunner drives a continuous environment for an agent.
+type ContinuousEnvRunner = algorithm.ContinuousEnvRunner
+
+// DefaultDDPGConfig returns standard DDPG hyperparameters.
+func DefaultDDPGConfig() DDPGConfig { return algorithm.DefaultDDPGConfig() }
+
+// NewDDPG builds a DDPG learner.
+func NewDDPG(spec ContinuousSpec, cfg DDPGConfig, seed int64) *DDPG {
+	return algorithm.NewDDPG(spec, cfg, seed)
+}
+
+// NewDDPGAgent builds a DDPG explorer agent.
+func NewDDPGAgent(spec ContinuousSpec, runner *ContinuousEnvRunner, seed int64) *DDPGAgent {
+	return algorithm.NewDDPGAgent(spec, runner, seed)
+}
+
+// NewContinuousEnvRunner wraps a continuous environment for an agent.
+func NewContinuousEnvRunner(e ContinuousEnv) *ContinuousEnvRunner {
+	return algorithm.NewContinuousEnvRunner(e)
+}
+
+// ContinuousSpecFor derives a ContinuousSpec from an environment.
+func ContinuousSpecFor(e ContinuousEnv) ContinuousSpec {
+	return algorithm.ContinuousSpecFor(e)
+}
