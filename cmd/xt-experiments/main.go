@@ -28,14 +28,16 @@ func run() int {
 		scale     = flag.Float64("scale", 10, "time compression vs the paper's testbed")
 		plane     = flag.Int("plane", 1440, "emulated serialization plane cost (ns/KB)")
 		explorers = flag.Int("explorers", 0, "override explorer counts (0 = per-experiment defaults)")
+		chanh     = flag.Bool("chanhealth", false, "print per-broker channel-health summaries (drops, leaks, latency)")
 	)
 	flag.Parse()
 
 	s := experiments.Settings{
-		Scale:        *scale,
-		PlaneNsPerKB: *plane,
-		Quick:        *quick,
-		Explorers:    *explorers,
+		Scale:         *scale,
+		PlaneNsPerKB:  *plane,
+		Quick:         *quick,
+		Explorers:     *explorers,
+		ChannelHealth: *chanh,
 	}
 
 	reg := experiments.Registry()

@@ -57,6 +57,7 @@ func run() int {
 		compress   = flag.Bool("compress", false, "LZ4 compression above 1 MB")
 		seed       = flag.Int64("seed", 1, "run seed")
 		configPath = flag.String("config", "", "JSON deployment config (overrides flags)")
+		metrics    = flag.Duration("metrics", 0, "log a channel-health summary at this interval (0 = off)")
 	)
 	flag.Parse()
 
@@ -85,14 +86,19 @@ func run() int {
 	fmt.Printf("training %s on %s: %d explorer(s), %d machine(s), budget %d steps\n",
 		fc.Algorithm, fc.Environment, fc.Explorers, max(fc.Machines, 1), fc.MaxSteps)
 
-	report, err := core.Run(core.Config{
+	cfg := core.Config{
 		NumExplorers: fc.Explorers,
 		RolloutLen:   fc.RolloutLen,
 		MaxSteps:     fc.MaxSteps,
 		MaxDuration:  time.Duration(fc.MaxSeconds) * time.Second,
 		Machines:     fc.Machines,
 		Compress:     fc.Compress,
-	}, algF, agF, fc.Seed)
+	}
+	if *metrics > 0 {
+		cfg.MetricsEvery = *metrics
+		cfg.MetricsWriter = os.Stdout
+	}
+	report, err := core.Run(cfg, algF, agF, fc.Seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "run: %v\n", err)
 		return 1
@@ -103,6 +109,14 @@ func run() int {
 	fmt.Printf("  episodes:         %d (mean return %.2f)\n", report.Episodes, report.MeanReturn)
 	fmt.Printf("  learner wait avg: %v\n", report.MeanWait.Round(time.Microsecond))
 	fmt.Printf("  transmission avg: %v\n", report.MeanTransmission.Round(time.Microsecond))
+	fmt.Printf("channel health (final):\n")
+	for _, bs := range report.Channel.Brokers {
+		fmt.Printf("  %s\n", bs.Summary())
+	}
+	if leaked := report.Channel.TotalLeaked(); leaked > 0 {
+		fmt.Fprintf(os.Stderr, "WARNING: %d object(s) leaked in the object store at shutdown\n", leaked)
+		return 1
+	}
 	return 0
 }
 

@@ -8,11 +8,32 @@
 // across PPO, DQN, IMPALA, the dummy benchmark algorithm, and PBT broker
 // sets. Cross-machine forwarding is delegated to a Remote implementation
 // (an in-process simulated network or a real TCP fabric).
+//
+// # Refcount ownership
+//
+// Object-store references follow the contract documented in package
+// objectstore: Port.Send pins one reference per resolved destination, the
+// router hands each reference to an ID queue or forwarder, and whoever pops
+// a header owns (and must release) its reference on every path, including
+// decode errors and shutdown. Headers are never shared between
+// destinations: the router and InjectRemote hand each receiver its own
+// Header copy with Dst narrowed to that receiver, so concurrent workhorse
+// threads never alias mutable header state.
+//
+// # Channel health
+//
+// Every broker keeps an always-on health ledger — traffic counters, drop
+// accounting by reason, queue-depth gauges, object-store occupancy, and a
+// send→recv latency reservoir — exposed via Broker.Metrics. Stop drains
+// undelivered headers, releases their references, and records any object
+// still live in LeakedAtStop; tests use VerifyDrained to turn refcount
+// discipline into an assertion.
 package broker
 
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"xingtian/internal/message"
 	"xingtian/internal/objectstore"
@@ -35,6 +56,7 @@ type Broker struct {
 	compressor serialize.Compressor
 	remote     Remote
 	locator    Locator
+	health     *health
 
 	mu         sync.Mutex
 	idQueues   map[string]*queue.Queue[*message.Header]
@@ -85,6 +107,7 @@ func New(cfg Config) *Broker {
 		compressor: cfg.Compressor,
 		remote:     cfg.Remote,
 		locator:    cfg.Locator,
+		health:     newHealth(),
 		idQueues:   make(map[string]*queue.Queue[*message.Header]),
 		forwarders: make(map[int]*queue.Queue[forwardItem]),
 		routerDone: make(chan struct{}),
@@ -103,6 +126,14 @@ func (b *Broker) MachineID() int { return b.machineID }
 // Store exposes the shared-memory object store (for tests and stats).
 func (b *Broker) Store() *objectstore.Store { return b.store }
 
+// release drops one object-store reference, recording a failed release
+// (double release / unknown ID) in the health ledger.
+func (b *Broker) release(id objectstore.ID) {
+	if err := b.store.Release(id); err != nil {
+		b.health.releaseErrors.Add(1)
+	}
+}
+
 // Register attaches a named client process and returns its Port. The name
 // must be unique per broker.
 func (b *Broker) Register(name string) (*Port, error) {
@@ -119,7 +150,8 @@ func (b *Broker) Register(name string) (*Port, error) {
 	return &Port{broker: b, name: name, idQueue: q}, nil
 }
 
-// Unregister detaches a client, closing its ID queue.
+// Unregister detaches a client, closing its ID queue and reclaiming the
+// references of any headers still undelivered in it.
 func (b *Broker) Unregister(name string) {
 	b.mu.Lock()
 	q := b.idQueues[name]
@@ -127,6 +159,7 @@ func (b *Broker) Unregister(name string) {
 	b.mu.Unlock()
 	if q != nil {
 		q.Close()
+		b.drainIDQueue(q)
 	}
 }
 
@@ -161,7 +194,8 @@ func (b *Broker) localRemoteSplit(dst []string) (local []string, remoteMachines 
 // route is the algorithm-agnostic router: it monitors the shared-memory
 // communicator's header queue and dispatches each header to the ID queues
 // of all destination processes (and to peer brokers for remote
-// destinations).
+// destinations). Each destination receives its own Header copy with Dst
+// narrowed to that destination, so receivers never share mutable state.
 func (b *Broker) route() {
 	defer b.wg.Done()
 	for {
@@ -169,6 +203,7 @@ func (b *Broker) route() {
 		if err != nil {
 			return // broker stopped
 		}
+		b.health.headersRouted.Add(1)
 		local, remotes := b.localRemoteSplit(h.Dst)
 
 		for _, name := range local {
@@ -176,21 +211,27 @@ func (b *Broker) route() {
 			if q == nil {
 				// Unknown local client: drop this destination's reference
 				// so the body is not leaked.
-				_ = b.store.Release(h.ObjectID)
+				b.health.dropUnknownDst.Add(1)
+				b.release(h.ObjectID)
 				continue
 			}
-			if err := q.Put(h); err != nil {
-				_ = b.store.Release(h.ObjectID)
+			hc := *h // per-destination copy: receivers must not alias
+			hc.Dst = []string{name}
+			if err := q.Put(&hc); err != nil {
+				b.health.dropQueueClosed.Add(1)
+				b.release(h.ObjectID)
 			}
 		}
 
 		for machine, names := range remotes {
 			framed, err := b.store.Get(h.ObjectID)
 			if err != nil {
+				b.health.dropStoreMiss.Add(1)
 				continue
 			}
 			if b.remote == nil {
-				_ = b.store.Release(h.ObjectID)
+				b.health.dropNoRemote.Add(1)
+				b.release(h.ObjectID)
 				continue
 			}
 			fh := *h // shallow copy; Dst narrowed to the target machine
@@ -201,7 +242,8 @@ func (b *Broker) route() {
 			// local routing — overlap, the paper's aggressive push.
 			fq := b.forwarder(machine)
 			if fq == nil || fq.Put(forwardItem{header: &fh, framed: framed, objID: h.ObjectID}) != nil {
-				_ = b.store.Release(h.ObjectID)
+				b.health.dropQueueClosed.Add(1)
+				b.release(h.ObjectID)
 			}
 		}
 	}
@@ -227,8 +269,13 @@ func (b *Broker) forwarder(machine int) *queue.Queue[forwardItem] {
 				if err != nil {
 					return
 				}
-				_ = b.remote.Forward(b.machineID, machine, item.header, item.framed)
-				_ = b.store.Release(item.objID)
+				if err := b.remote.Forward(b.machineID, machine, item.header, item.framed); err != nil {
+					b.health.dropForwardError.Add(1)
+				} else {
+					b.health.bodiesForwarded.Add(1)
+					b.health.bytesForwarded.Add(int64(len(item.framed)))
+				}
+				b.release(item.objID)
 			}
 		}()
 	}
@@ -237,8 +284,8 @@ func (b *Broker) forwarder(machine int) *queue.Queue[forwardItem] {
 
 // InjectRemote accepts a message forwarded from another machine's broker:
 // the framed body enters this machine's object store and the header is
-// dispatched to local ID queues. It implements the receiving half of
-// Remote.Forward.
+// dispatched to local ID queues, one private Header copy per receiver. It
+// implements the receiving half of Remote.Forward.
 func (b *Broker) InjectRemote(h *message.Header, framed []byte) error {
 	local, _ := b.localRemoteSplit(h.Dst)
 	if len(local) == 0 {
@@ -246,23 +293,43 @@ func (b *Broker) InjectRemote(h *message.Header, framed []byte) error {
 	}
 	body := append([]byte(nil), framed...) // own the bytes on this machine
 	id := b.store.Put(body, len(local))
-	nh := *h
-	nh.ObjectID = id
+	b.health.bodiesInjected.Add(1)
+	b.health.bytesInjected.Add(int64(len(body)))
 	for _, name := range local {
 		q := b.idQueue(name)
 		if q == nil {
-			_ = b.store.Release(id)
+			b.health.dropUnknownDst.Add(1)
+			b.release(id)
 			continue
 		}
+		nh := *h // per-receiver copy: receivers must not alias
+		nh.ObjectID = id
+		nh.Dst = []string{name}
 		if err := q.Put(&nh); err != nil {
-			_ = b.store.Release(id)
+			b.health.dropQueueClosed.Add(1)
+			b.release(id)
 		}
 	}
 	return nil
 }
 
-// Stop shuts the router down and closes all client queues. It is
-// idempotent and waits for in-flight forwards to finish.
+// drainIDQueue reclaims the object-store references of headers left
+// undelivered in a closed ID queue.
+func (b *Broker) drainIDQueue(q *queue.Queue[*message.Header]) {
+	for {
+		h, err := q.TryGet()
+		if err != nil {
+			return
+		}
+		b.health.dropShutdown.Add(1)
+		b.release(h.ObjectID)
+	}
+}
+
+// Stop shuts the router down, closes all client queues, reclaims the
+// references of undelivered headers, and records any remaining live object
+// (a refcount leak) in the health ledger. It is idempotent and waits for
+// in-flight forwards to finish.
 func (b *Broker) Stop() {
 	b.mu.Lock()
 	if b.stopped {
@@ -290,7 +357,9 @@ func (b *Broker) Stop() {
 	b.wg.Wait()
 	for _, q := range queues {
 		q.Close()
+		b.drainIDQueue(q)
 	}
+	b.health.leakedAtStop.Store(int64(b.store.Len()))
 }
 
 // Port is a client's attachment to the broker: Send serializes and pushes a
@@ -328,11 +397,14 @@ func (p *Port) Send(m *message.Message) error {
 	h.Compressed = compressed
 	if err := p.broker.headerQ.Put(h); err != nil {
 		// Router is gone; reclaim all references.
+		p.broker.health.dropQueueClosed.Add(int64(refs))
 		for i := 0; i < refs; i++ {
-			_ = p.broker.store.Release(h.ObjectID)
+			p.broker.release(h.ObjectID)
 		}
 		return fmt.Errorf("broker send from %s: %w", p.name, err)
 	}
+	p.broker.health.sends.Add(1)
+	p.broker.health.bytesIn.Add(int64(len(framed)))
 	return nil
 }
 
@@ -355,20 +427,31 @@ func (p *Port) TryRecv() (*message.Message, error) {
 	return p.materialize(h)
 }
 
+// materialize fetches, decompresses, and decodes a delivered header's body.
+// Once the header has been popped from the ID queue this receiver owns the
+// object-store reference, so it is released on every path — including
+// corrupt bodies that fail to unpack or unmarshal.
 func (p *Port) materialize(h *message.Header) (*message.Message, error) {
 	framed, err := p.broker.store.Get(h.ObjectID)
 	if err != nil {
+		p.broker.health.dropStoreMiss.Add(1)
 		return nil, fmt.Errorf("broker recv at %s: %w", p.name, err)
 	}
+	defer p.broker.release(h.ObjectID)
 	raw, err := p.broker.compressor.Unpack(framed)
 	if err != nil {
+		p.broker.health.dropRecvError.Add(1)
 		return nil, fmt.Errorf("broker recv at %s: %w", p.name, err)
 	}
 	body, err := serialize.Unmarshal(raw)
 	if err != nil {
+		p.broker.health.dropRecvError.Add(1)
 		return nil, fmt.Errorf("broker recv at %s: %w", p.name, err)
 	}
-	_ = p.broker.store.Release(h.ObjectID)
+	p.broker.health.receives.Add(1)
+	if h.CreatedNanos > 0 {
+		p.broker.health.delivery.Observe(time.Duration(time.Now().UnixNano() - h.CreatedNanos))
+	}
 	return &message.Message{Header: h, Body: body}, nil
 }
 

@@ -2,6 +2,7 @@ package broker
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"xingtian/internal/message"
@@ -106,6 +107,34 @@ func (c *Cluster) Forward(srcMachine, dstMachine int, h *message.Header, framed 
 
 // Network exposes the simulated network for byte accounting in experiments.
 func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// Broker returns the broker serving a machine, or nil.
+func (c *Cluster) Broker(machineID int) *Broker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.brokers[machineID]
+}
+
+// Health snapshots channel-health metrics for every broker in the cluster,
+// ordered by machine ID.
+func (c *Cluster) Health() ClusterHealth {
+	c.mu.Lock()
+	ids := make([]int, 0, len(c.brokers))
+	for id := range c.brokers {
+		ids = append(ids, id)
+	}
+	byID := make(map[int]*Broker, len(c.brokers))
+	for id, b := range c.brokers {
+		byID[id] = b
+	}
+	c.mu.Unlock()
+	sort.Ints(ids)
+	var h ClusterHealth
+	for _, id := range ids {
+		h.Brokers = append(h.Brokers, byID[id].Metrics())
+	}
+	return h
+}
 
 // Stop shuts down every broker in the cluster.
 func (c *Cluster) Stop() {

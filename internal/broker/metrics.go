@@ -1,0 +1,290 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"xingtian/internal/objectstore"
+	"xingtian/internal/stats"
+)
+
+// latencySampleCap bounds the send→recv latency reservoir per broker.
+const latencySampleCap = 4096
+
+// health is the broker's channel-health counter set. All counters are
+// atomic so the router, forwarders, and client sender/receiver threads
+// update them without touching the broker lock.
+type health struct {
+	headersRouted   atomic.Int64
+	sends           atomic.Int64
+	receives        atomic.Int64
+	bodiesForwarded atomic.Int64
+	bodiesInjected  atomic.Int64
+	bytesIn         atomic.Int64
+	bytesForwarded  atomic.Int64
+	bytesInjected   atomic.Int64
+
+	dropUnknownDst   atomic.Int64
+	dropQueueClosed  atomic.Int64
+	dropNoRemote     atomic.Int64
+	dropForwardError atomic.Int64
+	dropRecvError    atomic.Int64
+	dropStoreMiss    atomic.Int64
+	dropShutdown     atomic.Int64
+
+	releaseErrors atomic.Int64
+	leakedAtStop  atomic.Int64
+
+	delivery *stats.Histogram // send→recv (header creation → materialize)
+}
+
+func newHealth() *health {
+	return &health{delivery: stats.NewBoundedHistogram(latencySampleCap)}
+}
+
+// DropCounts breaks down dropped destination references by reason. Every
+// drop corresponds to exactly one released object-store reference, so the
+// channel accounts for every body it declines to deliver.
+type DropCounts struct {
+	// UnknownDestination counts references dropped because no client with
+	// the destination name is registered on this machine.
+	UnknownDestination int64
+	// QueueClosed counts references dropped because the destination's ID
+	// queue (or a forwarder/header queue) was closed mid-flight.
+	QueueClosed int64
+	// NoRemote counts cross-machine references dropped because the broker
+	// has no Remote configured.
+	NoRemote int64
+	// ForwardError counts transfers whose Remote.Forward failed.
+	ForwardError int64
+	// RecvError counts deliveries whose body failed to decompress or
+	// decode at the receiver (corrupt or truncated bodies).
+	RecvError int64
+	// StoreMiss counts headers whose body was already gone from the
+	// object store — a refcount-discipline violation upstream.
+	StoreMiss int64
+	// ShutdownDrained counts undelivered headers reclaimed by Broker.Stop.
+	ShutdownDrained int64
+}
+
+// Total sums all drop reasons.
+func (d DropCounts) Total() int64 {
+	return d.UnknownDestination + d.QueueClosed + d.NoRemote +
+		d.ForwardError + d.RecvError + d.StoreMiss + d.ShutdownDrained
+}
+
+// LatencySummary condenses the send→recv latency histogram.
+type LatencySummary struct {
+	// Count is the number of delivered messages observed.
+	Count int
+	// Mean, P50, and P99 summarize creation→materialize latency.
+	Mean time.Duration
+	P50  time.Duration
+	P99  time.Duration
+}
+
+// MetricsSnapshot is a point-in-time view of one broker's channel health:
+// cumulative traffic counters, drop accounting, live queue-depth gauges,
+// object-store occupancy, and delivery latency.
+type MetricsSnapshot struct {
+	// MachineID identifies the broker.
+	MachineID int
+
+	// HeadersRouted counts headers the router dispatched.
+	HeadersRouted int64
+	// Sends counts successful Port.Send calls into this broker.
+	Sends int64
+	// Receives counts successful Port.Recv/TryRecv materializations.
+	Receives int64
+	// BodiesForwarded / BodiesInjected count cross-machine transfers out
+	// of and into this broker.
+	BodiesForwarded int64
+	BodiesInjected  int64
+	// BytesIn is body bytes entering the store via local sends;
+	// BytesForwarded / BytesInjected are cross-machine body bytes.
+	BytesIn        int64
+	BytesForwarded int64
+	BytesInjected  int64
+
+	// Drops breaks down dropped destination references by reason.
+	Drops DropCounts
+	// ReleaseErrors counts failed object-store releases (double releases).
+	ReleaseErrors int64
+	// LeakedAtStop is the number of objects still live when Stop finished
+	// draining — nonzero means the refcount contract was violated.
+	LeakedAtStop int64
+
+	// HeaderQueueDepth, IDQueueDepths, and ForwarderDepths are live
+	// queue-occupancy gauges at snapshot time.
+	HeaderQueueDepth int
+	IDQueueDepths    map[string]int
+	ForwarderDepths  map[int]int
+
+	// Store is the object store's occupancy snapshot.
+	Store objectstore.Stats
+
+	// Delivery summarizes send→recv latency.
+	Delivery LatencySummary
+}
+
+// Metrics snapshots the broker's channel health.
+func (b *Broker) Metrics() MetricsSnapshot {
+	h := b.health
+	snap := MetricsSnapshot{
+		MachineID:       b.machineID,
+		HeadersRouted:   h.headersRouted.Load(),
+		Sends:           h.sends.Load(),
+		Receives:        h.receives.Load(),
+		BodiesForwarded: h.bodiesForwarded.Load(),
+		BodiesInjected:  h.bodiesInjected.Load(),
+		BytesIn:         h.bytesIn.Load(),
+		BytesForwarded:  h.bytesForwarded.Load(),
+		BytesInjected:   h.bytesInjected.Load(),
+		Drops: DropCounts{
+			UnknownDestination: h.dropUnknownDst.Load(),
+			QueueClosed:        h.dropQueueClosed.Load(),
+			NoRemote:           h.dropNoRemote.Load(),
+			ForwardError:       h.dropForwardError.Load(),
+			RecvError:          h.dropRecvError.Load(),
+			StoreMiss:          h.dropStoreMiss.Load(),
+			ShutdownDrained:    h.dropShutdown.Load(),
+		},
+		ReleaseErrors:    h.releaseErrors.Load(),
+		LeakedAtStop:     h.leakedAtStop.Load(),
+		HeaderQueueDepth: b.headerQ.Len(),
+		Store:            b.store.Stats(),
+		Delivery: LatencySummary{
+			Count: h.delivery.Count(),
+			Mean:  h.delivery.Mean(),
+			P50:   h.delivery.Percentile(50),
+			P99:   h.delivery.Percentile(99),
+		},
+	}
+	b.mu.Lock()
+	snap.IDQueueDepths = make(map[string]int, len(b.idQueues))
+	for name, q := range b.idQueues {
+		snap.IDQueueDepths[name] = q.Len()
+	}
+	snap.ForwarderDepths = make(map[int]int, len(b.forwarders))
+	for machine, fq := range b.forwarders {
+		snap.ForwarderDepths[machine] = fq.Len()
+	}
+	b.mu.Unlock()
+	return snap
+}
+
+// Leaked reports object-store entries older than olderThan (see
+// objectstore.Store.Leaked) — the broker-level leak detector.
+func (b *Broker) Leaked(olderThan time.Duration) []objectstore.LeakRecord {
+	return b.store.Leaked(olderThan)
+}
+
+// VerifyDrained asserts every object-store refcount returned to zero.
+func (b *Broker) VerifyDrained() error {
+	return b.store.VerifyDrained()
+}
+
+// String renders the snapshot human-readably, one logical line per area.
+func (m MetricsSnapshot) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "broker[m%d] routed=%d sent=%d recv=%d fwd=%d inj=%d\n",
+		m.MachineID, m.HeadersRouted, m.Sends, m.Receives, m.BodiesForwarded, m.BodiesInjected)
+	fmt.Fprintf(&sb, "  bytes: in=%s fwd=%s inj=%s store=%s (peak %s, %d live)\n",
+		stats.FormatBytes(float64(m.BytesIn)), stats.FormatBytes(float64(m.BytesForwarded)),
+		stats.FormatBytes(float64(m.BytesInjected)), stats.FormatBytes(float64(m.Store.Bytes)),
+		stats.FormatBytes(float64(m.Store.PeakBytes)), m.Store.Objects)
+	fmt.Fprintf(&sb, "  drops: total=%d unknownDst=%d queueClosed=%d noRemote=%d fwdErr=%d recvErr=%d storeMiss=%d shutdown=%d releaseErr=%d leakedAtStop=%d\n",
+		m.Drops.Total(), m.Drops.UnknownDestination, m.Drops.QueueClosed, m.Drops.NoRemote,
+		m.Drops.ForwardError, m.Drops.RecvError, m.Drops.StoreMiss, m.Drops.ShutdownDrained,
+		m.ReleaseErrors, m.LeakedAtStop)
+	fmt.Fprintf(&sb, "  queues: header=%d ids=%s forwarders=%s\n",
+		m.HeaderQueueDepth, formatDepths(m.IDQueueDepths), formatIntDepths(m.ForwarderDepths))
+	fmt.Fprintf(&sb, "  delivery: n=%d mean=%v p50=%v p99=%v",
+		m.Delivery.Count, m.Delivery.Mean.Round(time.Microsecond),
+		m.Delivery.P50.Round(time.Microsecond), m.Delivery.P99.Round(time.Microsecond))
+	return sb.String()
+}
+
+// Summary is a one-line condensation for periodic logging.
+func (m MetricsSnapshot) Summary() string {
+	return fmt.Sprintf("m%d routed=%d recv=%d drops=%d live=%d hdrQ=%d lat(p50)=%v",
+		m.MachineID, m.HeadersRouted, m.Receives, m.Drops.Total(),
+		m.Store.Objects, m.HeaderQueueDepth, m.Delivery.P50.Round(time.Microsecond))
+}
+
+func formatDepths(d map[string]int) string {
+	if len(d) == 0 {
+		return "{}"
+	}
+	names := make([]string, 0, len(d))
+	for n := range d {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s:%d", n, d[n]))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+func formatIntDepths(d map[int]int) string {
+	if len(d) == 0 {
+		return "{}"
+	}
+	keys := make([]int, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("m%d:%d", k, d[k]))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// ClusterHealth aggregates per-broker snapshots for a whole deployment.
+type ClusterHealth struct {
+	// Brokers holds one snapshot per machine, ordered by machine ID.
+	Brokers []MetricsSnapshot
+}
+
+// TotalDrops sums drops across all brokers.
+func (c ClusterHealth) TotalDrops() int64 {
+	var n int64
+	for _, b := range c.Brokers {
+		n += b.Drops.Total()
+	}
+	return n
+}
+
+// TotalLeaked sums objects still live at stop across all brokers.
+func (c ClusterHealth) TotalLeaked() int64 {
+	var n int64
+	for _, b := range c.Brokers {
+		n += b.LeakedAtStop
+	}
+	return n
+}
+
+// String renders every broker's snapshot.
+func (c ClusterHealth) String() string {
+	parts := make([]string, 0, len(c.Brokers))
+	for _, b := range c.Brokers {
+		parts = append(parts, b.String())
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Summary renders one line per broker.
+func (c ClusterHealth) Summary() string {
+	parts := make([]string, 0, len(c.Brokers))
+	for _, b := range c.Brokers {
+		parts = append(parts, b.Summary())
+	}
+	return strings.Join(parts, " | ")
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -47,6 +48,11 @@ type Config struct {
 	// MaxInflight bounds un-acknowledged rollout fragments per explorer
 	// (0 = DefaultMaxInflight; < 0 disables flow control).
 	MaxInflight int
+	// MetricsEvery, when > 0 with MetricsWriter set, logs a channel-health
+	// summary line for every broker at this interval while the run waits.
+	MetricsEvery time.Duration
+	// MetricsWriter receives the periodic channel-health summaries.
+	MetricsWriter io.Writer
 }
 
 // Report summarizes a completed run — the measurements behind Figs. 6–11.
@@ -72,6 +78,10 @@ type Report struct {
 	MeanReturn float64
 	// StepsGenerated is the total steps produced by explorers.
 	StepsGenerated int64
+	// Channel is the final channel-health snapshot of every broker, taken
+	// after shutdown: cumulative traffic/drop counters plus the leak check
+	// (Channel.TotalLeaked() must be 0 in a refcount-clean run).
+	Channel broker.ClusterHealth
 }
 
 // Session is a running XingTian deployment under a center controller.
@@ -219,6 +229,7 @@ func (s *Session) Wait() {
 	}
 	ticker := time.NewTicker(50 * time.Millisecond)
 	defer ticker.Stop()
+	lastMetrics := time.Now()
 	for {
 		select {
 		case <-s.learner.Done():
@@ -226,6 +237,11 @@ func (s *Session) Wait() {
 		case <-timeout:
 			return
 		case <-ticker.C:
+			if s.cfg.MetricsEvery > 0 && s.cfg.MetricsWriter != nil &&
+				time.Since(lastMetrics) >= s.cfg.MetricsEvery {
+				lastMetrics = time.Now()
+				fmt.Fprintf(s.cfg.MetricsWriter, "channel: %s\n", s.cluster.Health().Summary())
+			}
 			if s.cfg.TargetReturn > 0 {
 				_, mean := s.aggregateEpisodes()
 				if mean >= s.cfg.TargetReturn {
@@ -294,9 +310,14 @@ func (s *Session) Stop() *Report {
 		Episodes:         episodes,
 		MeanReturn:       meanReturn,
 		StepsGenerated:   generated,
+		Channel:          s.cluster.Health(),
 	}
 	return rep
 }
+
+// ChannelHealth snapshots live channel metrics for every broker (usable
+// while the session runs; Report.Channel holds the final snapshot).
+func (s *Session) ChannelHealth() broker.ClusterHealth { return s.cluster.Health() }
 
 // Learner exposes the learner for inspection in tests and experiments.
 func (s *Session) Learner() *Learner { return s.learner }

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -216,5 +217,44 @@ func TestSessionWaitHistogramRecorded(t *testing.T) {
 	}
 	if len(rep.WaitCDF) == 0 {
 		t.Fatal("empty wait CDF")
+	}
+}
+
+// TestRunChannelHealthLeakFree: a full multi-machine session must end with
+// every broker's object store drained and the final report carrying the
+// channel-health snapshot.
+func TestRunChannelHealthLeakFree(t *testing.T) {
+	algF, agF := quickDQNFactories(t)
+	var buf strings.Builder
+	cfg := core.Config{
+		NumExplorers:  2,
+		Machines:      2,
+		RolloutLen:    20,
+		MaxSteps:      1_000_000, // bounded by wall time below
+		MaxDuration:   500 * time.Millisecond,
+		Net:           netsim.Config{Bandwidth: 1 << 30, TimeScale: 1},
+		MetricsEvery:  100 * time.Millisecond,
+		MetricsWriter: &buf,
+	}
+	rep, err := core.Run(cfg, algF, agF, 3)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Channel.Brokers) != 2 {
+		t.Fatalf("Channel snapshots = %d brokers, want 2", len(rep.Channel.Brokers))
+	}
+	if leaked := rep.Channel.TotalLeaked(); leaked != 0 {
+		t.Fatalf("TotalLeaked = %d, want 0; health:\n%s", leaked, rep.Channel.String())
+	}
+	for _, b := range rep.Channel.Brokers {
+		if b.ReleaseErrors != 0 {
+			t.Fatalf("machine %d ReleaseErrors = %d, want 0", b.MachineID, b.ReleaseErrors)
+		}
+	}
+	if rep.Channel.Brokers[0].Receives == 0 {
+		t.Fatal("no receives recorded on machine 0")
+	}
+	if !strings.Contains(buf.String(), "channel:") {
+		t.Fatalf("periodic metrics log missing; got %q", buf.String())
 	}
 }

@@ -32,6 +32,9 @@ type Settings struct {
 	Quick bool
 	// Explorers overrides experiment-specific explorer counts when > 0.
 	Explorers int
+	// ChannelHealth prints a per-broker channel-health summary (drops,
+	// leak check, delivery latency) after each XingTian throughput run.
+	ChannelHealth bool
 }
 
 // DefaultSettings returns the standard 10×-compressed configuration.

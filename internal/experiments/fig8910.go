@@ -54,6 +54,18 @@ func runDuration(s Settings) time.Duration {
 	return 15 * time.Second
 }
 
+// fprintChannelHealth prints the final per-broker channel-health snapshot
+// of a XingTian run, including the leak check (Settings.ChannelHealth).
+func fprintChannelHealth(w io.Writer, label string, r *core.Report) {
+	fmt.Fprintf(w, "\nchannel health (%s):\n", label)
+	for _, b := range r.Channel.Brokers {
+		fmt.Fprintf(w, "  %s\n", b.Summary())
+	}
+	if leaked := r.Channel.TotalLeaked(); leaked > 0 {
+		fmt.Fprintf(w, "  WARNING: %d leaked object(s) at shutdown\n", leaked)
+	}
+}
+
 func seriesString(series []float64) string {
 	out := ""
 	for i, v := range series {
@@ -133,6 +145,9 @@ func RunFig8(s Settings, w io.Writer) error {
 		})
 	}
 	cdf.Fprint(w)
+	if s.ChannelHealth {
+		fprintChannelHealth(w, "XingTian IMPALA", xt)
+	}
 	return nil
 }
 
@@ -172,6 +187,9 @@ func RunFig9(s Settings, w io.Writer) error {
 		Row{Label: "XingTian local replay sample", Values: []string{fmt.Sprintf("%.6f", local.Seconds()*1000)}},
 	)
 	lat.Fprint(w)
+	if s.ChannelHealth {
+		fprintChannelHealth(w, "XingTian DQN", xt)
+	}
 	return nil
 }
 
@@ -249,5 +267,8 @@ func RunFig10(s Settings, w io.Writer) error {
 		Row{Label: "train (wall/iter)", Values: []string{fmt.Sprintf("%.2f", trainMS(xt))}},
 	)
 	lat.Fprint(w)
+	if s.ChannelHealth {
+		fprintChannelHealth(w, "XingTian PPO", xt)
+	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"xingtian/internal/broker"
 	"xingtian/internal/message"
@@ -54,7 +55,49 @@ type Node struct {
 	broker   *broker.Broker
 	closed   bool
 
+	framesSent     atomic.Int64
+	framesReceived atomic.Int64
+	bytesSent      atomic.Int64
+	bytesReceived  atomic.Int64
+	corruptStreams atomic.Int64
+	droppedInject  atomic.Int64
+
 	wg sync.WaitGroup
+}
+
+// Metrics is a snapshot of one fabric node's wire-level health counters.
+type Metrics struct {
+	// FramesSent / FramesReceived count complete frames written to and
+	// decoded from peer connections.
+	FramesSent     int64
+	FramesReceived int64
+	// BytesSent / BytesReceived count frame bytes on the wire (prefix +
+	// header + body).
+	BytesSent     int64
+	BytesReceived int64
+	// CorruptStreams counts connections torn down on malformed frames
+	// (bad length prefix or undecodable header).
+	CorruptStreams int64
+	// DroppedInject counts frames received before a broker was attached.
+	DroppedInject int64
+}
+
+// Metrics snapshots the node's wire counters.
+func (n *Node) Metrics() Metrics {
+	return Metrics{
+		FramesSent:     n.framesSent.Load(),
+		FramesReceived: n.framesReceived.Load(),
+		BytesSent:      n.bytesSent.Load(),
+		BytesReceived:  n.bytesReceived.Load(),
+		CorruptStreams: n.corruptStreams.Load(),
+		DroppedInject:  n.droppedInject.Load(),
+	}
+}
+
+// String renders the snapshot human-readably.
+func (m Metrics) String() string {
+	return fmt.Sprintf("fabric frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d droppedInject=%d",
+		m.FramesSent, m.FramesReceived, m.BytesSent, m.BytesReceived, m.CorruptStreams, m.DroppedInject)
 }
 
 var _ broker.Remote = (*Node)(nil)
@@ -184,6 +227,8 @@ func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []b
 	if _, err := peer.conn.Write(framed); err != nil {
 		return fmt.Errorf("fabric write body: %w", err)
 	}
+	n.framesSent.Add(1)
+	n.bytesSent.Add(int64(len(prefix) + len(hdrBuf.b) + len(framed)))
 	return nil
 }
 
@@ -198,6 +243,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		frameLen := binary.BigEndian.Uint32(prefix[0:])
 		hdrLen := binary.BigEndian.Uint32(prefix[4:])
 		if frameLen > MaxFrameSize || hdrLen+4 > frameLen {
+			n.corruptStreams.Add(1)
 			return // corrupt stream
 		}
 		payload := make([]byte, frameLen-4)
@@ -206,6 +252,7 @@ func (n *Node) readLoop(conn net.Conn) {
 		}
 		var wh wireHeader
 		if err := gob.NewDecoder(&sliceReader{b: payload[:hdrLen]}).Decode(&wh); err != nil {
+			n.corruptStreams.Add(1)
 			return
 		}
 		body := payload[hdrLen:]
@@ -220,11 +267,15 @@ func (n *Node) readLoop(conn net.Conn) {
 			WeightsVersion: wh.WeightsVersion,
 			Round:          wh.Round,
 		}
+		n.framesReceived.Add(1)
+		n.bytesReceived.Add(int64(len(prefix) + len(payload)))
 		n.mu.Lock()
 		b := n.broker
 		n.mu.Unlock()
 		if b != nil {
 			_ = b.InjectRemote(h, body)
+		} else {
+			n.droppedInject.Add(1)
 		}
 	}
 }

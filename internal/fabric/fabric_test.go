@@ -275,3 +275,67 @@ func TestConcurrentSendersOverFabric(t *testing.T) {
 		}
 	}
 }
+
+// TestNodeMetrics: a round trip shows up in both nodes' frame and byte
+// counters, with no corruption recorded.
+func TestNodeMetrics(t *testing.T) {
+	locator := StaticLocator{"a": 0, "b": 1}
+	node0, err := Listen(0, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen 0: %v", err)
+	}
+	node1, err := Listen(1, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen 1: %v", err)
+	}
+	b0 := broker.New(broker.Config{MachineID: 0, Remote: node0, Locator: locator})
+	b1 := broker.New(broker.Config{MachineID: 1, Remote: node1, Locator: locator})
+	node0.AttachBroker(b0)
+	node1.AttachBroker(b1)
+	if err := node0.Connect(1, node1.Addr()); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	defer func() {
+		b0.Stop()
+		b1.Stop()
+		node0.Stop()
+		node1.Stop()
+	}()
+
+	a, err := b0.Register("a")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	bp, err := b1.Register("b")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	payload := bytes.Repeat([]byte{9}, 5000)
+	if err := a.Send(message.New(message.TypeDummy, "a", []string{"b"}, &message.DummyPayload{Data: payload})); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := bp.Recv(); err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+
+	deadline := time.Now().Add(time.Second)
+	for {
+		sent, recv := node0.Metrics(), node1.Metrics()
+		if sent.FramesSent == 1 && recv.FramesReceived == 1 {
+			if sent.BytesSent < int64(len(payload)) || recv.BytesReceived != sent.BytesSent {
+				t.Fatalf("bytes sent/recv = %d/%d", sent.BytesSent, recv.BytesReceived)
+			}
+			if recv.CorruptStreams != 0 || recv.DroppedInject != 0 {
+				t.Fatalf("unexpected corruption/drops: %+v", recv)
+			}
+			if recv.String() == "" {
+				t.Fatal("empty Metrics.String()")
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never settled: sent=%+v recv=%+v", sent, recv)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

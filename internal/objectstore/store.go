@@ -7,16 +7,51 @@
 // router pin a body once per destination so that a broadcast (e.g. updated
 // DNN parameters to N explorers) is freed exactly after the last receiver
 // has copied it out.
+//
+// # Reference-count ownership contract
+//
+// The channel observes a strict pin/release discipline; every object's
+// reference count must return to zero on every path, including errors:
+//
+//   - The sender (Port.Send) calls Put with one reference per resolved
+//     destination (local names plus remote machines). From that moment each
+//     reference is owned by whichever stage currently holds the header for
+//     that destination.
+//   - The router (Broker.route) transfers one reference per local
+//     destination into that client's ID queue, and one per remote machine
+//     into the forwarder queue. If a destination is unknown, its queue is
+//     closed, or no Remote is configured, the router releases that
+//     destination's reference immediately — the drop is counted, never
+//     leaked.
+//   - The receiver (Port.Recv → materialize) owns the reference once the
+//     header is popped from its ID queue and must release it whether or not
+//     decompression/decoding succeeds.
+//   - The forwarder goroutine owns the remote reference and releases it
+//     after Remote.Forward returns, success or failure.
+//   - Broker.Stop drains undelivered headers from closed ID queues and
+//     releases their references, then asserts the store is drained
+//     (VerifyDrained) and records any leak in the broker metrics.
+//
+// The leak detector (Leaked, VerifyDrained) makes violations of this
+// contract observable: every entry records its insertion time, so objects
+// that outlive any plausible in-flight window can be reported with their ID,
+// size, refcount, and age.
 package objectstore
 
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 )
 
 // ErrNotFound is returned when an object ID is absent from the store.
 var ErrNotFound = errors.New("objectstore: object not found")
+
+// ErrNotDrained is returned by VerifyDrained when live objects remain.
+var ErrNotDrained = errors.New("objectstore: store not drained")
 
 // ID identifies an object in a store. IDs are unique per store for its
 // lifetime (monotonic, never reused).
@@ -34,11 +69,16 @@ type Stats struct {
 	TotalPut int64
 	// TotalReleased is the cumulative number of objects fully released.
 	TotalReleased int64
+	// ReleaseErrors is the cumulative number of Release calls on unknown
+	// IDs — each one is a double release or a release of a never-stored
+	// object, i.e. a refcount-discipline violation.
+	ReleaseErrors int64
 }
 
 type entry struct {
-	data []byte
-	refs int
+	data    []byte
+	refs    int
+	created time.Time
 }
 
 // Store is an in-memory object store with reference counting. It models the
@@ -67,7 +107,7 @@ func (s *Store) Put(data []byte, refs int) ID {
 	defer s.mu.Unlock()
 	s.next++
 	id := s.next
-	s.objects[id] = &entry{data: data, refs: refs}
+	s.objects[id] = &entry{data: data, refs: refs, created: time.Now()}
 	s.stats.Objects++
 	s.stats.Bytes += int64(len(data))
 	s.stats.TotalPut++
@@ -104,12 +144,14 @@ func (s *Store) Pin(id ID) error {
 }
 
 // Release decrements the object's reference count and frees it when the
-// count reaches zero. Releasing an unknown ID returns ErrNotFound.
+// count reaches zero. Releasing an unknown ID returns ErrNotFound and is
+// counted in Stats.ReleaseErrors.
 func (s *Store) Release(id ID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.objects[id]
 	if !ok {
+		s.stats.ReleaseErrors++
 		return fmt.Errorf("release %d: %w", id, ErrNotFound)
 	}
 	e.refs--
@@ -144,4 +186,55 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.objects)
+}
+
+// LeakRecord describes one live object in a leak report.
+type LeakRecord struct {
+	// ID is the object's store ID.
+	ID ID
+	// Refs is the object's current reference count.
+	Refs int
+	// Size is the object's byte length.
+	Size int
+	// Age is how long the object has been live.
+	Age time.Duration
+}
+
+// Leaked reports every live object older than olderThan, oldest first. With
+// olderThan <= 0 it reports all live objects. Under the ownership contract
+// above, any object that outlives the in-flight window of the channel is a
+// leak: either a reference was never released or a header was lost.
+func (s *Store) Leaked(olderThan time.Duration) []LeakRecord {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []LeakRecord
+	for id, e := range s.objects {
+		age := now.Sub(e.created)
+		if age >= olderThan {
+			out = append(out, LeakRecord{ID: id, Refs: e.refs, Size: len(e.data), Age: age})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Age > out[j].Age })
+	return out
+}
+
+// VerifyDrained returns nil when the store holds no live objects, and
+// otherwise an ErrNotDrained describing every live entry. Tests and
+// Broker.Stop use it to assert that all reference counts returned to zero.
+func (s *Store) VerifyDrained() error {
+	leaks := s.Leaked(0)
+	if len(leaks) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d live object(s):", len(leaks))
+	for i, l := range leaks {
+		if i == 8 {
+			fmt.Fprintf(&b, " …(+%d more)", len(leaks)-i)
+			break
+		}
+		fmt.Fprintf(&b, " [id=%d refs=%d size=%dB age=%v]", l.ID, l.Refs, l.Size, l.Age.Round(time.Millisecond))
+	}
+	return fmt.Errorf("%w: %s", ErrNotDrained, b.String())
 }

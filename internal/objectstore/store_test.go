@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestPutGet(t *testing.T) {
@@ -204,5 +205,65 @@ func BenchmarkPutGetRelease(b *testing.B) {
 		if err := s.Release(id); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestReleaseUnknownCountsError(t *testing.T) {
+	s := New()
+	id := s.Put([]byte("x"), 1)
+	if err := s.Release(id); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := s.Release(id); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Release = %v, want ErrNotFound", err)
+	}
+	if got := s.Stats().ReleaseErrors; got != 1 {
+		t.Fatalf("ReleaseErrors = %d, want 1", got)
+	}
+}
+
+func TestLeakedReportsAgedEntries(t *testing.T) {
+	s := New()
+	old := s.Put(make([]byte, 64), 2)
+	// Backdate the first entry so an age threshold separates the two.
+	s.mu.Lock()
+	s.objects[old].created = time.Now().Add(-time.Minute)
+	s.mu.Unlock()
+	fresh := s.Put(make([]byte, 32), 1)
+
+	all := s.Leaked(0)
+	if len(all) != 2 {
+		t.Fatalf("Leaked(0) = %d records, want 2", len(all))
+	}
+	if all[0].ID != old {
+		t.Fatalf("Leaked not ordered oldest-first: got id %d", all[0].ID)
+	}
+
+	aged := s.Leaked(10 * time.Second)
+	if len(aged) != 1 {
+		t.Fatalf("Leaked(10s) = %d records, want 1", len(aged))
+	}
+	r := aged[0]
+	if r.ID != old || r.Refs != 2 || r.Size != 64 || r.Age < 50*time.Second {
+		t.Fatalf("leak record = %+v", r)
+	}
+	_ = fresh
+}
+
+func TestVerifyDrained(t *testing.T) {
+	s := New()
+	if err := s.VerifyDrained(); err != nil {
+		t.Fatalf("VerifyDrained on empty store: %v", err)
+	}
+	id := s.Put([]byte("pinned"), 1)
+	err := s.VerifyDrained()
+	if !errors.Is(err, ErrNotDrained) {
+		t.Fatalf("VerifyDrained with live object = %v, want ErrNotDrained", err)
+	}
+	if err := s.Release(id); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := s.VerifyDrained(); err != nil {
+		t.Fatalf("VerifyDrained after release: %v", err)
 	}
 }

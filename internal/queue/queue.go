@@ -5,6 +5,11 @@
 // communication channel on: a monitoring goroutine blocks on Get and wakes
 // the moment a producer puts a new item, which is what makes the channel
 // event-driven rather than polled.
+//
+// Consumers wait on per-waiter channels rather than a shared condition
+// variable: each Put wakes exactly one blocked Get (FIFO), and a GetTimeout
+// deadline expires only its own waiter. A timeout therefore never causes a
+// thundering herd of unrelated consumers re-contending the queue lock.
 package queue
 
 import (
@@ -27,11 +32,19 @@ var ErrEmpty = errors.New("queue: empty")
 // ErrFull is returned by TryPut when a bounded queue is at capacity.
 var ErrFull = errors.New("queue: full")
 
+// waiter is one blocked consumer. ch is closed (under the queue lock) to
+// wake it; signaled records that the wakeup was delivered so a racing
+// timeout can tell a consumed slot from an expired one.
+type waiter struct {
+	ch       chan struct{}
+	signaled bool
+}
+
 // Queue is an unbounded (or bounded, see NewBounded) blocking FIFO.
 // The zero value is not usable; construct with New or NewBounded.
 type Queue[T any] struct {
 	mu       sync.Mutex
-	notEmpty *sync.Cond
+	waiters  []*waiter // blocked consumers, FIFO
 	notFull  *sync.Cond
 	items    []T
 	head     int
@@ -42,7 +55,6 @@ type Queue[T any] struct {
 // New returns an unbounded queue.
 func New[T any]() *Queue[T] {
 	q := &Queue[T]{}
-	q.notEmpty = sync.NewCond(&q.mu)
 	q.notFull = sync.NewCond(&q.mu)
 	return q
 }
@@ -58,6 +70,39 @@ func NewBounded[T any](capacity int) *Queue[T] {
 	return q
 }
 
+// wakeOne wakes the oldest blocked consumer, if any. Caller holds q.mu.
+func (q *Queue[T]) wakeOne() {
+	if len(q.waiters) == 0 {
+		return
+	}
+	w := q.waiters[0]
+	q.waiters[0] = nil
+	q.waiters = q.waiters[1:]
+	w.signaled = true
+	close(w.ch)
+}
+
+// wakeAll wakes every blocked consumer (Close). Caller holds q.mu.
+func (q *Queue[T]) wakeAll() {
+	for _, w := range q.waiters {
+		w.signaled = true
+		close(w.ch)
+	}
+	q.waiters = nil
+}
+
+// removeWaiter unregisters a waiter that gave up (timeout). Caller holds
+// q.mu. Reports whether the waiter was still registered.
+func (q *Queue[T]) removeWaiter(w *waiter) bool {
+	for i, other := range q.waiters {
+		if other == w {
+			q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // Put appends item, blocking while a bounded queue is full.
 // It returns ErrClosed if the queue is closed.
 func (q *Queue[T]) Put(item T) error {
@@ -70,7 +115,7 @@ func (q *Queue[T]) Put(item T) error {
 		return ErrClosed
 	}
 	q.push(item)
-	q.notEmpty.Signal()
+	q.wakeOne()
 	return nil
 }
 
@@ -86,7 +131,7 @@ func (q *Queue[T]) TryPut(item T) error {
 		return ErrFull
 	}
 	q.push(item)
-	q.notEmpty.Signal()
+	q.wakeOne()
 	return nil
 }
 
@@ -97,7 +142,11 @@ func (q *Queue[T]) Get() (T, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for q.size() == 0 && !q.closed {
-		q.notEmpty.Wait()
+		w := &waiter{ch: make(chan struct{})}
+		q.waiters = append(q.waiters, w)
+		q.mu.Unlock()
+		<-w.ch
+		q.mu.Lock()
 	}
 	return q.popLocked()
 }
@@ -117,6 +166,7 @@ func (q *Queue[T]) TryGet() (T, error) {
 }
 
 // GetTimeout behaves like Get but gives up after d, returning ErrTimeout.
+// Only the expiring caller wakes; other blocked consumers sleep on.
 func (q *Queue[T]) GetTimeout(d time.Duration) (T, error) {
 	deadline := time.Now().Add(d)
 	q.mu.Lock()
@@ -127,20 +177,26 @@ func (q *Queue[T]) GetTimeout(d time.Duration) (T, error) {
 			var zero T
 			return zero, ErrTimeout
 		}
-		q.waitTimeout(remaining)
+		w := &waiter{ch: make(chan struct{})}
+		q.waiters = append(q.waiters, w)
+		q.mu.Unlock()
+		timer := time.NewTimer(remaining)
+		select {
+		case <-w.ch:
+			timer.Stop()
+			q.mu.Lock()
+		case <-timer.C:
+			q.mu.Lock()
+			if !w.signaled {
+				// Expired unsignaled: unregister and report the timeout on
+				// the next loop iteration (remaining <= 0).
+				q.removeWaiter(w)
+			}
+			// If a wakeup raced the timer, the slot was consumed on our
+			// behalf; fall through and re-check the queue as a normal wake.
+		}
 	}
 	return q.popLocked()
-}
-
-// waitTimeout waits on notEmpty for at most d. The caller must hold q.mu.
-func (q *Queue[T]) waitTimeout(d time.Duration) {
-	timer := time.AfterFunc(d, func() {
-		q.mu.Lock()
-		q.notEmpty.Broadcast()
-		q.mu.Unlock()
-	})
-	q.notEmpty.Wait()
-	timer.Stop()
 }
 
 func (q *Queue[T]) popLocked() (T, error) {
@@ -175,6 +231,13 @@ func (q *Queue[T]) Len() int {
 	return q.size()
 }
 
+// waiterCount reports the number of blocked consumers (for tests).
+func (q *Queue[T]) waiterCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.waiters)
+}
+
 // Close marks the queue closed. Pending and future Puts fail with ErrClosed;
 // Gets drain remaining items and then fail with ErrClosed. Close is
 // idempotent.
@@ -185,7 +248,7 @@ func (q *Queue[T]) Close() {
 		return
 	}
 	q.closed = true
-	q.notEmpty.Broadcast()
+	q.wakeAll()
 	q.notFull.Broadcast()
 }
 

@@ -350,3 +350,113 @@ func BenchmarkContended(b *testing.B) {
 	q.Close()
 	<-done
 }
+
+// TestGetTimeoutDoesNotWakeOthers asserts the timeout path is private to
+// the expiring caller: an unrelated blocked Get stays asleep (its waiter
+// remains registered and unsignaled) across another consumer's timeout.
+func TestGetTimeoutDoesNotWakeOthers(t *testing.T) {
+	q := New[int]()
+	got := make(chan int, 1)
+	go func() {
+		v, err := q.Get()
+		if err != nil {
+			t.Errorf("Get: %v", err)
+			return
+		}
+		got <- v
+	}()
+	deadline := time.Now().Add(time.Second)
+	for q.waiterCount() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("blocked Get never registered a waiter")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	q.mu.Lock()
+	blocked := q.waiters[0]
+	q.mu.Unlock()
+
+	if _, err := q.GetTimeout(30 * time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("GetTimeout = %v, want ErrTimeout", err)
+	}
+
+	q.mu.Lock()
+	stillWaiting := len(q.waiters) == 1 && q.waiters[0] == blocked && !blocked.signaled
+	q.mu.Unlock()
+	if !stillWaiting {
+		t.Fatal("timeout disturbed an unrelated blocked Get")
+	}
+	if err := q.Put(42); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("Get = %d, want 42", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blocked Get did not wake after Put")
+	}
+}
+
+// TestPutWakesExactlyOneWaiter asserts a single Put releases one blocked
+// consumer, not the whole herd.
+func TestPutWakesExactlyOneWaiter(t *testing.T) {
+	q := New[int]()
+	const consumers = 4
+	var wg sync.WaitGroup
+	for i := 0; i < consumers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = q.Get() // one receives the item, the rest drain on Close
+		}()
+	}
+	deadline := time.Now().Add(time.Second)
+	for q.waiterCount() != consumers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d waiters registered", q.waiterCount(), consumers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := q.Put(1); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	deadline = time.Now().Add(time.Second)
+	for q.waiterCount() != consumers-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiters = %d after one Put, want %d", q.waiterCount(), consumers-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Hold briefly: no additional waiter may wake without an item.
+	time.Sleep(20 * time.Millisecond)
+	if n := q.waiterCount(); n != consumers-1 {
+		t.Fatalf("waiters = %d, want %d (spurious wakeups)", n, consumers-1)
+	}
+	q.Close()
+	wg.Wait()
+}
+
+// TestGetTimeoutRaceWithPut hammers the signal/timeout race: items put
+// right at the deadline must either be delivered or remain in the queue —
+// never stranded while a consumer times out AND the item is lost.
+func TestGetTimeoutRaceWithPut(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		q := New[int]()
+		done := make(chan bool, 1)
+		go func() {
+			_, err := q.GetTimeout(time.Duration(i%3) * time.Millisecond)
+			done <- err == nil
+		}()
+		time.Sleep(time.Duration(i%4) * 500 * time.Microsecond)
+		putOK := q.TryPut(7) == nil
+		received := <-done
+		if putOK && !received {
+			// The consumer timed out; the item must still be retrievable.
+			if v, err := q.TryGet(); err != nil || v != 7 {
+				t.Fatalf("iter %d: item stranded: v=%d err=%v", i, v, err)
+			}
+		}
+	}
+}

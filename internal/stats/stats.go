@@ -51,40 +51,66 @@ func (m *Meter) Snapshot() (events, bytes int64, perSec, bytesPerSec float64) {
 }
 
 // Histogram collects duration samples for percentile and CDF reporting.
+// An unbounded histogram (NewHistogram) keeps every sample; a bounded one
+// (NewBoundedHistogram) keeps a uniform reservoir, so it can sit on an
+// always-on hot path (e.g. the broker's send→recv latency tracking) without
+// growing with traffic. Count and Mean are exact in both modes; percentiles
+// and CDFs are computed over the reservoir.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []time.Duration
+	max     int   // 0 = unbounded
+	count   int64 // total observations (exact)
+	sum     time.Duration
+	rng     uint64 // xorshift state for reservoir replacement
 }
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram that keeps every sample.
 func NewHistogram() *Histogram { return &Histogram{} }
+
+// NewBoundedHistogram returns a histogram that retains at most max samples
+// via reservoir sampling (max < 1 falls back to 1024).
+func NewBoundedHistogram(max int) *Histogram {
+	if max < 1 {
+		max = 1024
+	}
+	return &Histogram{max: max, rng: 0x9e3779b97f4a7c15}
+}
 
 // Observe records one duration sample.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.samples = append(h.samples, d)
+	h.count++
+	h.sum += d
+	if h.max == 0 || len(h.samples) < h.max {
+		h.samples = append(h.samples, d)
+		return
+	}
+	// Algorithm R: keep each observation with probability max/count.
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	if idx := h.rng % uint64(h.count); idx < uint64(h.max) {
+		h.samples[idx] = d
+	}
 }
 
-// Count returns the number of samples.
+// Count returns the number of observations (not the retained sample size).
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.count)
 }
 
-// Mean returns the arithmetic mean of all samples (0 when empty).
+// Mean returns the arithmetic mean of all observations (0 when empty).
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	var total time.Duration
-	for _, s := range h.samples {
-		total += s
-	}
-	return total / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.count)
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 100) by nearest-rank.
@@ -191,16 +217,29 @@ func (s *Series) PerSecond() []float64 {
 }
 
 // Mean returns the average per-second rate across all complete buckets.
+// The bucket currently being filled is excluded — averaging it as if the
+// full bucket width had elapsed would understate the rate — unless it is
+// the only bucket, in which case it is used as a best-effort estimate.
 func (s *Series) Mean() float64 {
-	rates := s.PerSecond()
-	if len(rates) == 0 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.started || len(s.counts) == 0 {
 		return 0
 	}
-	var sum float64
-	for _, r := range rates {
-		sum += r
+	// Buckets strictly before the current wall-time bucket are complete.
+	complete := int(time.Since(s.start) / s.bucket)
+	n := len(s.counts)
+	if complete < n {
+		n = complete
 	}
-	return sum / float64(len(rates))
+	if n <= 0 {
+		n = len(s.counts) // only the open bucket exists: fall back to it
+	}
+	var sum float64
+	for _, c := range s.counts[:n] {
+		sum += c
+	}
+	return sum / s.bucket.Seconds() / float64(n)
 }
 
 // FormatBytes renders a byte count human-readably for experiment output.

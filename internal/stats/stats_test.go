@@ -155,3 +155,65 @@ func TestPropertyPercentileWithinRange(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSeriesMeanExcludesOpenBucket: the bucket still being filled must not
+// drag the mean down as if its full width had elapsed.
+func TestSeriesMeanExcludesOpenBucket(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.mu.Lock()
+	s.started = true
+	// 2.5 bucket-widths elapsed: buckets 0 and 1 complete, bucket 2 open.
+	s.start = time.Now().Add(-2500 * time.Millisecond)
+	s.counts = []float64{10, 20, 5}
+	s.mu.Unlock()
+	got := s.Mean()
+	want := (10.0 + 20.0) / 2
+	if got < want-0.01 || got > want+0.01 {
+		t.Fatalf("Mean = %v, want %v (open bucket excluded)", got, want)
+	}
+}
+
+func TestSeriesMeanFallsBackToOnlyBucket(t *testing.T) {
+	s := NewSeries(time.Hour)
+	s.Add(3600) // the single, still-open bucket
+	got := s.Mean()
+	want := 3600.0 / 3600.0
+	if got < want-0.01 || got > want+0.01 {
+		t.Fatalf("Mean = %v, want %v (single open bucket fallback)", got, want)
+	}
+}
+
+func TestSeriesMeanEmpty(t *testing.T) {
+	if got := NewSeries(time.Second).Mean(); got != 0 {
+		t.Fatalf("Mean on empty series = %v, want 0", got)
+	}
+}
+
+// TestBoundedHistogram: the reservoir caps retained samples while Count and
+// Mean stay exact and percentiles stay within the observed range.
+func TestBoundedHistogram(t *testing.T) {
+	h := NewBoundedHistogram(64)
+	const n = 10_000
+	var sum time.Duration
+	for i := 1; i <= n; i++ {
+		d := time.Duration(i) * time.Microsecond
+		h.Observe(d)
+		sum += d
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	if got, want := h.Mean(), sum/n; got != want {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	h.mu.Lock()
+	retained := len(h.samples)
+	h.mu.Unlock()
+	if retained > 64 {
+		t.Fatalf("retained %d samples, want <= 64", retained)
+	}
+	p50 := h.Percentile(50)
+	if p50 < time.Microsecond || p50 > n*time.Microsecond {
+		t.Fatalf("P50 = %v outside observed range", p50)
+	}
+}
