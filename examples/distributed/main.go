@@ -92,9 +92,13 @@ func run() error {
 	learner.Start()
 	explorer.Start()
 
+	// NewTimer + Stop rather than time.After: the 2-minute timer would
+	// otherwise keep its allocation alive long after the run completes.
+	limit := time.NewTimer(2 * time.Minute)
+	defer limit.Stop()
 	select {
 	case <-learner.Done():
-	case <-time.After(2 * time.Minute):
+	case <-limit.C:
 		fmt.Println("wall-clock limit reached")
 	}
 

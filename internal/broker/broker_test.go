@@ -157,12 +157,14 @@ func TestStopUnblocksReceivers(t *testing.T) {
 	}()
 	time.Sleep(10 * time.Millisecond)
 	b.Stop()
+	timer := time.NewTimer(time.Second)
+	defer timer.Stop()
 	select {
 	case err := <-done:
 		if !errors.Is(err, queue.ErrClosed) {
 			t.Fatalf("Recv after Stop = %v, want ErrClosed", err)
 		}
-	case <-time.After(time.Second):
+	case <-timer.C:
 		t.Fatal("Recv did not unblock after Stop")
 	}
 	b.Stop() // idempotent
@@ -430,12 +432,14 @@ func TestUnregisterClosesQueue(t *testing.T) {
 	}()
 	time.Sleep(10 * time.Millisecond)
 	b.Unregister("r")
+	timer := time.NewTimer(time.Second)
+	defer timer.Stop()
 	select {
 	case err := <-done:
 		if !errors.Is(err, queue.ErrClosed) {
 			t.Fatalf("Recv after Unregister = %v, want ErrClosed", err)
 		}
-	case <-time.After(time.Second):
+	case <-timer.C:
 		t.Fatal("Recv did not unblock after Unregister")
 	}
 	// The name is reusable afterwards.

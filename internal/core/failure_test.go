@@ -121,9 +121,11 @@ func TestAlgorithmErrorStopsLearner(t *testing.T) {
 		t.Fatalf("NewSession: %v", err)
 	}
 	s.Start()
+	timer := time.NewTimer(3 * time.Second)
+	defer timer.Stop()
 	select {
 	case <-s.Learner().Done():
-	case <-time.After(3 * time.Second):
+	case <-timer.C:
 		t.Fatal("learner did not stop on training error")
 	}
 	s.Stop()

@@ -216,19 +216,19 @@ func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []b
 	binary.BigEndian.PutUint32(prefix[0:], uint32(frameLen))
 	binary.BigEndian.PutUint32(prefix[4:], uint32(len(hdrBuf.b)))
 
+	// One vectored write per frame: prefix, header, and body go out in a
+	// single writev, so a frame is never interleaved with another sender's
+	// bytes and the connection mutex is held for one syscall, not three.
+	total := int64(len(prefix) + len(hdrBuf.b) + len(framed))
+	bufs := net.Buffers{prefix, hdrBuf.b, framed}
 	peer.mu.Lock()
 	defer peer.mu.Unlock()
-	if _, err := peer.conn.Write(prefix); err != nil {
+	//lint:ignore lockhold frame writes must serialize per connection; peer.mu exists to guard exactly this write
+	if _, err := bufs.WriteTo(peer.conn); err != nil {
 		return fmt.Errorf("fabric write: %w", err)
 	}
-	if _, err := peer.conn.Write(hdrBuf.b); err != nil {
-		return fmt.Errorf("fabric write header: %w", err)
-	}
-	if _, err := peer.conn.Write(framed); err != nil {
-		return fmt.Errorf("fabric write body: %w", err)
-	}
 	n.framesSent.Add(1)
-	n.bytesSent.Add(int64(len(prefix) + len(hdrBuf.b) + len(framed)))
+	n.bytesSent.Add(total)
 	return nil
 }
 

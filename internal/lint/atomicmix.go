@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runAtomicmix enforces the two atomicity rules the channel's lock-free
+// health counters depend on:
+//
+//  1. A struct bearing sync/atomic fields (atomic.Int64 and friends,
+//     directly or through nested structs/arrays) is never copied by value —
+//     value receivers, assignments from variables/fields/dereferences,
+//     by-value call arguments and returns, and range-value copies are all
+//     flagged. A copied atomic is a new, disconnected counter.
+//
+//  2. No field mixes atomic access (atomic.AddInt64(&s.f, …) style) with
+//     plain reads or writes in the same package: mixed access is a data
+//     race the race detector only catches when both sides happen to run.
+func runAtomicmix(p *Pass) {
+	am := &amScope{p: p, memo: make(map[types.Type]bool)}
+	for _, file := range p.Files {
+		am.checkCopies(file)
+	}
+	am.checkMixedAccess()
+}
+
+type amScope struct {
+	p    *Pass
+	memo map[types.Type]bool
+}
+
+// atomicValueTypes are the sync/atomic wrapper types whose identity a copy
+// silently forks.
+var atomicValueTypes = map[string]bool{
+	"Int32": true, "Int64": true, "Uint32": true, "Uint64": true,
+	"Uintptr": true, "Bool": true, "Value": true, "Pointer": true,
+}
+
+// bearsAtomic reports whether t contains a sync/atomic value type,
+// directly or through nested structs and arrays.
+func (am *amScope) bearsAtomic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if v, ok := am.memo[t]; ok {
+		return v
+	}
+	am.memo[t] = false // cycle guard
+	result := false
+	switch tt := t.(type) {
+	case *types.Named:
+		obj := tt.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Name() == "atomic" && atomicValueTypes[obj.Name()] {
+			result = true
+		} else {
+			result = am.bearsAtomic(tt.Underlying())
+		}
+	case *types.Struct:
+		for i := 0; i < tt.NumFields(); i++ {
+			if am.bearsAtomic(tt.Field(i).Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = am.bearsAtomic(tt.Elem())
+	}
+	am.memo[t] = result
+	return result
+}
+
+// copiedExpr reports whether e is a form whose evaluation copies an
+// existing value (identifier, field, dereference, index) rather than
+// constructing a fresh one.
+func copiedExpr(e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (am *amScope) checkCopies(file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Recv != nil && len(n.Recv.List) == 1 {
+				rt := am.p.Info.TypeOf(n.Recv.List[0].Type)
+				if rt != nil {
+					if _, isPtr := rt.(*types.Pointer); !isPtr && am.bearsAtomic(rt) {
+						am.p.Reportf(n.Pos(),
+							"method %s has a value receiver of atomic-bearing type %s; a copy forks its counters — use a pointer receiver",
+							n.Name.Name, rt)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				am.checkCopyExpr(rhs, "assignment")
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				am.checkCopyExpr(v, "assignment")
+			}
+		case *ast.CallExpr:
+			f := calleeFunc(am.p.Info, n)
+			if f != nil && f.Pkg() != nil && f.Pkg().Name() == "atomic" {
+				return true // atomic.* calls take &x.f; not a copy
+			}
+			for _, arg := range n.Args {
+				am.checkCopyExpr(arg, "call argument")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				am.checkCopyExpr(r, "return value")
+			}
+		case *ast.RangeStmt:
+			if n.Value != nil {
+				if vt := am.p.Info.TypeOf(n.Value); vt != nil && am.bearsAtomic(vt) {
+					am.p.Reportf(n.Value.Pos(),
+						"range copies atomic-bearing %s values; iterate by index or over pointers", vt)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (am *amScope) checkCopyExpr(e ast.Expr, what string) {
+	if !copiedExpr(e) {
+		return
+	}
+	t := am.p.Info.TypeOf(e)
+	if t == nil || !am.bearsAtomic(t) {
+		return
+	}
+	if _, isPtr := t.(*types.Pointer); isPtr {
+		return
+	}
+	am.p.Reportf(e.Pos(),
+		"%s copies atomic-bearing %s by value; a copy forks its counters — share a pointer instead", what, t)
+}
+
+// checkMixedAccess flags fields that are the target of sync/atomic function
+// calls (atomic.AddInt64(&s.f, …)) while also being read or written plainly
+// elsewhere in the package.
+func (am *amScope) checkMixedAccess() {
+	atomicFields := make(map[types.Object]struct {
+		fn   string
+		line int
+	})
+	atomicSites := make(map[*ast.SelectorExpr]bool)
+
+	for _, file := range am.p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := calleeFunc(am.p.Info, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Name() != "atomic" || !isAtomicAccessFunc(f.Name()) {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || addr.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(addr.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := am.p.Info.ObjectOf(sel.Sel)
+			if obj == nil {
+				return true
+			}
+			if v, isVar := obj.(*types.Var); !isVar || !v.IsField() {
+				return true
+			}
+			atomicSites[sel] = true
+			if _, seen := atomicFields[obj]; !seen {
+				atomicFields[obj] = struct {
+					fn   string
+					line int
+				}{f.Name(), am.p.Fset.Position(call.Pos()).Line}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, file := range am.p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSites[sel] {
+				return true
+			}
+			obj := am.p.Info.ObjectOf(sel.Sel)
+			if obj == nil {
+				return true
+			}
+			if site, ok := atomicFields[obj]; ok {
+				am.p.Reportf(sel.Pos(),
+					"field %s is accessed with atomic.%s (line %d) and plainly here; every access must use the same discipline",
+					exprString(sel), site.fn, site.line)
+			}
+			return true
+		})
+	}
+}
+
+// isAtomicAccessFunc reports whether name is a sync/atomic free function
+// that reads or writes through a pointer.
+func isAtomicAccessFunc(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}

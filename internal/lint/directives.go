@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint: comment.
+type directive struct {
+	pos       token.Pos
+	file      string
+	line      int
+	verb      string // "ignore" or "owns"
+	analyzer  string // ignore only
+	reason    string
+	malformed bool // recorded by validateDirectives; malformed ignores never suppress
+}
+
+// parseDirectives extracts every //lint: comment from the files. The
+// supported forms are:
+//
+//	//lint:ignore <analyzer> <reason>  — suppress matching findings on this
+//	                                     line or the next line
+//	//lint:owns <reason>               — mark the enclosing function as
+//	                                     transferring ownership of acquired
+//	                                     object-store references
+func parseDirectives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				d := directive{pos: c.Pos(), file: pos.Filename, line: pos.Line}
+				fields := strings.Fields(text)
+				if len(fields) > 0 {
+					d.verb = fields[0]
+				}
+				switch d.verb {
+				case "ignore":
+					if len(fields) > 1 {
+						d.analyzer = fields[1]
+					}
+					if len(fields) > 2 {
+						d.reason = strings.Join(fields[2:], " ")
+					}
+				default:
+					if len(fields) > 1 {
+						d.reason = strings.Join(fields[1:], " ")
+					}
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// validateDirectives reports malformed //lint: comments as findings under
+// the "directive" pseudo-analyzer: unknown verbs, unknown analyzer names in
+// an ignore, and ignores or owns markers with no reason. A suppression that
+// cannot explain itself is itself a contract violation.
+func validateDirectives(p *Pass) {
+	known := KnownAnalyzers()
+	for i := range p.directives {
+		d := &p.directives[i]
+		switch d.verb {
+		case "ignore":
+			if !known[d.analyzer] {
+				d.malformed = true
+				if d.analyzer == "" {
+					p.reportAs(DirectiveAnalyzer, d.pos, "//lint:ignore is missing an analyzer name")
+				} else {
+					p.reportAs(DirectiveAnalyzer, d.pos, "//lint:ignore names unknown analyzer %q", d.analyzer)
+				}
+				continue
+			}
+			if d.reason == "" {
+				d.malformed = true
+				p.reportAs(DirectiveAnalyzer, d.pos, "//lint:ignore %s is missing a reason", d.analyzer)
+			}
+		case "owns":
+			if d.reason == "" {
+				d.malformed = true
+				p.reportAs(DirectiveAnalyzer, d.pos, "//lint:owns is missing a reason (name the new owner of the reference)")
+			}
+		default:
+			d.malformed = true
+			p.reportAs(DirectiveAnalyzer, d.pos, "unknown //lint: directive %q (known: ignore, owns)", d.verb)
+		}
+	}
+}
+
+// suppress drops findings covered by a well-formed //lint:ignore directive
+// on the finding's line or the line directly above it. Directive-validation
+// findings are never suppressible.
+func suppress(findings []Finding, directives []directive) []Finding {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool)
+	for _, d := range directives {
+		if d.verb != "ignore" || d.malformed {
+			continue
+		}
+		covered[key{d.file, d.line, d.analyzer}] = true
+		covered[key{d.file, d.line + 1, d.analyzer}] = true
+	}
+	var out []Finding
+	for _, f := range findings {
+		if f.Analyzer != DirectiveAnalyzer && covered[key{f.Pos.Filename, f.Pos.Line, f.Analyzer}] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// ownsMarked reports whether a //lint:owns directive falls inside [lo, hi]
+// (a function body or declaration span, doc comment included).
+func ownsMarked(p *Pass, lo, hi token.Pos) bool {
+	for _, d := range p.directives {
+		if d.verb == "owns" && d.pos >= lo && d.pos <= hi {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDriverEndToEnd exercises the go-list/export-data pipeline on a scratch
+// module: Load must type-check against real stdlib export data and the suite
+// must surface a seeded lockhold violation. Skipped when the go tool is
+// unavailable (the golden tests above cover the analyzers hermetically).
+func TestDriverEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-tool integration test in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratchlint\n\ngo 1.22\n")
+	write("a.go", `package a
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Bad() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+
+func (s *S) Good() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+`)
+
+	passes, err := Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(passes) != 1 {
+		t.Fatalf("Load returned %d passes, want 1", len(passes))
+	}
+	findings := Run(passes)
+	if len(findings) != 1 {
+		t.Fatalf("Run returned %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "lockhold" || f.Pos.Line != 12 || !strings.Contains(f.Message, "time.Sleep") {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

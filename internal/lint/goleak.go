@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// goleakPackages are the package names in which every goroutine literal must
+// observe a stop signal. These are the packages owning long-lived channel
+// infrastructure; DESIGN.md §5 requires every long-lived goroutine there to
+// be owned by a struct with Start/Stop and waited on.
+var goleakPackages = map[string]bool{
+	"broker": true,
+	"fabric": true,
+	"core":   true,
+}
+
+// runGoleak reports `go func` literals in the broker, fabric, and core
+// packages whose body shows no evidence of shutdown discipline. Accepted
+// evidence (any one):
+//
+//   - a sync.WaitGroup Done/Wait call (typically `defer wg.Done()`),
+//   - a channel receive or a select statement (the goroutine can observe a
+//     stop/closed channel),
+//   - a close() of a channel (the done-channel completion signal, paired
+//     with a waiter elsewhere, as in Broker.New's router goroutine),
+//   - a call whose error return is the loop exit on a closed queue — the
+//     queue Get family returns ErrClosed at shutdown.
+func runGoleak(p *Pass) {
+	if !goleakPackages[p.Pkg.Name()] {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := gs.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			if !glObservesStop(p, lit) {
+				p.Reportf(gs.Pos(),
+					"goroutine literal observes no stop signal (no WaitGroup Done/Wait, done-channel receive or close, select, or queue Get loop); it cannot be shut down")
+			}
+			return true
+		})
+	}
+}
+
+// glObservesStop scans a goroutine literal body for shutdown evidence.
+func glObservesStop(p *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.SelectStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if tv, ok := p.Info.Types[n.Args[0]]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						found = true
+					}
+				}
+			}
+			f := calleeFunc(p.Info, n)
+			if isMethodOn(f, "sync", "WaitGroup", "Done", "Wait") {
+				found = true
+			}
+			if isMethodOn(f, "queue", "Queue", "Get", "GetTimeout", "TryGet") {
+				found = true // returns ErrClosed at shutdown; loop exits on err
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runHeadershare enforces the per-destination header-copy rule: a
+// *message.Header must never be shared across destinations. Two shapes are
+// checked:
+//
+//  1. Inside a loop, a header pointer handed to a queue Put/TryPut or a
+//     channel send must point at a variable declared inside that loop body
+//     (a fresh per-destination copy). Pushing the loop-invariant header
+//     gives every receiver the same mutable struct.
+//  2. A `go func` literal must not capture a *message.Header variable
+//     declared outside the literal — the goroutine would alias header state
+//     with the spawning thread.
+func runHeadershare(p *Pass) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				hsCheckLoopBody(p, n.Body)
+			case *ast.RangeStmt:
+				hsCheckLoopBody(p, n.Body)
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					hsCheckGoCapture(p, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// hsCheckLoopBody flags header pointers escaping into queue sends from
+// inside a loop unless they point at loop-local storage. Nested loops are
+// visited again by the outer Inspect; to attribute each send to its
+// innermost loop, sends inside a nested loop are skipped here.
+func hsCheckLoopBody(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false // handled on their own visit
+		case *ast.CallExpr:
+			f := calleeFunc(p.Info, n)
+			if isMethodOn(f, "queue", "Queue", "Put", "TryPut") {
+				for _, arg := range n.Args {
+					hsCheckEscape(p, arg, body, "queue "+f.Name())
+				}
+			}
+		case *ast.SendStmt:
+			hsCheckEscape(p, n.Value, body, "channel send")
+		}
+		return true
+	})
+}
+
+// hsCheckEscape walks arg for *message.Header-typed subexpressions used as
+// values (composite-literal fields, call arguments, the sent value itself)
+// and reports those not rooted in a variable declared inside body. Reading a
+// field *through* a header (h.ObjectID) does not share the header, so bases
+// of selector expressions are not considered escapes.
+func hsCheckEscape(p *Pass, arg ast.Expr, body *ast.BlockStmt, sink string) {
+	var visit func(e ast.Expr)
+	visit = func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if e == nil {
+			return
+		}
+		if isHeaderPointer(p, e) {
+			if !hsIsSafe(p, e, body.Pos(), body.End()) {
+				p.Reportf(e.Pos(),
+					"*message.Header %s is pushed to a %s inside a loop; give each destination its own copy (hc := *h)",
+					exprString(e), sink)
+			}
+			return
+		}
+		switch e := e.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					visit(kv.Value)
+				} else {
+					visit(elt)
+				}
+			}
+		case *ast.CallExpr:
+			for _, a := range e.Args {
+				visit(a)
+			}
+		case *ast.UnaryExpr:
+			visit(e.X)
+		case *ast.StarExpr:
+			visit(e.X)
+		case *ast.SelectorExpr:
+			// Field read through a header: the header itself does not escape.
+		}
+	}
+	visit(arg)
+}
+
+// isHeaderPointer reports whether e's type is *message.Header.
+func isHeaderPointer(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok {
+		return false
+	}
+	ptr, ok := tv.Type.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isNamedType(ptr.Elem(), "message", "Header")
+}
+
+// hsIsSafe reports whether header pointer e is a fresh per-destination
+// value: the address of a variable or composite literal created inside the
+// loop body [lo,hi], a pointer variable declared inside it, or the result of
+// a call (a constructor returning a fresh header).
+func hsIsSafe(p *Pass, e ast.Expr, lo, hi token.Pos) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return false
+		}
+		switch x := ast.Unparen(e.X).(type) {
+		case *ast.Ident:
+			return isLocalObj(p, x, lo, hi)
+		case *ast.CompositeLit:
+			return true // &message.Header{...}: fresh storage
+		}
+		return false
+	case *ast.Ident:
+		return isLocalObj(p, e, lo, hi)
+	case *ast.CallExpr:
+		return true // constructor result: fresh header per call
+	}
+	return false
+}
+
+func isLocalObj(p *Pass, id *ast.Ident, lo, hi token.Pos) bool {
+	obj := p.Info.ObjectOf(id)
+	return obj != nil && obj.Pos() >= lo && obj.Pos() <= hi
+}
+
+// hsCheckGoCapture flags free *message.Header variables referenced by a
+// goroutine literal.
+func hsCheckGoCapture(p *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true // a field selection reads through its base, not a capture
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true // declared inside the literal (params included)
+		}
+		if ptr, ok := v.Type().(*types.Pointer); ok && isNamedType(ptr.Elem(), "message", "Header") {
+			p.Reportf(id.Pos(),
+				"goroutine captures *message.Header %s from the enclosing function; pass a copy instead",
+				id.Name)
+		}
+		return true
+	})
+}

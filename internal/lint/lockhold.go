@@ -1,0 +1,263 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// runLockhold reports blocking calls made while a sync.Mutex or sync.RWMutex
+// acquired in the same function is still held. The channel's hot paths keep
+// broker locks strictly for map/slice manipulation; parking a goroutine
+// while holding one serializes the whole channel (and can deadlock against
+// the waker, which may need the same lock).
+//
+// Blocking operations: queue.Queue Put/Get/GetTimeout, channel send and
+// receive, select without a default clause, time.Sleep, sync.WaitGroup.Wait,
+// net I/O (methods on net types, net.Dial*, io.ReadFull/ReadAll/Copy).
+// sync.Cond.Wait is exempt — it atomically releases the mutex it wraps.
+//
+// Lock state is tracked lexically and per-branch: a Lock in a branch does
+// not poison the code after the branch, and goroutine/callback literals
+// start with no locks held.
+func runLockhold(p *Pass) {
+	for _, file := range p.Files {
+		funcScopes(file, func(body *ast.BlockStmt, _ *ast.FuncDecl) {
+			lh := &lhScope{p: p}
+			lh.walkStmts(body.List, newHeldSet())
+		})
+	}
+}
+
+// heldSet maps a rendered mutex expression (e.g. "q.mu") to the position of
+// the Lock call that acquired it.
+type heldSet map[string]token.Pos
+
+func newHeldSet() heldSet { return make(heldSet) }
+
+func (h heldSet) clone() heldSet {
+	c := make(heldSet, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// any returns an arbitrary-but-deterministic held mutex (the earliest
+// acquired) for the finding message.
+func (h heldSet) any() (string, token.Pos) {
+	var name string
+	var pos token.Pos
+	for k, v := range h {
+		if name == "" || v < pos {
+			name, pos = k, v
+		}
+	}
+	return name, pos
+}
+
+type lhScope struct {
+	p *Pass
+}
+
+func (lh *lhScope) walkStmts(list []ast.Stmt, held heldSet) {
+	for _, s := range list {
+		lh.walkStmt(s, held)
+	}
+}
+
+func (lh *lhScope) walkStmt(s ast.Stmt, held heldSet) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		lh.walkExpr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lh.walkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			lh.walkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		lh.walkExpr(s, held)
+	case *ast.DeferStmt:
+		// defer x.Unlock() releases at return; it does not change the held
+		// state of the code that follows. Deferred literals run at exit with
+		// an unknowable lock state; analyze them lock-free.
+		for _, a := range s.Call.Args {
+			lh.walkExpr(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lh.walkStmts(lit.Body.List, newHeldSet())
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			lh.walkExpr(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lh.walkStmts(lit.Body.List, newHeldSet())
+		}
+	case *ast.SendStmt:
+		lh.walkExpr(s.Chan, held)
+		lh.walkExpr(s.Value, held)
+		lh.reportBlocked(s.Arrow, "channel send", held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lh.walkExpr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lh.walkStmt(s.Init, held)
+		}
+		lh.walkExpr(s.Cond, held)
+		lh.walkStmts(s.Body.List, held.clone())
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			lh.walkStmts(e.List, held.clone())
+		case *ast.IfStmt:
+			lh.walkStmt(e, held.clone())
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			lh.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			lh.walkExpr(s.Cond, held)
+		}
+		body := held.clone()
+		lh.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			lh.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		lh.walkExpr(s.X, held)
+		lh.walkStmts(s.Body.List, held.clone())
+	case *ast.BlockStmt:
+		lh.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		lh.walkStmt(s.Stmt, held)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lh.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			lh.walkExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lh.walkStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				lh.walkStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			lh.reportBlocked(s.Select, "select with no default", held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				lh.walkStmts(cc.Body, held.clone())
+			}
+		}
+	case *ast.IncDecStmt:
+		lh.walkExpr(s.X, held)
+	}
+}
+
+// reportBlocked emits a finding when any mutex is held at a blocking
+// operation.
+func (lh *lhScope) reportBlocked(pos token.Pos, what string, held heldSet) {
+	if len(held) == 0 {
+		return
+	}
+	name, lockPos := held.any()
+	lh.p.Reportf(pos, "blocking %s while holding %s (locked at line %d)",
+		what, name, lh.p.Fset.Position(lockPos).Line)
+}
+
+// walkExpr scans an expression for Lock/Unlock transitions, blocking calls,
+// and channel receives. FuncLits start their own lock-free scope.
+func (lh *lhScope) walkExpr(n ast.Node, held heldSet) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			lh.walkStmts(m.Body.List, newHeldSet())
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				lh.reportBlocked(m.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			lh.call(m, held)
+		}
+		return true
+	})
+}
+
+func (lh *lhScope) call(call *ast.CallExpr, held heldSet) {
+	f := calleeFunc(lh.p.Info, call)
+	if f == nil {
+		return
+	}
+	// Lock-state transitions on sync.Mutex / sync.RWMutex.
+	if isMethodOn(f, "sync", "Mutex", "Lock", "TryLock") ||
+		isMethodOn(f, "sync", "RWMutex", "Lock", "RLock", "TryLock", "TryRLock") {
+		if recv := lockRecvExpr(call); recv != "" {
+			held[recv] = call.Pos()
+		}
+		return
+	}
+	if isMethodOn(f, "sync", "Mutex", "Unlock") ||
+		isMethodOn(f, "sync", "RWMutex", "Unlock", "RUnlock") {
+		if recv := lockRecvExpr(call); recv != "" {
+			delete(held, recv)
+		}
+		return
+	}
+	if isMethodOn(f, "sync", "Cond", "Wait") {
+		return // Cond.Wait releases its mutex while parked
+	}
+	if desc := blockingCallDesc(f); desc != "" {
+		lh.reportBlocked(call.Pos(), desc, held)
+	}
+}
+
+// lockRecvExpr renders the receiver of a Lock/Unlock call ("q.mu").
+func lockRecvExpr(call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return exprString(sel.X)
+}
+
+// blockingCallDesc describes f when it is a known blocking call, or "".
+func blockingCallDesc(f *types.Func) string {
+	switch {
+	case isMethodOn(f, "queue", "Queue", "Put", "Get", "GetTimeout"):
+		return "queue." + f.Name()
+	case isPkgFunc(f, "time", "Sleep"):
+		return "time.Sleep"
+	case isMethodOn(f, "sync", "WaitGroup", "Wait"):
+		return "WaitGroup.Wait"
+	case isMethodOnPkgType(f, "net", "Read", "Write", "ReadFrom", "WriteTo", "Accept"):
+		return "net I/O (" + f.Name() + ")"
+	case isPkgFunc(f, "net", "Dial", "DialTimeout", "DialTCP", "DialUDP"):
+		return "net." + f.Name()
+	case isPkgFunc(f, "io", "ReadFull", "ReadAll", "Copy", "CopyN", "CopyBuffer"):
+		return "io." + f.Name()
+	}
+	return ""
+}

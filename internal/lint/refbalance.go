@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// runRefbalance enforces DESIGN.md §5a: every objectstore.Store.Get/Pin in a
+// function must be matched by a Release of the same ID expression on every
+// path that leaves the region where the reference is held — each return
+// after the acquire, the end of the enclosing loop body (the reference must
+// not survive into the next iteration), and the fall-off end of the
+// function. A deferred Release covers all paths. Functions that hand the
+// reference to a new owner (another queue, a struct, a callee) declare it
+// with `//lint:owns <reason>`.
+//
+// The analysis is lexical, not a full CFG: a Release anywhere between the
+// acquire and an exit satisfies that exit. The store-miss exemption of the
+// contract ("a failed Get holds nothing") is honoured by treating the
+// idiomatic `x, err := store.Get(id); if err != nil { ... }` error check as
+// part of the acquire.
+func runRefbalance(p *Pass) {
+	for _, file := range p.Files {
+		funcScopes(file, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
+			lo := body.Pos()
+			if decl != nil {
+				lo = decl.Pos()
+				if decl.Doc != nil {
+					lo = decl.Doc.Pos()
+				}
+			}
+			if ownsMarked(p, lo, body.End()) {
+				return
+			}
+			rb := &rbScope{p: p}
+			rb.walkStmts(body.List, token.NoPos, false)
+			rb.check(body)
+		})
+	}
+}
+
+type rbAcquire struct {
+	pos     token.Pos
+	effPos  token.Pos // position after which the reference is held for sure
+	kind    string    // "Get" or "Pin"
+	id      string    // rendered ID argument
+	loopEnd token.Pos // end of the innermost enclosing loop body, or NoPos
+}
+
+type rbRelease struct {
+	pos      token.Pos
+	id       string
+	deferred bool
+}
+
+type rbScope struct {
+	p        *Pass
+	acquires []rbAcquire
+	releases []rbRelease
+	returns  []token.Pos
+}
+
+// walkStmts processes a statement list in lexical order. loopEnd is the end
+// of the innermost enclosing loop body; deferred marks statements inside a
+// deferred call.
+func (rb *rbScope) walkStmts(list []ast.Stmt, loopEnd token.Pos, deferred bool) {
+	for i, s := range list {
+		var next ast.Stmt
+		if i+1 < len(list) {
+			next = list[i+1]
+		}
+		rb.walkStmt(s, next, loopEnd, deferred)
+	}
+}
+
+func (rb *rbScope) walkStmt(s ast.Stmt, next ast.Stmt, loopEnd token.Pos, deferred bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		eff := rb.errCheckEnd(s, next)
+		rb.scanExpr(s, loopEnd, deferred, eff)
+	case *ast.DeferStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			rb.walkStmts(lit.Body.List, token.NoPos, true)
+			return
+		}
+		rb.classifyCall(s.Call, loopEnd, true, token.NoPos)
+		for _, a := range s.Call.Args {
+			rb.scanExpr(a, loopEnd, deferred, token.NoPos)
+		}
+	case *ast.GoStmt:
+		// A goroutine body is its own ownership scope.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			rb.analyzeNested(lit)
+			for _, a := range s.Call.Args {
+				rb.scanExpr(a, loopEnd, deferred, token.NoPos)
+			}
+			return
+		}
+		rb.scanExpr(s.Call, loopEnd, deferred, token.NoPos)
+	case *ast.ReturnStmt:
+		rb.scanExpr(s, loopEnd, deferred, token.NoPos)
+		rb.returns = append(rb.returns, s.End())
+	case *ast.IfStmt:
+		if s.Init != nil {
+			eff := rb.initErrCheckEnd(s)
+			rb.scanExpr(s.Init, loopEnd, deferred, eff)
+		}
+		rb.scanExpr(s.Cond, loopEnd, deferred, token.NoPos)
+		rb.walkStmts(s.Body.List, loopEnd, deferred)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			rb.walkStmts(e.List, loopEnd, deferred)
+		case *ast.IfStmt:
+			rb.walkStmt(e, nil, loopEnd, deferred)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			rb.scanExpr(s.Init, loopEnd, deferred, token.NoPos)
+		}
+		if s.Cond != nil {
+			rb.scanExpr(s.Cond, loopEnd, deferred, token.NoPos)
+		}
+		if s.Post != nil {
+			rb.scanExpr(s.Post, loopEnd, deferred, token.NoPos)
+		}
+		rb.walkStmts(s.Body.List, s.Body.End(), deferred)
+	case *ast.RangeStmt:
+		rb.scanExpr(s.X, loopEnd, deferred, token.NoPos)
+		rb.walkStmts(s.Body.List, s.Body.End(), deferred)
+	case *ast.BlockStmt:
+		rb.walkStmts(s.List, loopEnd, deferred)
+	case *ast.LabeledStmt:
+		rb.walkStmt(s.Stmt, next, loopEnd, deferred)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			rb.scanExpr(s.Init, loopEnd, deferred, token.NoPos)
+		}
+		if s.Tag != nil {
+			rb.scanExpr(s.Tag, loopEnd, deferred, token.NoPos)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				rb.walkStmts(cc.Body, loopEnd, deferred)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				rb.walkStmts(cc.Body, loopEnd, deferred)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					rb.walkStmt(cc.Comm, nil, loopEnd, deferred)
+				}
+				rb.walkStmts(cc.Body, loopEnd, deferred)
+			}
+		}
+	case nil:
+	default:
+		rb.scanExpr(s, loopEnd, deferred, token.NoPos)
+	}
+}
+
+// scanExpr finds acquire/release calls in an expression or simple statement.
+// FuncLits are separate ownership scopes and analyzed independently.
+func (rb *rbScope) scanExpr(n ast.Node, loopEnd token.Pos, deferred bool, effPos token.Pos) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			rb.analyzeNested(m)
+			return false
+		case *ast.CallExpr:
+			rb.classifyCall(m, loopEnd, deferred, effPos)
+		}
+		return true
+	})
+}
+
+// analyzeNested runs a full refbalance pass over a FuncLit that forms its
+// own ownership scope (goroutine bodies, callbacks).
+func (rb *rbScope) analyzeNested(lit *ast.FuncLit) {
+	if ownsMarked(rb.p, lit.Pos(), lit.End()) {
+		return
+	}
+	nested := &rbScope{p: rb.p}
+	nested.walkStmts(lit.Body.List, token.NoPos, false)
+	nested.check(lit.Body)
+}
+
+// classifyCall records Store.Get/Pin acquires and Release-shaped releases.
+// Release shapes: objectstore.Store.Release, and any function or method
+// named release/Release/mustRelease taking the ID as its first argument (the
+// broker's counting wrapper).
+func (rb *rbScope) classifyCall(call *ast.CallExpr, loopEnd token.Pos, deferred bool, effPos token.Pos) {
+	f := calleeFunc(rb.p.Info, call)
+	if f == nil || len(call.Args) == 0 {
+		return
+	}
+	if isMethodOn(f, "objectstore", "Store", "Get", "Pin") {
+		if effPos == token.NoPos {
+			effPos = call.End()
+		}
+		rb.acquires = append(rb.acquires, rbAcquire{
+			pos:     call.Pos(),
+			effPos:  effPos,
+			kind:    f.Name(),
+			id:      exprString(call.Args[0]),
+			loopEnd: loopEnd,
+		})
+		return
+	}
+	if isMethodOn(f, "objectstore", "Store", "Release") ||
+		nameIn(f.Name(), []string{"release", "Release", "mustRelease"}) {
+		rb.releases = append(rb.releases, rbRelease{
+			pos:      call.Pos(),
+			id:       exprString(call.Args[0]),
+			deferred: deferred,
+		})
+	}
+}
+
+// errCheckEnd recognizes `x, err := store.Get(id)` followed by an
+// `if err != nil { ... }` guard and returns the guard's end: the reference
+// is only held once the error check passed (a failed Get holds nothing).
+func (rb *rbScope) errCheckEnd(assign *ast.AssignStmt, next ast.Stmt) token.Pos {
+	ifs, ok := next.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return token.NoPos
+	}
+	if rb.condChecksAssignedErr(ifs.Cond, assign) {
+		return ifs.End()
+	}
+	return token.NoPos
+}
+
+// initErrCheckEnd recognizes `if err := store.Pin(id); err != nil { ... }`.
+func (rb *rbScope) initErrCheckEnd(ifs *ast.IfStmt) token.Pos {
+	assign, ok := ifs.Init.(*ast.AssignStmt)
+	if !ok {
+		return token.NoPos
+	}
+	if rb.condChecksAssignedErr(ifs.Cond, assign) {
+		return ifs.End()
+	}
+	return token.NoPos
+}
+
+func (rb *rbScope) condChecksAssignedErr(cond ast.Expr, assign *ast.AssignStmt) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return false
+	}
+	condIdent, ok := bin.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if nilIdent, ok := bin.Y.(*ast.Ident); !ok || nilIdent.Name != "nil" {
+		return false
+	}
+	condObj := rb.p.Info.Uses[condIdent]
+	if condObj == nil {
+		return false
+	}
+	for _, lhs := range assign.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if rb.p.Info.Defs[id] == condObj || rb.p.Info.Uses[id] == condObj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// check matches every acquire against the releases on each exit path.
+func (rb *rbScope) check(body *ast.BlockStmt) {
+	implicitEnd := rb.implicitExit(body)
+	for _, a := range rb.acquires {
+		if rb.deferredReleaseFor(a) {
+			continue
+		}
+		exits := rb.exitsFor(a, implicitEnd)
+		for _, exit := range exits {
+			if !rb.releasedBetween(a, exit.pos) {
+				rb.p.Reportf(a.pos,
+					"objectstore %s(%s) is not released on the path to %s (line %d); release it or mark the hand-off with //lint:owns",
+					a.kind, a.id, exit.kind, rb.p.Fset.Position(exit.pos).Line)
+				break
+			}
+		}
+	}
+}
+
+type rbExit struct {
+	pos  token.Pos
+	kind string
+}
+
+func (rb *rbScope) exitsFor(a rbAcquire, implicitEnd token.Pos) []rbExit {
+	var exits []rbExit
+	for _, r := range rb.returns {
+		if r > a.effPos {
+			exits = append(exits, rbExit{r, "the return"})
+		}
+	}
+	if a.loopEnd != token.NoPos {
+		exits = append(exits, rbExit{a.loopEnd, "the end of the loop body"})
+	} else if implicitEnd != token.NoPos && implicitEnd > a.effPos {
+		exits = append(exits, rbExit{implicitEnd, "the end of the function"})
+	}
+	return exits
+}
+
+func (rb *rbScope) deferredReleaseFor(a rbAcquire) bool {
+	for _, r := range rb.releases {
+		if r.deferred && r.id == a.id {
+			return true
+		}
+	}
+	return false
+}
+
+func (rb *rbScope) releasedBetween(a rbAcquire, exit token.Pos) bool {
+	for _, r := range rb.releases {
+		if r.id == a.id && r.pos > a.effPos && r.pos < exit {
+			return true
+		}
+	}
+	return false
+}
+
+// implicitExit returns the fall-off-the-end exit position of a function
+// body, or NoPos when the body cannot fall off the end (final return,
+// infinite for loop, or panic).
+func (rb *rbScope) implicitExit(body *ast.BlockStmt) token.Pos {
+	if len(body.List) == 0 {
+		return body.End()
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return token.NoPos
+	case *ast.ForStmt:
+		if last.Cond == nil {
+			return token.NoPos // infinite loop: exits only via returns inside
+		}
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return token.NoPos
+			}
+		}
+	}
+	return body.End()
+}

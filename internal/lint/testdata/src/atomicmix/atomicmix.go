@@ -1,0 +1,79 @@
+// Package atomicmix seeds violations and corrected forms for the atomicmix
+// analyzer.
+package atomicmix
+
+import "sync/atomic"
+
+// counters bears atomic fields: copying it forks the counters.
+type counters struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// snapshotByValue copies the whole struct out from under concurrent writers.
+func snapshotByValue(c *counters) counters {
+	return *c // want "copies atomic-bearing"
+}
+
+// total copies the receiver on every call.
+func (c counters) total() int64 { // want "value receiver"
+	return c.hits.Load() + c.misses.Load()
+}
+
+// totalPtr is the corrected form.
+func (c *counters) totalPtr() int64 {
+	return c.hits.Load() + c.misses.Load()
+}
+
+func use(c counters)     {}
+func usePtr(c *counters) {}
+
+// passByValue copies into the callee.
+func passByValue(c *counters) {
+	use(*c) // want "copies atomic-bearing"
+}
+
+// passByPointer is the corrected form.
+func passByPointer(c *counters) {
+	usePtr(c)
+}
+
+// rangeCopies duplicates each element into the loop variable.
+func rangeCopies(cs []counters) {
+	for _, c := range cs { // want "range copies atomic-bearing"
+		_ = &c
+	}
+}
+
+// rangeByIndex is the corrected form.
+func rangeByIndex(cs []counters) {
+	for i := range cs {
+		_ = cs[i].hits.Load()
+	}
+}
+
+// mixed touches the same field atomically and plainly.
+type mixed struct {
+	n int64
+}
+
+func (m *mixed) incAtomic() {
+	atomic.AddInt64(&m.n, 1)
+}
+
+func (m *mixed) readPlain() int64 {
+	return m.n // want "accessed with atomic.AddInt64"
+}
+
+// disciplined uses atomic access everywhere: no findings.
+type disciplined struct {
+	n int64
+}
+
+func (d *disciplined) inc() {
+	atomic.AddInt64(&d.n, 1)
+}
+
+func (d *disciplined) read() int64 {
+	return atomic.LoadInt64(&d.n)
+}

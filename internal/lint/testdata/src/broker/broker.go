@@ -1,0 +1,58 @@
+// Package broker seeds violations and corrected forms for the goleak
+// analyzer, which only fires in the broker/fabric/core packages.
+package broker
+
+import (
+	"queue"
+	"sync"
+)
+
+type worker struct {
+	wg      sync.WaitGroup
+	stopped chan struct{}
+	q       *queue.Queue[int]
+}
+
+// fireAndForget spawns a goroutine nothing can ever stop.
+func (w *worker) fireAndForget() {
+	go func() { // want "observes no stop signal"
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// waitGroupLoop is owned: Done on exit, and the queue Get loop unblocks with
+// ErrClosed when the queue shuts down.
+func (w *worker) waitGroupLoop() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			if _, err := w.q.Get(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// doneChannelLoop observes the stop channel each iteration.
+func (w *worker) doneChannelLoop() {
+	go func() {
+		for {
+			select {
+			case <-w.stopped:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func (w *worker) run() {}
+
+// startMethod is out of scope: goleak checks literals only; named methods are
+// reviewed through their Start/Stop owner.
+func (w *worker) startMethod() {
+	go w.run()
+}

@@ -1,0 +1,44 @@
+// Package directives exercises //lint: directive validation: a suppression
+// that cannot explain itself is itself a finding. The want annotations use a
+// [-1] offset because a //lint: comment swallows the rest of its own line.
+package directives
+
+import (
+	"sync"
+	"time"
+)
+
+// badIgnores seeds one malformed directive of each kind.
+func badIgnores() {
+	//lint:ignore nosuchanalyzer sleeping is fine here
+	time.Sleep(time.Second) // want[-1] "names unknown analyzer \"nosuchanalyzer\""
+	//lint:ignore lockhold
+	time.Sleep(time.Second) // want[-1] "is missing a reason"
+	//lint:ignore
+	time.Sleep(time.Second) // want[-1] "missing an analyzer name"
+	//lint:frobnicate whatever
+	time.Sleep(time.Second) // want[-1] "unknown //lint: directive \"frobnicate\""
+}
+
+//lint:owns
+func ownsNeedsReason() {} // want[-1] "//lint:owns is missing a reason"
+
+type locked struct{ mu sync.Mutex }
+
+// wrongNameDoesNotSuppress: the directive is well-formed but names a
+// different analyzer, so the lockhold finding survives.
+func (l *locked) wrongNameDoesNotSuppress() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//lint:ignore refbalance wrong analyzer for this finding
+	time.Sleep(time.Second) // want "blocking time.Sleep while holding l.mu"
+}
+
+// malformedDoesNotSuppress: a directive with no reason is malformed, so it
+// reports itself and the finding it sat above survives.
+func (l *locked) malformedDoesNotSuppress() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	//lint:ignore lockhold
+	time.Sleep(time.Second) // want[-1] "is missing a reason" // want "blocking time.Sleep while holding l.mu"
+}

@@ -1,0 +1,77 @@
+// Package headershare seeds violations and corrected forms for the
+// headershare analyzer.
+package headershare
+
+import (
+	"message"
+	"queue"
+)
+
+// sharedHeaderFanout pushes one header to every destination queue: after the
+// loop all consumers alias the same Header.
+func sharedHeaderFanout(h *message.Header, queues []*queue.Queue[*message.Header]) {
+	for _, q := range queues {
+		_ = q.Put(h) // want "pushed to a queue Put inside a loop"
+	}
+}
+
+// copiedHeaderFanout is the corrected form: one copy per destination.
+func copiedHeaderFanout(h *message.Header, queues []*queue.Queue[*message.Header]) {
+	for _, q := range queues {
+		hc := *h
+		_ = q.Put(&hc)
+	}
+}
+
+// fieldReadIsFine reads a scalar through the header without sharing it.
+func fieldReadIsFine(h *message.Header, q *queue.Queue[uint64]) {
+	for i := 0; i < 3; i++ {
+		_ = q.Put(h.ObjectID)
+	}
+}
+
+// sharedHeaderChannelSend fans the same pointer out over channels.
+func sharedHeaderChannelSend(h *message.Header, chans []chan *message.Header) {
+	for _, c := range chans {
+		c <- h // want "pushed to a channel send inside a loop"
+	}
+}
+
+// freshHeaderChannelSend is fine: a fresh literal per destination.
+func freshHeaderChannelSend(chans []chan *message.Header) {
+	for _, c := range chans {
+		c <- &message.Header{}
+	}
+}
+
+// goroutineCapture aliases the header between the spawner and the goroutine.
+func goroutineCapture(h *message.Header) {
+	go func() {
+		_ = h // want "goroutine captures"
+	}()
+}
+
+// goroutineParam is the corrected form: the goroutine gets a value copy.
+func goroutineParam(h *message.Header) {
+	go func(hc message.Header) {
+		_ = hc
+	}(*h)
+}
+
+type item struct{ header *message.Header }
+
+// wrappedShare hides the shared pointer inside a struct literal; it is still
+// the same Header fanned out N times.
+func wrappedShare(h *message.Header, q *queue.Queue[item]) {
+	for i := 0; i < 3; i++ {
+		_ = q.Put(item{header: h}) // want "pushed to a queue Put inside a loop"
+	}
+}
+
+// wrappedCopy is the corrected form of wrappedShare.
+func wrappedCopy(h *message.Header, q *queue.Queue[item]) {
+	for i := 0; i < 3; i++ {
+		hc := *h
+		_ = q.Put(item{header: &hc})
+	}
+}

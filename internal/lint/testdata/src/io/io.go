@@ -1,0 +1,10 @@
+// Package io is a hermetic stub of the standard library package.
+package io
+
+// Reader is the standard Reader interface.
+type Reader interface {
+	Read(p []byte) (int, error)
+}
+
+// ReadFull reads exactly len(buf) bytes.
+func ReadFull(r Reader, buf []byte) (int, error) { return 0, nil }

@@ -1,0 +1,131 @@
+// Package lockhold seeds violations and corrected forms for the lockhold
+// analyzer.
+package lockhold
+
+import (
+	"io"
+	"net"
+	"queue"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu sync.Mutex
+	q  *queue.Queue[int]
+}
+
+// sleepUnderLock parks every other client of s.mu for the whole sleep.
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Second) // want "blocking time.Sleep while holding s.mu"
+	s.mu.Unlock()
+}
+
+// sleepOutsideLock is the corrected form.
+func (s *server) sleepOutsideLock() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	time.Sleep(time.Second)
+}
+
+// queuePutUnderDeferredLock: the deferred unlock keeps the mutex held across
+// the blocking Put.
+func (s *server) queuePutUnderDeferredLock(v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.Put(v) // want "blocking queue.Put while holding s.mu"
+}
+
+// tryPutUnderLock is fine: TryPut never blocks.
+func (s *server) tryPutUnderLock(v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.TryPut(v)
+}
+
+// recvUnderLock parks on a channel while holding the lock.
+func (s *server) recvUnderLock(ch chan int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-ch // want "blocking channel receive while holding s.mu"
+}
+
+// sendUnderLock parks on a channel send while holding the lock.
+func (s *server) sendUnderLock(ch chan int, v int) {
+	s.mu.Lock()
+	ch <- v // want "blocking channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+// sendAfterUnlock is the corrected form.
+func (s *server) sendAfterUnlock(ch chan int, v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	ch <- v
+}
+
+// selectNoDefaultUnderLock parks until a case fires.
+func (s *server) selectNoDefaultUnderLock(a, b chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "blocking select with no default while holding s.mu"
+	case <-a:
+	case <-b:
+	}
+}
+
+// selectWithDefaultUnderLock never parks.
+func (s *server) selectWithDefaultUnderLock(a chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-a:
+	default:
+	}
+}
+
+type condServer struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+// condWaitUnderLock is exempt: Cond.Wait releases the mutex while parked.
+func (c *condServer) condWaitUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cond.Wait()
+}
+
+// netWriteUnderLock performs network I/O while holding the lock.
+func (s *server) netWriteUnderLock(conn net.Conn, b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = conn.Write(b) // want "blocking net I/O"
+}
+
+// readFullUnderLock blocks on io.ReadFull while holding the lock.
+func (s *server) readFullUnderLock(r io.Reader, b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = io.ReadFull(r, b) // want "blocking io.ReadFull while holding s.mu"
+}
+
+type rw struct{ mu sync.RWMutex }
+
+// rlockSleep: read locks count too.
+func (r *rw) rlockSleep() {
+	r.mu.RLock()
+	time.Sleep(time.Second) // want "blocking time.Sleep while holding r.mu"
+	r.mu.RUnlock()
+}
+
+// goroutineStartsUnlocked: a literal spawned under the lock runs with its own
+// (empty) lock state, so its receive is not a finding.
+func (s *server) goroutineStartsUnlocked(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		<-ch
+	}()
+}

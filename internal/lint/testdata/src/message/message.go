@@ -1,0 +1,15 @@
+// Package message is a hermetic stub of the real message package.
+package message
+
+// Header is the per-message routing metadata.
+type Header struct {
+	ID       uint64
+	ObjectID uint64
+	Dst      []string
+}
+
+// Message pairs a header with a body.
+type Message struct {
+	Header *Header
+	Body   any
+}

@@ -1,0 +1,12 @@
+// Package net is a hermetic stub of the standard library package.
+package net
+
+// Conn is a stream connection stub.
+type Conn interface {
+	Read(b []byte) (int, error)
+	Write(b []byte) (int, error)
+	Close() error
+}
+
+// Dial connects to an address.
+func Dial(network, address string) (Conn, error) { return nil, nil }

@@ -1,0 +1,32 @@
+// Package queue is a hermetic stub of the real blocking queue.
+package queue
+
+// Queue is a blocking FIFO stub.
+type Queue[T any] struct{}
+
+// New returns a queue.
+func New[T any]() *Queue[T] { return &Queue[T]{} }
+
+// Put blocks while a bounded queue is full.
+func (q *Queue[T]) Put(item T) error { return nil }
+
+// TryPut never blocks.
+func (q *Queue[T]) TryPut(item T) error { return nil }
+
+// Get blocks until an item is available.
+func (q *Queue[T]) Get() (T, error) {
+	var zero T
+	return zero, nil
+}
+
+// TryGet never blocks.
+func (q *Queue[T]) TryGet() (T, error) {
+	var zero T
+	return zero, nil
+}
+
+// GetTimeout blocks up to a deadline.
+func (q *Queue[T]) GetTimeout(d int64) (T, error) {
+	var zero T
+	return zero, nil
+}

@@ -1,0 +1,116 @@
+// Package refbalance seeds violations and corrected forms for the
+// refbalance analyzer.
+package refbalance
+
+import "objectstore"
+
+// getNoRelease leaks: the reference falls off the end of the function.
+func getNoRelease(s *objectstore.Store, id objectstore.ID) {
+	data, err := s.Get(id) // want "objectstore Get\\(id\\) is not released on the path to the end of the function"
+	if err != nil {
+		return
+	}
+	_ = data
+}
+
+// getEarlyReturn leaks on the flag path only.
+func getEarlyReturn(s *objectstore.Store, id objectstore.ID, flag bool) error {
+	data, err := s.Get(id) // want "objectstore Get\\(id\\) is not released on the path to the return"
+	if err != nil {
+		return err
+	}
+	if flag {
+		return nil
+	}
+	_ = data
+	return s.Release(id)
+}
+
+// getDeferRelease is the corrected form: a deferred release covers every path,
+// and the err-checked early return is the store-miss exemption.
+func getDeferRelease(s *objectstore.Store, id objectstore.ID, flag bool) error {
+	data, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	defer s.Release(id)
+	if flag {
+		return nil
+	}
+	_ = data
+	return nil
+}
+
+// getReleaseAllPaths releases explicitly on each exit instead.
+func getReleaseAllPaths(s *objectstore.Store, id objectstore.ID, flag bool) error {
+	_, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	if flag {
+		return s.Release(id)
+	}
+	return s.Release(id)
+}
+
+// loopGetNoRelease leaks one reference per iteration.
+func loopGetNoRelease(s *objectstore.Store, ids []objectstore.ID) {
+	for _, id := range ids {
+		data, err := s.Get(id) // want "objectstore Get\\(id\\) is not released on the path to the end of the loop body"
+		if err != nil {
+			continue
+		}
+		_ = data
+	}
+}
+
+// loopGetRelease is the corrected form.
+func loopGetRelease(s *objectstore.Store, ids []objectstore.ID) {
+	for _, id := range ids {
+		data, err := s.Get(id)
+		if err != nil {
+			continue
+		}
+		_ = data
+		_ = s.Release(id)
+	}
+}
+
+// pinNoRelease leaks the pinned reference.
+func pinNoRelease(s *objectstore.Store, id objectstore.ID) error {
+	if err := s.Pin(id); err != nil { // want "objectstore Pin\\(id\\) is not released"
+		return err
+	}
+	return nil
+}
+
+// pinBalanced pairs the pin with a deferred release.
+func pinBalanced(s *objectstore.Store, id objectstore.ID) error {
+	if err := s.Pin(id); err != nil {
+		return err
+	}
+	defer s.Release(id)
+	return nil
+}
+
+// handOff transfers the reference to a downstream owner, so the missing
+// release is by design and declared with the owns directive.
+//
+//lint:owns the forwarder queue releases after the remote send resolves
+func handOff(s *objectstore.Store, id objectstore.ID) ([]byte, error) {
+	return s.Get(id)
+}
+
+type wrapper struct{ s *objectstore.Store }
+
+// release is a named wrapper; refbalance accepts it as a releasing call.
+func (w *wrapper) release(id objectstore.ID) { _ = w.s.Release(id) }
+
+// viaWrapper balances the Get through the wrapper helper.
+func viaWrapper(w *wrapper, id objectstore.ID) {
+	_, err := w.s.Get(id)
+	if err != nil {
+		return
+	}
+	w.release(id)
+}

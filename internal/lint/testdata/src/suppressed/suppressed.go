@@ -1,0 +1,26 @@
+// Package suppressed shows well-formed //lint:ignore directives silencing
+// real findings; the golden expectation is zero findings.
+package suppressed
+
+import (
+	"sync"
+	"time"
+)
+
+type actor struct{ mu sync.Mutex }
+
+// sleepSuppressedPrevLine would be a lockhold finding; the directive on the
+// line above suppresses it.
+func (a *actor) sleepSuppressedPrevLine() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//lint:ignore lockhold modelled handler cost must serialize under the actor lock
+	time.Sleep(time.Second)
+}
+
+// sleepSuppressedSameLine carries the directive on the finding's own line.
+func (a *actor) sleepSuppressedSameLine() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	time.Sleep(time.Second) //lint:ignore lockhold modelled handler cost must serialize under the actor lock
+}

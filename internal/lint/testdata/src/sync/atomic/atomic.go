@@ -1,0 +1,40 @@
+// Package atomic is a hermetic stub of sync/atomic.
+package atomic
+
+// Int64 is an atomically accessed int64 stub.
+type Int64 struct{ v int64 }
+
+func (x *Int64) Load() int64           { return x.v }
+func (x *Int64) Store(v int64)         { x.v = v }
+func (x *Int64) Add(delta int64) int64 { return x.v }
+
+// Int32 is an atomically accessed int32 stub.
+type Int32 struct{ v int32 }
+
+func (x *Int32) Load() int32           { return x.v }
+func (x *Int32) Store(v int32)         { x.v = v }
+func (x *Int32) Add(delta int32) int32 { return x.v }
+
+// Bool is an atomically accessed bool stub.
+type Bool struct{ v bool }
+
+func (x *Bool) Load() bool   { return x.v }
+func (x *Bool) Store(v bool) { x.v = v }
+
+// Value is an atomically accessed interface stub.
+type Value struct{ v any }
+
+func (x *Value) Load() any   { return x.v }
+func (x *Value) Store(v any) { x.v = v }
+
+// AddInt64 atomically adds delta to *addr.
+func AddInt64(addr *int64, delta int64) int64 { return *addr }
+
+// LoadInt64 atomically loads *addr.
+func LoadInt64(addr *int64) int64 { return *addr }
+
+// StoreInt64 atomically stores v into *addr.
+func StoreInt64(addr *int64, v int64) {}
+
+// CompareAndSwapInt64 performs an atomic CAS on *addr.
+func CompareAndSwapInt64(addr *int64, old, new int64) bool { return false }

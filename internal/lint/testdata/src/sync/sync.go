@@ -1,0 +1,50 @@
+// Package sync is a hermetic stub of the standard library package: only the
+// identifiers the analyzers match structurally.
+package sync
+
+// Locker is the standard Locker interface.
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+// Mutex is a mutual-exclusion lock stub.
+type Mutex struct{}
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) TryLock() bool { return true }
+func (m *Mutex) Unlock()       {}
+
+// RWMutex is a reader/writer lock stub.
+type RWMutex struct{}
+
+func (m *RWMutex) Lock()          {}
+func (m *RWMutex) Unlock()        {}
+func (m *RWMutex) RLock()         {}
+func (m *RWMutex) RUnlock()       {}
+func (m *RWMutex) TryLock() bool  { return true }
+func (m *RWMutex) TryRLock() bool { return true }
+
+// WaitGroup is a completion-waiting stub.
+type WaitGroup struct{}
+
+func (w *WaitGroup) Add(delta int) {}
+func (w *WaitGroup) Done()         {}
+func (w *WaitGroup) Wait()         {}
+
+// Cond is a condition-variable stub.
+type Cond struct {
+	L Locker
+}
+
+// NewCond returns a condition variable.
+func NewCond(l Locker) *Cond { return &Cond{L: l} }
+
+func (c *Cond) Wait()      {}
+func (c *Cond) Signal()    {}
+func (c *Cond) Broadcast() {}
+
+// Once is a one-shot stub.
+type Once struct{}
+
+func (o *Once) Do(f func()) {}

@@ -1,0 +1,11 @@
+// Package time is a hermetic stub of the standard library package.
+package time
+
+// Duration is a span of time in nanoseconds.
+type Duration int64
+
+// Second is one second.
+const Second Duration = 1000000000
+
+// Sleep pauses the calling goroutine.
+func Sleep(d Duration) {}

@@ -45,12 +45,14 @@ func TestGetBlocksUntilPut(t *testing.T) {
 	if err := q.Put("hello"); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
+	timer := time.NewTimer(time.Second)
+	defer timer.Stop()
 	select {
 	case v := <-done:
 		if v != "hello" {
 			t.Fatalf("Get = %q, want %q", v, "hello")
 		}
-	case <-time.After(time.Second):
+	case <-timer.C:
 		t.Fatal("Get did not wake after Put")
 	}
 }
@@ -170,12 +172,14 @@ func TestBoundedPutBlocks(t *testing.T) {
 	if _, err := q.Get(); err != nil {
 		t.Fatalf("Get: %v", err)
 	}
+	timer := time.NewTimer(time.Second)
+	defer timer.Stop()
 	select {
 	case err := <-unblocked:
 		if err != nil {
 			t.Fatalf("unblocked Put: %v", err)
 		}
-	case <-time.After(time.Second):
+	case <-timer.C:
 		t.Fatal("Put did not unblock after Get")
 	}
 }
@@ -191,12 +195,14 @@ func TestCloseWakesBlockedPutters(t *testing.T) {
 	}()
 	time.Sleep(10 * time.Millisecond)
 	q.Close()
+	timer := time.NewTimer(time.Second)
+	defer timer.Stop()
 	select {
 	case err := <-errCh:
 		if !errors.Is(err, ErrClosed) {
 			t.Fatalf("blocked Put after Close = %v, want ErrClosed", err)
 		}
-	case <-time.After(time.Second):
+	case <-timer.C:
 		t.Fatal("Put did not unblock after Close")
 	}
 }
@@ -389,12 +395,14 @@ func TestGetTimeoutDoesNotWakeOthers(t *testing.T) {
 	if err := q.Put(42); err != nil {
 		t.Fatalf("Put: %v", err)
 	}
+	timer := time.NewTimer(time.Second)
+	defer timer.Stop()
 	select {
 	case v := <-got:
 		if v != 42 {
 			t.Fatalf("Get = %d, want 42", v)
 		}
-	case <-time.After(time.Second):
+	case <-timer.C:
 		t.Fatal("blocked Get did not wake after Put")
 	}
 }
