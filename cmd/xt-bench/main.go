@@ -1,0 +1,133 @@
+// Command xt-bench runs the repository's microbenchmark suite outside
+// `go test` and emits a schema'd JSON report (see internal/bench.Report)
+// that CI diffs against a committed baseline.
+//
+// Usage:
+//
+//	xt-bench [-preset quick|ci|full] [-bench regexp] [-out FILE]
+//	         [-baseline FILE] [-threshold 0.25] [-list]
+//
+// Presets choose the per-benchmark measuring time; heavy experiment
+// benchmarks (exp/*) always run a single iteration. With -baseline, the run
+// is compared against the given report and the process exits nonzero when
+// any tracked metric regressed beyond -threshold — the CI bench gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"xingtian/internal/bench"
+)
+
+// presets maps a preset name to test.benchtime for non-heavy benchmarks.
+var presets = map[string]string{
+	"quick": "10ms",
+	"ci":    "50ms",
+	"full":  "1s",
+}
+
+func main() {
+	preset := flag.String("preset", "quick", "measuring-time preset: quick, ci, or full")
+	benchRx := flag.String("bench", "", "only run benchmarks matching this regexp")
+	out := flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+	baseline := flag.String("baseline", "", "baseline report to compare against")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional regression vs baseline")
+	list := flag.Bool("list", false, "list benchmark names and tracked metrics, then exit")
+	testing.Init()
+	flag.Parse()
+
+	benchtime, ok := presets[*preset]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "xt-bench: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	var rx *regexp.Regexp
+	if *benchRx != "" {
+		var err error
+		if rx, err = regexp.Compile(*benchRx); err != nil {
+			fmt.Fprintf(os.Stderr, "xt-bench: bad -bench regexp: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	defs := bench.Suite()
+	if *list {
+		for _, d := range defs {
+			if rx != nil && !rx.MatchString(d.Name) {
+				continue
+			}
+			fmt.Printf("%-32s track=%s\n", d.Name, d.Track)
+		}
+		return
+	}
+
+	date := time.Now().UTC().Format("2006-01-02")
+	report := bench.Report{
+		Schema:    bench.Schema,
+		Date:      date,
+		Preset:    *preset,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, d := range defs {
+		if rx != nil && !rx.MatchString(d.Name) {
+			continue
+		}
+		bt := benchtime
+		if d.Heavy {
+			bt = "1x"
+		}
+		if err := flag.Set("test.benchtime", bt); err != nil {
+			fmt.Fprintf(os.Stderr, "xt-bench: set benchtime: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "running %s (benchtime %s)\n", d.Name, bt)
+		r := testing.Benchmark(d.Run)
+		res := bench.FromBenchmarkResult(d.Name, d.Track, r)
+		report.Benchmarks = append(report.Benchmarks, res)
+		fmt.Printf("%-32s %10d iter %14.1f ns/op %10d B/op %6d allocs/op\n",
+			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	report.Benchmarks = bench.WithSpeedups(report.Benchmarks)
+	for _, r := range report.Benchmarks {
+		if r.Track == bench.TrackSpeedup {
+			fmt.Printf("%-32s %14.2fx\n", r.Name, r.Extra["speedup"])
+		}
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", date)
+	}
+	if err := bench.WriteReport(path, report); err != nil {
+		fmt.Fprintf(os.Stderr, "xt-bench: write report: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(report.Benchmarks))
+
+	if *baseline != "" {
+		base, err := bench.LoadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xt-bench: load baseline: %v\n", err)
+			os.Exit(1)
+		}
+		regs := bench.Compare(base, report, *threshold)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "xt-bench: %d regression(s) vs %s (threshold %.0f%%):\n",
+				len(regs), *baseline, 100**threshold)
+			for _, r := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "no regressions vs %s (threshold %.0f%%)\n", *baseline, 100**threshold)
+	}
+}

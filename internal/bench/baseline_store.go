@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xingtian/internal/objectstore"
+)
+
+// mutexStore is the pre-sharding object store frozen as a benchmark
+// baseline: one global mutex guarding the ID counter, the object map, and
+// the stats, and a time.Now() call on every Put, exactly as the store
+// looked before the sharded rewrite. It exists only so the store contention
+// sweep can report the sharded store's speedup against the design it
+// replaced; production code must use objectstore.Store.
+type mutexStore struct {
+	mu      sync.Mutex
+	next    objectstore.ID
+	objects map[objectstore.ID]*mutexEntry
+}
+
+type mutexEntry struct {
+	data    []byte
+	refs    int
+	created time.Time
+}
+
+func newMutexStore() *mutexStore {
+	return &mutexStore{objects: make(map[objectstore.ID]*mutexEntry)}
+}
+
+func (s *mutexStore) Put(data []byte, refs int) objectstore.ID {
+	if refs < 1 {
+		refs = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.next++
+	id := s.next
+	s.objects[id] = &mutexEntry{data: data, refs: refs, created: time.Now()}
+	return id
+}
+
+func (s *mutexStore) Get(id objectstore.ID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return nil, fmt.Errorf("get %d: %w", id, objectstore.ErrNotFound)
+	}
+	return e.data, nil
+}
+
+func (s *mutexStore) Pin(id objectstore.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("pin %d: %w", id, objectstore.ErrNotFound)
+	}
+	e.refs++
+	return nil
+}
+
+func (s *mutexStore) Release(id objectstore.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.objects[id]
+	if !ok {
+		return fmt.Errorf("release %d: %w", id, objectstore.ErrNotFound)
+	}
+	e.refs--
+	if e.refs <= 0 {
+		delete(s.objects, id)
+	}
+	return nil
+}

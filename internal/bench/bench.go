@@ -1,0 +1,340 @@
+// Package bench defines the repository's microbenchmark suite as data, so
+// cmd/xt-bench can run it outside `go test`, emit a schema'd JSON report,
+// and let CI compare runs against a committed baseline.
+//
+// The suite covers the communication hot paths the paper optimizes: object
+// store put/get/release under contention (sharded store vs the frozen
+// single-mutex baseline it replaced), message serialization (heap vs pooled
+// buffers), queue hand-off, broker end-to-end round trips, and the quick
+// presets of the paper's Table 1 / Fig. 4 experiments.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+
+	"xingtian/internal/broker"
+	"xingtian/internal/env"
+	"xingtian/internal/experiments"
+	"xingtian/internal/message"
+	"xingtian/internal/objectstore"
+	"xingtian/internal/queue"
+	"xingtian/internal/rollout"
+	"xingtian/internal/serialize"
+)
+
+// Track names the metric CI compares for a benchmark. Allocation counts are
+// deterministic across machines, so micro benchmarks track allocs_per_op;
+// the virtual-time experiment benchmarks track ns_per_op (they are
+// sleep-dominated, so wall time is stable); derived within-run ratios track
+// "speedup" and are machine-independent by construction.
+const (
+	TrackNsPerOp     = "ns_per_op"
+	TrackAllocsPerOp = "allocs_per_op"
+	TrackMBPerS      = "mb_per_s"
+	TrackSpeedup     = "speedup"
+)
+
+// Def is one benchmark: a stable slash-separated name, the metric CI gates
+// on, and a standard testing.B body. Heavy marks experiment-scale
+// benchmarks that always run one iteration regardless of preset.
+type Def struct {
+	Name  string
+	Track string
+	Heavy bool
+	Run   func(b *testing.B)
+}
+
+// refStore is the put/get/pin/release surface shared by the production
+// sharded store and the frozen single-mutex baseline.
+type refStore interface {
+	Put(data []byte, refs int) objectstore.ID
+	Get(id objectstore.ID) ([]byte, error)
+	Pin(id objectstore.ID) error
+	Release(id objectstore.ID) error
+}
+
+// storeParallelism is the goroutine sweep for the contention benchmarks.
+var storeParallelism = []int{1, 2, 4, 8}
+
+// Suite returns every benchmark definition in report order.
+func Suite() []Def {
+	var defs []Def
+	for _, p := range storeParallelism {
+		p := p
+		defs = append(defs,
+			Def{
+				Name:  fmt.Sprintf("store/global/p%d", p),
+				Track: TrackAllocsPerOp,
+				Run:   func(b *testing.B) { benchStoreOps(b, newMutexStore(), p) },
+			},
+			Def{
+				Name:  fmt.Sprintf("store/sharded/p%d", p),
+				Track: TrackAllocsPerOp,
+				Run:   func(b *testing.B) { benchStoreOps(b, objectstore.New(), p) },
+			},
+		)
+	}
+	defs = append(defs,
+		Def{Name: "serialize/marshal/rollout_heap", Track: TrackAllocsPerOp, Run: benchMarshalRolloutHeap},
+		Def{Name: "serialize/marshal/rollout", Track: TrackAllocsPerOp, Run: benchMarshalRolloutPooled},
+		Def{Name: "serialize/unmarshal/rollout", Track: TrackAllocsPerOp, Run: benchUnmarshalRollout},
+		Def{Name: "serialize/marshal/weights", Track: TrackAllocsPerOp, Run: benchMarshalWeightsPooled},
+		Def{Name: "queue/putget", Track: TrackAllocsPerOp, Run: benchQueuePutGet},
+		Def{Name: "queue/pipeline", Track: TrackAllocsPerOp, Run: benchQueuePipeline},
+		Def{Name: "broker/roundtrip/64KB", Track: TrackAllocsPerOp, Run: benchBrokerRoundTrip},
+		Def{Name: "broker/broadcast/fanout8", Track: TrackAllocsPerOp, Run: benchBrokerBroadcast},
+		Def{Name: "exp/table1", Track: TrackNsPerOp, Heavy: true, Run: benchExperiment("table1")},
+		Def{Name: "exp/fig4", Track: TrackNsPerOp, Heavy: true, Run: benchExperiment("fig4")},
+	)
+	return defs
+}
+
+// benchStoreOps drives the broadcast life cycle (put with two references,
+// read, pin, three releases) from `workers` goroutines. GOMAXPROCS is
+// raised to the worker count so mutex contention is real on multi-core
+// hosts even when workers exceed NumCPU. Note that on a single-core host no
+// sweep can exhibit contention at all — a lock holder is almost never
+// preempted inside its ~100ns critical section, so waiters never park and
+// the global mutex stays on its uncontended fast path; there the sharded
+// store only shows its constant per-op overhead, and the speedup ratios
+// dip below 1. The derived store/speedup/pN results are therefore only
+// meaningful relative to the same host's committed baseline (the CI gate
+// compares them lower-is-worse), not as absolute contention claims.
+func benchStoreOps(b *testing.B, store refStore, workers int) {
+	prev := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prev)
+	payload := make([]byte, 4096)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		n := b.N / workers
+		if w < b.N%workers {
+			n++
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				id := store.Put(payload, 2)
+				if _, err := store.Get(id); err != nil {
+					panic(err)
+				}
+				if err := store.Pin(id); err != nil {
+					panic(err)
+				}
+				for r := 0; r < 3; r++ {
+					if err := store.Release(id); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+}
+
+// benchBatch builds a deterministic frame rollout batch close to the
+// paper's Table 1 sizes (~900 KB of stacked Atari frames).
+func benchBatch() *rollout.Batch {
+	batch := &rollout.Batch{ExplorerID: 1, WeightsVersion: 7}
+	for i := 0; i < 64; i++ {
+		frame := make([]byte, 84*84*2)
+		for j := range frame {
+			frame[j] = byte(i + j)
+		}
+		batch.Steps = append(batch.Steps, rollout.Step{
+			Obs:     env.Obs{Frame: frame, FrameH: 84, FrameW: 84, FrameN: 2},
+			Action:  int32(i % 4),
+			Reward:  float32(i),
+			Value:   0.5,
+			LogProb: -0.7,
+			Logits:  []float32{0.1, 0.2, 0.3, 0.4},
+		})
+	}
+	batch.BootstrapObs = env.Obs{Vec: []float32{1, 2, 3, 4}}
+	return batch
+}
+
+func benchMarshalRolloutHeap(b *testing.B) {
+	batch := benchBatch()
+	b.SetBytes(int64(batch.SizeBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := serialize.Marshal(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = data
+	}
+}
+
+func benchMarshalRolloutPooled(b *testing.B) {
+	batch := benchBatch()
+	b.SetBytes(int64(batch.SizeBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := serialize.MarshalPooled(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialize.FreeBuf(data)
+	}
+}
+
+func benchUnmarshalRollout(b *testing.B) {
+	data, err := serialize.Marshal(benchBatch())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := serialize.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchMarshalWeightsPooled(b *testing.B) {
+	weights := &message.WeightsPayload{Version: 1, Data: make([]float32, 100_000)}
+	b.SetBytes(int64(4 * len(weights.Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := serialize.MarshalPooled(weights)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialize.FreeBuf(data)
+	}
+}
+
+func benchQueuePutGet(b *testing.B) {
+	q := queue.New[objectstore.ID]()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.Put(objectstore.ID(i)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := q.Get(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchQueuePipeline measures the blocking producer/consumer hand-off the
+// broker's router and forwarder threads perform.
+func benchQueuePipeline(b *testing.B) {
+	q := queue.New[objectstore.ID]()
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := q.Get(); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < b.N; i++ {
+		if err := q.Put(objectstore.ID(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchBrokerRoundTrip(b *testing.B) {
+	br := broker.New(broker.Config{MachineID: 0})
+	defer br.Stop()
+	s, err := br.Register("s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := br.Register("r")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 64<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := message.New(message.TypeDummy, "s", []string{"r"},
+			&message.DummyPayload{Data: payload})
+		if err := s.Send(m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBrokerBroadcast(b *testing.B) {
+	br := broker.New(broker.Config{MachineID: 0, Compressor: serialize.NewCompressor()})
+	defer br.Stop()
+	learner, err := br.Register("learner")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const fanout = 8
+	ports := make([]*broker.Port, fanout)
+	dst := make([]string, fanout)
+	for i := range ports {
+		dst[i] = fmt.Sprintf("explorer-%d", i)
+		p, err := br.Register(dst[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		ports[i] = p
+	}
+	weights := &message.WeightsPayload{Version: 1, Data: make([]float32, 100_000)}
+	b.SetBytes(int64(4 * len(weights.Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := message.New(message.TypeWeights, "learner", dst, weights)
+		if err := learner.Send(m); err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range ports {
+			if _, err := p.Recv(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchExperiment adapts a registered experiment (quick preset) to a
+// benchmark body.
+func benchExperiment(name string) func(b *testing.B) {
+	return func(b *testing.B) {
+		run := experiments.Registry()[name]
+		if run == nil {
+			b.Fatalf("experiment %q not registered", name)
+		}
+		settings := experiments.DefaultSettings()
+		settings.Quick = true
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := run(settings, io.Discard); err != nil {
+				b.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestSuiteNamesUniqueAndTracked: every definition has a unique name and a
+// known tracked metric.
+func TestSuiteNamesUniqueAndTracked(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, d := range Suite() {
+		if seen[d.Name] {
+			t.Errorf("duplicate benchmark name %q", d.Name)
+		}
+		seen[d.Name] = true
+		switch d.Track {
+		case TrackNsPerOp, TrackAllocsPerOp, TrackMBPerS, TrackSpeedup:
+		default:
+			t.Errorf("%s: unknown track %q", d.Name, d.Track)
+		}
+		if d.Run == nil {
+			t.Errorf("%s: nil Run", d.Name)
+		}
+	}
+	for _, want := range []string{"store/global/p8", "store/sharded/p8", "serialize/marshal/rollout", "queue/putget", "broker/roundtrip/64KB", "exp/table1"} {
+		if !seen[want] {
+			t.Errorf("suite is missing %q", want)
+		}
+	}
+}
+
+// TestSuiteSmoke runs every non-heavy benchmark body for one iteration so a
+// broken benchmark fails tests, not the nightly bench job.
+func TestSuiteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping benchmark smoke in -short")
+	}
+	if err := flag.Set("test.benchtime", "1x"); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Suite() {
+		if d.Heavy {
+			continue // exp/* run the full quick experiments; covered elsewhere
+		}
+		d := d
+		t.Run(strings.ReplaceAll(d.Name, "/", "_"), func(t *testing.T) {
+			r := testing.Benchmark(d.Run)
+			if r.N < 1 {
+				t.Fatalf("%s did not run", d.Name)
+			}
+		})
+	}
+}

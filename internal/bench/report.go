@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+)
+
+// Schema identifies the report layout; bump it when fields change meaning.
+const Schema = "xt-bench/v1"
+
+// Result is one benchmark's measurements.
+type Result struct {
+	// Name is the stable benchmark name (Def.Name, or a derived
+	// pseudo-benchmark such as store/speedup/p8).
+	Name string `json:"name"`
+	// Track is the metric CI compares for this benchmark (see Track*).
+	Track string `json:"track"`
+	// Iterations is the b.N the harness settled on.
+	Iterations int `json:"iterations"`
+	// NsPerOp, BytesPerOp, and AllocsPerOp are the standard testing.B
+	// measurements; MBPerS is derived from SetBytes when present.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	// Extra holds derived metrics (e.g. "speedup" for within-run ratios).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the schema'd output of one xt-bench run.
+type Report struct {
+	Schema     string   `json:"schema"`
+	Date       string   `json:"date"`
+	Preset     string   `json:"preset"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// FromBenchmarkResult converts a testing.Benchmark measurement into a
+// Result.
+func FromBenchmarkResult(name, track string, r testing.BenchmarkResult) Result {
+	res := Result{
+		Name:        name,
+		Track:       track,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(max(r.N, 1)),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if r.Bytes > 0 && r.T > 0 {
+		res.MBPerS = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
+	}
+	return res
+}
+
+// WithSpeedups appends the derived store/speedup/pN pseudo-benchmarks: the
+// within-run ratio of the single-mutex baseline's ns/op to the sharded
+// store's at each parallelism level. Being a ratio of two measurements from
+// the same machine and run, it is comparable across hosts where raw ns/op
+// is not.
+func WithSpeedups(results []Result) []Result {
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	for _, p := range storeParallelism {
+		global, okG := byName[fmt.Sprintf("store/global/p%d", p)]
+		sharded, okS := byName[fmt.Sprintf("store/sharded/p%d", p)]
+		if !okG || !okS || sharded.NsPerOp <= 0 {
+			continue
+		}
+		results = append(results, Result{
+			Name:  fmt.Sprintf("store/speedup/p%d", p),
+			Track: TrackSpeedup,
+			Extra: map[string]float64{"speedup": global.NsPerOp / sharded.NsPerOp},
+		})
+	}
+	return results
+}
+
+// Regression is one gated metric that got worse than the allowed threshold,
+// or a baseline benchmark missing from the current run.
+type Regression struct {
+	Name    string
+	Metric  string
+	Base    float64
+	Current float64
+	Missing bool
+}
+
+func (r Regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%s: present in baseline but missing from this run", r.Name)
+	}
+	return fmt.Sprintf("%s: %s regressed %.4g -> %.4g (%+.1f%%)",
+		r.Name, r.Metric, r.Base, r.Current, 100*(r.Current-r.Base)/r.Base)
+}
+
+// trackedValue extracts the gated metric for a result per its Track.
+// The second return is false when the result carries no such metric.
+func trackedValue(r Result) (float64, bool) {
+	switch r.Track {
+	case TrackNsPerOp:
+		return r.NsPerOp, r.NsPerOp > 0
+	case TrackAllocsPerOp:
+		return float64(r.AllocsPerOp), true
+	case TrackMBPerS:
+		return r.MBPerS, r.MBPerS > 0
+	case TrackSpeedup:
+		v, ok := r.Extra["speedup"]
+		return v, ok
+	}
+	return 0, false
+}
+
+// higherIsWorse reports the regression direction for a track.
+func higherIsWorse(track string) bool {
+	switch track {
+	case TrackMBPerS, TrackSpeedup:
+		return false
+	}
+	return true
+}
+
+// Compare gates current against baseline: for every baseline benchmark, the
+// tracked metric may move at most threshold (fractional, e.g. 0.25) in the
+// worse direction. A zero baseline for a higher-is-worse count gets an
+// absolute slack of 2 ops instead of a meaningless ratio.
+func Compare(baseline, current Report, threshold float64) []Regression {
+	cur := make(map[string]Result, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		cur[r.Name] = r
+	}
+	var regs []Regression
+	for _, base := range baseline.Benchmarks {
+		b, okB := trackedValue(base)
+		if !okB {
+			continue
+		}
+		c, ok := cur[base.Name]
+		if !ok {
+			regs = append(regs, Regression{Name: base.Name, Missing: true})
+			continue
+		}
+		v, okC := trackedValue(c)
+		if !okC {
+			regs = append(regs, Regression{Name: base.Name, Missing: true})
+			continue
+		}
+		if higherIsWorse(base.Track) {
+			limit := b * (1 + threshold)
+			if b == 0 {
+				limit = 2 // absolute slack for zero-alloc baselines
+			}
+			if v > limit {
+				regs = append(regs, Regression{Name: base.Name, Metric: base.Track, Base: b, Current: v})
+			}
+		} else {
+			if b > 0 && v < b*(1-threshold) {
+				regs = append(regs, Regression{Name: base.Name, Metric: base.Track, Base: b, Current: v})
+			}
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs
+}
+
+// LoadReport reads and validates a report JSON file.
+func LoadReport(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return Report{}, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	return r, nil
+}
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func report(results ...Result) Report {
+	return Report{Schema: Schema, Date: "2026-01-01", Benchmarks: results}
+}
+
+func TestCompareHigherIsWorse(t *testing.T) {
+	base := report(Result{Name: "a", Track: TrackNsPerOp, NsPerOp: 100})
+	// 20% slower: within a 25% threshold.
+	if regs := Compare(base, report(Result{Name: "a", Track: TrackNsPerOp, NsPerOp: 120}), 0.25); len(regs) != 0 {
+		t.Fatalf("20%% slowdown flagged at 25%% threshold: %v", regs)
+	}
+	// 30% slower: over threshold.
+	if regs := Compare(base, report(Result{Name: "a", Track: TrackNsPerOp, NsPerOp: 130}), 0.25); len(regs) != 1 {
+		t.Fatalf("30%% slowdown not flagged: %v", regs)
+	}
+	// Faster is never a regression.
+	if regs := Compare(base, report(Result{Name: "a", Track: TrackNsPerOp, NsPerOp: 10}), 0.25); len(regs) != 0 {
+		t.Fatalf("speedup flagged: %v", regs)
+	}
+}
+
+func TestCompareLowerIsWorse(t *testing.T) {
+	base := report(Result{Name: "s", Track: TrackSpeedup, Extra: map[string]float64{"speedup": 4}})
+	if regs := Compare(base, report(Result{Name: "s", Track: TrackSpeedup, Extra: map[string]float64{"speedup": 3.5}}), 0.25); len(regs) != 0 {
+		t.Fatalf("in-threshold speedup drop flagged: %v", regs)
+	}
+	if regs := Compare(base, report(Result{Name: "s", Track: TrackSpeedup, Extra: map[string]float64{"speedup": 2}}), 0.25); len(regs) != 1 {
+		t.Fatalf("halved speedup not flagged: %v", regs)
+	}
+	mb := report(Result{Name: "m", Track: TrackMBPerS, MBPerS: 100})
+	if regs := Compare(mb, report(Result{Name: "m", Track: TrackMBPerS, MBPerS: 50}), 0.25); len(regs) != 1 {
+		t.Fatalf("halved throughput not flagged: %v", regs)
+	}
+}
+
+func TestCompareZeroAllocBaselineSlack(t *testing.T) {
+	base := report(Result{Name: "z", Track: TrackAllocsPerOp, AllocsPerOp: 0})
+	// A couple of allocations of noise is tolerated against a zero baseline.
+	if regs := Compare(base, report(Result{Name: "z", Track: TrackAllocsPerOp, AllocsPerOp: 2}), 0.25); len(regs) != 0 {
+		t.Fatalf("zero-baseline slack not applied: %v", regs)
+	}
+	if regs := Compare(base, report(Result{Name: "z", Track: TrackAllocsPerOp, AllocsPerOp: 5}), 0.25); len(regs) != 1 {
+		t.Fatalf("real alloc growth not flagged: %v", regs)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	base := report(Result{Name: "gone", Track: TrackNsPerOp, NsPerOp: 10})
+	regs := Compare(base, report(), 0.25)
+	if len(regs) != 1 || !regs[0].Missing {
+		t.Fatalf("missing benchmark not flagged: %v", regs)
+	}
+}
+
+func TestWithSpeedups(t *testing.T) {
+	results := WithSpeedups([]Result{
+		{Name: "store/global/p8", Track: TrackAllocsPerOp, NsPerOp: 1000},
+		{Name: "store/sharded/p8", Track: TrackAllocsPerOp, NsPerOp: 250},
+	})
+	var found bool
+	for _, r := range results {
+		if r.Name == "store/speedup/p8" {
+			found = true
+			if got := r.Extra["speedup"]; got != 4 {
+				t.Fatalf("speedup = %v, want 4", got)
+			}
+			if r.Track != TrackSpeedup {
+				t.Fatalf("track = %q, want %q", r.Track, TrackSpeedup)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("store/speedup/p8 not derived")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	in := report(Result{Name: "a", Track: TrackNsPerOp, NsPerOp: 42, Iterations: 7})
+	in.GoVersion = "go1.22"
+	if err := WriteReport(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != Schema || len(out.Benchmarks) != 1 || out.Benchmarks[0].NsPerOp != 42 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestLoadReportRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	in := Report{Schema: "other/v9"}
+	if err := WriteReport(path, in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

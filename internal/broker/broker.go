@@ -379,12 +379,18 @@ func (p *Port) Name() string { return p.name }
 // Send serializes, optionally compresses, and stores the message body, then
 // publishes the header to the router. It returns once the message has been
 // handed to the asynchronous channel — not once it is delivered.
+//
+// The marshal buffer is pooled: Pack copies the raw encoding into the framed
+// body that the object store owns, so the pooled buffer is freed as soon as
+// framing is done and the steady-state send path allocates only the framed
+// body.
 func (p *Port) Send(m *message.Message) error {
-	raw, err := serialize.Marshal(m.Body)
+	raw, err := serialize.MarshalPooled(m.Body)
 	if err != nil {
 		return fmt.Errorf("broker send from %s: %w", p.name, err)
 	}
 	framed, compressed := p.broker.compressor.Pack(raw)
+	serialize.FreeBuf(raw)
 
 	local, remotes := p.broker.localRemoteSplit(m.Header.Dst)
 	refs := len(local) + len(remotes)

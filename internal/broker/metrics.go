@@ -130,8 +130,11 @@ type MetricsSnapshot struct {
 	Delivery LatencySummary
 }
 
-// Metrics snapshots the broker's channel health.
+// Metrics snapshots the broker's channel health. Each snapshot also
+// records an object-store watermark (objectstore.Store.Checkpoint), so the
+// periodic health tick doubles as the age baseline for the leak detector.
 func (b *Broker) Metrics() MetricsSnapshot {
+	b.store.Checkpoint()
 	h := b.health
 	snap := MetricsSnapshot{
 		MachineID:       b.machineID,

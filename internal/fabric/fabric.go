@@ -20,6 +20,7 @@ import (
 
 	"xingtian/internal/broker"
 	"xingtian/internal/message"
+	"xingtian/internal/serialize"
 )
 
 // MaxFrameSize bounds a single fabric frame (1 GiB) to reject corrupt
@@ -207,25 +208,34 @@ func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []b
 		Round:          h.Round,
 		SrcMachine:     srcMachine,
 	}
-	var hdrBuf bytesBuffer
-	if err := gob.NewEncoder(&hdrBuf).Encode(&wh); err != nil {
+	// Pooled frame-prefix+header buffer: the first 8 bytes are the length
+	// prefix, the gob header is appended behind it, and the whole thing is
+	// returned to the serialize pool once the frame is on the wire.
+	hdr := serialize.GetBuf(128)
+	hdr = hdr[:8]
+	w := bytesBuffer{b: hdr}
+	if err := gob.NewEncoder(&w).Encode(&wh); err != nil {
+		serialize.FreeBuf(hdr)
 		return fmt.Errorf("fabric encode header: %w", err)
 	}
-	frameLen := 4 + len(hdrBuf.b) + len(framed)
-	prefix := make([]byte, 8)
-	binary.BigEndian.PutUint32(prefix[0:], uint32(frameLen))
-	binary.BigEndian.PutUint32(prefix[4:], uint32(len(hdrBuf.b)))
+	hdr = w.b
+	hdrLen := len(hdr) - 8
+	frameLen := 4 + hdrLen + len(framed)
+	binary.BigEndian.PutUint32(hdr[0:], uint32(frameLen))
+	binary.BigEndian.PutUint32(hdr[4:], uint32(hdrLen))
 
 	// One vectored write per frame: prefix, header, and body go out in a
 	// single writev, so a frame is never interleaved with another sender's
 	// bytes and the connection mutex is held for one syscall, not three.
-	total := int64(len(prefix) + len(hdrBuf.b) + len(framed))
-	bufs := net.Buffers{prefix, hdrBuf.b, framed}
+	total := int64(len(hdr) + len(framed))
+	bufs := net.Buffers{hdr, framed}
 	peer.mu.Lock()
-	defer peer.mu.Unlock()
 	//lint:ignore lockhold frame writes must serialize per connection; peer.mu exists to guard exactly this write
-	if _, err := bufs.WriteTo(peer.conn); err != nil {
-		return fmt.Errorf("fabric write: %w", err)
+	_, werr := bufs.WriteTo(peer.conn)
+	peer.mu.Unlock()
+	serialize.FreeBuf(hdr)
+	if werr != nil {
+		return fmt.Errorf("fabric write: %w", werr)
 	}
 	n.framesSent.Add(1)
 	n.bytesSent.Add(total)
@@ -233,6 +243,9 @@ func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []b
 }
 
 // readLoop decodes inbound frames and injects them into the local broker.
+// The frame payload lives in a pooled buffer: InjectRemote copies the body
+// into this machine's object store and gob decoding copies the header
+// fields, so the buffer goes back to the pool at the end of each iteration.
 func (n *Node) readLoop(conn net.Conn) {
 	defer func() { _ = conn.Close() }()
 	prefix := make([]byte, 8)
@@ -246,12 +259,15 @@ func (n *Node) readLoop(conn net.Conn) {
 			n.corruptStreams.Add(1)
 			return // corrupt stream
 		}
-		payload := make([]byte, frameLen-4)
+		payload := serialize.GetBuf(int(frameLen - 4))
+		payload = payload[:frameLen-4]
 		if _, err := io.ReadFull(conn, payload); err != nil {
+			serialize.FreeBuf(payload)
 			return
 		}
 		var wh wireHeader
 		if err := gob.NewDecoder(&sliceReader{b: payload[:hdrLen]}).Decode(&wh); err != nil {
+			serialize.FreeBuf(payload)
 			n.corruptStreams.Add(1)
 			return
 		}
@@ -273,10 +289,13 @@ func (n *Node) readLoop(conn net.Conn) {
 		b := n.broker
 		n.mu.Unlock()
 		if b != nil {
+			// InjectRemote owns nothing: it copies the body before returning,
+			// so the pooled payload can be freed right after.
 			_ = b.InjectRemote(h, body)
 		} else {
 			n.droppedInject.Add(1)
 		}
+		serialize.FreeBuf(payload)
 	}
 }
 

@@ -182,6 +182,7 @@ func runGolden(t *testing.T, name string) {
 }
 
 func TestRefbalanceGolden(t *testing.T)  { runGolden(t, "refbalance") }
+func TestBufbalanceGolden(t *testing.T)  { runGolden(t, "bufbalance") }
 func TestLockholdGolden(t *testing.T)    { runGolden(t, "lockhold") }
 func TestHeadershareGolden(t *testing.T) { runGolden(t, "headershare") }
 func TestAtomicmixGolden(t *testing.T)   { runGolden(t, "atomicmix") }

@@ -19,6 +19,15 @@ import (
 // contract ("a failed Get holds nothing") is honoured by treating the
 // idiomatic `x, err := store.Get(id); if err != nil { ... }` error check as
 // part of the acquire.
+//
+// The same discipline covers pooled serialization buffers: a buffer bound by
+// `buf := serialize.GetBuf(n)` or `buf, err := serialize.MarshalPooled(b)`
+// must reach serialize.FreeBuf(buf) on every exit path (MarshalPooled's
+// error check is exempt, like a failed Get: on error the caller holds
+// nothing). Buffer ownership is only tracked through a named assignment — a
+// pooled call nested inside a larger expression is an immediate hand-off to
+// the enclosing call and out of lexical reach. Buffer acquires are matched
+// only by FreeBuf, never by Release-shaped calls, and vice versa.
 func runRefbalance(p *Pass) {
 	for _, file := range p.Files {
 		funcScopes(file, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
@@ -42,15 +51,17 @@ func runRefbalance(p *Pass) {
 type rbAcquire struct {
 	pos     token.Pos
 	effPos  token.Pos // position after which the reference is held for sure
-	kind    string    // "Get" or "Pin"
-	id      string    // rendered ID argument
+	kind    string    // "Get", "Pin", "GetBuf", or "MarshalPooled"
+	id      string    // rendered ID argument, or the bound buffer variable
 	loopEnd token.Pos // end of the innermost enclosing loop body, or NoPos
+	buf     bool      // pooled serialize buffer, matched only by FreeBuf
 }
 
 type rbRelease struct {
 	pos      token.Pos
 	id       string
 	deferred bool
+	buf      bool // serialize.FreeBuf, matches only buffer acquires
 }
 
 type rbScope struct {
@@ -77,6 +88,7 @@ func (rb *rbScope) walkStmt(s ast.Stmt, next ast.Stmt, loopEnd token.Pos, deferr
 	switch s := s.(type) {
 	case *ast.AssignStmt:
 		eff := rb.errCheckEnd(s, next)
+		rb.bufAcquire(s, loopEnd, eff)
 		rb.scanExpr(s, loopEnd, deferred, eff)
 	case *ast.DeferStmt:
 		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
@@ -215,6 +227,15 @@ func (rb *rbScope) classifyCall(call *ast.CallExpr, loopEnd token.Pos, deferred 
 		})
 		return
 	}
+	if isPkgFunc(f, "serialize", "FreeBuf") {
+		rb.releases = append(rb.releases, rbRelease{
+			pos:      call.Pos(),
+			id:       exprString(call.Args[0]),
+			deferred: deferred,
+			buf:      true,
+		})
+		return
+	}
 	if isMethodOn(f, "objectstore", "Store", "Release") ||
 		nameIn(f.Name(), []string{"release", "Release", "mustRelease"}) {
 		rb.releases = append(rb.releases, rbRelease{
@@ -223,6 +244,39 @@ func (rb *rbScope) classifyCall(call *ast.CallExpr, loopEnd token.Pos, deferred 
 			deferred: deferred,
 		})
 	}
+}
+
+// bufAcquire records `buf := serialize.GetBuf(n)` and
+// `buf, err := serialize.MarshalPooled(body)` buffer acquisitions. Only a
+// direct named assignment creates a tracked owner; a pooled call nested in a
+// larger expression hands its result straight to the enclosing call.
+func (rb *rbScope) bufAcquire(s *ast.AssignStmt, loopEnd, effPos token.Pos) {
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	f := calleeFunc(rb.p.Info, call)
+	if !isPkgFunc(f, "serialize", "GetBuf", "MarshalPooled") {
+		return
+	}
+	id, ok := s.Lhs[0].(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if effPos == token.NoPos {
+		effPos = s.End()
+	}
+	rb.acquires = append(rb.acquires, rbAcquire{
+		pos:     call.Pos(),
+		effPos:  effPos,
+		kind:    f.Name(),
+		id:      id.Name,
+		loopEnd: loopEnd,
+		buf:     true,
+	})
 }
 
 // errCheckEnd recognizes `x, err := store.Get(id)` followed by an
@@ -287,9 +341,15 @@ func (rb *rbScope) check(body *ast.BlockStmt) {
 		exits := rb.exitsFor(a, implicitEnd)
 		for _, exit := range exits {
 			if !rb.releasedBetween(a, exit.pos) {
-				rb.p.Reportf(a.pos,
-					"objectstore %s(%s) is not released on the path to %s (line %d); release it or mark the hand-off with //lint:owns",
-					a.kind, a.id, exit.kind, rb.p.Fset.Position(exit.pos).Line)
+				if a.buf {
+					rb.p.Reportf(a.pos,
+						"pooled buffer %s from serialize.%s is not freed on the path to %s (line %d); free it with serialize.FreeBuf or mark the hand-off with //lint:owns",
+						a.id, a.kind, exit.kind, rb.p.Fset.Position(exit.pos).Line)
+				} else {
+					rb.p.Reportf(a.pos,
+						"objectstore %s(%s) is not released on the path to %s (line %d); release it or mark the hand-off with //lint:owns",
+						a.kind, a.id, exit.kind, rb.p.Fset.Position(exit.pos).Line)
+				}
 				break
 			}
 		}
@@ -318,7 +378,7 @@ func (rb *rbScope) exitsFor(a rbAcquire, implicitEnd token.Pos) []rbExit {
 
 func (rb *rbScope) deferredReleaseFor(a rbAcquire) bool {
 	for _, r := range rb.releases {
-		if r.deferred && r.id == a.id {
+		if r.deferred && r.buf == a.buf && r.id == a.id {
 			return true
 		}
 	}
@@ -327,7 +387,7 @@ func (rb *rbScope) deferredReleaseFor(a rbAcquire) bool {
 
 func (rb *rbScope) releasedBetween(a rbAcquire, exit token.Pos) bool {
 	for _, r := range rb.releases {
-		if r.id == a.id && r.pos > a.effPos && r.pos < exit {
+		if r.buf == a.buf && r.id == a.id && r.pos > a.effPos && r.pos < exit {
 			return true
 		}
 	}

@@ -1,0 +1,107 @@
+// Package bufbalance seeds violations and corrected forms for the pooled
+// serialization-buffer leg of the refbalance analyzer.
+package bufbalance
+
+import "serialize"
+
+// getNoFree leaks: the buffer falls off the end of the function.
+func getNoFree() {
+	buf := serialize.GetBuf(64) // want "pooled buffer buf from serialize.GetBuf is not freed on the path to the end of the function"
+	_ = buf
+}
+
+// getEarlyReturn leaks on the flag path only.
+func getEarlyReturn(flag bool) error {
+	buf := serialize.GetBuf(64) // want "pooled buffer buf from serialize.GetBuf is not freed on the path to the return"
+	if flag {
+		return nil
+	}
+	_ = buf
+	serialize.FreeBuf(buf)
+	return nil
+}
+
+// getFreeAllPaths frees explicitly on each exit.
+func getFreeAllPaths(flag bool) {
+	buf := serialize.GetBuf(64)
+	if flag {
+		serialize.FreeBuf(buf)
+		return
+	}
+	_ = buf
+	serialize.FreeBuf(buf)
+}
+
+// getDeferFree is the corrected form: a deferred free covers every path.
+func getDeferFree(flag bool) error {
+	buf := serialize.GetBuf(64)
+	defer serialize.FreeBuf(buf)
+	if flag {
+		return nil
+	}
+	_ = buf
+	return nil
+}
+
+// marshalErrExempt: a failed MarshalPooled holds nothing, so the err-checked
+// early return is exempt, and the success path frees.
+func marshalErrExempt(body any) error {
+	raw, err := serialize.MarshalPooled(body)
+	if err != nil {
+		return err
+	}
+	_ = raw
+	serialize.FreeBuf(raw)
+	return nil
+}
+
+// marshalLeak leaks the encoded buffer past the error check.
+func marshalLeak(body any) error {
+	raw, err := serialize.MarshalPooled(body) // want "pooled buffer raw from serialize.MarshalPooled is not freed on the path to the return"
+	if err != nil {
+		return err
+	}
+	_ = raw
+	return nil
+}
+
+// loopNoFree leaks one buffer per iteration.
+func loopNoFree(sizes []int) {
+	for _, n := range sizes {
+		buf := serialize.GetBuf(n) // want "pooled buffer buf from serialize.GetBuf is not freed on the path to the end of the loop body"
+		_ = buf
+	}
+}
+
+// loopFree is the corrected form.
+func loopFree(sizes []int) {
+	for _, n := range sizes {
+		buf := serialize.GetBuf(n)
+		_ = buf
+		serialize.FreeBuf(buf)
+	}
+}
+
+// handOff transfers buffer ownership to the caller, declared with owns.
+//
+//lint:owns the caller frees the returned buffer after the frame is written
+func handOff(n int) []byte {
+	buf := serialize.GetBuf(n)
+	return buf
+}
+
+// release is Release-shaped but is not FreeBuf.
+func release(b []byte) { _ = b }
+
+// releaseDoesNotFree: a Release-shaped call must not satisfy a buffer
+// acquire — only serialize.FreeBuf frees pooled buffers.
+func releaseDoesNotFree() {
+	buf := serialize.GetBuf(64) // want "pooled buffer buf from serialize.GetBuf is not freed on the path to the end of the function"
+	release(buf)
+}
+
+// nestedHandOff is untracked by design: the pooled call's result goes
+// straight to the enclosing call, never bound to a caller-owned name.
+func nestedHandOff() {
+	release(serialize.GetBuf(64))
+}

@@ -1,0 +1,12 @@
+// Package serialize stubs the pooled-buffer API surface the refbalance
+// analyzer tracks.
+package serialize
+
+// GetBuf hands out a pooled buffer owned by the caller.
+func GetBuf(capHint int) []byte { return make([]byte, 0, capHint) }
+
+// FreeBuf returns a buffer to the pool.
+func FreeBuf(b []byte) { _ = b }
+
+// MarshalPooled encodes body into a pooled buffer owned by the caller.
+func MarshalPooled(body any) ([]byte, error) { return nil, nil }

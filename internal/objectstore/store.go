@@ -8,6 +8,18 @@
 // DNN parameters to N explorers) is freed exactly after the last receiver
 // has copied it out.
 //
+// # Sharding
+//
+// The store is sharded: objects are distributed across a power-of-two number
+// of shards by the low bits of their ID, each shard guarded by its own
+// RWMutex. IDs come from one atomic counter, so consecutive Puts land on
+// consecutive shards and a broadcast's Pin/Release traffic for different
+// objects never contends on a shared lock. Reference counts are atomics:
+// Pin and non-final Release touch only a read lock plus one atomic add, so
+// the concurrent fan-out lifecycle of a weights broadcast (N receivers
+// releasing the same object while M explorers put rollouts) scales with
+// cores instead of serializing behind one global mutex.
+//
 // # Reference-count ownership contract
 //
 // The channel observes a strict pin/release discipline; every object's
@@ -32,18 +44,38 @@
 //     releases their references, then asserts the store is drained
 //     (VerifyDrained) and records any leak in the broker metrics.
 //
-// The leak detector (Leaked, VerifyDrained) makes violations of this
-// contract observable: every entry records its insertion time, so objects
-// that outlive any plausible in-flight window can be reported with their ID,
-// size, refcount, and age.
+// # The Get / final-Release race rule
+//
+// Get returns the stored slice without copying and without touching the
+// reference count. The returned bytes are only valid while the caller holds
+// a reference of its own: calling Get on an ID whose references are all
+// owned by other goroutines races with the final Release of that object
+// (the lookup may fail, or the slice may be read while another goroutine
+// frees the object's accounting). Every holder in the channel observes the
+// rule implicitly — a stage calls Get only on headers it popped, and the
+// popped header carries the stage's own reference. Pin first if you need
+// bytes to outlive your current reference.
+//
+// # Leak detection
+//
+// The leak detector (Leaked, VerifyDrained) makes violations of the
+// contract observable. The hot path never reads the wall clock: each entry
+// records a monotonic shard-local creation sequence number, and observers
+// (Checkpoint, Leaked) record watermarks — (time, per-shard sequence)
+// snapshots. An object's reported Age is the provable lower bound derived
+// from the oldest watermark that already covered its sequence number, so an
+// object reported older than the channel's in-flight window is a certain
+// leak, never a false positive.
 package objectstore
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -54,16 +86,20 @@ var ErrNotFound = errors.New("objectstore: object not found")
 var ErrNotDrained = errors.New("objectstore: store not drained")
 
 // ID identifies an object in a store. IDs are unique per store for its
-// lifetime (monotonic, never reused).
+// lifetime (monotonic, never reused); the low bits select the shard.
 type ID uint64
 
-// Stats is a snapshot of store occupancy counters.
+// Stats is a snapshot of store occupancy counters. Store.Stats aggregates
+// the per-shard counters; ShardStats exposes them individually.
 type Stats struct {
 	// Objects is the number of live objects.
 	Objects int
 	// Bytes is the total size of live objects.
 	Bytes int64
-	// PeakBytes is the high-water mark of Bytes.
+	// PeakBytes is the high-water mark of Bytes. For the aggregate
+	// snapshot this is the sum of per-shard high-water marks, which is an
+	// upper bound on (and for serial workloads equal to) the instantaneous
+	// global peak.
 	PeakBytes int64
 	// TotalPut is the cumulative number of Put calls.
 	TotalPut int64
@@ -75,25 +111,108 @@ type Stats struct {
 	ReleaseErrors int64
 }
 
+// add accumulates o into s field-wise.
+func (s *Stats) add(o Stats) {
+	s.Objects += o.Objects
+	s.Bytes += o.Bytes
+	s.PeakBytes += o.PeakBytes
+	s.TotalPut += o.TotalPut
+	s.TotalReleased += o.TotalReleased
+	s.ReleaseErrors += o.ReleaseErrors
+}
+
+// entry is one stored object. refs is atomic so Pin and non-final Release
+// need no shard write lock; data and seq are immutable after insertion.
 type entry struct {
-	data    []byte
-	refs    int
-	created time.Time
+	data []byte
+	seq  uint64 // shard-local creation sequence, assigned under shard.mu
+	refs atomic.Int64
+}
+
+// shard is one lock domain of the store. The plain fields (objects map,
+// seq, stats) are guarded by mu; releaseErrors is atomic because the
+// unknown-ID path holds no lock. Padding keeps adjacent shards off one
+// cache line so refcount traffic on shard i never dirties shard i+1.
+type shard struct {
+	mu      sync.RWMutex
+	objects map[ID]*entry
+	seq     uint64
+	stats   Stats // ReleaseErrors field unused here; see releaseErrors
+
+	releaseErrors atomic.Int64
+
+	_ [24]byte // pad to a multiple of the cache line size
+}
+
+// watermark is one observer snapshot: every entry whose shard sequence is
+// <= seqs[shard] provably existed at time t.
+type watermark struct {
+	t    time.Time
+	seqs []uint64
 }
 
 // Store is an in-memory object store with reference counting. It models the
 // plasma/Arrow shared-memory store of the paper: zero-copy reads, explicit
 // pin/release life cycle. The zero value is not usable; use New.
 type Store struct {
-	mu      sync.Mutex
-	next    ID
-	objects map[ID]*entry
-	stats   Stats
+	nextID atomic.Uint64
+	mask   uint64
+	shards []shard
+
+	markMu sync.Mutex
+	marks  []watermark
 }
 
-// New returns an empty store.
+// DefaultShards is the shard count used by New: the smallest power of two
+// covering the machine's CPUs, clamped to [8, 128] so that small hosts
+// still spread broadcast traffic and huge hosts don't pay for hundreds of
+// near-empty maps.
+func DefaultShards() int {
+	n := ceilPow2(runtime.NumCPU())
+	if n < 8 {
+		n = 8
+	}
+	if n > 128 {
+		n = 128
+	}
+	return n
+}
+
+// ceilPow2 returns the smallest power of two >= n (n <= 0 yields 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New returns an empty store with DefaultShards shards.
 func New() *Store {
-	return &Store{objects: make(map[ID]*entry)}
+	return NewSharded(DefaultShards())
+}
+
+// NewSharded returns an empty store with the given shard count, rounded up
+// to a power of two. nshards <= 1 yields a single-shard store (useful for
+// contention baselines in benchmarks).
+func NewSharded(nshards int) *Store {
+	n := ceilPow2(nshards)
+	s := &Store{
+		mask:   uint64(n - 1),
+		shards: make([]shard, n),
+	}
+	for i := range s.shards {
+		s.shards[i].objects = make(map[ID]*entry)
+	}
+	return s
+}
+
+// NumShards reports the store's shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// shardFor selects the shard owning id.
+func (s *Store) shardFor(id ID) *shard {
+	return &s.shards[uint64(id)&s.mask]
 }
 
 // Put inserts data with an initial reference count of refs (refs < 1 is
@@ -103,27 +222,33 @@ func (s *Store) Put(data []byte, refs int) ID {
 	if refs < 1 {
 		refs = 1
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.next++
-	id := s.next
-	s.objects[id] = &entry{data: data, refs: refs, created: time.Now()}
-	s.stats.Objects++
-	s.stats.Bytes += int64(len(data))
-	s.stats.TotalPut++
-	if s.stats.Bytes > s.stats.PeakBytes {
-		s.stats.PeakBytes = s.stats.Bytes
+	id := ID(s.nextID.Add(1))
+	e := &entry{data: data}
+	e.refs.Store(int64(refs))
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.seq++
+	e.seq = sh.seq
+	sh.objects[id] = e
+	sh.stats.Objects++
+	sh.stats.Bytes += int64(len(data))
+	sh.stats.TotalPut++
+	if sh.stats.Bytes > sh.stats.PeakBytes {
+		sh.stats.PeakBytes = sh.stats.Bytes
 	}
+	sh.mu.Unlock()
 	return id
 }
 
 // Get returns the object's bytes without copying. The returned slice is
-// shared: callers must treat it as read-only and must not use it after the
-// object's final Release.
+// shared: callers must treat it as read-only, must hold a reference of
+// their own while using it, and must not use it after that reference's
+// Release — see the Get / final-Release race rule in the package comment.
 func (s *Store) Get(id ID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.objects[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	e, ok := sh.objects[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("get %d: %w", id, ErrNotFound)
 	}
@@ -131,61 +256,104 @@ func (s *Store) Get(id ID) ([]byte, error) {
 }
 
 // Pin increments the object's reference count, e.g. when the router adds an
-// additional destination after insertion.
+// additional destination after insertion. The caller must already hold a
+// reference (pinning a fully released object is a contract violation).
 func (s *Store) Pin(id ID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.objects[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	e, ok := sh.objects[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("pin %d: %w", id, ErrNotFound)
 	}
-	e.refs++
+	e.refs.Add(1)
 	return nil
 }
 
 // Release decrements the object's reference count and frees it when the
 // count reaches zero. Releasing an unknown ID returns ErrNotFound and is
-// counted in Stats.ReleaseErrors.
+// counted in Stats.ReleaseErrors. Only the decrement that lands exactly on
+// zero frees the object, so concurrent receivers of a broadcast can release
+// without coordination.
 func (s *Store) Release(id ID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.objects[id]
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	e, ok := sh.objects[id]
+	sh.mu.RUnlock()
 	if !ok {
-		s.stats.ReleaseErrors++
+		sh.releaseErrors.Add(1)
 		return fmt.Errorf("release %d: %w", id, ErrNotFound)
 	}
-	e.refs--
-	if e.refs <= 0 {
-		s.stats.Objects--
-		s.stats.Bytes -= int64(len(e.data))
-		s.stats.TotalReleased++
-		delete(s.objects, id)
+	n := e.refs.Add(-1)
+	if n > 0 {
+		return nil
 	}
+	if n < 0 {
+		// A racing over-release of the object the zero-decrementer is
+		// currently freeing: a discipline violation, counted like a
+		// release of an unknown ID.
+		sh.releaseErrors.Add(1)
+		return fmt.Errorf("release %d: %w", id, ErrNotFound)
+	}
+	sh.mu.Lock()
+	delete(sh.objects, id)
+	sh.stats.Objects--
+	sh.stats.Bytes -= int64(len(e.data))
+	sh.stats.TotalReleased++
+	sh.mu.Unlock()
 	return nil
 }
 
 // Refs reports the current reference count of id, or 0 when absent.
 func (s *Store) Refs(id ID) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if e, ok := s.objects[id]; ok {
-		return e.refs
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	e, ok := sh.objects[id]
+	sh.mu.RUnlock()
+	if !ok {
+		return 0
 	}
-	return 0
+	return int(e.refs.Load())
 }
 
-// Stats returns a snapshot of occupancy counters.
+// Stats returns a snapshot of occupancy counters aggregated across shards.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	var out Stats
+	for i := range s.shards {
+		out.add(s.shards[i].snapshot())
+	}
+	return out
+}
+
+// ShardStats returns one Stats snapshot per shard, indexed by shard number.
+// Summing them field-wise yields Stats().
+func (s *Store) ShardStats() []Stats {
+	out := make([]Stats, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.shards[i].snapshot()
+	}
+	return out
+}
+
+// snapshot reads one shard's counters consistently.
+func (sh *shard) snapshot() Stats {
+	sh.mu.RLock()
+	st := sh.stats
+	sh.mu.RUnlock()
+	st.ReleaseErrors = sh.releaseErrors.Load()
+	return st
 }
 
 // Len reports the number of live objects.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.objects)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.objects)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // LeakRecord describes one live object in a leak report.
@@ -196,26 +364,123 @@ type LeakRecord struct {
 	Refs int
 	// Size is the object's byte length.
 	Size int
-	// Age is how long the object has been live.
+	// Age is the provable lower bound on how long the object has been
+	// live: the time since the oldest watermark that already covered its
+	// creation sequence. Zero when no watermark predates the object (call
+	// Checkpoint periodically to establish baselines).
 	Age time.Duration
 }
 
-// Leaked reports every live object older than olderThan, oldest first. With
-// olderThan <= 0 it reports all live objects. Under the ownership contract
+// Checkpoint records a watermark: a (time, per-shard sequence) snapshot
+// against which later Leaked calls prove object ages. Brokers call it from
+// their periodic health snapshot; it costs one read lock per shard and
+// never touches the Put/Get/Pin/Release hot path.
+func (s *Store) Checkpoint() {
+	s.recordMark(time.Now(), s.snapshotSeqs())
+}
+
+// snapshotSeqs reads every shard's creation sequence.
+func (s *Store) snapshotSeqs() []uint64 {
+	seqs := make([]uint64, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		seqs[i] = sh.seq
+		sh.mu.RUnlock()
+	}
+	return seqs
+}
+
+// markGap is the minimum spacing between recorded watermarks; calls inside
+// the gap are coalesced into the previous mark.
+const markGap = time.Millisecond
+
+// maxMarks bounds the watermark history; when full the history is thinned
+// by dropping every other mark (ages stay provable, just coarser).
+const maxMarks = 256
+
+func (s *Store) recordMark(now time.Time, seqs []uint64) {
+	s.markMu.Lock()
+	defer s.markMu.Unlock()
+	if n := len(s.marks); n > 0 && now.Sub(s.marks[n-1].t) < markGap {
+		return
+	}
+	if len(s.marks) >= maxMarks {
+		kept := s.marks[:0]
+		for i := 0; i < len(s.marks); i += 2 {
+			kept = append(kept, s.marks[i])
+		}
+		s.marks = kept
+	}
+	s.marks = append(s.marks, watermark{t: now, seqs: seqs})
+}
+
+// provableSince returns the time of the oldest watermark covering sequence
+// seq on shard si, and whether any does.
+func (s *Store) provableSince(si int, seq uint64) (time.Time, bool) {
+	s.markMu.Lock()
+	defer s.markMu.Unlock()
+	// marks are time-ascending with monotonic seqs: binary-search the
+	// first mark whose snapshot had already counted seq.
+	lo, hi := 0, len(s.marks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.marks[mid].seqs[si] >= seq {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo == len(s.marks) {
+		return time.Time{}, false
+	}
+	return s.marks[lo].t, true
+}
+
+// Leaked reports every live object whose provable age is at least
+// olderThan, oldest first (by creation order). With olderThan <= 0 it
+// reports all live objects. It records a watermark itself, so repeated
+// calls build the age baseline automatically. Under the ownership contract
 // above, any object that outlives the in-flight window of the channel is a
 // leak: either a reference was never released or a header was lost.
 func (s *Store) Leaked(olderThan time.Duration) []LeakRecord {
 	now := time.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []LeakRecord
-	for id, e := range s.objects {
-		age := now.Sub(e.created)
-		if age >= olderThan {
-			out = append(out, LeakRecord{ID: id, Refs: e.refs, Size: len(e.data), Age: age})
-		}
+	s.recordMark(now, s.snapshotSeqs())
+
+	type liveObj struct {
+		id   ID
+		seq  uint64
+		si   int
+		refs int
+		size int
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Age > out[j].Age })
+	var live []liveObj
+	for si := range s.shards {
+		sh := &s.shards[si]
+		sh.mu.RLock()
+		for id, e := range sh.objects {
+			live = append(live, liveObj{
+				id: id, seq: e.seq, si: si,
+				refs: int(e.refs.Load()), size: len(e.data),
+			})
+		}
+		sh.mu.RUnlock()
+	}
+
+	var out []LeakRecord
+	for _, o := range live {
+		var age time.Duration
+		if t, ok := s.provableSince(o.si, o.seq); ok {
+			age = now.Sub(t)
+		}
+		if olderThan > 0 && age < olderThan {
+			continue
+		}
+		out = append(out, LeakRecord{ID: o.id, Refs: o.refs, Size: o.size, Age: age})
+	}
+	// IDs are allocated from one monotonic counter, so ascending ID order
+	// is creation order: oldest first.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -225,10 +225,12 @@ func TestReleaseUnknownCountsError(t *testing.T) {
 func TestLeakedReportsAgedEntries(t *testing.T) {
 	s := New()
 	old := s.Put(make([]byte, 64), 2)
-	// Backdate the first entry so an age threshold separates the two.
-	s.mu.Lock()
-	s.objects[old].created = time.Now().Add(-time.Minute)
-	s.mu.Unlock()
+	// Backdate a watermark covering the first entry so an age threshold
+	// separates the two (the hot path records no timestamps; observers do).
+	seqs := s.snapshotSeqs()
+	s.markMu.Lock()
+	s.marks = append(s.marks, watermark{t: time.Now().Add(-time.Minute), seqs: seqs})
+	s.markMu.Unlock()
 	fresh := s.Put(make([]byte, 32), 1)
 
 	all := s.Leaked(0)
@@ -248,6 +250,238 @@ func TestLeakedReportsAgedEntries(t *testing.T) {
 		t.Fatalf("leak record = %+v", r)
 	}
 	_ = fresh
+}
+
+func TestCheckpointEstablishesAges(t *testing.T) {
+	s := New()
+	id := s.Put([]byte("pinned"), 1)
+	if leaks := s.Leaked(time.Millisecond); len(leaks) != 0 {
+		t.Fatalf("Leaked(1ms) before any baseline = %d records, want 0 (age unprovable)", len(leaks))
+	}
+	s.Checkpoint()
+	time.Sleep(5 * time.Millisecond)
+	leaks := s.Leaked(time.Millisecond)
+	if len(leaks) != 1 || leaks[0].ID != id {
+		t.Fatalf("Leaked(1ms) after checkpoint = %+v, want the live object", leaks)
+	}
+	if leaks[0].Age < time.Millisecond {
+		t.Fatalf("Age = %v, want >= 1ms", leaks[0].Age)
+	}
+	if err := s.Release(id); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+}
+
+func TestNewShardedRoundsUpToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16},
+	} {
+		if got := NewSharded(tc.in).NumShards(); got != tc.want {
+			t.Errorf("NewSharded(%d).NumShards() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	n := New().NumShards()
+	if n < 8 || n > 128 || n&(n-1) != 0 {
+		t.Fatalf("New().NumShards() = %d, want a power of two in [8, 128]", n)
+	}
+}
+
+// TestGetWhileConcurrentFinalRelease exercises the documented race rule:
+// Get is safe concurrently with another holder's Release as long as the
+// getter holds a reference of its own. Run with -race.
+func TestGetWhileConcurrentFinalRelease(t *testing.T) {
+	s := New()
+	for i := 0; i < 200; i++ {
+		id := s.Put([]byte{1, 2, 3, 4}, 2)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			// This goroutine owns one reference: Get is valid until its
+			// own Release, regardless of the other holder's timing.
+			data, err := s.Get(id)
+			if err != nil {
+				t.Errorf("Get: %v", err)
+			} else if len(data) != 4 {
+				t.Errorf("len(data) = %d, want 4", len(data))
+			}
+			if err := s.Release(id); err != nil {
+				t.Errorf("Release: %v", err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := s.Release(id); err != nil {
+				t.Errorf("Release: %v", err)
+			}
+		}()
+		wg.Wait()
+	}
+	if err := s.VerifyDrained(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentBroadcastAcrossShards is the sharded store's stress test:
+// many producers broadcast objects to many consumers; every consumer gets
+// and releases its own reference concurrently. Run with -race.
+func TestConcurrentBroadcastAcrossShards(t *testing.T) {
+	const (
+		producers = 8
+		objects   = 50
+		receivers = 8
+	)
+	s := NewSharded(8)
+	ids := make(chan ID, producers*objects)
+	var prod sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		prod.Add(1)
+		go func() {
+			defer prod.Done()
+			for i := 0; i < objects; i++ {
+				ids <- s.Put(make([]byte, 256), receivers)
+			}
+		}()
+	}
+	var cons sync.WaitGroup
+	for r := 0; r < receivers; r++ {
+		cons.Add(1)
+		go func() {
+			defer cons.Done()
+			// Objects carry `receivers` references, so refs stay positive
+			// throughout this phase: Get here never races a final Release.
+			for id := range ids {
+				if _, err := s.Get(id); err != nil {
+					t.Errorf("Get: %v", err)
+				}
+				if err := s.Release(id); err != nil {
+					t.Errorf("Release: %v", err)
+				}
+			}
+		}()
+	}
+	prod.Wait()
+	close(ids)
+	cons.Wait()
+	// Each object was released once by whichever consumer popped it;
+	// release the remaining receivers-1 references concurrently.
+	var rel sync.WaitGroup
+	for id := ID(1); id <= producers*objects; id++ {
+		rel.Add(1)
+		go func(id ID) {
+			defer rel.Done()
+			for k := 0; k < receivers-1; k++ {
+				if err := s.Release(id); err != nil {
+					t.Errorf("Release %d: %v", id, err)
+				}
+			}
+		}(id)
+	}
+	rel.Wait()
+	if err := s.VerifyDrained(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.TotalPut != producers*objects || st.TotalReleased != producers*objects {
+		t.Fatalf("TotalPut/TotalReleased = %d/%d, want %d/%d",
+			st.TotalPut, st.TotalReleased, producers*objects, producers*objects)
+	}
+	if st.ReleaseErrors != 0 {
+		t.Fatalf("ReleaseErrors = %d, want 0", st.ReleaseErrors)
+	}
+}
+
+// TestPropertyShardStatsSumToGlobal checks the aggregation invariant: for
+// any operation sequence, Stats() equals the field-wise sum of ShardStats()
+// and matches a model of the old single-mutex store's counters (PeakBytes
+// is an upper bound on the model's global high-water mark).
+func TestPropertyShardStatsSumToGlobal(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := NewSharded(8)
+		var model Stats
+		var modelBytes int64
+		live := make(map[ID]int64)
+		var liveIDs []ID
+		for _, op := range ops {
+			switch op % 3 {
+			case 0, 1: // put
+				n := int64(op % 512)
+				id := s.Put(make([]byte, n), 1)
+				live[id] = n
+				liveIDs = append(liveIDs, id)
+				model.Objects++
+				model.TotalPut++
+				modelBytes += n
+				if modelBytes > model.PeakBytes {
+					model.PeakBytes = modelBytes
+				}
+			case 2: // release oldest live, or a bogus id
+				if len(liveIDs) == 0 {
+					_ = s.Release(ID(1 << 40))
+					model.ReleaseErrors++
+					continue
+				}
+				id := liveIDs[0]
+				liveIDs = liveIDs[1:]
+				if err := s.Release(id); err != nil {
+					return false
+				}
+				model.Objects--
+				model.TotalReleased++
+				modelBytes -= live[id]
+				delete(live, id)
+			}
+		}
+		model.Bytes = modelBytes
+		got := s.Stats()
+		var sum Stats
+		for _, st := range s.ShardStats() {
+			sum.add(st)
+		}
+		if got != sum {
+			return false
+		}
+		return got.Objects == model.Objects &&
+			got.Bytes == model.Bytes &&
+			got.TotalPut == model.TotalPut &&
+			got.TotalReleased == model.TotalReleased &&
+			got.ReleaseErrors == model.ReleaseErrors &&
+			got.PeakBytes >= model.PeakBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkPutGetReleaseParallel is the contended lifecycle: every
+// goroutine runs the broadcast hot path (put, get, pin, release, release)
+// against one shared store. cmd/xt-bench sweeps this against the frozen
+// single-mutex baseline at 1..8 goroutines.
+func BenchmarkPutGetReleaseParallel(b *testing.B) {
+	s := New()
+	payload := make([]byte, 4096)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := s.Put(payload, 1)
+			if _, err := s.Get(id); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := s.Pin(id); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := s.Release(id); err != nil {
+				b.Error(err)
+				return
+			}
+			if err := s.Release(id); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 func TestVerifyDrained(t *testing.T) {

@@ -34,26 +34,68 @@ const (
 	tagDummy
 )
 
-// Marshal encodes a message body into bytes. Supported bodies are
-// *rollout.Batch, *message.WeightsPayload, *message.StatsPayload,
-// *message.ControlPayload, and *message.DummyPayload.
+// Marshal encodes a message body into a freshly allocated byte slice.
+// Supported bodies are *rollout.Batch, *message.WeightsPayload,
+// *message.StatsPayload, *message.ControlPayload, and *message.DummyPayload.
+// Hot paths should prefer MarshalPooled, which reuses grown buffers.
 func Marshal(body any) ([]byte, error) {
+	return MarshalAppend(make([]byte, 0, SizeHint(body)), body)
+}
+
+// MarshalAppend appends body's encoding to dst and returns the extended
+// slice. It is the allocation-free core of Marshal/MarshalPooled.
+func MarshalAppend(dst []byte, body any) ([]byte, error) {
 	switch b := body.(type) {
 	case *rollout.Batch:
-		return marshalRollout(b), nil
+		return appendRollout(dst, b), nil
 	case *message.WeightsPayload:
-		return marshalWeights(b), nil
+		return appendWeights(dst, b), nil
 	case *message.StatsPayload:
-		return marshalStats(b), nil
+		return appendStats(dst, b), nil
 	case *message.ControlPayload:
-		return marshalControl(b), nil
+		return appendControl(dst, b), nil
 	case *message.DummyPayload:
-		out := make([]byte, 1+len(b.Data))
-		out[0] = tagDummy
-		copy(out[1:], b.Data)
-		return out, nil
+		dst = append(dst, tagDummy)
+		return append(dst, b.Data...), nil
 	default:
 		return nil, fmt.Errorf("serialize: unsupported body type %T: %w", body, ErrBadPayload)
+	}
+}
+
+// MarshalPooled encodes a message body into a pooled buffer. The caller
+// owns the returned slice and must hand it back with FreeBuf once its
+// contents are no longer needed (see the ownership rules in buffer.go).
+// On error no buffer is retained.
+func MarshalPooled(body any) ([]byte, error) {
+	out, err := MarshalAppend(GetBuf(SizeHint(body)), body)
+	if err != nil {
+		FreeBuf(out)
+		return nil, err
+	}
+	return out, nil
+}
+
+// SizeHint estimates body's encoded size (an upper bound for fixed-layout
+// payloads, the documented estimate for rollouts) so marshal buffers start
+// close to their final capacity.
+func SizeHint(body any) int {
+	switch b := body.(type) {
+	case *rollout.Batch:
+		return 64 + b.SizeBytes()
+	case *message.WeightsPayload:
+		return 16 + 4*len(b.Data)
+	case *message.StatsPayload:
+		return 96 + len(b.Node)
+	case *message.ControlPayload:
+		n := 32
+		for k := range b.Hyperparams {
+			n += 12 + len(k)
+		}
+		return n
+	case *message.DummyPayload:
+		return 1 + len(b.Data)
+	default:
+		return minBufCap
 	}
 }
 
@@ -252,8 +294,7 @@ func (r *reader) obs() env.Obs {
 
 // Rollout batch ----------------------------------------------------------------
 
-func marshalRollout(b *rollout.Batch) []byte {
-	out := make([]byte, 0, 64+b.SizeBytes())
+func appendRollout(out []byte, b *rollout.Batch) []byte {
 	out = append(out, tagRollout)
 	out = putU32(out, uint32(b.ExplorerID))
 	out = putU64(out, uint64(b.WeightsVersion))
@@ -313,8 +354,7 @@ func unmarshalRollout(data []byte) (*rollout.Batch, error) {
 
 // Weights ------------------------------------------------------------------------
 
-func marshalWeights(w *message.WeightsPayload) []byte {
-	out := make([]byte, 0, 16+4*len(w.Data))
+func appendWeights(out []byte, w *message.WeightsPayload) []byte {
 	out = append(out, tagWeights)
 	out = putU64(out, uint64(w.Version))
 	out = putF32s(out, w.Data)
@@ -332,8 +372,7 @@ func unmarshalWeights(data []byte) (*message.WeightsPayload, error) {
 
 // Stats --------------------------------------------------------------------------
 
-func marshalStats(s *message.StatsPayload) []byte {
-	out := make([]byte, 0, 96)
+func appendStats(out []byte, s *message.StatsPayload) []byte {
 	out = append(out, tagStats)
 	out = putString(out, s.Node)
 	out = putU64(out, uint64(s.Episodes))
@@ -364,8 +403,7 @@ func unmarshalStats(data []byte) (*message.StatsPayload, error) {
 
 // Control ------------------------------------------------------------------------
 
-func marshalControl(c *message.ControlPayload) []byte {
-	out := make([]byte, 0, 32)
+func appendControl(out []byte, c *message.ControlPayload) []byte {
 	out = append(out, tagControl, byte(c.Kind))
 	out = putU32(out, uint32(len(c.Hyperparams)))
 	for k, v := range c.Hyperparams {

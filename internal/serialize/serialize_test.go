@@ -313,3 +313,128 @@ func BenchmarkUnmarshalRollout(b *testing.B) {
 		}
 	}
 }
+
+// Buffer pool --------------------------------------------------------------------
+
+// TestMarshalPooledMatchesMarshal: the pooled encoder must be byte-for-byte
+// identical to the allocating one for every payload kind.
+func TestMarshalPooledMatchesMarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bodies := []any{
+		sampleBatch(rng, 20, true),
+		&message.WeightsPayload{Version: 7, Data: []float32{1, 2, 3}},
+		&message.StatsPayload{Node: "m0", Episodes: 3, MeanReturn: 1.5},
+		&message.ControlPayload{Kind: 1, Hyperparams: map[string]float64{"lr": 0.01}},
+		&message.DummyPayload{Data: []byte("payload")},
+	}
+	for _, body := range bodies {
+		want, err := Marshal(body)
+		if err != nil {
+			t.Fatalf("Marshal(%T): %v", body, err)
+		}
+		got, err := MarshalPooled(body)
+		if err != nil {
+			t.Fatalf("MarshalPooled(%T): %v", body, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("MarshalPooled(%T) differs from Marshal", body)
+		}
+		FreeBuf(got)
+	}
+}
+
+// TestMarshalPooledNoAliasingWhileLive: two live pooled buffers must never
+// share backing memory — consecutive MarshalPooled calls without an
+// intervening FreeBuf yield independent buffers.
+func TestMarshalPooledNoAliasingWhileLive(t *testing.T) {
+	a, err := MarshalPooled(&message.DummyPayload{Data: []byte("aaaaaaaa")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]byte(nil), a...)
+	b, err := MarshalPooled(&message.DummyPayload{Data: []byte("bbbbbbbb")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a[0] == &b[0] {
+		t.Fatal("consecutive MarshalPooled calls alias the same backing array while both are live")
+	}
+	if !bytes.Equal(a, snapshot) {
+		t.Fatalf("first buffer mutated by second marshal: %q -> %q", snapshot, a)
+	}
+	FreeBuf(a)
+	FreeBuf(b)
+}
+
+// TestFreeBufRecycles: after FreeBuf, the next GetBuf of a fitting size
+// reuses the grown backing array instead of allocating. sync.Pool may drop
+// entries under GC pressure, so the test pins one cycle without GC in
+// between and tolerates (skips on) an empty pool rather than flaking.
+func TestFreeBufRecycles(t *testing.T) {
+	buf := GetBuf(1 << 16)
+	buf = append(buf, 1, 2, 3)
+	first := &buf[:1][0]
+	FreeBuf(buf)
+	again := GetBuf(1 << 16)
+	if cap(again) < 1<<16 {
+		t.Skipf("pool did not retain the buffer (cap=%d); GC emptied it", cap(again))
+	}
+	if &again[:1][0] != first {
+		t.Skip("pool handed back a different buffer (per-P caches); reuse not observable here")
+	}
+	if len(again) != 0 {
+		t.Fatalf("GetBuf returned non-empty buffer, len=%d", len(again))
+	}
+	FreeBuf(again)
+}
+
+// TestFreeBufDropsOversized: buffers beyond the pooling bound must not be
+// retained (they would pin memory for the process lifetime).
+func TestFreeBufDropsOversized(t *testing.T) {
+	FreeBuf(make([]byte, 0, maxPooledCap+1)) // must not panic or retain
+	FreeBuf(nil)                             // no-op
+}
+
+// TestMarshalPooledErrorReturnsNothing: a failed pooled marshal must not
+// hand the caller a buffer (the acquire-on-success rule refbalance checks).
+func TestMarshalPooledErrorReturnsNothing(t *testing.T) {
+	out, err := MarshalPooled(struct{}{})
+	if !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("err = %v, want ErrBadPayload", err)
+	}
+	if out != nil {
+		t.Fatalf("out = %v, want nil on error", out)
+	}
+}
+
+// BenchmarkMarshalRolloutPooled is BenchmarkMarshalRollout500Frames on the
+// pooled path: steady-state allocs/op should be ~0 versus one buffer per
+// message for the heap path.
+func BenchmarkMarshalRolloutPooled(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	batch := sampleBatch(rng, 100, true)
+	b.SetBytes(int64(batch.SizeBytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := MarshalPooled(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		FreeBuf(out)
+	}
+}
+
+func BenchmarkMarshalWeightsPooled(b *testing.B) {
+	w := &message.WeightsPayload{Version: 1, Data: make([]float32, 100_000)}
+	b.SetBytes(int64(4 * len(w.Data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := MarshalPooled(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		FreeBuf(out)
+	}
+}
