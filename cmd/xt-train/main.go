@@ -30,15 +30,17 @@ import (
 
 // fileConfig is the JSON deployment description.
 type fileConfig struct {
-	Algorithm   string `json:"algorithm"`
-	Environment string `json:"environment"`
-	Explorers   int    `json:"explorers"`
-	Machines    int    `json:"machines"`
-	RolloutLen  int    `json:"rollout_len"`
-	MaxSteps    int64  `json:"max_steps"`
-	MaxSeconds  int    `json:"max_seconds"`
-	Compress    bool   `json:"compress"`
-	Seed        int64  `json:"seed"`
+	Algorithm      string `json:"algorithm"`
+	Environment    string `json:"environment"`
+	Explorers      int    `json:"explorers"`
+	Machines       int    `json:"machines"`
+	RolloutLen     int    `json:"rollout_len"`
+	MaxSteps       int64  `json:"max_steps"`
+	MaxSeconds     int    `json:"max_seconds"`
+	Compress       bool   `json:"compress"`
+	Seed           int64  `json:"seed"`
+	Restarts       int    `json:"restarts"`
+	RestartBackoff int    `json:"restart_backoff_ms"`
 }
 
 func main() {
@@ -58,6 +60,8 @@ func run() int {
 		seed       = flag.Int64("seed", 1, "run seed")
 		configPath = flag.String("config", "", "JSON deployment config (overrides flags)")
 		metrics    = flag.Duration("metrics", 0, "log a channel-health summary at this interval (0 = off)")
+		restarts   = flag.Int("restarts", 0, "restart budget per explorer on agent error (0 = fail fast)")
+		restartBk  = flag.Duration("restart-backoff", 100*time.Millisecond, "initial backoff before an explorer restart (doubles per consecutive restart)")
 	)
 	flag.Parse()
 
@@ -65,6 +69,7 @@ func run() int {
 		Algorithm: *algName, Environment: *envName,
 		Explorers: *explorers, Machines: *machines, RolloutLen: *rolloutLen,
 		MaxSteps: *steps, MaxSeconds: *seconds, Compress: *compress, Seed: *seed,
+		Restarts: *restarts, RestartBackoff: int(restartBk.Milliseconds()),
 	}
 	if *configPath != "" {
 		data, err := os.ReadFile(*configPath)
@@ -87,12 +92,14 @@ func run() int {
 		fc.Algorithm, fc.Environment, fc.Explorers, max(fc.Machines, 1), fc.MaxSteps)
 
 	cfg := core.Config{
-		NumExplorers: fc.Explorers,
-		RolloutLen:   fc.RolloutLen,
-		MaxSteps:     fc.MaxSteps,
-		MaxDuration:  time.Duration(fc.MaxSeconds) * time.Second,
-		Machines:     fc.Machines,
-		Compress:     fc.Compress,
+		NumExplorers:        fc.Explorers,
+		RolloutLen:          fc.RolloutLen,
+		MaxSteps:            fc.MaxSteps,
+		MaxDuration:         time.Duration(fc.MaxSeconds) * time.Second,
+		Machines:            fc.Machines,
+		Compress:            fc.Compress,
+		MaxExplorerRestarts: fc.Restarts,
+		RestartBackoff:      time.Duration(fc.RestartBackoff) * time.Millisecond,
 	}
 	if *metrics > 0 {
 		cfg.MetricsEvery = *metrics
@@ -109,9 +116,19 @@ func run() int {
 	fmt.Printf("  episodes:         %d (mean return %.2f)\n", report.Episodes, report.MeanReturn)
 	fmt.Printf("  learner wait avg: %v\n", report.MeanWait.Round(time.Microsecond))
 	fmt.Printf("  transmission avg: %v\n", report.MeanTransmission.Round(time.Microsecond))
+	if fc.Restarts > 0 || report.ExplorerRestarts > 0 {
+		fmt.Printf("  explorer restarts: %d (budget exhausted on %d)\n",
+			report.ExplorerRestarts, report.RestartBudgetExhausted)
+		if report.RestartLastError != "" {
+			fmt.Printf("  last handled error: %s\n", report.RestartLastError)
+		}
+	}
 	fmt.Printf("channel health (final):\n")
 	for _, bs := range report.Channel.Brokers {
 		fmt.Printf("  %s\n", bs.Summary())
+	}
+	for _, ws := range report.Channel.Wire {
+		fmt.Printf("  %s\n", ws.String())
 	}
 	if leaked := report.Channel.TotalLeaked(); leaked > 0 {
 		fmt.Fprintf(os.Stderr, "WARNING: %d object(s) leaked in the object store at shutdown\n", leaked)

@@ -1,23 +1,49 @@
 // Distributed deployment over the real TCP fabric (Fig. 2(b)): two broker
-// "machines" on loopback, the learner on machine 0 and an explorer on
-// machine 1, exchanging rollouts and weights through length-prefixed TCP
-// frames — the production code path that netsim models for experiments.
+// "machines" on loopback joined by fabric.Grid, the learner on machine 0 and
+// explorers spread across both, exchanging rollouts and weights through
+// length-prefixed TCP frames — the production code path that netsim models
+// for experiments.
+//
+// The run is deliberately hostile: a seeded fault injector resets the TCP
+// link every K writes and crashes each explorer's agent once mid-training.
+// The session's supervisor restarts the crashed explorers (releasing and
+// re-registering their broker ports), the fabric redials dropped peers and
+// retries the frames caught mid-failure, and training still reaches its step
+// target with both object stores drained clean. DESIGN.md §5e describes the
+// failure model.
 //
 //	go run ./examples/distributed
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
+	"sync"
 	"time"
 
 	"xingtian/internal/algorithm"
-	"xingtian/internal/broker"
 	"xingtian/internal/core"
 	"xingtian/internal/env"
 	"xingtian/internal/fabric"
-	"xingtian/internal/serialize"
+	"xingtian/internal/faultinject"
+	"xingtian/internal/rollout"
 )
+
+// crashOnceAgent wraps a real agent and injects one crash at the point its
+// fault handle dictates. The handle is shared across the slot's restarts, so
+// the supervised replacement runs clean.
+type crashOnceAgent struct {
+	core.Agent
+	fault *faultinject.AgentFault
+}
+
+func (a *crashOnceAgent) Rollout(n int) (*rollout.Batch, error) {
+	if a.fault.ShouldFail() {
+		return nil, errors.New("injected agent crash")
+	}
+	return a.Agent.Rollout(n)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -26,92 +52,84 @@ func main() {
 }
 
 func run() error {
-	// Machine placement, as it would appear in the configuration file.
-	locator := fabric.StaticLocator{
-		core.LearnerName:     0,
-		core.ExplorerName(0): 1,
-	}
+	inj := faultinject.New(faultinject.Config{
+		Seed:                   7,
+		ConnResetEveryKWrites:  50, // kill the link every 50 frames
+		AgentFailAfterRollouts: 5,  // crash each explorer once, 5 rollouts in
+	})
 
-	// One fabric node + broker per machine, connected both ways.
-	node0, err := fabric.Listen(0, "127.0.0.1:0")
+	// Two loopback machines, full-mesh connected, every conn wrapped by the
+	// injector. Aggressive redial so repairs beat the wall clock.
+	grid, err := fabric.NewGrid(2, fabric.GridOptions{
+		ConnWrapper:    inj.WrapConn,
+		RedialAttempts: 100,
+		RedialBackoff:  5 * time.Millisecond,
+	})
 	if err != nil {
 		return err
 	}
-	defer node0.Stop()
-	node1, err := fabric.Listen(1, "127.0.0.1:0")
-	if err != nil {
-		return err
+	for m := 0; m < grid.Machines(); m++ {
+		fmt.Printf("fabric up: machine %d at %s\n", m, grid.Node(m).Addr())
 	}
-	defer node1.Stop()
 
-	comp := serialize.NewCompressor() // rollout frames exceed 1 MB
-	b0 := broker.New(broker.Config{MachineID: 0, Remote: node0, Locator: locator, Compressor: comp})
-	b1 := broker.New(broker.Config{MachineID: 1, Remote: node1, Locator: locator, Compressor: comp})
-	defer b0.Stop()
-	defer b1.Stop()
-	node0.AttachBroker(b0)
-	node1.AttachBroker(b1)
-	if err := node0.Connect(1, node1.Addr()); err != nil {
-		return err
-	}
-	if err := node1.Connect(0, node0.Addr()); err != nil {
-		return err
-	}
-	fmt.Printf("fabric up: machine 0 at %s, machine 1 at %s\n", node0.Addr(), node1.Addr())
-
-	// Learner (machine 0) and explorer (machine 1), wired manually across
-	// the two brokers.
-	probe, err := env.Make("Breakout", 0)
+	probe, err := env.Make("CartPole", 0)
 	if err != nil {
 		return err
 	}
 	spec := algorithm.SpecFor(probe)
-	alg := algorithm.NewIMPALA(spec, algorithm.DefaultIMPALAConfig(), 1)
+	algF := func(seed int64) (core.Algorithm, error) {
+		return algorithm.NewDQN(spec, algorithm.DefaultDQNConfig(), seed), nil
+	}
 
-	learnerPort, err := b0.Register(core.LearnerName)
+	// One fault handle per explorer slot, shared across restarts.
+	var mu sync.Mutex
+	faults := map[int32]*faultinject.AgentFault{}
+	agF := func(id int32, seed int64) (core.Agent, error) {
+		mu.Lock()
+		f, ok := faults[id]
+		if !ok {
+			f = inj.NewAgentFault()
+			faults[id] = f
+		}
+		mu.Unlock()
+		e, err := env.Make("CartPole", seed)
+		if err != nil {
+			return nil, err
+		}
+		real := algorithm.NewDQNAgent(spec, algorithm.NewEnvRunner(e, spec), seed)
+		return &crashOnceAgent{Agent: real, fault: f}, nil
+	}
+
+	// The session owns the grid from here on: explorer 0 lands next to the
+	// learner on machine 0, explorer 1 is remote.
+	report, err := core.Run(core.Config{
+		NumExplorers:        2,
+		Machines:            2,
+		Transport:           grid,
+		RolloutLen:          100,
+		MaxSteps:            20_000,
+		MaxDuration:         2 * time.Minute,
+		MaxExplorerRestarts: 3,
+		RestartBackoff:      50 * time.Millisecond,
+	}, algF, agF, 1)
 	if err != nil {
 		return err
 	}
-	learner := core.NewLearner(alg, learnerPort, core.LearnerConfig{
-		Explorers: []int32{0},
-		MaxSteps:  2_000,
-	})
 
-	explorerEnv, err := env.Make("Breakout", 2)
-	if err != nil {
-		return err
-	}
-	agent := algorithm.NewIMPALAAgent(spec, algorithm.NewEnvRunner(explorerEnv, spec), 2)
-	explorerPort, err := b1.Register(core.ExplorerName(0))
-	if err != nil {
-		return err
-	}
-	explorer := core.NewExplorer(0, agent, explorerPort, 100)
-
-	start := time.Now()
-	learner.Start()
-	explorer.Start()
-
-	// NewTimer + Stop rather than time.After: the 2-minute timer would
-	// otherwise keep its allocation alive long after the run completes.
-	limit := time.NewTimer(2 * time.Minute)
-	defer limit.Stop()
-	select {
-	case <-learner.Done():
-	case <-limit.C:
-		fmt.Println("wall-clock limit reached")
-	}
-
-	learner.Stop()
-	explorer.Stop()
-	b0.Stop()
-	b1.Stop()
-	learner.Join()
-	explorer.Join()
-
+	stats := inj.Stats()
 	fmt.Printf("consumed %d rollout steps over TCP in %v (%d training sessions)\n",
-		learner.StepsConsumed(), time.Since(start).Round(time.Millisecond), learner.TrainIters())
-	fmt.Printf("learner waited %v on average; rollouts crossed the wire while it trained\n",
-		learner.WaitHist.Mean().Round(time.Microsecond))
+		report.StepsConsumed, report.Duration.Round(time.Millisecond), report.TrainIters)
+	fmt.Printf("injected %d conn reset(s) and %d agent crash(es); supervision restarted %d explorer(s)\n",
+		stats.ConnResets, stats.AgentFaults, report.ExplorerRestarts)
+	if report.RestartLastError != "" {
+		fmt.Printf("last handled error: %s\n", report.RestartLastError)
+	}
+	for _, w := range report.Channel.Wire {
+		fmt.Printf("%s\n", w)
+	}
+	if leaked := report.Channel.TotalLeaked(); leaked != 0 {
+		return fmt.Errorf("%d object(s) leaked in the store despite the chaos", leaked)
+	}
+	fmt.Println("object stores drained clean")
 	return nil
 }

@@ -31,6 +31,7 @@
 package broker
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -41,10 +42,20 @@ import (
 	"xingtian/internal/serialize"
 )
 
+// ErrForwardRetrying marks a Remote.Forward failure as transient: the
+// transport has taken its own copy of the frame and will retry it after
+// reconnecting, so the broker records the transfer as retried rather than
+// dropped. Transports wrap this sentinel (errors.Is) when they queue a frame
+// for post-reconnect redelivery.
+var ErrForwardRetrying = errors.New("broker: forward queued for retry after reconnect")
+
 // Remote forwards a framed message toward a broker on another machine.
 // Implementations model or implement the inter-machine data fabric.
 type Remote interface {
 	// Forward delivers the header and framed body to dstMachine's broker.
+	// An error wrapping ErrForwardRetrying means the frame was accepted for
+	// retry after a reconnect (transient); any other error is a permanent
+	// drop of this transfer.
 	Forward(srcMachine, dstMachine int, h *message.Header, framed []byte) error
 }
 
@@ -270,7 +281,14 @@ func (b *Broker) forwarder(machine int) *queue.Queue[forwardItem] {
 					return
 				}
 				if err := b.remote.Forward(b.machineID, machine, item.header, item.framed); err != nil {
-					b.health.dropForwardError.Add(1)
+					// Transient failures (frame queued for retry behind a
+					// reconnect) are not drops: the transport owns a copy
+					// and redelivers it. Everything else is permanent.
+					if errors.Is(err, ErrForwardRetrying) {
+						b.health.forwardRetried.Add(1)
+					} else {
+						b.health.dropForwardError.Add(1)
+					}
 				} else {
 					b.health.bodiesForwarded.Add(1)
 					b.health.bytesForwarded.Add(int64(len(item.framed)))

@@ -82,6 +82,22 @@ func (c *Cluster) Register(machineID int, name string) (*Port, error) {
 	return port, nil
 }
 
+// Unregister detaches a named client from its machine's broker and removes
+// it from the global registry, so the name can be registered again (explorer
+// supervision re-creates a crashed explorer under its original name). It is
+// a no-op for unknown names.
+func (c *Cluster) Unregister(machineID int, name string) {
+	c.mu.Lock()
+	b := c.brokers[machineID]
+	if m, ok := c.locations[name]; ok && m == machineID {
+		delete(c.locations, name)
+	}
+	c.mu.Unlock()
+	if b != nil {
+		b.Unregister(name)
+	}
+}
+
 // Locate implements Locator.
 func (c *Cluster) Locate(name string) (int, bool) {
 	c.mu.Lock()

@@ -35,6 +35,8 @@ type health struct {
 	dropStoreMiss    atomic.Int64
 	dropShutdown     atomic.Int64
 
+	forwardRetried atomic.Int64
+
 	releaseErrors atomic.Int64
 	leakedAtStop  atomic.Int64
 
@@ -109,6 +111,12 @@ type MetricsSnapshot struct {
 	BytesForwarded int64
 	BytesInjected  int64
 
+	// ForwardRetried counts transfers whose Remote.Forward reported a
+	// transient failure (ErrForwardRetrying): the transport queued its own
+	// copy of the frame for redelivery after a reconnect. These are neither
+	// successful forwards nor drops.
+	ForwardRetried int64
+
 	// Drops breaks down dropped destination references by reason.
 	Drops DropCounts
 	// ReleaseErrors counts failed object-store releases (double releases).
@@ -146,6 +154,7 @@ func (b *Broker) Metrics() MetricsSnapshot {
 		BytesIn:         h.bytesIn.Load(),
 		BytesForwarded:  h.bytesForwarded.Load(),
 		BytesInjected:   h.bytesInjected.Load(),
+		ForwardRetried:  h.forwardRetried.Load(),
 		Drops: DropCounts{
 			UnknownDestination: h.dropUnknownDst.Load(),
 			QueueClosed:        h.dropQueueClosed.Load(),
@@ -199,9 +208,9 @@ func (m MetricsSnapshot) String() string {
 		stats.FormatBytes(float64(m.BytesIn)), stats.FormatBytes(float64(m.BytesForwarded)),
 		stats.FormatBytes(float64(m.BytesInjected)), stats.FormatBytes(float64(m.Store.Bytes)),
 		stats.FormatBytes(float64(m.Store.PeakBytes)), m.Store.Objects)
-	fmt.Fprintf(&sb, "  drops: total=%d unknownDst=%d queueClosed=%d noRemote=%d fwdErr=%d recvErr=%d storeMiss=%d shutdown=%d releaseErr=%d leakedAtStop=%d\n",
+	fmt.Fprintf(&sb, "  drops: total=%d unknownDst=%d queueClosed=%d noRemote=%d fwdErr=%d fwdRetried=%d recvErr=%d storeMiss=%d shutdown=%d releaseErr=%d leakedAtStop=%d\n",
 		m.Drops.Total(), m.Drops.UnknownDestination, m.Drops.QueueClosed, m.Drops.NoRemote,
-		m.Drops.ForwardError, m.Drops.RecvError, m.Drops.StoreMiss, m.Drops.ShutdownDrained,
+		m.Drops.ForwardError, m.ForwardRetried, m.Drops.RecvError, m.Drops.StoreMiss, m.Drops.ShutdownDrained,
 		m.ReleaseErrors, m.LeakedAtStop)
 	fmt.Fprintf(&sb, "  queues: header=%d ids=%s forwarders=%s\n",
 		m.HeaderQueueDepth, formatDepths(m.IDQueueDepths), formatIntDepths(m.ForwarderDepths))
@@ -250,10 +259,59 @@ func formatIntDepths(d map[int]int) string {
 	return "{" + strings.Join(parts, " ") + "}"
 }
 
+// WireMetrics is a transport-level health snapshot for one machine's fabric
+// endpoint: frame/byte counters plus the reconnect state machine's fault
+// counters. The broker package defines the shape so ClusterHealth can carry
+// wire health without depending on a concrete transport; the TCP fabric
+// fills it in (netsim clusters have no wire and leave it empty).
+type WireMetrics struct {
+	// MachineID identifies the endpoint.
+	MachineID int
+	// FramesSent / FramesReceived count complete frames on the wire.
+	FramesSent     int64
+	FramesReceived int64
+	// BytesSent / BytesReceived count frame bytes on the wire.
+	BytesSent     int64
+	BytesReceived int64
+	// CorruptStreams counts connections torn down on malformed frames.
+	CorruptStreams int64
+	// Reconnects counts successful redials of a lost peer connection.
+	Reconnects int64
+	// RedialFailures counts failed redial attempts while backing off.
+	RedialFailures int64
+	// RetriedFrames counts frames delivered from the per-peer retry queue
+	// after a reconnect.
+	RetriedFrames int64
+	// DroppedRetry counts retry-queued frames abandoned when a peer's
+	// redial budget ran out (the link went down permanently).
+	DroppedRetry int64
+}
+
+// SupervisionStats summarizes the session's explorer supervision layer:
+// how many explorer processes were torn down and restarted after agent
+// errors, and the most recent restart-causing error. Filled in by
+// core.Session when it snapshots cluster health.
+type SupervisionStats struct {
+	// ExplorerRestarts counts successful explorer restarts.
+	ExplorerRestarts int64
+	// BudgetExhausted counts explorer slots that died permanently after
+	// exhausting their restart budget.
+	BudgetExhausted int64
+	// LastRestartError is the message of the most recent error that caused
+	// a restart (empty when no restart happened).
+	LastRestartError string
+}
+
 // ClusterHealth aggregates per-broker snapshots for a whole deployment.
 type ClusterHealth struct {
 	// Brokers holds one snapshot per machine, ordered by machine ID.
 	Brokers []MetricsSnapshot
+	// Wire holds one transport snapshot per machine for deployments running
+	// over a real fabric (empty for in-process/netsim clusters).
+	Wire []WireMetrics
+	// Supervision summarizes explorer restarts (zero value when the session
+	// runs without a restart budget).
+	Supervision SupervisionStats
 }
 
 // TotalDrops sums drops across all brokers.
@@ -274,20 +332,51 @@ func (c ClusterHealth) TotalLeaked() int64 {
 	return n
 }
 
-// String renders every broker's snapshot.
+// String renders the wire snapshot human-readably.
+func (w WireMetrics) String() string {
+	return fmt.Sprintf("wire[m%d] frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d reconnects=%d redialFail=%d retried=%d droppedRetry=%d",
+		w.MachineID, w.FramesSent, w.FramesReceived, w.BytesSent, w.BytesReceived,
+		w.CorruptStreams, w.Reconnects, w.RedialFailures, w.RetriedFrames, w.DroppedRetry)
+}
+
+// String renders every broker's snapshot, plus wire and supervision state
+// when present.
 func (c ClusterHealth) String() string {
-	parts := make([]string, 0, len(c.Brokers))
+	parts := make([]string, 0, len(c.Brokers)+len(c.Wire)+1)
 	for _, b := range c.Brokers {
 		parts = append(parts, b.String())
+	}
+	for _, w := range c.Wire {
+		parts = append(parts, w.String())
+	}
+	if s := c.Supervision; s.ExplorerRestarts > 0 || s.BudgetExhausted > 0 {
+		parts = append(parts, fmt.Sprintf("supervision: restarts=%d budgetExhausted=%d lastErr=%q",
+			s.ExplorerRestarts, s.BudgetExhausted, s.LastRestartError))
 	}
 	return strings.Join(parts, "\n")
 }
 
-// Summary renders one line per broker.
+// Summary renders one line per broker, with wire reconnect counters and
+// supervision restarts appended when the deployment has them.
 func (c ClusterHealth) Summary() string {
-	parts := make([]string, 0, len(c.Brokers))
+	parts := make([]string, 0, len(c.Brokers)+2)
 	for _, b := range c.Brokers {
 		parts = append(parts, b.Summary())
+	}
+	var reconnects, redialFailures, retried, corrupt int64
+	for _, w := range c.Wire {
+		reconnects += w.Reconnects
+		redialFailures += w.RedialFailures
+		retried += w.RetriedFrames
+		corrupt += w.CorruptStreams
+	}
+	if len(c.Wire) > 0 {
+		parts = append(parts, fmt.Sprintf("wire reconnects=%d redialFail=%d retried=%d corrupt=%d",
+			reconnects, redialFailures, retried, corrupt))
+	}
+	if s := c.Supervision; s.ExplorerRestarts > 0 || s.BudgetExhausted > 0 {
+		parts = append(parts, fmt.Sprintf("restarts=%d budgetExhausted=%d",
+			s.ExplorerRestarts, s.BudgetExhausted))
 	}
 	return strings.Join(parts, " | ")
 }

@@ -13,6 +13,24 @@ import (
 	"xingtian/internal/stats"
 )
 
+// Transport is the deployment substrate a Session runs over: a set of
+// per-machine brokers plus the cross-machine forwarding between them.
+// broker.Cluster (netsim) and fabric.Grid (real TCP) both satisfy it. The
+// Session takes ownership of the transport and stops it during Stop.
+type Transport interface {
+	// Register attaches a named client to a machine's broker.
+	Register(machineID int, name string) (*broker.Port, error)
+	// Unregister detaches a named client, closing its ID queue and
+	// releasing queued refs, so the name can be registered again.
+	Unregister(machineID int, name string)
+	// Broker exposes a machine's broker (nil if unknown).
+	Broker(machineID int) *broker.Broker
+	// Health snapshots channel health across the deployment.
+	Health() broker.ClusterHealth
+	// Stop shuts every broker (and any wire underneath) down.
+	Stop()
+}
+
 // Config describes one XingTian deployment, mirroring the paper's
 // configuration file: which machines exist, where the learner lives, how
 // many explorers run, and when training stops.
@@ -35,7 +53,12 @@ type Config struct {
 	// (serialize.Compressor.PackNsPerKB); 0 uses the raw Go codec.
 	PlaneNsPerKB int
 	// Net overrides the simulated network (zero value = paper defaults).
+	// Ignored when Transport is set.
 	Net netsim.Config
+	// Transport overrides the deployment substrate. Nil builds the default
+	// netsim-backed broker.Cluster from Machines/Net; a fabric.Grid here
+	// runs the same session over real TCP. The session stops the transport.
+	Transport Transport
 	// SeriesBucket sets the throughput series resolution (default 1s).
 	SeriesBucket time.Duration
 	// TargetReturn stops the run once the mean episode return across
@@ -48,6 +71,16 @@ type Config struct {
 	// MaxInflight bounds un-acknowledged rollout fragments per explorer
 	// (0 = DefaultMaxInflight; < 0 disables flow control).
 	MaxInflight int
+	// MaxExplorerRestarts is the per-explorer restart budget. 0 keeps the
+	// historical fail-fast semantics: an explorer error surfaces in Err()
+	// and nothing restarts. With a positive budget the session supervises
+	// every explorer, tears a failed one down cleanly (ports unregistered,
+	// queued refs released), and re-creates its agent from the factory.
+	// The learner is never restarted: a learner error always fails fast.
+	MaxExplorerRestarts int
+	// RestartBackoff is the delay before the first restart of a slot;
+	// it doubles per consecutive restart (default 10ms).
+	RestartBackoff time.Duration
 	// MetricsEvery, when > 0 with MetricsWriter set, logs a channel-health
 	// summary line for every broker at this interval while the run waits.
 	MetricsEvery time.Duration
@@ -76,25 +109,68 @@ type Report struct {
 	// Episodes and MeanReturn aggregate explorer episode statistics.
 	Episodes   int64
 	MeanReturn float64
-	// StepsGenerated is the total steps produced by explorers.
+	// StepsGenerated is the total steps produced by explorers (including
+	// restarted-away incarnations).
 	StepsGenerated int64
+	// ExplorerRestarts counts explorer restarts performed by supervision.
+	ExplorerRestarts int64
+	// RestartBudgetExhausted counts explorer slots whose restart budget
+	// ran out (their last error surfaces through Err()).
+	RestartBudgetExhausted int64
+	// RestartLastError is the most recently recorded explorer failure that
+	// supervision handled ("" if none).
+	RestartLastError string
 	// Channel is the final channel-health snapshot of every broker, taken
 	// after shutdown: cumulative traffic/drop counters plus the leak check
 	// (Channel.TotalLeaked() must be 0 in a refcount-clean run).
 	Channel broker.ClusterHealth
 }
 
+// explorerSlot is one supervised explorer position: a stable ID/machine/name
+// whose *Explorer incarnation may be replaced after a failure.
+type explorerSlot struct {
+	id      int32
+	machine int
+
+	mu              sync.Mutex
+	ex              *Explorer
+	restarts        int64
+	lastErr         error // most recent failure supervision observed
+	terminalErr     error // budget exhaustion or rebuild failure; surfaces in Err
+	budgetExhausted bool
+	// Counters of retired incarnations, folded in when a replacement is
+	// installed (never at teardown, so live sums don't double-count).
+	priorSteps     int64
+	priorEpisodes  int64
+	priorReturnSum float64
+}
+
+// current returns the slot's live explorer.
+func (sl *explorerSlot) current() *Explorer {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.ex
+}
+
 // Session is a running XingTian deployment under a center controller.
 type Session struct {
 	cfg       Config
-	cluster   *broker.Cluster
+	transport Transport
 	learner   *Learner
-	explorers []*Explorer
+	slots     []*explorerSlot
 	ctrlPort  *broker.Port
+	agF       AgentFactory
+	seed      int64
 	start     time.Time
+
+	shutdown chan struct{}
+	superWG  sync.WaitGroup
 
 	statsMu   sync.Mutex
 	nodeStats map[string]*message.StatsPayload
+
+	stopOnce sync.Once
+	report   *Report
 
 	wg sync.WaitGroup
 }
@@ -109,29 +185,39 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 	if cfg.Machines < 1 {
 		cfg.Machines = 1
 	}
-	comp := serialize.Compressor{}
-	if cfg.Compress {
-		comp = serialize.NewCompressor()
-	}
-	comp.PackNsPerKB = cfg.PlaneNsPerKB
-	cluster := broker.NewCluster(netsim.New(cfg.Net))
-	for m := 0; m < cfg.Machines; m++ {
-		if _, err := cluster.AddBroker(m, comp); err != nil {
-			cluster.Stop()
-			return nil, err
+	transport := cfg.Transport
+	if transport == nil {
+		comp := serialize.Compressor{}
+		if cfg.Compress {
+			comp = serialize.NewCompressor()
 		}
+		comp.PackNsPerKB = cfg.PlaneNsPerKB
+		cluster := broker.NewCluster(netsim.New(cfg.Net))
+		for m := 0; m < cfg.Machines; m++ {
+			if _, err := cluster.AddBroker(m, comp); err != nil {
+				cluster.Stop()
+				return nil, err
+			}
+		}
+		transport = cluster
 	}
 
-	s := &Session{cfg: cfg, cluster: cluster}
+	s := &Session{
+		cfg:       cfg,
+		transport: transport,
+		agF:       agF,
+		seed:      seed,
+		shutdown:  make(chan struct{}),
+	}
 
 	alg, err := algF(seed)
 	if err != nil {
-		cluster.Stop()
+		transport.Stop()
 		return nil, fmt.Errorf("core: build algorithm: %w", err)
 	}
-	learnerPort, err := cluster.Register(0, LearnerName)
+	learnerPort, err := transport.Register(0, LearnerName)
 	if err != nil {
-		cluster.Stop()
+		transport.Stop()
 		return nil, err
 	}
 	ids := make([]int32, cfg.NumExplorers)
@@ -146,9 +232,9 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 		CheckpointEvery: cfg.CheckpointEvery,
 	})
 
-	ctrlPort, err := cluster.Register(0, ControllerName)
+	ctrlPort, err := transport.Register(0, ControllerName)
 	if err != nil {
-		cluster.Stop()
+		transport.Stop()
 		return nil, err
 	}
 	s.ctrlPort = ctrlPort
@@ -156,38 +242,120 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 
 	for i := 0; i < cfg.NumExplorers; i++ {
 		machine := i % cfg.Machines
-		agent, err := agF(int32(i), seed+int64(i)+1)
+		ex, err := s.buildExplorer(int32(i), machine)
 		if err != nil {
-			cluster.Stop()
-			return nil, fmt.Errorf("core: build agent %d: %w", i, err)
-		}
-		port, err := cluster.Register(machine, ExplorerName(int32(i)))
-		if err != nil {
-			cluster.Stop()
+			transport.Stop()
 			return nil, err
 		}
-		ex := NewExplorer(int32(i), agent, port, cfg.RolloutLen)
-		if cfg.MaxInflight != 0 {
-			ex.SetMaxInflight(cfg.MaxInflight)
-		}
-		s.explorers = append(s.explorers, ex)
+		s.slots = append(s.slots, &explorerSlot{id: int32(i), machine: machine, ex: ex})
 	}
 	return s, nil
+}
+
+// buildExplorer creates one explorer incarnation: fresh agent from the
+// factory, port registered under the slot's canonical name.
+func (s *Session) buildExplorer(id int32, machine int) (*Explorer, error) {
+	agent, err := s.agF(id, s.seed+int64(id)+1)
+	if err != nil {
+		return nil, fmt.Errorf("core: build agent %d: %w", id, err)
+	}
+	port, err := s.transport.Register(machine, ExplorerName(id))
+	if err != nil {
+		return nil, err
+	}
+	ex := NewExplorer(id, agent, port, s.cfg.RolloutLen)
+	if s.cfg.MaxInflight != 0 {
+		ex.SetMaxInflight(s.cfg.MaxInflight)
+	}
+	return ex, nil
 }
 
 // Start launches every process and seeds explorers with the learner's
 // initial weights so all behavior policies begin in sync. The center
 // controller's collector thread starts here too, receiving the periodic
-// statistics messages workhorse threads emit.
+// statistics messages workhorse threads emit. With a positive restart
+// budget a supervisor thread per explorer slot starts as well.
 func (s *Session) Start() {
 	s.start = time.Now()
 	s.wg.Add(1)
 	go s.collectStats()
 	s.learner.Start()
-	for _, e := range s.explorers {
-		e.Start()
+	for _, sl := range s.slots {
+		sl.current().Start()
+	}
+	if s.cfg.MaxExplorerRestarts > 0 {
+		for _, sl := range s.slots {
+			s.superWG.Add(1)
+			go s.supervise(sl)
+		}
 	}
 	s.learner.broadcastWeights(nil)
+}
+
+// supervise is the per-slot supervisor thread: it waits for the slot's
+// explorer to record an error, tears the incarnation down cleanly (stop,
+// unregister — which closes the ID queue and releases queued refs — join),
+// and, while the restart budget lasts, re-creates the agent from the
+// factory after an exponential backoff and restarts the slot under its
+// original name. Session shutdown ends supervision on every path.
+func (s *Session) supervise(sl *explorerSlot) {
+	defer s.superWG.Done()
+	backoff := s.cfg.RestartBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for {
+		ex := sl.current()
+		select {
+		case <-s.shutdown:
+			return
+		case <-ex.Failed():
+		}
+		err := ex.Err()
+		name := ExplorerName(sl.id)
+		ex.Stop()
+		s.transport.Unregister(sl.machine, name)
+		ex.Join()
+
+		sl.mu.Lock()
+		sl.lastErr = err
+		exhausted := sl.restarts >= int64(s.cfg.MaxExplorerRestarts)
+		if exhausted {
+			sl.budgetExhausted = true
+			sl.terminalErr = fmt.Errorf("core: explorer %d restart budget (%d) exhausted: %w",
+				sl.id, s.cfg.MaxExplorerRestarts, err)
+		}
+		sl.mu.Unlock()
+		if exhausted {
+			return
+		}
+
+		timer := time.NewTimer(backoff)
+		select {
+		case <-s.shutdown:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		backoff *= 2
+
+		next, berr := s.buildExplorer(sl.id, sl.machine)
+		if berr != nil {
+			sl.mu.Lock()
+			sl.terminalErr = fmt.Errorf("core: restart explorer %d: %w", sl.id, berr)
+			sl.mu.Unlock()
+			return
+		}
+		sl.mu.Lock()
+		sl.priorSteps += ex.StepsGenerated()
+		n, mean := ex.EpisodeStats()
+		sl.priorEpisodes += n
+		sl.priorReturnSum += mean * float64(n)
+		sl.ex = next
+		sl.restarts++
+		sl.mu.Unlock()
+		next.Start()
+	}
 }
 
 // collectStats is the center controller's receive loop.
@@ -240,7 +408,7 @@ func (s *Session) Wait() {
 			if s.cfg.MetricsEvery > 0 && s.cfg.MetricsWriter != nil &&
 				time.Since(lastMetrics) >= s.cfg.MetricsEvery {
 				lastMetrics = time.Now()
-				fmt.Fprintf(s.cfg.MetricsWriter, "channel: %s\n", s.cluster.Health().Summary())
+				fmt.Fprintf(s.cfg.MetricsWriter, "channel: %s\n", s.ChannelHealth().Summary())
 			}
 			if s.cfg.TargetReturn > 0 {
 				_, mean := s.aggregateEpisodes()
@@ -255,10 +423,12 @@ func (s *Session) Wait() {
 func (s *Session) aggregateEpisodes() (int64, float64) {
 	var episodes int64
 	var weighted float64
-	for _, e := range s.explorers {
-		n, mean := e.EpisodeStats()
-		episodes += n
-		weighted += mean * float64(n)
+	for _, sl := range s.slots {
+		sl.mu.Lock()
+		n, mean := sl.ex.EpisodeStats()
+		episodes += n + sl.priorEpisodes
+		weighted += mean*float64(n) + sl.priorReturnSum
+		sl.mu.Unlock()
 	}
 	if episodes == 0 {
 		return 0, 0
@@ -266,69 +436,143 @@ func (s *Session) aggregateEpisodes() (int64, float64) {
 	return episodes, weighted / float64(episodes)
 }
 
+// supervisionStats snapshots restart accounting across slots.
+func (s *Session) supervisionStats() (restarts, exhausted int64, lastErr string) {
+	for _, sl := range s.slots {
+		sl.mu.Lock()
+		restarts += sl.restarts
+		if sl.budgetExhausted {
+			exhausted++
+		}
+		if sl.lastErr != nil {
+			lastErr = sl.lastErr.Error()
+		}
+		sl.mu.Unlock()
+	}
+	return restarts, exhausted, lastErr
+}
+
 // Stop shuts the deployment down: a shutdown command is broadcast to every
 // process (the center controller's role in the paper), then brokers close
-// and all threads are joined.
+// and all threads are joined. Stop is idempotent — every call returns the
+// same *Report, measured when the first call ran.
 func (s *Session) Stop() *Report {
+	s.stopOnce.Do(func() { s.report = s.doStop() })
+	return s.report
+}
+
+func (s *Session) doStop() *Report {
 	duration := time.Since(s.start)
 
+	// End supervision first so the explorer set is stable: supervisors
+	// finish any in-flight teardown and stop replacing incarnations.
+	close(s.shutdown)
+	s.superWG.Wait()
+
 	// Broadcast shutdown like the center controller.
-	dst := make([]string, 0, len(s.explorers)+1)
-	for _, e := range s.explorers {
-		dst = append(dst, ExplorerName(e.id))
+	dst := make([]string, 0, len(s.slots)+1)
+	for _, sl := range s.slots {
+		dst = append(dst, ExplorerName(sl.id))
 	}
 	dst = append(dst, LearnerName)
 	_ = s.ctrlPort.Send(message.New(message.TypeControl, ControllerName, dst,
 		&message.ControlPayload{Kind: message.ControlShutdown}))
 
 	s.learner.Stop()
-	for _, e := range s.explorers {
-		e.Stop()
+	for _, sl := range s.slots {
+		sl.current().Stop()
 	}
-	s.cluster.Stop() // closes ID queues, unblocking receiver threads
+	s.transport.Stop() // closes ID queues, unblocking receiver threads
 	s.learner.Join()
-	for _, e := range s.explorers {
-		e.Join()
+	for _, sl := range s.slots {
+		sl.current().Join()
 	}
 	s.wg.Wait() // the controller's collector thread
 
+	// Sweep failures supervision never got to handle (error raced Stop).
+	for _, sl := range s.slots {
+		ex := sl.current()
+		if err := ex.Err(); err != nil {
+			sl.mu.Lock()
+			if sl.lastErr == nil {
+				sl.lastErr = err
+			}
+			sl.mu.Unlock()
+		}
+	}
+
 	episodes, meanReturn := s.aggregateEpisodes()
 	var generated int64
-	for _, e := range s.explorers {
-		generated += e.StepsGenerated()
+	for _, sl := range s.slots {
+		sl.mu.Lock()
+		generated += sl.ex.StepsGenerated() + sl.priorSteps
+		sl.mu.Unlock()
 	}
+	restarts, exhausted, lastErr := s.supervisionStats()
 	steps := s.learner.StepsConsumed()
+	channel := s.transport.Health()
+	channel.Supervision = broker.SupervisionStats{
+		ExplorerRestarts: restarts,
+		BudgetExhausted:  exhausted,
+		LastRestartError: lastErr,
+	}
 	rep := &Report{
-		StepsConsumed:    steps,
-		TrainIters:       s.learner.TrainIters(),
-		Duration:         duration,
-		Throughput:       float64(steps) / duration.Seconds(),
-		ThroughputSeries: s.learner.Series.PerSecond(),
-		MeanWait:         s.learner.WaitHist.Mean(),
-		WaitCDF:          s.learner.WaitHist.CDF(),
-		MeanTransmission: s.learner.TransHist.Mean(),
-		Episodes:         episodes,
-		MeanReturn:       meanReturn,
-		StepsGenerated:   generated,
-		Channel:          s.cluster.Health(),
+		StepsConsumed:          steps,
+		TrainIters:             s.learner.TrainIters(),
+		Duration:               duration,
+		Throughput:             float64(steps) / duration.Seconds(),
+		ThroughputSeries:       s.learner.Series.PerSecond(),
+		MeanWait:               s.learner.WaitHist.Mean(),
+		WaitCDF:                s.learner.WaitHist.CDF(),
+		MeanTransmission:       s.learner.TransHist.Mean(),
+		Episodes:               episodes,
+		MeanReturn:             meanReturn,
+		StepsGenerated:         generated,
+		ExplorerRestarts:       restarts,
+		RestartBudgetExhausted: exhausted,
+		RestartLastError:       lastErr,
+		Channel:                channel,
 	}
 	return rep
 }
 
-// ChannelHealth snapshots live channel metrics for every broker (usable
-// while the session runs; Report.Channel holds the final snapshot).
-func (s *Session) ChannelHealth() broker.ClusterHealth { return s.cluster.Health() }
+// ChannelHealth snapshots live channel metrics for every broker plus
+// supervision counters (usable while the session runs; Report.Channel holds
+// the final snapshot).
+func (s *Session) ChannelHealth() broker.ClusterHealth {
+	h := s.transport.Health()
+	restarts, exhausted, lastErr := s.supervisionStats()
+	h.Supervision = broker.SupervisionStats{
+		ExplorerRestarts: restarts,
+		BudgetExhausted:  exhausted,
+		LastRestartError: lastErr,
+	}
+	return h
+}
 
 // Learner exposes the learner for inspection in tests and experiments.
 func (s *Session) Learner() *Learner { return s.learner }
 
-// Err returns the first process error observed, if any.
+// Err returns the first process error observed, if any. A learner error
+// always surfaces. Explorer errors surface directly when supervision is
+// off (MaxExplorerRestarts == 0, the historical fail-fast semantics); with
+// supervision on, only terminal failures — an exhausted restart budget or a
+// failed rebuild — surface, since handled errors were restarted away.
 func (s *Session) Err() error {
 	if err := s.learner.Err(); err != nil {
 		return err
 	}
-	for _, e := range s.explorers {
-		if err := e.Err(); err != nil {
+	for _, sl := range s.slots {
+		if s.cfg.MaxExplorerRestarts > 0 {
+			sl.mu.Lock()
+			err := sl.terminalErr
+			sl.mu.Unlock()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if err := sl.current().Err(); err != nil {
 			return err
 		}
 	}

@@ -30,6 +30,8 @@ type Explorer struct {
 	wg      sync.WaitGroup
 	stopped chan struct{}
 	stopOne sync.Once
+	failed  chan struct{}
+	failOne sync.Once
 
 	mu             sync.Mutex
 	stepsGenerated int64
@@ -69,6 +71,7 @@ func NewExplorer(id int32, agent Agent, port *broker.Port, rolloutLen int) *Expl
 		maxInflight: DefaultMaxInflight,
 		learner:     LearnerName,
 		stopped:     make(chan struct{}),
+		failed:      make(chan struct{}),
 	}
 }
 
@@ -242,7 +245,13 @@ func (e *Explorer) fail(err error) {
 		e.lastErr = err
 	}
 	e.mu.Unlock()
+	e.failOne.Do(func() { close(e.failed) })
 }
+
+// Failed is closed when the explorer records its first error — the signal
+// the session's supervisor selects on to restart the slot. A clean shutdown
+// never closes it.
+func (e *Explorer) Failed() <-chan struct{} { return e.failed }
 
 // Err returns the first error the explorer hit, if any.
 func (e *Explorer) Err() error {

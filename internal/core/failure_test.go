@@ -155,7 +155,7 @@ func TestTargetedBroadcastReachesOnlyProducer(t *testing.T) {
 	}
 }
 
-func TestSessionStopIsIdempotentEnough(t *testing.T) {
+func TestSessionStopIsIdempotent(t *testing.T) {
 	algF := func(seed int64) (core.Algorithm, error) { return &countingAlgorithm{}, nil }
 	agF := func(id int32, seed int64) (core.Agent, error) {
 		return &faultyAgent{failAfter: 1 << 30}, nil
@@ -174,5 +174,25 @@ func TestSessionStopIsIdempotentEnough(t *testing.T) {
 	rep := s.Stop()
 	if rep.StepsConsumed < 50 {
 		t.Fatalf("StepsConsumed = %d", rep.StepsConsumed)
+	}
+	// A second Stop must be a no-op returning the same report, not a second
+	// teardown (double channel-close, double-counted drains, a fresh
+	// duration measurement...).
+	again := s.Stop()
+	if again != rep {
+		t.Fatal("second Stop returned a different *Report")
+	}
+	if again.Duration != rep.Duration || again.StepsConsumed != rep.StepsConsumed {
+		t.Fatalf("second Stop re-measured the run: %+v vs %+v", again, rep)
+	}
+	// Concurrent Stops settle on the same report too.
+	reports := make(chan *core.Report, 4)
+	for i := 0; i < 4; i++ {
+		go func() { reports <- s.Stop() }()
+	}
+	for i := 0; i < 4; i++ {
+		if r := <-reports; r != rep {
+			t.Fatal("concurrent Stop returned a different *Report")
+		}
 	}
 }

@@ -6,6 +6,24 @@
 //
 // Wire format per message: a 4-byte big-endian frame length, then a
 // gob-encoded header, then the framed body bytes.
+//
+// # Fault tolerance
+//
+// Each dialed peer runs a small connection state machine: connected →
+// backing-off → down. A write or read failure moves the peer to backing-off
+// and starts a redial loop with exponential backoff; frames that fail
+// mid-flight (and frames forwarded while backing off) are copied into a
+// small bounded per-peer retry queue and written once after the reconnect,
+// so a transient link loss retries rather than silently drops. When the
+// redial budget is exhausted the peer goes down permanently: queued frames
+// are dropped, and further Forwards fail fast. Transient accepts are
+// reported to the broker as ErrForwardRetrying so its drop taxonomy
+// distinguishes retried transfers from permanent drops.
+//
+// Delivery semantics across a reconnect are at-most-once: a frame accepted
+// for retry is written exactly once after the redial succeeds, but frames
+// already on the wire when the link died may be lost, and the receiver never
+// sees duplicates.
 package fabric
 
 import (
@@ -17,6 +35,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xingtian/internal/broker"
 	"xingtian/internal/message"
@@ -29,6 +48,23 @@ const MaxFrameSize = 1 << 30
 
 // ErrNoRoute is returned when forwarding to a machine with no connection.
 var ErrNoRoute = errors.New("fabric: no route to machine")
+
+// ErrPeerDown is returned when forwarding to a peer whose redial budget ran
+// out: the link is permanently down until Connect is called again.
+var ErrPeerDown = errors.New("fabric: peer down")
+
+// DefaultRedialAttempts bounds the redial loop per outage.
+const DefaultRedialAttempts = 8
+
+// DefaultRedialBackoff is the first redial delay; it doubles per attempt.
+const DefaultRedialBackoff = 25 * time.Millisecond
+
+// retryQueueCap bounds the per-peer retry queue. The queue only covers
+// frames caught mid-outage, not general buffering — flow control upstream
+// (explorer credits) keeps in-flight counts small, so a short queue is
+// enough and a full one degrades to a counted drop instead of unbounded
+// memory growth.
+const retryQueueCap = 32
 
 // wireHeader is the gob-encoded subset of message.Header that crosses the
 // wire (object IDs are machine-local and re-assigned on arrival).
@@ -49,6 +85,11 @@ type wireHeader struct {
 type Node struct {
 	machineID int
 	ln        net.Listener
+	done      chan struct{}
+
+	connWrap       func(net.Conn) net.Conn
+	redialAttempts int
+	redialBackoff  time.Duration
 
 	mu       sync.Mutex
 	peers    map[int]*peerConn
@@ -62,6 +103,10 @@ type Node struct {
 	bytesReceived  atomic.Int64
 	corruptStreams atomic.Int64
 	droppedInject  atomic.Int64
+	reconnects     atomic.Int64
+	redialFailures atomic.Int64
+	retriedFrames  atomic.Int64
+	droppedRetry   atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -81,6 +126,16 @@ type Metrics struct {
 	CorruptStreams int64
 	// DroppedInject counts frames received before a broker was attached.
 	DroppedInject int64
+	// Reconnects counts successful redials of a lost peer connection.
+	Reconnects int64
+	// RedialFailures counts failed redial attempts while backing off.
+	RedialFailures int64
+	// RetriedFrames counts frames delivered from the retry queue after a
+	// reconnect.
+	RetriedFrames int64
+	// DroppedRetry counts retry-queued frames abandoned when a peer's
+	// redial budget ran out.
+	DroppedRetry int64
 }
 
 // Metrics snapshots the node's wire counters.
@@ -92,20 +147,64 @@ func (n *Node) Metrics() Metrics {
 		BytesReceived:  n.bytesReceived.Load(),
 		CorruptStreams: n.corruptStreams.Load(),
 		DroppedInject:  n.droppedInject.Load(),
+		Reconnects:     n.reconnects.Load(),
+		RedialFailures: n.redialFailures.Load(),
+		RetriedFrames:  n.retriedFrames.Load(),
+		DroppedRetry:   n.droppedRetry.Load(),
+	}
+}
+
+// Wire converts the snapshot into the transport-neutral shape ClusterHealth
+// carries.
+func (m Metrics) Wire(machineID int) broker.WireMetrics {
+	return broker.WireMetrics{
+		MachineID:      machineID,
+		FramesSent:     m.FramesSent,
+		FramesReceived: m.FramesReceived,
+		BytesSent:      m.BytesSent,
+		BytesReceived:  m.BytesReceived,
+		CorruptStreams: m.CorruptStreams,
+		Reconnects:     m.Reconnects,
+		RedialFailures: m.RedialFailures,
+		RetriedFrames:  m.RetriedFrames,
+		DroppedRetry:   m.DroppedRetry,
 	}
 }
 
 // String renders the snapshot human-readably.
 func (m Metrics) String() string {
-	return fmt.Sprintf("fabric frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d droppedInject=%d",
-		m.FramesSent, m.FramesReceived, m.BytesSent, m.BytesReceived, m.CorruptStreams, m.DroppedInject)
+	return fmt.Sprintf("fabric frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d droppedInject=%d reconnects=%d redialFail=%d retried=%d droppedRetry=%d",
+		m.FramesSent, m.FramesReceived, m.BytesSent, m.BytesReceived, m.CorruptStreams,
+		m.DroppedInject, m.Reconnects, m.RedialFailures, m.RetriedFrames, m.DroppedRetry)
 }
 
 var _ broker.Remote = (*Node)(nil)
 
+// connState is one peer link's lifecycle position.
+type connState int
+
+const (
+	// stateConnected: the peer conn is live; Forward writes directly.
+	stateConnected connState = iota
+	// stateBackingOff: the conn was lost; a redial loop is (or is about to
+	// be) running and Forwards queue into the bounded retry queue.
+	stateBackingOff
+	// stateDown: the redial budget ran out; Forwards fail fast until a new
+	// Connect replaces the peer.
+	stateDown
+)
+
+// peerConn is one dialed peer link and its reconnect state. All fields are
+// guarded by mu; conn is nil except in stateConnected.
 type peerConn struct {
-	conn net.Conn
-	mu   sync.Mutex // serializes frame writes
+	machine int
+	addr    string
+
+	mu        sync.Mutex
+	conn      net.Conn
+	state     connState
+	retry     [][]byte // complete wire frames awaiting reconnect
+	redialing bool
 }
 
 // Listen starts a fabric node accepting peer connections on addr
@@ -116,10 +215,13 @@ func Listen(machineID int, addr string) (*Node, error) {
 		return nil, fmt.Errorf("fabric listen: %w", err)
 	}
 	n := &Node{
-		machineID: machineID,
-		ln:        ln,
-		peers:     make(map[int]*peerConn),
-		accepted:  make(map[net.Conn]struct{}),
+		machineID:      machineID,
+		ln:             ln,
+		done:           make(chan struct{}),
+		redialAttempts: DefaultRedialAttempts,
+		redialBackoff:  DefaultRedialBackoff,
+		peers:          make(map[int]*peerConn),
+		accepted:       make(map[net.Conn]struct{}),
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -129,12 +231,45 @@ func Listen(machineID int, addr string) (*Node, error) {
 // Addr returns the node's listening address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
+// SetConnWrapper installs a wrapper applied to every dialed and accepted
+// connection — the fault-injection seam (faultinject.Injector.WrapConn).
+// Call before Connect and before peers dial in.
+func (n *Node) SetConnWrapper(w func(net.Conn) net.Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.connWrap = w
+}
+
+// SetRedialPolicy overrides the per-outage redial budget and initial
+// backoff (the backoff doubles per attempt). Call before Connect.
+func (n *Node) SetRedialPolicy(attempts int, backoff time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if attempts > 0 {
+		n.redialAttempts = attempts
+	}
+	if backoff > 0 {
+		n.redialBackoff = backoff
+	}
+}
+
 // AttachBroker sets the broker that receives injected remote messages.
 // It must be called before traffic arrives.
 func (n *Node) AttachBroker(b *broker.Broker) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.broker = b
+}
+
+// wrap applies the configured conn wrapper, if any.
+func (n *Node) wrap(conn net.Conn) net.Conn {
+	n.mu.Lock()
+	w := n.connWrap
+	n.mu.Unlock()
+	if w != nil {
+		return w(conn)
+	}
+	return conn
 }
 
 func (n *Node) acceptLoop() {
@@ -144,6 +279,7 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		conn = n.wrap(conn)
 		n.mu.Lock()
 		if n.closed {
 			n.mu.Unlock()
@@ -155,7 +291,7 @@ func (n *Node) acceptLoop() {
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			n.readLoop(conn)
+			n.readLoop(conn, nil)
 			n.mu.Lock()
 			delete(n.accepted, conn)
 			n.mu.Unlock()
@@ -165,30 +301,52 @@ func (n *Node) acceptLoop() {
 
 // Connect dials a peer machine's fabric node. The connection is used for
 // outbound forwarding; the peer learns our machine ID from message headers.
+// Re-connecting an already-connected machine ID closes and replaces the old
+// link (and clears any down state), so Connect doubles as a manual repair.
 func (n *Node) Connect(peerMachine int, addr string) error {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("fabric connect to machine %d: %w", peerMachine, err)
 	}
+	conn = n.wrap(conn)
+	p := &peerConn{machine: peerMachine, addr: addr, conn: conn, state: stateConnected}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		_ = conn.Close()
 		return errors.New("fabric: node closed")
 	}
-	n.peers[peerMachine] = &peerConn{conn: conn}
+	old := n.peers[peerMachine]
+	n.peers[peerMachine] = p
 	n.mu.Unlock()
+	if old != nil {
+		// Close-and-replace: dropping the old peerConn on the floor would
+		// leak its socket and leave its readLoop blocked forever.
+		old.mu.Lock()
+		if old.conn != nil {
+			_ = old.conn.Close()
+			old.conn = nil
+		}
+		dropped := len(old.retry)
+		old.retry = nil
+		old.state = stateDown
+		old.mu.Unlock()
+		n.droppedRetry.Add(int64(dropped))
+	}
 	// The dialed connection is bidirectional: read replies too.
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
-		n.readLoop(conn)
+		n.readLoop(conn, p)
 	}()
 	return nil
 }
 
 // Forward implements broker.Remote: it frames the header and body and
-// writes them to the peer connection.
+// writes them to the peer connection. On a live peer the frame goes out as
+// one vectored write; on a backing-off peer the frame is copied into the
+// bounded retry queue and the call reports broker.ErrForwardRetrying
+// (transient); on a down peer it fails fast (permanent).
 func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []byte) error {
 	n.mu.Lock()
 	peer := n.peers[dstMachine]
@@ -230,24 +388,203 @@ func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []b
 	total := int64(len(hdr) + len(framed))
 	bufs := net.Buffers{hdr, framed}
 	peer.mu.Lock()
-	//lint:ignore lockhold frame writes must serialize per connection; peer.mu exists to guard exactly this write
-	_, werr := bufs.WriteTo(peer.conn)
-	peer.mu.Unlock()
-	serialize.FreeBuf(hdr)
-	if werr != nil {
-		return fmt.Errorf("fabric write: %w", werr)
+	switch peer.state {
+	case stateConnected:
+		//lint:ignore lockhold frame writes must serialize per connection; peer.mu exists to guard exactly this write
+		_, werr := bufs.WriteTo(peer.conn)
+		if werr == nil {
+			peer.mu.Unlock()
+			serialize.FreeBuf(hdr)
+			n.framesSent.Add(1)
+			n.bytesSent.Add(total)
+			return nil
+		}
+		// The write failed mid-flight: the link is gone. Queue this frame
+		// for post-reconnect retry (it may have been partially written; the
+		// receiver's framing discards a truncated tail when the conn dies),
+		// tear the conn down, and start the redial loop.
+		queued := peer.enqueueRetryLocked(hdr, framed)
+		_ = peer.conn.Close()
+		peer.conn = nil
+		peer.state = stateBackingOff
+		spawn := !peer.redialing
+		peer.redialing = true
+		peer.mu.Unlock()
+		serialize.FreeBuf(hdr)
+		if spawn {
+			n.spawnRedial(peer)
+		}
+		if queued {
+			return fmt.Errorf("fabric write to machine %d failed (%v): %w",
+				dstMachine, werr, broker.ErrForwardRetrying)
+		}
+		n.droppedRetry.Add(1)
+		return fmt.Errorf("fabric write (retry queue full): %w", werr)
+	case stateBackingOff:
+		queued := peer.enqueueRetryLocked(hdr, framed)
+		peer.mu.Unlock()
+		serialize.FreeBuf(hdr)
+		if queued {
+			return fmt.Errorf("fabric: machine %d reconnecting: %w",
+				dstMachine, broker.ErrForwardRetrying)
+		}
+		n.droppedRetry.Add(1)
+		return fmt.Errorf("fabric: machine %d reconnecting, retry queue full", dstMachine)
+	default: // stateDown
+		peer.mu.Unlock()
+		serialize.FreeBuf(hdr)
+		return fmt.Errorf("%w: machine %d", ErrPeerDown, dstMachine)
 	}
-	n.framesSent.Add(1)
-	n.bytesSent.Add(total)
-	return nil
+}
+
+// enqueueRetryLocked copies one wire frame (prefix+header+body) into the
+// bounded retry queue. The copy is required: hdr is pooled and framed
+// belongs to the object store; both outlive this call only through the
+// copy. Caller holds p.mu. Reports whether the frame fit.
+func (p *peerConn) enqueueRetryLocked(hdr, framed []byte) bool {
+	if len(p.retry) >= retryQueueCap {
+		return false
+	}
+	frame := make([]byte, 0, len(hdr)+len(framed))
+	frame = append(frame, hdr...)
+	frame = append(frame, framed...)
+	p.retry = append(p.retry, frame)
+	return true
+}
+
+// connLost moves a peer whose read loop died to backing-off and ensures a
+// redial loop is running. Stale notifications (the conn was already
+// replaced) are ignored.
+func (n *Node) connLost(p *peerConn, conn net.Conn) {
+	p.mu.Lock()
+	if p.conn != conn {
+		p.mu.Unlock()
+		return // already handled (write failure, replace, or shutdown)
+	}
+	_ = p.conn.Close()
+	p.conn = nil
+	p.state = stateBackingOff
+	spawn := !p.redialing
+	p.redialing = true
+	p.mu.Unlock()
+	if spawn {
+		n.spawnRedial(p)
+	}
+}
+
+// spawnRedial starts the redial loop for a backing-off peer unless the node
+// is shutting down.
+func (n *Node) spawnRedial(p *peerConn) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		p.mu.Lock()
+		p.redialing = false
+		p.mu.Unlock()
+		return
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go n.redialLoop(p)
+}
+
+// redialLoop re-dials a lost peer with exponential backoff. On success it
+// flushes the retry queue on the fresh connection before reopening the peer
+// for regular Forwards, so retried frames keep their order relative to new
+// traffic. When the attempt budget runs out the peer goes down and queued
+// frames are dropped (counted in DroppedRetry).
+func (n *Node) redialLoop(p *peerConn) {
+	defer n.wg.Done()
+	backoff := n.redialBackoff
+	for attempt := 0; attempt < n.redialAttempts; attempt++ {
+		timer := time.NewTimer(backoff)
+		select {
+		case <-n.done:
+			timer.Stop()
+			p.mu.Lock()
+			p.redialing = false
+			p.mu.Unlock()
+			return
+		case <-timer.C:
+		}
+		backoff *= 2
+		conn, err := net.Dial("tcp", p.addr)
+		if err != nil {
+			n.redialFailures.Add(1)
+			continue
+		}
+		conn = n.wrap(conn)
+		if n.installReconnected(p, conn) {
+			return
+		}
+		// Flush failed on the fresh conn; count it and keep trying.
+		n.redialFailures.Add(1)
+	}
+	p.mu.Lock()
+	p.state = stateDown
+	p.redialing = false
+	dropped := len(p.retry)
+	p.retry = nil
+	p.mu.Unlock()
+	n.droppedRetry.Add(int64(dropped))
+}
+
+// installReconnected flushes the retry queue over the fresh conn and, on
+// success, installs it as the peer's live connection and restarts the read
+// loop. The flush happens under p.mu so no new Forward write interleaves
+// with (or overtakes) a retried frame.
+func (n *Node) installReconnected(p *peerConn, conn net.Conn) bool {
+	p.mu.Lock()
+	pending := p.retry
+	p.retry = nil
+	flushed := 0
+	for _, frame := range pending {
+		//lint:ignore lockhold retry flush must complete before the peer reopens for Forward writes; p.mu serializes exactly this
+		if _, err := conn.Write(frame); err != nil {
+			// Put the unflushed tail back and let the caller retry the dial.
+			p.retry = pending[flushed:]
+			p.mu.Unlock()
+			_ = conn.Close()
+			return false
+		}
+		flushed++
+		n.retriedFrames.Add(1)
+		n.framesSent.Add(1)
+		n.bytesSent.Add(int64(len(frame)))
+	}
+	p.conn = conn
+	p.state = stateConnected
+	p.redialing = false
+	p.mu.Unlock()
+	n.reconnects.Add(1)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = conn.Close()
+		return true
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go func() {
+		defer n.wg.Done()
+		n.readLoop(conn, p)
+	}()
+	return true
 }
 
 // readLoop decodes inbound frames and injects them into the local broker.
 // The frame payload lives in a pooled buffer: InjectRemote copies the body
 // into this machine's object store and gob decoding copies the header
 // fields, so the buffer goes back to the pool at the end of each iteration.
-func (n *Node) readLoop(conn net.Conn) {
-	defer func() { _ = conn.Close() }()
+// For dialed connections (p != nil) a read failure reports the lost conn to
+// the reconnect state machine.
+func (n *Node) readLoop(conn net.Conn, p *peerConn) {
+	defer func() {
+		_ = conn.Close()
+		if p != nil {
+			n.connLost(p, conn)
+		}
+	}()
 	prefix := make([]byte, 8)
 	for {
 		if _, err := io.ReadFull(conn, prefix); err != nil {
@@ -307,6 +644,7 @@ func (n *Node) Stop() {
 		return
 	}
 	n.closed = true
+	close(n.done)
 	peers := n.peers
 	n.peers = map[int]*peerConn{}
 	accepted := make([]net.Conn, 0, len(n.accepted))
@@ -317,12 +655,41 @@ func (n *Node) Stop() {
 
 	_ = n.ln.Close()
 	for _, p := range peers {
-		_ = p.conn.Close()
+		p.mu.Lock()
+		if p.conn != nil {
+			_ = p.conn.Close()
+			p.conn = nil
+		}
+		p.state = stateDown
+		p.retry = nil
+		p.mu.Unlock()
 	}
 	for _, c := range accepted {
 		_ = c.Close()
 	}
 	n.wg.Wait()
+}
+
+// PeerState reports the reconnect state machine's position for a peer
+// machine: "connected", "backing-off", "down", or "none" when the machine
+// was never connected.
+func (n *Node) PeerState(machine int) string {
+	n.mu.Lock()
+	p := n.peers[machine]
+	n.mu.Unlock()
+	if p == nil {
+		return "none"
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch p.state {
+	case stateConnected:
+		return "connected"
+	case stateBackingOff:
+		return "backing-off"
+	default:
+		return "down"
+	}
 }
 
 // StaticLocator is a fixed name→machine table implementing broker.Locator

@@ -1,0 +1,207 @@
+// Package faultinject provides deterministic fault injection for chaos
+// testing the channel's fault-tolerance layer: agent crashes after a fixed
+// number of rollouts, connection resets on the Kth frame write, frame
+// corruption, and latency spikes — all driven by one seeded schedule so a
+// failing chaos run replays bit-for-bit.
+//
+// The injector plugs into the system at three seams:
+//
+//   - fabric: Injector.WrapConn wraps each dialed/accepted net.Conn
+//     (fabric.Node.SetConnWrapper / fabric.GridOptions.ConnWrapper), counting
+//     frame writes and injecting resets and corruption on the wire.
+//   - netsim: Injector satisfies netsim.FaultHook, adding latency spikes to
+//     simulated transfers.
+//   - core: Injector.NewAgentFault hands each explorer incarnation a
+//     deterministic crash schedule for its Rollout loop.
+//
+// All counters are process-global within one Injector, so a schedule like
+// "reset every 40th write" interleaves deterministically across connections
+// as long as the calling goroutine structure is deterministic; under real
+// concurrency the injector still guarantees the same *number* of faults per
+// write count, which is what the chaos tests assert.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config is one deterministic fault schedule. Zero values disable the
+// corresponding fault class.
+type Config struct {
+	// Seed drives every pseudo-random choice (corruption offsets). Runs
+	// with equal Config produce identical fault schedules.
+	Seed int64
+	// AgentFailAfterRollouts makes the *first* incarnation of each agent
+	// fault handle fail once after this many Rollout calls; restarted
+	// incarnations run clean (the crash-then-recover shape supervision is
+	// built for).
+	AgentFailAfterRollouts int
+	// ConnResetEveryKWrites closes the underlying connection on every Kth
+	// Write across all wrapped connections, making the write fail — a
+	// mid-stream TCP reset.
+	ConnResetEveryKWrites int
+	// CorruptEveryNWrites flips one byte (at a seeded offset) in every Nth
+	// Write. The receiver's framing detects this as a corrupt stream.
+	CorruptEveryNWrites int
+	// LatencySpikeEveryN adds LatencySpike to every Nth netsim transfer.
+	LatencySpikeEveryN int
+	// LatencySpike is the injected delay per spike (default 5ms when
+	// LatencySpikeEveryN is set).
+	LatencySpike time.Duration
+}
+
+// Injector is a seeded fault source. It is safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	writes    atomic.Int64
+	transfers atomic.Int64
+
+	resets      atomic.Int64
+	corruptions atomic.Int64
+	spikes      atomic.Int64
+	agentFaults atomic.Int64
+}
+
+// New builds an injector for the given schedule.
+func New(cfg Config) *Injector {
+	if cfg.LatencySpikeEveryN > 0 && cfg.LatencySpike <= 0 {
+		cfg.LatencySpike = 5 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats reports how many faults of each class the injector has fired.
+type Stats struct {
+	// ConnResets, Corruptions, LatencySpikes, and AgentFaults count fired
+	// faults per class.
+	ConnResets    int64
+	Corruptions   int64
+	LatencySpikes int64
+	AgentFaults   int64
+	// Writes and Transfers count the observed events the schedules key on.
+	Writes    int64
+	Transfers int64
+}
+
+// Stats snapshots the fired-fault counters.
+func (i *Injector) Stats() Stats {
+	return Stats{
+		ConnResets:    i.resets.Load(),
+		Corruptions:   i.corruptions.Load(),
+		LatencySpikes: i.spikes.Load(),
+		AgentFaults:   i.agentFaults.Load(),
+		Writes:        i.writes.Load(),
+		Transfers:     i.transfers.Load(),
+	}
+}
+
+// String renders the snapshot human-readably.
+func (s Stats) String() string {
+	return fmt.Sprintf("faults: resets=%d corruptions=%d spikes=%d agent=%d (writes=%d transfers=%d)",
+		s.ConnResets, s.Corruptions, s.LatencySpikes, s.AgentFaults, s.Writes, s.Transfers)
+}
+
+// TransferDelay implements netsim.FaultHook: every Nth simulated transfer
+// gets the configured latency spike added to its wire time.
+func (i *Injector) TransferDelay(src, dst, size int) time.Duration {
+	if i == nil || i.cfg.LatencySpikeEveryN <= 0 {
+		return 0
+	}
+	n := i.transfers.Add(1)
+	if n%int64(i.cfg.LatencySpikeEveryN) == 0 {
+		i.spikes.Add(1)
+		return i.cfg.LatencySpike
+	}
+	return 0
+}
+
+// WrapConn wraps a fabric connection with the injector's write-side fault
+// schedule. It is shaped for fabric.Node.SetConnWrapper.
+func (i *Injector) WrapConn(conn net.Conn) net.Conn {
+	return &faultConn{Conn: conn, inj: i}
+}
+
+// corruptOffset picks a seeded byte offset within a frame of length n.
+func (i *Injector) corruptOffset(n int) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.rng.Intn(n)
+}
+
+// faultConn injects resets, corruption, and latency on the write path. The
+// read path passes through untouched: a reset injected on one end surfaces
+// as an EOF/ECONNRESET read error on the other, exactly like a real link
+// failure.
+type faultConn struct {
+	net.Conn
+	inj *Injector
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	inj := c.inj
+	n := inj.writes.Add(1)
+	if k := inj.cfg.ConnResetEveryKWrites; k > 0 && n%int64(k) == 0 {
+		inj.resets.Add(1)
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("faultinject: connection reset on write %d", n)
+	}
+	if k := inj.cfg.CorruptEveryNWrites; k > 0 && n%int64(k) == 0 && len(p) > 0 {
+		// Corrupt a copy: the caller's buffer may be pooled and must not be
+		// mutated behind its back.
+		dup := make([]byte, len(p))
+		copy(dup, p)
+		dup[inj.corruptOffset(len(dup))] ^= 0xFF
+		inj.corruptions.Add(1)
+		return c.Conn.Write(dup)
+	}
+	return c.Conn.Write(p)
+}
+
+// AgentFault is one agent incarnation's crash schedule, handed out by
+// NewAgentFault. The first incarnation per fault handle fails once after the
+// configured rollout count; later incarnations (restarts) run clean.
+type AgentFault struct {
+	inj       *Injector
+	failAfter int
+
+	mu       sync.Mutex
+	rollouts int
+	fired    bool
+}
+
+// NewAgentFault returns a crash schedule for one explorer slot. Call once
+// per slot; pass the handle to every incarnation's agent via the factory so
+// a restarted agent shares the slot's (already fired) schedule.
+func (i *Injector) NewAgentFault() *AgentFault {
+	return &AgentFault{inj: i, failAfter: i.cfg.AgentFailAfterRollouts}
+}
+
+// ShouldFail reports whether this Rollout call must return an error. It
+// fires exactly once, after the configured number of clean rollouts, and
+// never again for the same handle.
+func (f *AgentFault) ShouldFail() bool {
+	if f == nil || f.failAfter <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fired {
+		return false
+	}
+	f.rollouts++
+	if f.rollouts > f.failAfter {
+		f.fired = true
+		f.inj.agentFaults.Add(1)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+package faultinject
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConns returns a connected in-memory pair.
+func pipeConns(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() {
+		_ = c1.Close()
+		_ = c2.Close()
+	})
+	return c1, c2
+}
+
+func TestConnResetFiresOnKthWrite(t *testing.T) {
+	inj := New(Config{Seed: 1, ConnResetEveryKWrites: 3})
+	a, b := pipeConns(t)
+	wrapped := inj.WrapConn(a)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 8)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	var failures int
+	for i := 0; i < 3; i++ {
+		if _, err := wrapped.Write([]byte("xingtian")); err != nil {
+			failures++
+		}
+	}
+	if failures != 1 {
+		t.Fatalf("failures = %d, want exactly 1 (reset on 3rd write)", failures)
+	}
+	if got := inj.Stats().ConnResets; got != 1 {
+		t.Fatalf("ConnResets = %d, want 1", got)
+	}
+	_ = a.Close()
+	<-done
+}
+
+func TestCorruptionFlipsExactlyOneByte(t *testing.T) {
+	inj := New(Config{Seed: 42, CorruptEveryNWrites: 2})
+	a, b := pipeConns(t)
+	wrapped := inj.WrapConn(a)
+
+	payload := []byte("hello-fabric-frame")
+	got := make([]byte, len(payload))
+	readBack := func() []byte {
+		buf := make([]byte, len(payload))
+		if _, err := b.Read(buf); err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		return buf
+	}
+
+	errCh := make(chan error, 2)
+	go func() {
+		_, err := wrapped.Write(payload)
+		errCh <- err
+		_, err = wrapped.Write(payload)
+		errCh <- err
+	}()
+	first := readBack()
+	copy(got, first)
+	second := readBack()
+	for i := 0; i < 2; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+
+	if string(first) != string(payload) {
+		t.Fatalf("first write corrupted: %q", first)
+	}
+	diff := 0
+	for i := range second {
+		if second[i] != payload[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("second write differs in %d bytes, want 1", diff)
+	}
+	// The caller's buffer must never be mutated (it may be pooled).
+	if string(payload) != "hello-fabric-frame" {
+		t.Fatal("injector mutated the caller's write buffer")
+	}
+	if got := inj.Stats().Corruptions; got != 1 {
+		t.Fatalf("Corruptions = %d, want 1", got)
+	}
+}
+
+func TestAgentFaultFiresOncePerHandle(t *testing.T) {
+	inj := New(Config{Seed: 7, AgentFailAfterRollouts: 2})
+	f := inj.NewAgentFault()
+	var fired []int
+	for i := 1; i <= 6; i++ {
+		if f.ShouldFail() {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 1 || fired[0] != 3 {
+		t.Fatalf("fired at %v, want exactly [3]", fired)
+	}
+	if got := inj.Stats().AgentFaults; got != 1 {
+		t.Fatalf("AgentFaults = %d, want 1", got)
+	}
+	// A second handle (another slot) gets its own schedule.
+	if g := inj.NewAgentFault(); g.ShouldFail() {
+		t.Fatal("fresh handle fired on first rollout")
+	}
+}
+
+func TestTransferDelaySpikesDeterministically(t *testing.T) {
+	mk := func() []time.Duration {
+		inj := New(Config{Seed: 3, LatencySpikeEveryN: 4, LatencySpike: 7 * time.Millisecond})
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = inj.TransferDelay(0, 1, 1024)
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at transfer %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	spikes := 0
+	for _, d := range a {
+		if d == 7*time.Millisecond {
+			spikes++
+		} else if d != 0 {
+			t.Fatalf("unexpected delay %v", d)
+		}
+	}
+	if spikes != 2 {
+		t.Fatalf("spikes = %d, want 2 of 8 transfers", spikes)
+	}
+}
+
+func TestDisabledInjectorIsTransparent(t *testing.T) {
+	inj := New(Config{})
+	if inj.TransferDelay(0, 1, 10) != 0 {
+		t.Fatal("zero config injected a delay")
+	}
+	if inj.NewAgentFault().ShouldFail() {
+		t.Fatal("zero config fired an agent fault")
+	}
+	a, b := pipeConns(t)
+	wrapped := inj.WrapConn(a)
+	go func() {
+		buf := make([]byte, 2)
+		_, _ = b.Read(buf)
+	}()
+	if _, err := wrapped.Write([]byte("ok")); err != nil {
+		t.Fatalf("passthrough write failed: %v", err)
+	}
+}

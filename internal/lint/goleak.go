@@ -6,54 +6,93 @@ import (
 	"go/types"
 )
 
-// goleakPackages are the package names in which every goroutine literal must
+// goleakPackages are the package names in which every spawned goroutine must
 // observe a stop signal. These are the packages owning long-lived channel
-// infrastructure; DESIGN.md §5 requires every long-lived goroutine there to
-// be owned by a struct with Start/Stop and waited on.
+// infrastructure (plus the fault-injection harness that perturbs it);
+// DESIGN.md §5 requires every long-lived goroutine there to be owned by a
+// struct with Start/Stop and waited on.
 var goleakPackages = map[string]bool{
-	"broker": true,
-	"fabric": true,
-	"core":   true,
+	"broker":      true,
+	"fabric":      true,
+	"core":        true,
+	"faultinject": true,
 }
 
-// runGoleak reports `go func` literals in the broker, fabric, and core
-// packages whose body shows no evidence of shutdown discipline. Accepted
-// evidence (any one):
+// runGoleak reports `go` statements in the broker, fabric, core, and
+// faultinject packages whose goroutine body shows no evidence of shutdown
+// discipline. Both forms are checked: `go func() {...}()` literals, and
+// `go x.method()` / `go fn()` where the callee is declared in the same
+// package (its body is inspected; callees from other packages are out of
+// scope). Accepted evidence (any one):
 //
 //   - a sync.WaitGroup Done/Wait call (typically `defer wg.Done()`),
 //   - a channel receive or a select statement (the goroutine can observe a
 //     stop/closed channel),
 //   - a close() of a channel (the done-channel completion signal, paired
 //     with a waiter elsewhere, as in Broker.New's router goroutine),
-//   - a call whose error return is the loop exit on a closed queue — the
-//     queue Get family returns ErrClosed at shutdown.
+//   - a call whose error return is the loop exit at shutdown: the queue Get
+//     family returns ErrClosed when the queue closes, buffer.Buffer
+//     Next/TryNext and broker.Port Recv/TryRecv unblock the sender/receiver
+//     loops the same way, and a net Accept loop exits when its listener
+//     closes.
 func runGoleak(p *Pass) {
 	if !goleakPackages[p.Pkg.Name()] {
 		return
 	}
+	decls := packageFuncDecls(p)
 	for _, file := range p.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
 			if !ok {
 				return true
 			}
-			lit, ok := gs.Call.Fun.(*ast.FuncLit)
-			if !ok {
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				if !glObservesStop(p, lit.Body) {
+					p.Reportf(gs.Pos(),
+						"goroutine literal observes no stop signal (no WaitGroup Done/Wait, done-channel receive or close, select, or shutdown-aware blocking call); it cannot be shut down")
+				}
 				return true
 			}
-			if !glObservesStop(p, lit) {
+			f := calleeFunc(p.Info, gs.Call)
+			if f == nil {
+				return true
+			}
+			fd, local := decls[f]
+			if !local || fd.Body == nil {
+				return true // declared outside this package: out of scope
+			}
+			if !glObservesStop(p, fd.Body) {
 				p.Reportf(gs.Pos(),
-					"goroutine literal observes no stop signal (no WaitGroup Done/Wait, done-channel receive or close, select, or queue Get loop); it cannot be shut down")
+					"goroutine %s observes no stop signal (no WaitGroup Done/Wait, done-channel receive or close, select, or shutdown-aware blocking call); it cannot be shut down", f.Name())
 			}
 			return true
 		})
 	}
 }
 
-// glObservesStop scans a goroutine literal body for shutdown evidence.
-func glObservesStop(p *Pass, lit *ast.FuncLit) bool {
+// packageFuncDecls indexes the package's function and method declarations by
+// their type-checker objects, so a `go x.method()` statement can be resolved
+// to the body it spawns.
+func packageFuncDecls(p *Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range p.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// glObservesStop scans a goroutine body for shutdown evidence.
+func glObservesStop(p *Pass, body *ast.BlockStmt) bool {
 	found := false
-	ast.Inspect(lit.Body, func(n ast.Node) bool {
+	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
 			return false
 		}
@@ -78,6 +117,15 @@ func glObservesStop(p *Pass, lit *ast.FuncLit) bool {
 			}
 			if isMethodOn(f, "queue", "Queue", "Get", "GetTimeout", "TryGet") {
 				found = true // returns ErrClosed at shutdown; loop exits on err
+			}
+			if isMethodOn(f, "buffer", "Buffer", "Next", "TryNext") {
+				found = true // errors when the buffer closes; loop exits on err
+			}
+			if isMethodOn(f, "broker", "Port", "Recv", "TryRecv") {
+				found = true // errors when the broker closes the ID queue
+			}
+			if isMethodOnPkgType(f, "net", "Accept") {
+				found = true // accept loop exits when the listener closes
 			}
 		}
 		return true

@@ -21,8 +21,10 @@
 //   - atomicmix: structs bearing sync/atomic fields are never copied by
 //     value, and no field mixes atomic.*Int64-style access with plain reads
 //     or writes.
-//   - goleak: every `go func` literal in the broker, fabric, and core
-//     packages observes a stop signal (WaitGroup, done-channel, or select).
+//   - goleak: every goroutine spawned in the broker, fabric, core, and
+//     faultinject packages — literal or same-package named callee — observes
+//     a stop signal (WaitGroup, done-channel, select, or a blocking call
+//     that errors at shutdown).
 //
 // Findings are reported as `file:line: [analyzer] message` and can be
 // suppressed with `//lint:ignore <analyzer> <reason>` on the finding's line
@@ -82,7 +84,7 @@ func Analyzers() []*Analyzer {
 		{Name: "lockhold", Doc: "no blocking call while a mutex acquired in the same function is held", Run: runLockhold},
 		{Name: "headershare", Doc: "headers are copied per destination, never shared across queue sends or goroutines", Run: runHeadershare},
 		{Name: "atomicmix", Doc: "atomic-bearing structs never copied by value; no mixed atomic/plain field access", Run: runAtomicmix},
-		{Name: "goleak", Doc: "go func literals in broker/fabric/core observe a stop signal", Run: runGoleak},
+		{Name: "goleak", Doc: "goroutines spawned in broker/fabric/core/faultinject observe a stop signal", Run: runGoleak},
 	}
 }
 

@@ -188,6 +188,10 @@ func TestHeadershareGolden(t *testing.T) { runGolden(t, "headershare") }
 func TestAtomicmixGolden(t *testing.T)   { runGolden(t, "atomicmix") }
 func TestGoleakGolden(t *testing.T)      { runGolden(t, "broker") }
 
+// TestGoleakFaultinjectGolden: the goleak net extends to the fault-injection
+// package, in both literal and named-callee forms.
+func TestGoleakFaultinjectGolden(t *testing.T) { runGolden(t, "faultinject") }
+
 // TestDirectiveValidationGolden covers satellite 3: //lint:ignore with a
 // wrong analyzer name or a missing reason is itself a finding, and a
 // malformed or mistargeted suppression does not silence anything.

@@ -1,0 +1,75 @@
+// Package faultinject seeds goleak coverage for the fault-injection harness
+// and the supervision/redial loops: goroutines that replay fault schedules or
+// redial peers must observe a stop signal like any channel goroutine.
+package faultinject
+
+import (
+	"net"
+	"sync"
+)
+
+type injector struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	ln   net.Listener
+}
+
+// replayForever spawns an unstoppable fault-replay goroutine.
+func (i *injector) replayForever() {
+	go func() { // want "observes no stop signal"
+		for {
+		}
+	}()
+}
+
+// replayUntilDone observes the done channel each iteration.
+func (i *injector) replayUntilDone() {
+	go func() {
+		for {
+			select {
+			case <-i.done:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+func (i *injector) pump() {
+	for {
+	}
+}
+
+// startPump spawns a named callee with no shutdown evidence in its body.
+func (i *injector) startPump() {
+	go i.pump() // want "goroutine pump observes no stop signal"
+}
+
+// redialLoop backs off on the done channel — the supervision/redial shape.
+func (i *injector) redialLoop() {
+	for {
+		select {
+		case <-i.done:
+			return
+		default:
+		}
+	}
+}
+
+func (i *injector) startRedial() {
+	go i.redialLoop()
+}
+
+// acceptLoop exits when its listener closes.
+func (i *injector) acceptLoop() {
+	for {
+		if _, err := i.ln.Accept(); err != nil {
+			return
+		}
+	}
+}
+
+func (i *injector) startAccept() {
+	i.wg.Add(1)
+	go i.acceptLoop()
+}

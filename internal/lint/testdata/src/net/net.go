@@ -8,5 +8,11 @@ type Conn interface {
 	Close() error
 }
 
+// Listener is a stream listener stub.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+}
+
 // Dial connects to an address.
 func Dial(network, address string) (Conn, error) { return nil, nil }

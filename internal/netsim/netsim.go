@@ -23,6 +23,15 @@ const DefaultBandwidth = 118.04 * 1024 * 1024 // bytes/second
 // DefaultLatency approximates LAN round-trip propagation.
 const DefaultLatency = 200 * time.Microsecond
 
+// FaultHook injects per-transfer faults into the simulated network. It is
+// implemented by faultinject.Injector; netsim only sees the interface so the
+// simulation layer stays dependency-free.
+type FaultHook interface {
+	// TransferDelay returns extra one-way delay to add to this transfer
+	// (0 = no fault). It is called once per Transfer, before sleeping.
+	TransferDelay(src, dst, size int) time.Duration
+}
+
 // Config parameterizes a simulated network.
 type Config struct {
 	// Bandwidth is the per-NIC bandwidth in bytes per second.
@@ -32,6 +41,9 @@ type Config struct {
 	// TimeScale divides all simulated durations (1 = real time; 100 = run
 	// 100× faster while preserving ratios). Values < 1 are treated as 1.
 	TimeScale float64
+	// Fault, when set, injects extra delay per transfer (latency spikes).
+	// The injected delay is scaled by TimeScale like every other duration.
+	Fault FaultHook
 }
 
 // DefaultConfig returns the paper's testbed parameters at real time scale.
@@ -105,6 +117,11 @@ func (n *Network) Transfer(src, dst, size int) {
 	}
 	wire := time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second) / n.cfg.TimeScale)
 	latency := time.Duration(float64(n.cfg.Latency) / n.cfg.TimeScale)
+	if n.cfg.Fault != nil {
+		if spike := n.cfg.Fault.TransferDelay(src, dst, size); spike > 0 {
+			latency += time.Duration(float64(spike) / n.cfg.TimeScale)
+		}
+	}
 
 	egressEnd := n.machineFor(src).egress.reserve(wire, size)
 	// Ingress occupancy starts when bytes begin arriving; approximating the
