@@ -41,6 +41,13 @@ type fileConfig struct {
 	Seed           int64  `json:"seed"`
 	Restarts       int    `json:"restarts"`
 	RestartBackoff int    `json:"restart_backoff_ms"`
+	StoreBudget    int64  `json:"store_budget"`
+	ShedDepth      int    `json:"shed_depth"`
+	Credits        int    `json:"credits"`
+	Checkpoint     string `json:"checkpoint"`
+	CheckpointEvry int64  `json:"checkpoint_every"`
+	CheckpointKeep int    `json:"checkpoint_keep"`
+	Resume         bool   `json:"resume"`
 }
 
 func main() {
@@ -62,6 +69,13 @@ func run() int {
 		metrics    = flag.Duration("metrics", 0, "log a channel-health summary at this interval (0 = off)")
 		restarts   = flag.Int("restarts", 0, "restart budget per explorer on agent error (0 = fail fast)")
 		restartBk  = flag.Duration("restart-backoff", 100*time.Millisecond, "initial backoff before an explorer restart (doubles per consecutive restart)")
+		storeBdgt  = flag.Int64("store-budget", 0, "per-broker object store byte budget (0 = unbounded); under pressure trajectory pushes shed, model updates always get through")
+		shedDepth  = flag.Int("shed-depth", 0, "destination queue depth past which the oldest droppable messages shed (0 = unbounded)")
+		credits    = flag.Int("credits", 0, "un-acknowledged rollout fragments allowed per explorer (0 = default, <0 = unlimited)")
+		ckptPath   = flag.String("ckpt", "", "checkpoint path (enables periodic DNN parameter saves)")
+		ckptEvery  = flag.Int64("ckpt-every", 0, "training sessions between checkpoints (0 = default 100)")
+		ckptKeep   = flag.Int("ckpt-keep", 0, "retain the last K rotated checkpoints as <ckpt>.N (0 = single overwritten file)")
+		resume     = flag.Bool("resume", false, "restore the newest readable checkpoint at -ckpt before training")
 	)
 	flag.Parse()
 
@@ -70,6 +84,9 @@ func run() int {
 		Explorers: *explorers, Machines: *machines, RolloutLen: *rolloutLen,
 		MaxSteps: *steps, MaxSeconds: *seconds, Compress: *compress, Seed: *seed,
 		Restarts: *restarts, RestartBackoff: int(restartBk.Milliseconds()),
+		StoreBudget: *storeBdgt, ShedDepth: *shedDepth, Credits: *credits,
+		Checkpoint: *ckptPath, CheckpointEvry: *ckptEvery,
+		CheckpointKeep: *ckptKeep, Resume: *resume,
 	}
 	if *configPath != "" {
 		data, err := os.ReadFile(*configPath)
@@ -100,6 +117,13 @@ func run() int {
 		Compress:            fc.Compress,
 		MaxExplorerRestarts: fc.Restarts,
 		RestartBackoff:      time.Duration(fc.RestartBackoff) * time.Millisecond,
+		StoreBudget:         fc.StoreBudget,
+		ShedQueueDepth:      fc.ShedDepth,
+		MaxInflight:         fc.Credits,
+		CheckpointPath:      fc.Checkpoint,
+		CheckpointEvery:     fc.CheckpointEvry,
+		CheckpointKeep:      fc.CheckpointKeep,
+		Resume:              fc.Resume,
 	}
 	if *metrics > 0 {
 		cfg.MetricsEvery = *metrics

@@ -297,6 +297,18 @@ func (d *DDPG) LoadWeights(data []float32) error {
 	return nil
 }
 
+// RestoreWeights reinstates a checkpointed snapshot (actor parameters plus
+// the version counter, so broadcasts resume the pre-crash sequence).
+func (d *DDPG) RestoreWeights(version int64, data []float32) error {
+	if err := d.LoadWeights(data); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.version = version
+	d.mu.Unlock()
+	return nil
+}
+
 // ReplayLen exposes buffer occupancy.
 func (d *DDPG) ReplayLen() int {
 	d.mu.Lock()

@@ -277,6 +277,20 @@ func (d *DQN) LoadWeights(data []float32) error {
 	return nil
 }
 
+// RestoreWeights reinstates a checkpointed snapshot: the parameters are
+// loaded into the online and target networks and the weights version is
+// moved to the checkpoint's, so post-restore broadcasts continue the
+// pre-crash version sequence instead of restarting from zero.
+func (d *DQN) RestoreWeights(version int64, data []float32) error {
+	if err := d.LoadWeights(data); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.version = version
+	d.mu.Unlock()
+	return nil
+}
+
 // Config returns the learner's hyperparameters.
 func (d *DQN) Config() DQNConfig { return d.cfg }
 

@@ -279,6 +279,18 @@ func (im *IMPALA) LoadWeights(data []float32) error {
 	return nil
 }
 
+// RestoreWeights reinstates a checkpointed snapshot (parameters plus the
+// version counter, so broadcasts resume the pre-crash sequence).
+func (im *IMPALA) RestoreWeights(version int64, data []float32) error {
+	if err := im.LoadWeights(data); err != nil {
+		return err
+	}
+	im.mu.Lock()
+	im.version = version
+	im.mu.Unlock()
+	return nil
+}
+
 // IMPALAAgent is the explorer side: stochastic policy sampling that records
 // the behavior logits V-trace needs.
 type IMPALAAgent struct {

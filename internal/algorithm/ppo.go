@@ -341,6 +341,18 @@ func (p *PPO) LoadWeights(data []float32) error {
 	return nil
 }
 
+// RestoreWeights reinstates a checkpointed snapshot (parameters plus the
+// version counter, so broadcasts resume the pre-crash sequence).
+func (p *PPO) RestoreWeights(version int64, data []float32) error {
+	if err := p.LoadWeights(data); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.version = version
+	p.mu.Unlock()
+	return nil
+}
+
 // PPOAgent is the explorer side: stochastic sampling from the softmax
 // policy with value/log-prob annotations for GAE.
 type PPOAgent struct {

@@ -87,6 +87,7 @@ func Suite() []Def {
 		Def{Name: "queue/pipeline", Track: TrackAllocsPerOp, Run: benchQueuePipeline},
 		Def{Name: "broker/roundtrip/64KB", Track: TrackAllocsPerOp, Run: benchBrokerRoundTrip},
 		Def{Name: "broker/broadcast/fanout8", Track: TrackAllocsPerOp, Run: benchBrokerBroadcast},
+		Def{Name: "broker/backpressure/shed", Track: TrackAllocsPerOp, Run: benchBrokerBackpressureShed},
 		Def{Name: "exp/table1", Track: TrackNsPerOp, Heavy: true, Run: benchExperiment("table1")},
 		Def{Name: "exp/fig4", Track: TrackNsPerOp, Heavy: true, Run: benchExperiment("fig4")},
 	)
@@ -280,6 +281,36 @@ func benchBrokerRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := r.Recv(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchBrokerBackpressureShed measures the overload path of DESIGN.md §5f:
+// a bounded broker whose receiver never drains. After a short warmup the
+// destination queue sits at ShedQueueDepth and the store hovers at its high
+// watermark, so every droppable send exercises the shed machinery — a
+// drop-oldest PopIf that releases the evicted reference, or a store-budget
+// refusal at admission — rather than the regular admit path. The gate tracks
+// allocs_per_op so CI catches the shed path growing an allocation.
+func benchBrokerBackpressureShed(b *testing.B) {
+	br := broker.New(broker.Config{MachineID: 0, StoreBudget: 64 << 10, ShedQueueDepth: 8})
+	defer br.Stop()
+	s, err := br.Register("s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := br.Register("r"); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 8<<10)
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := message.New(message.TypeDummy, "s", []string{"r"},
+			&message.DummyPayload{Data: payload})
+		if err := s.Send(m); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -68,6 +68,7 @@ type Broker struct {
 	remote     Remote
 	locator    Locator
 	health     *health
+	shedDepth  int
 
 	mu         sync.Mutex
 	idQueues   map[string]*queue.Queue[*message.Header]
@@ -107,14 +108,25 @@ type Config struct {
 	// Locator resolves destination names to machines; nil treats all names
 	// as local.
 	Locator Locator
+	// StoreBudget bounds the object store to roughly this many live bytes
+	// (see objectstore.WithBudget); 0 keeps the store unbounded. Under
+	// backpressure droppable traffic is refused admission (TryPut) and
+	// queued droppable headers are shed oldest-first, while weights/control
+	// messages always get through.
+	StoreBudget int64
+	// ShedQueueDepth additionally sheds the oldest droppable header whenever
+	// a destination queue reaches this depth, independent of the byte
+	// budget; 0 disables depth-based shedding.
+	ShedQueueDepth int
 }
 
 // New starts a broker and its router goroutine.
 func New(cfg Config) *Broker {
 	b := &Broker{
 		machineID:  cfg.MachineID,
-		store:      objectstore.New(),
+		store:      objectstore.New(objectstore.WithBudget(cfg.StoreBudget)),
 		headerQ:    queue.New[*message.Header](),
+		shedDepth:  cfg.ShedQueueDepth,
 		compressor: cfg.Compressor,
 		remote:     cfg.Remote,
 		locator:    cfg.Locator,
@@ -226,6 +238,12 @@ func (b *Broker) route() {
 				b.release(h.ObjectID)
 				continue
 			}
+			if h.Type.Droppable() {
+				// Under backpressure a new trajectory supersedes queued
+				// ones: shed the oldest droppable headers first so the
+				// receiver always sees the freshest data the budget allows.
+				b.shedOldest(q)
+			}
 			hc := *h // per-destination copy: receivers must not alias
 			hc.Dst = []string{name}
 			if err := q.Put(&hc); err != nil {
@@ -252,12 +270,68 @@ func (b *Broker) route() {
 			// older ones), while transfers to different machines — and all
 			// local routing — overlap, the paper's aggressive push.
 			fq := b.forwarder(machine)
-			if fq == nil || fq.Put(forwardItem{header: &fh, framed: framed, objID: h.ObjectID}) != nil {
+			if fq == nil {
+				b.health.dropQueueClosed.Add(1)
+				b.release(h.ObjectID)
+				continue
+			}
+			if h.Type.Droppable() {
+				b.shedOldestForward(fq)
+			}
+			if fq.Put(forwardItem{header: &fh, framed: framed, objID: h.ObjectID}) != nil {
 				b.health.dropQueueClosed.Add(1)
 				b.release(h.ObjectID)
 			}
 		}
 	}
+}
+
+// shouldShed reports whether drop-oldest shedding should run against a
+// queue currently at depth items: either the store is in backpressure mode
+// or the queue crossed the configured depth limit.
+func (b *Broker) shouldShed(depth int) bool {
+	return b.store.Pressured() || (b.shedDepth > 0 && depth >= b.shedDepth)
+}
+
+// shedOldest pops droppable headers off the front of an ID queue while the
+// channel is overloaded, releasing their references and counting each shed
+// in the drop taxonomy. It stops at the first privileged head — weights and
+// control messages are never shed.
+func (b *Broker) shedOldest(q *queue.Queue[*message.Header]) {
+	for b.shouldShed(q.Len()) {
+		h, ok := q.PopIf(func(h *message.Header) bool { return h.Type.Droppable() })
+		if !ok {
+			return
+		}
+		b.health.dropShedOldest.Add(1)
+		b.health.shedBytes.Add(int64(h.BodySize))
+		b.release(h.ObjectID)
+	}
+}
+
+// shedOldestForward is shedOldest for a per-machine forwarder queue.
+func (b *Broker) shedOldestForward(fq *queue.Queue[forwardItem]) {
+	for b.shouldShed(fq.Len()) {
+		item, ok := fq.PopIf(func(it forwardItem) bool { return it.header.Type.Droppable() })
+		if !ok {
+			return
+		}
+		b.health.dropShedOldest.Add(1)
+		b.health.shedBytes.Add(int64(len(item.framed)))
+		b.release(item.objID)
+	}
+}
+
+// admit inserts a framed body into the object store with priority-aware
+// admission: privileged bodies (weights, control, stats) always enter via
+// Put, droppable ones (rollouts, dummy traffic) go through TryPut and are
+// refused once the store's byte budget is exhausted. A refusal returns
+// ErrBudget with no reference created; callers count the shed and move on.
+func (b *Broker) admit(t message.Type, framed []byte, refs int) (objectstore.ID, error) {
+	if t.Droppable() {
+		return b.store.TryPut(framed, refs)
+	}
+	return b.store.Put(framed, refs), nil
 }
 
 // forwarder returns (creating on first use) the ordered transfer queue for
@@ -310,7 +384,15 @@ func (b *Broker) InjectRemote(h *message.Header, framed []byte) error {
 		return nil
 	}
 	body := append([]byte(nil), framed...) // own the bytes on this machine
-	id := b.store.Put(body, len(local))
+	id, err := b.admit(h.Type, body, len(local))
+	if err != nil {
+		// Budget refusal: the trajectory is shed at this machine's door, one
+		// declined destination reference per local receiver. No store
+		// reference was created, so there is nothing to release.
+		b.health.dropStoreBudget.Add(int64(len(local)))
+		b.health.shedBytes.Add(int64(len(body)))
+		return nil
+	}
 	b.health.bodiesInjected.Add(1)
 	b.health.bytesInjected.Add(int64(len(body)))
 	for _, name := range local {
@@ -319,6 +401,9 @@ func (b *Broker) InjectRemote(h *message.Header, framed []byte) error {
 			b.health.dropUnknownDst.Add(1)
 			b.release(id)
 			continue
+		}
+		if h.Type.Droppable() {
+			b.shedOldest(q)
 		}
 		nh := *h // per-receiver copy: receivers must not alias
 		nh.ObjectID = id
@@ -416,7 +501,17 @@ func (p *Port) Send(m *message.Message) error {
 		return nil // no reachable destination; drop silently like a router
 	}
 	h := m.Header
-	h.ObjectID = p.broker.store.Put(framed, refs)
+	id, err := p.broker.admit(h.Type, framed, refs)
+	if err != nil {
+		// Budget refusal: the trajectory is shed at the source. Sends are
+		// fire-and-forget for droppable traffic, so the producer keeps
+		// running at whatever rate the channel can absorb — the shed is
+		// visible in the drop taxonomy, not as a sender error.
+		p.broker.health.dropStoreBudget.Add(int64(refs))
+		p.broker.health.shedBytes.Add(int64(len(framed)))
+		return nil
+	}
+	h.ObjectID = id
 	h.BodySize = len(framed)
 	h.Compressed = compressed
 	if err := p.broker.headerQ.Put(h); err != nil {

@@ -42,17 +42,22 @@ func NewCluster(net *netsim.Network) *Cluster {
 // AddBroker creates the broker for a machine. Compressor semantics follow
 // broker.Config.
 func (c *Cluster) AddBroker(machineID int, comp serialize.Compressor) (*Broker, error) {
+	return c.AddBrokerCfg(machineID, Config{Compressor: comp})
+}
+
+// AddBrokerCfg creates the broker for a machine from a full Config (byte
+// budget, shed depth, compressor). The cluster supplies MachineID, Remote,
+// and Locator itself, overwriting whatever the caller set there.
+func (c *Cluster) AddBrokerCfg(machineID int, cfg Config) (*Broker, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, exists := c.brokers[machineID]; exists {
 		return nil, fmt.Errorf("broker: machine %d already has a broker", machineID)
 	}
-	b := New(Config{
-		MachineID:  machineID,
-		Compressor: comp,
-		Remote:     c,
-		Locator:    c,
-	})
+	cfg.MachineID = machineID
+	cfg.Remote = c
+	cfg.Locator = c
+	b := New(cfg)
 	c.brokers[machineID] = b
 	return b, nil
 }

@@ -34,6 +34,10 @@ type health struct {
 	dropRecvError    atomic.Int64
 	dropStoreMiss    atomic.Int64
 	dropShutdown     atomic.Int64
+	dropShedOldest   atomic.Int64
+	dropStoreBudget  atomic.Int64
+
+	shedBytes atomic.Int64
 
 	forwardRetried atomic.Int64
 
@@ -70,12 +74,21 @@ type DropCounts struct {
 	StoreMiss int64
 	// ShutdownDrained counts undelivered headers reclaimed by Broker.Stop.
 	ShutdownDrained int64
+	// ShedOldest counts droppable headers shed oldest-first from queues
+	// under backpressure; each shed released exactly one store reference.
+	ShedOldest int64
+	// StoreBudget counts destination references declined admission because
+	// the object store's byte budget was exhausted. Unlike every other drop
+	// reason these never created a store reference, so there was nothing to
+	// release — the body was refused at the door.
+	StoreBudget int64
 }
 
 // Total sums all drop reasons.
 func (d DropCounts) Total() int64 {
 	return d.UnknownDestination + d.QueueClosed + d.NoRemote +
-		d.ForwardError + d.RecvError + d.StoreMiss + d.ShutdownDrained
+		d.ForwardError + d.RecvError + d.StoreMiss + d.ShutdownDrained +
+		d.ShedOldest + d.StoreBudget
 }
 
 // LatencySummary condenses the send→recv latency histogram.
@@ -119,6 +132,9 @@ type MetricsSnapshot struct {
 
 	// Drops breaks down dropped destination references by reason.
 	Drops DropCounts
+	// ShedBytes is the cumulative body bytes shed under backpressure
+	// (oldest-first queue sheds plus budget-refused admissions).
+	ShedBytes int64
 	// ReleaseErrors counts failed object-store releases (double releases).
 	ReleaseErrors int64
 	// LeakedAtStop is the number of objects still live when Stop finished
@@ -163,7 +179,10 @@ func (b *Broker) Metrics() MetricsSnapshot {
 			RecvError:          h.dropRecvError.Load(),
 			StoreMiss:          h.dropStoreMiss.Load(),
 			ShutdownDrained:    h.dropShutdown.Load(),
+			ShedOldest:         h.dropShedOldest.Load(),
+			StoreBudget:        h.dropStoreBudget.Load(),
 		},
+		ShedBytes:        h.shedBytes.Load(),
 		ReleaseErrors:    h.releaseErrors.Load(),
 		LeakedAtStop:     h.leakedAtStop.Load(),
 		HeaderQueueDepth: b.headerQ.Len(),
@@ -208,10 +227,16 @@ func (m MetricsSnapshot) String() string {
 		stats.FormatBytes(float64(m.BytesIn)), stats.FormatBytes(float64(m.BytesForwarded)),
 		stats.FormatBytes(float64(m.BytesInjected)), stats.FormatBytes(float64(m.Store.Bytes)),
 		stats.FormatBytes(float64(m.Store.PeakBytes)), m.Store.Objects)
-	fmt.Fprintf(&sb, "  drops: total=%d unknownDst=%d queueClosed=%d noRemote=%d fwdErr=%d fwdRetried=%d recvErr=%d storeMiss=%d shutdown=%d releaseErr=%d leakedAtStop=%d\n",
+	fmt.Fprintf(&sb, "  drops: total=%d unknownDst=%d queueClosed=%d noRemote=%d fwdErr=%d fwdRetried=%d recvErr=%d storeMiss=%d shutdown=%d shedOldest=%d storeBudget=%d releaseErr=%d leakedAtStop=%d\n",
 		m.Drops.Total(), m.Drops.UnknownDestination, m.Drops.QueueClosed, m.Drops.NoRemote,
 		m.Drops.ForwardError, m.ForwardRetried, m.Drops.RecvError, m.Drops.StoreMiss, m.Drops.ShutdownDrained,
-		m.ReleaseErrors, m.LeakedAtStop)
+		m.Drops.ShedOldest, m.Drops.StoreBudget, m.ReleaseErrors, m.LeakedAtStop)
+	if m.Store.Budget > 0 || m.ShedBytes > 0 {
+		fmt.Fprintf(&sb, "  backpressure: budget=%s peakLive=%s pressured=%v enters=%d rejects=%d shedBytes=%s\n",
+			stats.FormatBytes(float64(m.Store.Budget)), stats.FormatBytes(float64(m.Store.PeakLiveBytes)),
+			m.Store.Backpressure, m.Store.BackpressureEnters, m.Store.BudgetRejects,
+			stats.FormatBytes(float64(m.ShedBytes)))
+	}
 	fmt.Fprintf(&sb, "  queues: header=%d ids=%s forwarders=%s\n",
 		m.HeaderQueueDepth, formatDepths(m.IDQueueDepths), formatIntDepths(m.ForwarderDepths))
 	fmt.Fprintf(&sb, "  delivery: n=%d mean=%v p50=%v p99=%v",
@@ -222,9 +247,13 @@ func (m MetricsSnapshot) String() string {
 
 // Summary is a one-line condensation for periodic logging.
 func (m MetricsSnapshot) Summary() string {
-	return fmt.Sprintf("m%d routed=%d recv=%d drops=%d live=%d hdrQ=%d lat(p50)=%v",
+	s := fmt.Sprintf("m%d routed=%d recv=%d drops=%d live=%d hdrQ=%d lat(p50)=%v",
 		m.MachineID, m.HeadersRouted, m.Receives, m.Drops.Total(),
 		m.Store.Objects, m.HeaderQueueDepth, m.Delivery.P50.Round(time.Microsecond))
+	if shed := m.Drops.ShedOldest + m.Drops.StoreBudget; shed > 0 || m.Store.Backpressure {
+		s += fmt.Sprintf(" shed=%d pressured=%v", shed, m.Store.Backpressure)
+	}
+	return s
 }
 
 func formatDepths(d map[string]int) string {
@@ -285,6 +314,17 @@ type WireMetrics struct {
 	// DroppedRetry counts retry-queued frames abandoned when a peer's
 	// redial budget ran out (the link went down permanently).
 	DroppedRetry int64
+	// CreditStalls counts sends that had to wait for the receiver to
+	// replenish the peer link's credit window (slow-receiver pressure).
+	CreditStalls int64
+	// StallTimeouts counts peer connections torn down because a credit
+	// stall outlasted the stall timeout (a stuck receiver).
+	StallTimeouts int64
+	// AcksSent / AcksReceived count credit-replenishing ack frames.
+	AcksSent     int64
+	AcksReceived int64
+	// StalledPeers is a gauge: peers currently blocked on credit.
+	StalledPeers int
 }
 
 // SupervisionStats summarizes the session's explorer supervision layer:
@@ -334,9 +374,14 @@ func (c ClusterHealth) TotalLeaked() int64 {
 
 // String renders the wire snapshot human-readably.
 func (w WireMetrics) String() string {
-	return fmt.Sprintf("wire[m%d] frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d reconnects=%d redialFail=%d retried=%d droppedRetry=%d",
+	s := fmt.Sprintf("wire[m%d] frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d reconnects=%d redialFail=%d retried=%d droppedRetry=%d",
 		w.MachineID, w.FramesSent, w.FramesReceived, w.BytesSent, w.BytesReceived,
 		w.CorruptStreams, w.Reconnects, w.RedialFailures, w.RetriedFrames, w.DroppedRetry)
+	if w.AcksSent > 0 || w.AcksReceived > 0 || w.CreditStalls > 0 || w.StallTimeouts > 0 {
+		s += fmt.Sprintf(" credits: stalls=%d stallTimeouts=%d acksSent=%d acksRecv=%d stalledPeers=%d",
+			w.CreditStalls, w.StallTimeouts, w.AcksSent, w.AcksReceived, w.StalledPeers)
+	}
+	return s
 }
 
 // String renders every broker's snapshot, plus wire and supervision state

@@ -15,10 +15,17 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 )
 
 // ErrCorrupt is returned when a checkpoint file fails validation.
 var ErrCorrupt = errors.New("checkpoint: corrupt file")
+
+// ErrNoCheckpoint is returned by LoadLatest when no restorable checkpoint
+// exists at the path — neither a rotation member nor a bare file.
+var ErrNoCheckpoint = errors.New("checkpoint: no checkpoint found")
 
 // magic identifies checkpoint files.
 const magic = 0x58544350 // "XTCP"
@@ -62,6 +69,85 @@ func Save(path string, s State) error {
 		return fmt.Errorf("checkpoint save: %w", err)
 	}
 	return nil
+}
+
+// SaveRotating writes the state as the next member of a rotation set:
+// path.1, path.2, … ascending, where a larger suffix is always newer. After
+// the write, members beyond the newest keep are pruned. keep < 1 is treated
+// as 1. Each member is written with Save's atomic temp-file + rename, so a
+// crash mid-save leaves every older member intact.
+func SaveRotating(path string, s State, keep int) error {
+	if keep < 1 {
+		keep = 1
+	}
+	members, err := rotationMembers(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint rotate: %w", err)
+	}
+	next := 1
+	if len(members) > 0 {
+		next = members[len(members)-1] + 1
+	}
+	if err := Save(fmt.Sprintf("%s.%d", path, next), s); err != nil {
+		return err
+	}
+	members = append(members, next)
+	for len(members) > keep {
+		_ = os.Remove(fmt.Sprintf("%s.%d", path, members[0]))
+		members = members[1:]
+	}
+	return nil
+}
+
+// LoadLatest restores the newest readable checkpoint at path: rotation
+// members (path.N) newest-first, then the bare path itself. Corrupt or
+// unreadable members are skipped — a torn write of the newest checkpoint
+// must not block restoring from an older good one. ErrNoCheckpoint means
+// nothing restorable exists.
+func LoadLatest(path string) (State, error) {
+	members, err := rotationMembers(path)
+	if err != nil {
+		return State{}, fmt.Errorf("checkpoint load: %w", err)
+	}
+	for i := len(members) - 1; i >= 0; i-- {
+		if s, err := Load(fmt.Sprintf("%s.%d", path, members[i])); err == nil {
+			return s, nil
+		}
+	}
+	if s, err := Load(path); err == nil {
+		return s, nil
+	}
+	return State{}, fmt.Errorf("%s: %w", path, ErrNoCheckpoint)
+}
+
+// rotationMembers lists the numeric suffixes of path's rotation set in
+// ascending order.
+func rotationMembers(path string) ([]int, error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var members []int
+	prefix := base + "."
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		n, err := strconv.Atoi(e.Name()[len(prefix):])
+		if err != nil || n < 1 {
+			continue
+		}
+		members = append(members, n)
+	}
+	sort.Ints(members)
+	return members, nil
 }
 
 // Load reads and validates a checkpoint.

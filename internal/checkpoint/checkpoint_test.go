@@ -87,6 +87,90 @@ func TestLoadTruncated(t *testing.T) {
 	}
 }
 
+func TestSaveRotatingKeepsLastK(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	const keep = 3
+	for v := int64(1); v <= 5; v++ {
+		if err := SaveRotating(path, State{Version: v, Weights: []float32{float32(v)}}, keep); err != nil {
+			t.Fatalf("SaveRotating v%d: %v", v, err)
+		}
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != keep {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("directory holds %v, want %d rotation members", names, keep)
+	}
+	// Oldest members pruned: model.ckpt.1 and .2 are gone, .3–.5 remain.
+	for _, gone := range []string{"model.ckpt.1", "model.ckpt.2"} {
+		if _, err := os.Stat(filepath.Join(filepath.Dir(path), gone)); !os.IsNotExist(err) {
+			t.Fatalf("%s still exists after pruning", gone)
+		}
+	}
+	out, err := LoadLatest(path)
+	if err != nil {
+		t.Fatalf("LoadLatest: %v", err)
+	}
+	if out.Version != 5 {
+		t.Fatalf("LoadLatest version = %d, want 5", out.Version)
+	}
+}
+
+func TestLoadLatestSkipsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	for v := int64(1); v <= 3; v++ {
+		if err := SaveRotating(path, State{Version: v, Weights: []float32{float32(v)}}, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the newest member; restore must fall back to the previous one.
+	newest := path + ".3"
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8] ^= 0xFF
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadLatest(path)
+	if err != nil {
+		t.Fatalf("LoadLatest with corrupt newest: %v", err)
+	}
+	if out.Version != 2 {
+		t.Fatalf("LoadLatest version = %d, want 2 (newest good member)", out.Version)
+	}
+}
+
+func TestLoadLatestBarePathFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := Save(path, State{Version: 11, Weights: []float32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadLatest(path)
+	if err != nil {
+		t.Fatalf("LoadLatest bare path: %v", err)
+	}
+	if out.Version != 11 {
+		t.Fatalf("LoadLatest version = %d, want 11", out.Version)
+	}
+}
+
+func TestLoadLatestNoCheckpoint(t *testing.T) {
+	if _, err := LoadLatest(filepath.Join(t.TempDir(), "model.ckpt")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("LoadLatest empty dir = %v, want ErrNoCheckpoint", err)
+	}
+	// A missing directory is also "no checkpoint", not an error.
+	if _, err := LoadLatest(filepath.Join(t.TempDir(), "sub", "model.ckpt")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("LoadLatest missing dir = %v, want ErrNoCheckpoint", err)
+	}
+}
+
 // TestPropertyRoundTrip: arbitrary states survive the disk round trip.
 func TestPropertyRoundTrip(t *testing.T) {
 	dir := t.TempDir()

@@ -48,3 +48,62 @@ func TestLearnerCheckpoints(t *testing.T) {
 		t.Fatalf("restore after failure: %v", err)
 	}
 }
+
+// TestSessionResumeRestoresVersion runs a checkpointing session with
+// rotation, then resumes a fresh session from the newest member and proves
+// the restored learner continues the weights version sequence instead of
+// restarting from zero.
+func TestSessionResumeRestoresVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	algF, agF := quickDQNFactories(t)
+	cfg := core.Config{
+		NumExplorers:    1,
+		RolloutLen:      50,
+		MaxSteps:        1000,
+		MaxDuration:     30 * time.Second,
+		CheckpointPath:  path,
+		CheckpointEvery: 10,
+		CheckpointKeep:  2,
+	}
+	if _, err := core.Run(cfg, algF, agF, 9); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	st, err := checkpoint.LoadLatest(path)
+	if err != nil {
+		t.Fatalf("LoadLatest after rotating run: %v", err)
+	}
+	if st.Version <= 0 {
+		t.Fatalf("checkpoint version = %d, want > 0", st.Version)
+	}
+
+	cfg.Resume = true
+	s, err := core.NewSession(cfg, algF, agF, 10)
+	if err != nil {
+		t.Fatalf("NewSession resume: %v", err)
+	}
+	w := s.Learner().Algorithm().Weights()
+	s.Stop()
+	if w.Version != st.Version {
+		t.Fatalf("resumed weights version = %d, want checkpoint's %d", w.Version, st.Version)
+	}
+	if len(w.Data) != len(st.Weights) {
+		t.Fatalf("resumed weights len = %d, want %d", len(w.Data), len(st.Weights))
+	}
+}
+
+// TestSessionResumeFreshStart proves Resume with no checkpoint on disk is a
+// clean fresh start, not an error.
+func TestSessionResumeFreshStart(t *testing.T) {
+	algF, agF := quickDQNFactories(t)
+	s, err := core.NewSession(core.Config{
+		NumExplorers:   1,
+		RolloutLen:     50,
+		MaxSteps:       100,
+		CheckpointPath: filepath.Join(t.TempDir(), "model.ckpt"),
+		Resume:         true,
+	}, algF, agF, 3)
+	if err != nil {
+		t.Fatalf("NewSession with nothing to resume: %v", err)
+	}
+	s.Stop()
+}

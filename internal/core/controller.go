@@ -1,12 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 
 	"xingtian/internal/broker"
+	"xingtian/internal/checkpoint"
 	"xingtian/internal/message"
 	"xingtian/internal/netsim"
 	"xingtian/internal/serialize"
@@ -68,6 +70,22 @@ type Config struct {
 	// parameters (every CheckpointEvery training sessions; default 100).
 	CheckpointPath  string
 	CheckpointEvery int64
+	// CheckpointKeep > 0 switches saving to a rotation set (path.1, path.2,
+	// …) retaining the last CheckpointKeep checkpoints; 0 keeps the single
+	// overwritten file.
+	CheckpointKeep int
+	// Resume restores the newest readable checkpoint at CheckpointPath
+	// before training starts (no-op when none exists). The restored weights
+	// version seeds the learner's broadcasts, so explorers continue from
+	// the pre-crash sequence.
+	Resume bool
+	// StoreBudget bounds each broker's object store (bytes; 0 = unbounded)
+	// and ShedQueueDepth caps destination queues by shedding the oldest
+	// droppable messages — the overload-protection knobs of broker.Config.
+	// Both apply only to the default netsim transport; a caller-supplied
+	// Transport configures its own brokers.
+	StoreBudget    int64
+	ShedQueueDepth int
 	// MaxInflight bounds un-acknowledged rollout fragments per explorer
 	// (0 = DefaultMaxInflight; < 0 disables flow control).
 	MaxInflight int
@@ -194,7 +212,12 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 		comp.PackNsPerKB = cfg.PlaneNsPerKB
 		cluster := broker.NewCluster(netsim.New(cfg.Net))
 		for m := 0; m < cfg.Machines; m++ {
-			if _, err := cluster.AddBroker(m, comp); err != nil {
+			bcfg := broker.Config{
+				Compressor:     comp,
+				StoreBudget:    cfg.StoreBudget,
+				ShedQueueDepth: cfg.ShedQueueDepth,
+			}
+			if _, err := cluster.AddBrokerCfg(m, bcfg); err != nil {
 				cluster.Stop()
 				return nil, err
 			}
@@ -215,6 +238,12 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 		transport.Stop()
 		return nil, fmt.Errorf("core: build algorithm: %w", err)
 	}
+	if cfg.Resume && cfg.CheckpointPath != "" {
+		if err := restoreAlgorithm(alg, cfg.CheckpointPath); err != nil {
+			transport.Stop()
+			return nil, err
+		}
+	}
 	learnerPort, err := transport.Register(0, LearnerName)
 	if err != nil {
 		transport.Stop()
@@ -230,6 +259,7 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 		SeriesBucket:    cfg.SeriesBucket,
 		CheckpointPath:  cfg.CheckpointPath,
 		CheckpointEvery: cfg.CheckpointEvery,
+		CheckpointKeep:  cfg.CheckpointKeep,
 	})
 
 	ctrlPort, err := transport.Register(0, ControllerName)
@@ -250,6 +280,31 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 		s.slots = append(s.slots, &explorerSlot{id: int32(i), machine: machine, ex: ex})
 	}
 	return s, nil
+}
+
+// restoreAlgorithm reinstates the newest readable checkpoint at path into
+// the algorithm before training starts. A missing checkpoint is a fresh
+// start, not an error; a checkpoint that exists but cannot be applied is.
+func restoreAlgorithm(alg Algorithm, path string) error {
+	st, err := checkpoint.LoadLatest(path)
+	if errors.Is(err, checkpoint.ErrNoCheckpoint) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("core: resume: %w", err)
+	}
+	switch a := alg.(type) {
+	case WeightsRestorer:
+		err = a.RestoreWeights(st.Version, st.Weights)
+	case interface{ LoadWeights([]float32) error }:
+		err = a.LoadWeights(st.Weights)
+	default:
+		return fmt.Errorf("core: resume: algorithm %s cannot restore weights", alg.Name())
+	}
+	if err != nil {
+		return fmt.Errorf("core: resume: %w", err)
+	}
+	return nil
 }
 
 // buildExplorer creates one explorer incarnation: fresh agent from the

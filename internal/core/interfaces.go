@@ -65,6 +65,14 @@ type Algorithm interface {
 	Weights() *message.WeightsPayload
 }
 
+// WeightsRestorer is implemented by algorithms that can reinstate a
+// checkpointed snapshot including its version counter. Session resume
+// prefers it; algorithms without it fall back to a plain weights load
+// (versions restart from zero).
+type WeightsRestorer interface {
+	RestoreWeights(version int64, data []float32) error
+}
+
 // AgentFactory builds the agent for one explorer. Factories receive the
 // explorer's ID and a derived seed so parallel explorers diversify the
 // state space (the point of parallel sampling).

@@ -30,6 +30,7 @@ type Learner struct {
 
 	checkpointPath  string
 	checkpointEvery int64
+	checkpointKeep  int
 
 	// Measurement hooks for the evaluation figures.
 	WaitHist  *stats.Histogram // time the trainer waits for rollouts (Fig 8(c))
@@ -62,6 +63,9 @@ type LearnerConfig struct {
 	// every CheckpointEvery sessions (the paper's §4.2 fault tolerance).
 	CheckpointPath  string
 	CheckpointEvery int64
+	// CheckpointKeep > 0 rotates checkpoints (path.N, last CheckpointKeep
+	// retained) instead of overwriting a single file.
+	CheckpointKeep int
 }
 
 // NewLearner builds a learner around an algorithm and a broker port.
@@ -83,6 +87,7 @@ func NewLearner(alg Algorithm, port *broker.Port, cfg LearnerConfig) *Learner {
 		maxSteps:        cfg.MaxSteps,
 		checkpointPath:  cfg.CheckpointPath,
 		checkpointEvery: every,
+		checkpointKeep:  cfg.CheckpointKeep,
 		WaitHist:        stats.NewHistogram(),
 		TransHist:       stats.NewHistogram(),
 		Series:          stats.NewSeries(bucket),
@@ -188,10 +193,14 @@ func (l *Learner) trainerLoop() {
 		}
 		if l.checkpointPath != "" && iters%l.checkpointEvery == 0 {
 			w := l.alg.Weights()
-			if err := checkpoint.Save(l.checkpointPath, checkpoint.State{
-				Version: w.Version,
-				Weights: w.Data,
-			}); err != nil {
+			st := checkpoint.State{Version: w.Version, Weights: w.Data}
+			var err error
+			if l.checkpointKeep > 0 {
+				err = checkpoint.SaveRotating(l.checkpointPath, st, l.checkpointKeep)
+			} else {
+				err = checkpoint.Save(l.checkpointPath, st)
+			}
+			if err != nil {
 				l.fail(fmt.Errorf("learner checkpoint: %w", err))
 				return
 			}

@@ -7,6 +7,20 @@
 // Wire format per message: a 4-byte big-endian frame length, then a
 // gob-encoded header, then the framed body bytes.
 //
+// # Credit-based flow control
+//
+// With SetCreditPolicy each dialed link carries a window of un-acked wire
+// bytes: the receiving side answers every data frame with an 8-byte ack
+// frame (bit 31 of the length word set, low bits carrying the acked bytes),
+// and a Forward that would overrun the window waits for acks. A sender can
+// therefore never push more bytes in flight than the receiver has granted —
+// a slow receiver backpressures the sender's forwarder queue instead of
+// filling kernel socket buffers without bound. A wait that outlasts the
+// stall timeout declares the receiver stuck, tears the link down into the
+// reconnect state machine (slow-receiver detection, visible as
+// Metrics.StallTimeouts and the per-peer PeerStalled state), and lets the
+// frame retry after the redial.
+//
 // # Fault tolerance
 //
 // Each dialed peer runs a small connection state machine: connected →
@@ -45,6 +59,18 @@ import (
 // MaxFrameSize bounds a single fabric frame (1 GiB) to reject corrupt
 // length prefixes before allocating.
 const MaxFrameSize = 1 << 30
+
+// ackFlag marks an 8-byte credit-ack frame: data frames are bounded by
+// MaxFrameSize (1 GiB), so bit 31 of the length word is never set by a
+// legitimate data frame and distinguishes the two on the wire. The low 31
+// bits of an ack's first word carry the acknowledged wire bytes; the second
+// word is zero (acks have no header or body).
+const ackFlag = 1 << 31
+
+// DefaultStallTimeout bounds how long a Forward waits for the receiver to
+// replenish the credit window before the link is declared stalled and torn
+// down into the reconnect state machine.
+const DefaultStallTimeout = 2 * time.Second
 
 // ErrNoRoute is returned when forwarding to a machine with no connection.
 var ErrNoRoute = errors.New("fabric: no route to machine")
@@ -90,6 +116,8 @@ type Node struct {
 	connWrap       func(net.Conn) net.Conn
 	redialAttempts int
 	redialBackoff  time.Duration
+	creditWindow   int64
+	stallTimeout   time.Duration
 
 	mu       sync.Mutex
 	peers    map[int]*peerConn
@@ -107,6 +135,10 @@ type Node struct {
 	redialFailures atomic.Int64
 	retriedFrames  atomic.Int64
 	droppedRetry   atomic.Int64
+	creditStalls   atomic.Int64
+	stallTimeouts  atomic.Int64
+	acksSent       atomic.Int64
+	acksReceived   atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -136,11 +168,23 @@ type Metrics struct {
 	// DroppedRetry counts retry-queued frames abandoned when a peer's
 	// redial budget ran out.
 	DroppedRetry int64
+	// CreditStalls counts Forwards that had to wait for the receiver to
+	// replenish the peer link's credit window.
+	CreditStalls int64
+	// StallTimeouts counts peer connections torn down because a credit
+	// stall outlasted the stall timeout (slow-receiver detection).
+	StallTimeouts int64
+	// AcksSent / AcksReceived count 8-byte credit-ack frames written for
+	// received data frames and decoded from peers.
+	AcksSent     int64
+	AcksReceived int64
+	// StalledPeers is a gauge: peers currently waiting on credit.
+	StalledPeers int
 }
 
 // Metrics snapshots the node's wire counters.
 func (n *Node) Metrics() Metrics {
-	return Metrics{
+	m := Metrics{
 		FramesSent:     n.framesSent.Load(),
 		FramesReceived: n.framesReceived.Load(),
 		BytesSent:      n.bytesSent.Load(),
@@ -151,7 +195,25 @@ func (n *Node) Metrics() Metrics {
 		RedialFailures: n.redialFailures.Load(),
 		RetriedFrames:  n.retriedFrames.Load(),
 		DroppedRetry:   n.droppedRetry.Load(),
+		CreditStalls:   n.creditStalls.Load(),
+		StallTimeouts:  n.stallTimeouts.Load(),
+		AcksSent:       n.acksSent.Load(),
+		AcksReceived:   n.acksReceived.Load(),
 	}
+	n.mu.Lock()
+	peers := make([]*peerConn, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		if p.stalled {
+			m.StalledPeers++
+		}
+		p.mu.Unlock()
+	}
+	return m
 }
 
 // Wire converts the snapshot into the transport-neutral shape ClusterHealth
@@ -168,14 +230,24 @@ func (m Metrics) Wire(machineID int) broker.WireMetrics {
 		RedialFailures: m.RedialFailures,
 		RetriedFrames:  m.RetriedFrames,
 		DroppedRetry:   m.DroppedRetry,
+		CreditStalls:   m.CreditStalls,
+		StallTimeouts:  m.StallTimeouts,
+		AcksSent:       m.AcksSent,
+		AcksReceived:   m.AcksReceived,
+		StalledPeers:   m.StalledPeers,
 	}
 }
 
 // String renders the snapshot human-readably.
 func (m Metrics) String() string {
-	return fmt.Sprintf("fabric frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d droppedInject=%d reconnects=%d redialFail=%d retried=%d droppedRetry=%d",
+	s := fmt.Sprintf("fabric frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d droppedInject=%d reconnects=%d redialFail=%d retried=%d droppedRetry=%d",
 		m.FramesSent, m.FramesReceived, m.BytesSent, m.BytesReceived, m.CorruptStreams,
 		m.DroppedInject, m.Reconnects, m.RedialFailures, m.RetriedFrames, m.DroppedRetry)
+	if m.AcksSent > 0 || m.AcksReceived > 0 || m.CreditStalls > 0 {
+		s += fmt.Sprintf(" credits: stalls=%d stallTimeouts=%d acksSent=%d acksRecv=%d stalledPeers=%d",
+			m.CreditStalls, m.StallTimeouts, m.AcksSent, m.AcksReceived, m.StalledPeers)
+	}
+	return s
 }
 
 var _ broker.Remote = (*Node)(nil)
@@ -195,7 +267,10 @@ const (
 )
 
 // peerConn is one dialed peer link and its reconnect state. All fields are
-// guarded by mu; conn is nil except in stateConnected.
+// guarded by mu; conn is nil except in stateConnected. creditCh is a
+// capacity-1 wakeup channel: grantCredit sends into it without blocking and
+// a stalled Forward re-checks the window after each wakeup, so a stale
+// token costs one spurious loop iteration, never a lost grant.
 type peerConn struct {
 	machine int
 	addr    string
@@ -205,6 +280,11 @@ type peerConn struct {
 	state     connState
 	retry     [][]byte // complete wire frames awaiting reconnect
 	redialing bool
+
+	window   int64 // credit window in wire bytes; 0 disables flow control
+	inflight int64 // bytes written but not yet acked by the receiver
+	stalled  bool  // a Forward is currently waiting on credit
+	creditCh chan struct{}
 }
 
 // Listen starts a fabric node accepting peer connections on addr
@@ -220,6 +300,7 @@ func Listen(machineID int, addr string) (*Node, error) {
 		done:           make(chan struct{}),
 		redialAttempts: DefaultRedialAttempts,
 		redialBackoff:  DefaultRedialBackoff,
+		stallTimeout:   DefaultStallTimeout,
 		peers:          make(map[int]*peerConn),
 		accepted:       make(map[net.Conn]struct{}),
 	}
@@ -250,6 +331,25 @@ func (n *Node) SetRedialPolicy(attempts int, backoff time.Duration) {
 	}
 	if backoff > 0 {
 		n.redialBackoff = backoff
+	}
+}
+
+// SetCreditPolicy enables credit-based flow control on links dialed after
+// the call: each peer link may carry at most window un-acked wire bytes;
+// the receiver replenishes the window with an 8-byte ack frame per received
+// data frame. A Forward that cannot reserve credit waits; if the wait
+// outlasts stallTimeout the link is declared stalled and torn down into the
+// reconnect state machine (the frame retries after the redial). window 0
+// (the default) disables flow control; stallTimeout <= 0 keeps the current
+// timeout. Call before Connect.
+func (n *Node) SetCreditPolicy(window int64, stallTimeout time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if window >= 0 {
+		n.creditWindow = window
+	}
+	if stallTimeout > 0 {
+		n.stallTimeout = stallTimeout
 	}
 }
 
@@ -309,13 +409,17 @@ func (n *Node) Connect(peerMachine int, addr string) error {
 		return fmt.Errorf("fabric connect to machine %d: %w", peerMachine, err)
 	}
 	conn = n.wrap(conn)
-	p := &peerConn{machine: peerMachine, addr: addr, conn: conn, state: stateConnected}
+	p := &peerConn{
+		machine: peerMachine, addr: addr, conn: conn, state: stateConnected,
+		creditCh: make(chan struct{}, 1),
+	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		_ = conn.Close()
 		return errors.New("fabric: node closed")
 	}
+	p.window = n.creditWindow
 	old := n.peers[peerMachine]
 	n.peers[peerMachine] = p
 	n.mu.Unlock()
@@ -386,6 +490,10 @@ func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []b
 	// single writev, so a frame is never interleaved with another sender's
 	// bytes and the connection mutex is held for one syscall, not three.
 	total := int64(len(hdr) + len(framed))
+	if err := n.waitCredit(peer, total); err != nil {
+		serialize.FreeBuf(hdr)
+		return err
+	}
 	bufs := net.Buffers{hdr, framed}
 	peer.mu.Lock()
 	switch peer.state {
@@ -435,6 +543,107 @@ func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []b
 		serialize.FreeBuf(hdr)
 		return fmt.Errorf("%w: machine %d", ErrPeerDown, dstMachine)
 	}
+}
+
+// waitCredit reserves need wire bytes of the peer's credit window before a
+// Forward write, blocking while the window is exhausted. The wait happens
+// with no lock held (the queue.GetTimeout pattern): check-and-reserve under
+// p.mu, then sleep on the capacity-1 credit channel. A frame larger than
+// the whole window is admitted alone (inflight == 0) so oversized weights
+// broadcasts cannot deadlock the link. When the wait outlasts the stall
+// timeout the link is torn down into the reconnect state machine and the
+// caller proceeds — its state switch then queues the frame for retry.
+func (n *Node) waitCredit(p *peerConn, need int64) error {
+	for {
+		p.mu.Lock()
+		if p.window <= 0 || p.state != stateConnected {
+			// Flow control disabled, or the state switch below handles the
+			// non-connected path (retry queue / fail fast).
+			p.mu.Unlock()
+			return nil
+		}
+		if p.inflight == 0 || p.inflight+need <= p.window {
+			p.inflight += need
+			p.stalled = false
+			p.mu.Unlock()
+			return nil
+		}
+		p.stalled = true
+		p.mu.Unlock()
+		n.creditStalls.Add(1)
+		timer := time.NewTimer(n.stallTimeout)
+		select {
+		case <-p.creditCh:
+			timer.Stop()
+		case <-timer.C:
+			// Slow-receiver detection: the peer sat on our frames past the
+			// stall timeout. Tear the link down; the redial loop owns
+			// recovery and the caller's frame goes to the retry queue.
+			n.stallTimeouts.Add(1)
+			n.tearDownStalled(p)
+			return nil
+		case <-n.done:
+			timer.Stop()
+			p.mu.Lock()
+			p.stalled = false
+			p.mu.Unlock()
+			return errors.New("fabric: node closed")
+		}
+	}
+}
+
+// grantCredit returns acked wire bytes to the peer's window (ack received)
+// and wakes a stalled Forward. The clamp at zero absorbs acks for frames
+// whose reservation was wiped by a reconnect.
+func (n *Node) grantCredit(p *peerConn, acked int64) {
+	p.mu.Lock()
+	p.inflight -= acked
+	if p.inflight < 0 {
+		p.inflight = 0
+	}
+	p.mu.Unlock()
+	select {
+	case p.creditCh <- struct{}{}:
+	default:
+	}
+}
+
+// tearDownStalled closes a peer link whose receiver stopped acking and
+// hands it to the reconnect state machine. The credit reservation is wiped:
+// whatever was on the wire died with the connection.
+func (n *Node) tearDownStalled(p *peerConn) {
+	p.mu.Lock()
+	if p.state != stateConnected {
+		p.mu.Unlock()
+		return // a write failure or Stop got here first
+	}
+	if p.conn != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+	}
+	p.state = stateBackingOff
+	p.inflight = 0
+	p.stalled = false
+	spawn := !p.redialing
+	p.redialing = true
+	p.mu.Unlock()
+	if spawn {
+		n.spawnRedial(p)
+	}
+}
+
+// PeerStalled reports whether a Forward to the machine is currently waiting
+// on credit (slow-receiver pressure on that link).
+func (n *Node) PeerStalled(machine int) bool {
+	n.mu.Lock()
+	p := n.peers[machine]
+	n.mu.Unlock()
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stalled
 }
 
 // enqueueRetryLocked copies one wire frame (prefix+header+body) into the
@@ -555,6 +764,10 @@ func (n *Node) installReconnected(p *peerConn, conn net.Conn) bool {
 	p.conn = conn
 	p.state = stateConnected
 	p.redialing = false
+	// Fresh connection, fresh window: reservations for frames that died
+	// with the old conn must not strangle the new one.
+	p.inflight = 0
+	p.stalled = false
 	p.mu.Unlock()
 	n.reconnects.Add(1)
 	n.mu.Lock()
@@ -592,6 +805,20 @@ func (n *Node) readLoop(conn net.Conn, p *peerConn) {
 		}
 		frameLen := binary.BigEndian.Uint32(prefix[0:])
 		hdrLen := binary.BigEndian.Uint32(prefix[4:])
+		if frameLen&ackFlag != 0 {
+			// 8-byte credit ack: no header, no body. Acks arrive on dialed
+			// connections (the receiver replies on the conn the data came in
+			// on) and replenish that peer's window.
+			if hdrLen != 0 {
+				n.corruptStreams.Add(1)
+				return
+			}
+			n.acksReceived.Add(1)
+			if p != nil {
+				n.grantCredit(p, int64(frameLen&^ackFlag))
+			}
+			continue
+		}
 		if frameLen > MaxFrameSize || hdrLen+4 > frameLen {
 			n.corruptStreams.Add(1)
 			return // corrupt stream
@@ -633,6 +860,21 @@ func (n *Node) readLoop(conn net.Conn, p *peerConn) {
 			n.droppedInject.Add(1)
 		}
 		serialize.FreeBuf(payload)
+		if p == nil {
+			// Replenish the sender's credit window for the full wire size of
+			// this frame (prefix + payload). Only the accepted side acks:
+			// this readLoop goroutine is the sole writer on an accepted
+			// conn, so the 8-byte ack never interleaves with another write.
+			// Ack even after a broker-side refusal — the wire bytes were
+			// consumed either way, which is what the window meters. A write
+			// error needs no handling here: the next read fails too, and
+			// teardown runs through the normal lost-conn path.
+			var ack [8]byte
+			binary.BigEndian.PutUint32(ack[0:], uint32(int64(len(prefix)+len(payload)))|ackFlag)
+			if _, err := conn.Write(ack[:]); err == nil {
+				n.acksSent.Add(1)
+			}
+		}
 	}
 }
 

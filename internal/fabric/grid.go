@@ -21,6 +21,17 @@ type GridOptions struct {
 	// (zero keeps the defaults).
 	RedialAttempts int
 	RedialBackoff  time.Duration
+	// StoreBudget bounds every machine's object store (bytes; zero means
+	// unbounded). ShedQueueDepth caps destination queues by shedding the
+	// oldest droppable messages. Both follow broker.Config semantics.
+	StoreBudget    int64
+	ShedQueueDepth int
+	// CreditWindow enables credit-based flow control on every mesh link
+	// (bytes in flight per peer; zero disables). StallTimeout bounds how
+	// long a Forward waits on credit before the link is torn down (zero
+	// keeps DefaultStallTimeout).
+	CreditWindow int64
+	StallTimeout time.Duration
 }
 
 // Grid is a real-TCP deployment of N machines on loopback: one fabric Node
@@ -59,11 +70,16 @@ func NewGrid(n int, opts GridOptions) (*Grid, error) {
 			node.SetConnWrapper(opts.ConnWrapper)
 		}
 		node.SetRedialPolicy(opts.RedialAttempts, opts.RedialBackoff)
+		if opts.CreditWindow > 0 {
+			node.SetCreditPolicy(opts.CreditWindow, opts.StallTimeout)
+		}
 		b := broker.New(broker.Config{
-			MachineID:  i,
-			Compressor: opts.Compressor,
-			Remote:     node,
-			Locator:    g,
+			MachineID:      i,
+			Compressor:     opts.Compressor,
+			Remote:         node,
+			Locator:        g,
+			StoreBudget:    opts.StoreBudget,
+			ShedQueueDepth: opts.ShedQueueDepth,
 		})
 		node.AttachBroker(b)
 		g.nodes = append(g.nodes, node)

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// runDroptaxonomy enforces the overload-accounting contract of DESIGN.md
+// §5f: every message the channel refuses or sheds must be visible in the
+// drop taxonomy. Two shapes violate it:
+//
+//   - An ignored TryPut result. objectstore.Store.TryPut refuses admission
+//     with ErrBudget and queue.Queue.TryPut refuses when full; a caller
+//     that discards the error (expression statement, or binding it to the
+//     blank identifier) sheds silently — nothing increments a drop counter
+//     and, for the store, the caller cannot even know whether a reference
+//     was created.
+//   - A shed that is not counted. queue.Queue.PopIf is the shed-oldest
+//     primitive: a function that pops messages with it must increment a
+//     drop/shed counter (any .Add(...) call whose selector path mentions
+//     "drop" or "shed") somewhere in the same function, or the shed
+//     vanishes from the taxonomy.
+//
+// The checks are lexical, like the rest of the suite: binding the error to
+// a named variable satisfies the first rule (refbalance-style path analysis
+// of what happens to it is out of scope), and the counter increment may sit
+// anywhere in the enclosing function body.
+func runDroptaxonomy(p *Pass) {
+	for _, file := range p.Files {
+		funcScopes(file, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
+			counted := hasDropCounterAdd(p, body)
+			ast.Inspect(body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := n.X.(*ast.CallExpr); ok && isTryPutCall(p, call) {
+						p.Reportf(call.Pos(), "TryPut result ignored: a refused message must be counted in the drop taxonomy")
+					}
+				case *ast.AssignStmt:
+					for _, rhs := range n.Rhs {
+						call, ok := rhs.(*ast.CallExpr)
+						if !ok || !isTryPutCall(p, call) {
+							continue
+						}
+						// The error is the last (or only) result; with one
+						// call on the RHS the LHS binds results positionally.
+						if len(n.Rhs) == 1 && isBlankIdent(n.Lhs[len(n.Lhs)-1]) {
+							p.Reportf(call.Pos(), "TryPut error discarded with _: a refused message must be counted in the drop taxonomy")
+						}
+					}
+				case *ast.CallExpr:
+					if isPopIfCall(p, n) && !counted {
+						p.Reportf(n.Pos(), "PopIf shed is not counted: increment a drop/shed counter in this function")
+					}
+				}
+				return true
+			})
+		})
+	}
+}
+
+// isTryPutCall matches objectstore.Store.TryPut and queue.Queue.TryPut.
+func isTryPutCall(p *Pass, call *ast.CallExpr) bool {
+	f := calleeFunc(p.Info, call)
+	return isMethodOnPkgType(f, "objectstore", "TryPut") ||
+		isMethodOnPkgType(f, "queue", "TryPut")
+}
+
+// isPopIfCall matches queue.Queue.PopIf, the shed-oldest primitive.
+func isPopIfCall(p *Pass, call *ast.CallExpr) bool {
+	return isMethodOnPkgType(calleeFunc(p.Info, call), "queue", "PopIf")
+}
+
+// hasDropCounterAdd reports whether the body contains an .Add(...) call on
+// a selector chain naming a drop or shed counter.
+func hasDropCounterAdd(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		for x := ast.Expr(sel.X); ; {
+			s, ok := x.(*ast.SelectorExpr)
+			if !ok {
+				if id, ok := x.(*ast.Ident); ok && isDropCounterName(id.Name) {
+					found = true
+				}
+				return true
+			}
+			if isDropCounterName(s.Sel.Name) {
+				found = true
+				return true
+			}
+			x = s.X
+		}
+	})
+	return found
+}
+
+// isDropCounterName matches identifiers that name drop-taxonomy counters.
+func isDropCounterName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "drop") || strings.Contains(lower, "shed")
+}
+
+// isBlankIdent reports whether e is the blank identifier.
+func isBlankIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -8,7 +8,7 @@
 //
 // The driver (Load + Run, see driver.go) type-checks every package in the
 // module with go/parser and go/types (no golang.org/x/tools dependency) and
-// runs five project-specific analyzers:
+// runs six project-specific analyzers:
 //
 //   - refbalance: every objectstore.Store.Get/Pin is matched by a Release on
 //     all return paths of the enclosing function, unless the ownership
@@ -25,6 +25,9 @@
 //     faultinject packages — literal or same-package named callee — observes
 //     a stop signal (WaitGroup, done-channel, select, or a blocking call
 //     that errors at shutdown).
+//   - droptaxonomy: refused admissions and sheds stay visible — a TryPut
+//     result is never discarded, and a function shedding via queue PopIf
+//     increments a drop/shed counter.
 //
 // Findings are reported as `file:line: [analyzer] message` and can be
 // suppressed with `//lint:ignore <analyzer> <reason>` on the finding's line
@@ -85,6 +88,7 @@ func Analyzers() []*Analyzer {
 		{Name: "headershare", Doc: "headers are copied per destination, never shared across queue sends or goroutines", Run: runHeadershare},
 		{Name: "atomicmix", Doc: "atomic-bearing structs never copied by value; no mixed atomic/plain field access", Run: runAtomicmix},
 		{Name: "goleak", Doc: "goroutines spawned in broker/fabric/core/faultinject observe a stop signal", Run: runGoleak},
+		{Name: "droptaxonomy", Doc: "TryPut refusals and PopIf sheds are counted in the drop taxonomy", Run: runDroptaxonomy},
 	}
 }
 

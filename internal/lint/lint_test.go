@@ -188,6 +188,10 @@ func TestHeadershareGolden(t *testing.T) { runGolden(t, "headershare") }
 func TestAtomicmixGolden(t *testing.T)   { runGolden(t, "atomicmix") }
 func TestGoleakGolden(t *testing.T)      { runGolden(t, "broker") }
 
+// TestDroptaxonomyGolden: ignored TryPut refusals and uncounted PopIf sheds
+// are findings; bound errors and counted sheds pass.
+func TestDroptaxonomyGolden(t *testing.T) { runGolden(t, "droptaxonomy") }
+
 // TestGoleakFaultinjectGolden: the goleak net extends to the fault-injection
 // package, in both literal and named-callee forms.
 func TestGoleakFaultinjectGolden(t *testing.T) { runGolden(t, "faultinject") }
@@ -243,16 +247,16 @@ func TestFindingsSorted(t *testing.T) {
 	}
 }
 
-// TestKnownAnalyzers: the registry exposes all five analyzers plus the
+// TestKnownAnalyzers: the registry exposes all six analyzers plus the
 // directive pseudo-analyzer.
 func TestKnownAnalyzers(t *testing.T) {
 	known := KnownAnalyzers()
-	for _, name := range []string{"refbalance", "lockhold", "headershare", "atomicmix", "goleak", "directive"} {
+	for _, name := range []string{"refbalance", "lockhold", "headershare", "atomicmix", "goleak", "droptaxonomy", "directive"} {
 		if !known[name] {
 			t.Errorf("KnownAnalyzers() is missing %q", name)
 		}
 	}
-	if len(known) != 6 {
-		t.Errorf("KnownAnalyzers() has %d entries, want 6", len(known))
+	if len(known) != 7 {
+		t.Errorf("KnownAnalyzers() has %d entries, want 7", len(known))
 	}
 }

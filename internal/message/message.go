@@ -43,6 +43,19 @@ func (t Type) String() string {
 	}
 }
 
+// Droppable reports whether messages of this type may be shed under
+// backpressure. The channel recognizes two classes: continuously regenerated
+// traffic — trajectories, dummy benchmark bodies, and periodic statistics —
+// is droppable (off-policy corrections tolerate lost or stale trajectories,
+// and the next telemetry snapshot supersedes a shed one), while weights and
+// control messages are privileged and must always be delivered. Only the
+// privileged class may hold store references past the budget's high
+// watermark, so its volume must stay small — which is exactly why
+// high-frequency telemetry is in the droppable class.
+func (t Type) Droppable() bool {
+	return t == TypeRollout || t == TypeDummy || t == TypeStats
+}
+
 // Header is the metadata that travels through header queues and ID queues.
 // It is intentionally small: queues carry headers, the object store carries
 // bodies.

@@ -72,3 +72,18 @@ func TestTypeString(t *testing.T) {
 		}
 	}
 }
+
+func TestTypeDroppable(t *testing.T) {
+	cases := map[Type]bool{
+		TypeRollout: true,
+		TypeDummy:   true,
+		TypeStats:   true,
+		TypeWeights: false,
+		TypeControl: false,
+	}
+	for typ, want := range cases {
+		if got := typ.Droppable(); got != want {
+			t.Fatalf("%v.Droppable() = %v, want %v", typ, got, want)
+		}
+	}
+}

@@ -66,6 +66,20 @@
 // from the oldest watermark that already covered its sequence number, so an
 // object reported older than the channel's in-flight window is a certain
 // leak, never a false positive.
+//
+// # Byte budget and backpressure
+//
+// A store built with WithBudget is bounded: live bytes are tracked globally
+// (one atomic, off the shard locks) against a byte budget with high/low
+// watermarks. Crossing the high watermark flips the store into backpressure
+// mode (Pressured, Stats.Backpressure); falling back to the low watermark
+// clears it. Put always succeeds — privileged traffic (model updates,
+// control) must never be refused — but TryPut, the admission path for
+// droppable traffic (trajectories), rejects with ErrBudget once the bytes a
+// new body would add cross the high watermark. The band between the high
+// watermark and the budget is therefore reserved headroom for privileged
+// bodies: as long as privileged in-flight bytes stay inside it, the global
+// peak (Stats.PeakLiveBytes) never exceeds the budget.
 package objectstore
 
 import (
@@ -84,6 +98,10 @@ var ErrNotFound = errors.New("objectstore: object not found")
 
 // ErrNotDrained is returned by VerifyDrained when live objects remain.
 var ErrNotDrained = errors.New("objectstore: store not drained")
+
+// ErrBudget is returned by TryPut when admitting the body would push live
+// bytes past the bounded store's high watermark.
+var ErrBudget = errors.New("objectstore: byte budget exhausted")
 
 // ID identifies an object in a store. IDs are unique per store for its
 // lifetime (monotonic, never reused); the low bits select the shard.
@@ -109,9 +127,29 @@ type Stats struct {
 	// IDs — each one is a double release or a release of a never-stored
 	// object, i.e. a refcount-discipline violation.
 	ReleaseErrors int64
+
+	// The remaining fields describe the store-wide byte budget. They are
+	// filled only by the aggregate Stats() snapshot (ShardStats leaves them
+	// zero — budgets are global, not per shard).
+
+	// Budget is the configured byte budget (0 = unbounded).
+	Budget int64
+	// PeakLiveBytes is the true instantaneous high-water mark of global
+	// live bytes, tracked atomically across shards. Unlike PeakBytes (the
+	// sum of per-shard peaks, an upper bound) this is exact, so a bounded
+	// store proves PeakLiveBytes <= Budget.
+	PeakLiveBytes int64
+	// Backpressure reports whether the store is currently above its high
+	// watermark (always false for unbounded stores).
+	Backpressure bool
+	// BackpressureEnters counts transitions into backpressure mode.
+	BackpressureEnters int64
+	// BudgetRejects counts TryPut calls refused with ErrBudget.
+	BudgetRejects int64
 }
 
-// add accumulates o into s field-wise.
+// add accumulates the per-shard fields of o into s field-wise (the budget
+// fields are store-global and not touched here).
 func (s *Stats) add(o Stats) {
 	s.Objects += o.Objects
 	s.Bytes += o.Bytes
@@ -159,8 +197,59 @@ type Store struct {
 	mask   uint64
 	shards []shard
 
+	// Byte-budget accounting, global across shards. budget/highMark/lowMark
+	// are immutable after New; liveBytes and peakLive are maintained off the
+	// shard locks so the budget check never serializes Puts.
+	budget   int64
+	highMark int64
+	lowMark  int64
+
+	liveBytes     atomic.Int64
+	peakLive      atomic.Int64
+	pressured     atomic.Bool
+	bpEnters      atomic.Int64
+	budgetRejects atomic.Int64
+
 	markMu sync.Mutex
 	marks  []watermark
+}
+
+// Option configures a store at construction.
+type Option func(*Store)
+
+// Default watermark fractions of the budget: backpressure engages at the
+// high watermark and clears at the low one (hysteresis, so a store hovering
+// at the boundary doesn't flap).
+const (
+	DefaultHighWatermark = 0.85
+	DefaultLowWatermark  = 0.60
+)
+
+// WithBudget bounds the store to roughly budget live bytes: TryPut rejects
+// droppable admissions at the high watermark, and Pressured/Stats surface
+// backpressure to callers. budget <= 0 keeps the store unbounded.
+func WithBudget(budget int64) Option {
+	return func(s *Store) {
+		if budget <= 0 {
+			return
+		}
+		s.budget = budget
+		s.highMark = int64(float64(budget) * DefaultHighWatermark)
+		s.lowMark = int64(float64(budget) * DefaultLowWatermark)
+	}
+}
+
+// WithWatermarks overrides the backpressure watermarks as fractions of the
+// budget (0 < low <= high <= 1). It only has an effect combined with
+// WithBudget; out-of-range values keep the defaults.
+func WithWatermarks(high, low float64) Option {
+	return func(s *Store) {
+		if s.budget <= 0 || high <= 0 || high > 1 || low <= 0 || low > high {
+			return
+		}
+		s.highMark = int64(float64(s.budget) * high)
+		s.lowMark = int64(float64(s.budget) * low)
+	}
 }
 
 // DefaultShards is the shard count used by New: the smallest power of two
@@ -187,15 +276,16 @@ func ceilPow2(n int) int {
 	return p
 }
 
-// New returns an empty store with DefaultShards shards.
-func New() *Store {
-	return NewSharded(DefaultShards())
+// New returns an empty store with DefaultShards shards. Options (WithBudget,
+// WithWatermarks — budget first) bound the store; none keeps it unbounded.
+func New(opts ...Option) *Store {
+	return NewSharded(DefaultShards(), opts...)
 }
 
 // NewSharded returns an empty store with the given shard count, rounded up
 // to a power of two. nshards <= 1 yields a single-shard store (useful for
 // contention baselines in benchmarks).
-func NewSharded(nshards int) *Store {
+func NewSharded(nshards int, opts ...Option) *Store {
 	n := ceilPow2(nshards)
 	s := &Store{
 		mask:   uint64(n - 1),
@@ -204,8 +294,19 @@ func NewSharded(nshards int) *Store {
 	for i := range s.shards {
 		s.shards[i].objects = make(map[ID]*entry)
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
 	return s
 }
+
+// Budget reports the configured byte budget (0 = unbounded).
+func (s *Store) Budget() int64 { return s.budget }
+
+// Pressured reports whether the store is in backpressure mode: live bytes
+// crossed the high watermark and have not yet fallen back to the low one.
+// Always false for unbounded stores.
+func (s *Store) Pressured() bool { return s.pressured.Load() }
 
 // NumShards reports the store's shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
@@ -218,7 +319,46 @@ func (s *Store) shardFor(id ID) *shard {
 // Put inserts data with an initial reference count of refs (refs < 1 is
 // treated as 1) and returns its ID. The store takes ownership of data; the
 // caller must not mutate it afterwards — this is the zero-copy contract.
+//
+// Put never fails, even on a bounded store past its budget: it is the
+// privileged admission path (model updates, control traffic). Droppable
+// traffic must go through TryPut so the high-watermark band stays reserved
+// for privileged bodies.
 func (s *Store) Put(data []byte, refs int) ID {
+	s.noteLiveAdd(s.liveBytes.Add(int64(len(data))))
+	return s.insert(data, refs)
+}
+
+// TryPut inserts data like Put but respects the byte budget: on a bounded
+// store it rejects with ErrBudget when admitting the body would push live
+// bytes past the high watermark (also flipping the store into backpressure
+// mode so callers can start shedding). On an unbounded store it never fails.
+// This is the admission path for droppable traffic (trajectories).
+func (s *Store) TryPut(data []byte, refs int) (ID, error) {
+	n := int64(len(data))
+	if s.budget <= 0 {
+		s.noteLiveAdd(s.liveBytes.Add(n))
+		return s.insert(data, refs), nil
+	}
+	// Reserve the bytes with a CAS loop so concurrent TryPuts cannot
+	// collectively overshoot the high watermark.
+	for {
+		cur := s.liveBytes.Load()
+		if cur+n > s.highMark {
+			s.budgetRejects.Add(1)
+			s.enterPressure()
+			return 0, fmt.Errorf("tryput %dB at %dB live: %w", n, cur, ErrBudget)
+		}
+		if s.liveBytes.CompareAndSwap(cur, cur+n) {
+			s.noteLiveAdd(cur + n)
+			return s.insert(data, refs), nil
+		}
+	}
+}
+
+// insert performs the shard insertion shared by Put and TryPut. Live-byte
+// accounting has already happened.
+func (s *Store) insert(data []byte, refs int) ID {
 	if refs < 1 {
 		refs = 1
 	}
@@ -238,6 +378,28 @@ func (s *Store) Put(data []byte, refs int) ID {
 	}
 	sh.mu.Unlock()
 	return id
+}
+
+// noteLiveAdd maintains the global live-byte peak and the backpressure flag
+// after live bytes rose to nb.
+func (s *Store) noteLiveAdd(nb int64) {
+	for {
+		p := s.peakLive.Load()
+		if nb <= p || s.peakLive.CompareAndSwap(p, nb) {
+			break
+		}
+	}
+	if s.budget > 0 && nb >= s.highMark {
+		s.enterPressure()
+	}
+}
+
+// enterPressure flips the store into backpressure mode, counting the
+// transition exactly once per episode.
+func (s *Store) enterPressure() {
+	if s.pressured.CompareAndSwap(false, true) {
+		s.bpEnters.Add(1)
+	}
 }
 
 // Get returns the object's bytes without copying. The returned slice is
@@ -301,6 +463,10 @@ func (s *Store) Release(id ID) error {
 	sh.stats.Bytes -= int64(len(e.data))
 	sh.stats.TotalReleased++
 	sh.mu.Unlock()
+	nb := s.liveBytes.Add(-int64(len(e.data)))
+	if s.budget > 0 && nb <= s.lowMark {
+		s.pressured.CompareAndSwap(true, false)
+	}
 	return nil
 }
 
@@ -316,12 +482,18 @@ func (s *Store) Refs(id ID) int {
 	return int(e.refs.Load())
 }
 
-// Stats returns a snapshot of occupancy counters aggregated across shards.
+// Stats returns a snapshot of occupancy counters aggregated across shards,
+// plus the store-global budget fields.
 func (s *Store) Stats() Stats {
 	var out Stats
 	for i := range s.shards {
 		out.add(s.shards[i].snapshot())
 	}
+	out.Budget = s.budget
+	out.PeakLiveBytes = s.peakLive.Load()
+	out.Backpressure = s.pressured.Load()
+	out.BackpressureEnters = s.bpEnters.Load()
+	out.BudgetRejects = s.budgetRejects.Load()
 	return out
 }
 

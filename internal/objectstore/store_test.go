@@ -438,7 +438,17 @@ func TestPropertyShardStatsSumToGlobal(t *testing.T) {
 		for _, st := range s.ShardStats() {
 			sum.add(st)
 		}
-		if got != sum {
+		// The budget fields are store-global: ShardStats leaves them zero,
+		// so clear them on a copy before the field-wise comparison. The
+		// serial workload makes the exact global peak equal the model's.
+		perShard := got
+		perShard.Budget, perShard.PeakLiveBytes = 0, 0
+		perShard.Backpressure = false
+		perShard.BackpressureEnters, perShard.BudgetRejects = 0, 0
+		if perShard != sum {
+			return false
+		}
+		if got.PeakLiveBytes != model.PeakBytes {
 			return false
 		}
 		return got.Objects == model.Objects &&
@@ -482,6 +492,156 @@ func BenchmarkPutGetReleaseParallel(b *testing.B) {
 			}
 		}
 	})
+}
+
+func TestBudgetTryPutRejectsAtHighWatermark(t *testing.T) {
+	// Budget 1000, default watermarks: high 850, low 600.
+	s := New(WithBudget(1000))
+	if s.Budget() != 1000 {
+		t.Fatalf("Budget = %d, want 1000", s.Budget())
+	}
+	a, err := s.TryPut(make([]byte, 800), 1)
+	if err != nil {
+		t.Fatalf("TryPut under watermark: %v", err)
+	}
+	if s.Pressured() {
+		t.Fatal("pressured at 800 live with high watermark 850")
+	}
+	// Crossing the high watermark via Put flips pressure on even without a
+	// reject: privileged admissions are counted too.
+	b := s.Put(make([]byte, 100), 1)
+	if !s.Pressured() {
+		t.Fatal("not pressured at 900 live with high watermark 850")
+	}
+	for _, id := range []ID{a, b} {
+		if err := s.Release(id); err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+	}
+}
+
+func TestBudgetBackpressureLifecycle(t *testing.T) {
+	s := New(WithBudget(1000)) // high 850, low 600
+	a, err := s.TryPut(make([]byte, 500), 1)
+	if err != nil {
+		t.Fatalf("TryPut 500: %v", err)
+	}
+	if s.Pressured() {
+		t.Fatal("pressured at 500/850")
+	}
+	b, err := s.TryPut(make([]byte, 300), 1)
+	if err != nil {
+		t.Fatalf("TryPut 300: %v", err)
+	}
+	if s.Pressured() {
+		t.Fatal("pressured at 800/850")
+	}
+	// 800 + 100 > 850: rejected, and the reject flips backpressure on.
+	if _, err := s.TryPut(make([]byte, 100), 1); !errors.Is(err, ErrBudget) {
+		t.Fatalf("TryPut over watermark = %v, want ErrBudget", err)
+	}
+	if !s.Pressured() {
+		t.Fatal("not pressured after a budget reject")
+	}
+	// Privileged Put still succeeds past the watermark, inside the reserved
+	// headroom band.
+	c := s.Put(make([]byte, 150), 1)
+	st := s.Stats()
+	if st.PeakLiveBytes != 950 {
+		t.Fatalf("PeakLiveBytes = %d, want 950", st.PeakLiveBytes)
+	}
+	if st.PeakLiveBytes > st.Budget {
+		t.Fatalf("PeakLiveBytes %d exceeds budget %d", st.PeakLiveBytes, st.Budget)
+	}
+	if st.BudgetRejects != 1 || st.BackpressureEnters != 1 || !st.Backpressure {
+		t.Fatalf("budget stats = rejects %d enters %d backpressure %v, want 1/1/true",
+			st.BudgetRejects, st.BackpressureEnters, st.Backpressure)
+	}
+	// Dropping to 450 live (<= low watermark 600) clears backpressure.
+	if err := s.Release(a); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if s.Pressured() {
+		t.Fatal("still pressured at 450 live, below the 600 low watermark")
+	}
+	// TryPut admits again once pressure clears.
+	d, err := s.TryPut(make([]byte, 100), 1)
+	if err != nil {
+		t.Fatalf("TryPut after recovery: %v", err)
+	}
+	for _, id := range []ID{b, c, d} {
+		if err := s.Release(id); err != nil {
+			t.Fatalf("Release: %v", err)
+		}
+	}
+	if err := s.VerifyDrained(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.BackpressureEnters != 1 {
+		t.Fatalf("BackpressureEnters = %d, want exactly 1 episode", st.BackpressureEnters)
+	}
+}
+
+func TestBudgetWatermarkOverride(t *testing.T) {
+	s := New(WithBudget(1000), WithWatermarks(0.5, 0.2))
+	if _, err := s.TryPut(make([]byte, 600), 1); !errors.Is(err, ErrBudget) {
+		t.Fatalf("TryPut 600 with high=500 = %v, want ErrBudget", err)
+	}
+	// Invalid fractions keep the defaults.
+	s2 := New(WithBudget(1000), WithWatermarks(2.0, -1))
+	if _, err := s2.TryPut(make([]byte, 600), 1); err != nil {
+		t.Fatalf("TryPut 600 with default high=850: %v", err)
+	}
+}
+
+func TestUnboundedTryPutNeverFails(t *testing.T) {
+	s := New()
+	id, err := s.TryPut(make([]byte, 1<<20), 1)
+	if err != nil {
+		t.Fatalf("TryPut on unbounded store: %v", err)
+	}
+	if s.Pressured() {
+		t.Fatal("unbounded store reports backpressure")
+	}
+	st := s.Stats()
+	if st.Budget != 0 || st.PeakLiveBytes != 1<<20 {
+		t.Fatalf("Stats = Budget %d PeakLiveBytes %d, want 0 / %d", st.Budget, st.PeakLiveBytes, 1<<20)
+	}
+	if err := s.Release(id); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+}
+
+// TestBudgetConcurrentTryPutNeverOvershoots drives many concurrent TryPuts
+// against a tight budget and proves the CAS-reserve admission keeps the
+// exact global peak within budget. Run with -race.
+func TestBudgetConcurrentTryPutNeverOvershoots(t *testing.T) {
+	const budget = 64 * 1024
+	s := New(WithBudget(budget))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id, err := s.TryPut(make([]byte, 1024), 1)
+				if err != nil {
+					continue // shed; nothing to release
+				}
+				if err := s.Release(id); err != nil {
+					t.Errorf("Release: %v", err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.PeakLiveBytes > budget {
+		t.Fatalf("PeakLiveBytes = %d, exceeds budget %d", st.PeakLiveBytes, budget)
+	}
+	if err := s.VerifyDrained(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestVerifyDrained(t *testing.T) {

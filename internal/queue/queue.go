@@ -165,6 +165,26 @@ func (q *Queue[T]) TryGet() (T, error) {
 	return q.popLocked()
 }
 
+// PopIf removes and returns the head item when pred(head) reports true.
+// It never blocks: an empty queue or a false predicate returns the zero
+// value and false. Checking and popping happen under one lock acquisition,
+// so PopIf is the race-free primitive for shed-oldest admission — a broker
+// under backpressure drops the oldest *droppable* header without ever
+// popping a privileged one.
+func (q *Queue[T]) PopIf(pred func(T) bool) (T, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var zero T
+	if q.size() == 0 {
+		return zero, false
+	}
+	if !pred(q.items[q.head]) {
+		return zero, false
+	}
+	item, _ := q.popLocked()
+	return item, true
+}
+
 // GetTimeout behaves like Get but gives up after d, returning ErrTimeout.
 // Only the expiring caller wakes; other blocked consumers sleep on.
 func (q *Queue[T]) GetTimeout(d time.Duration) (T, error) {

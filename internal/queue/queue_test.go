@@ -468,3 +468,50 @@ func TestGetTimeoutRaceWithPut(t *testing.T) {
 		}
 	}
 }
+
+func TestPopIf(t *testing.T) {
+	q := New[int]()
+	if _, ok := q.PopIf(func(int) bool { return true }); ok {
+		t.Fatal("PopIf on empty queue returned ok")
+	}
+	for _, v := range []int{1, 2, 3} {
+		if err := q.Put(v); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Predicate false: head stays put.
+	if _, ok := q.PopIf(func(v int) bool { return v != 1 }); ok {
+		t.Fatal("PopIf popped despite false predicate")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d after refused PopIf, want 3", q.Len())
+	}
+	// Predicate true: pops exactly the head, in FIFO order.
+	v, ok := q.PopIf(func(v int) bool { return v == 1 })
+	if !ok || v != 1 {
+		t.Fatalf("PopIf = (%d, %v), want (1, true)", v, ok)
+	}
+	if got, err := q.Get(); err != nil || got != 2 {
+		t.Fatalf("Get after PopIf = (%d, %v), want (2, nil)", got, err)
+	}
+}
+
+func TestPopIfFreesBoundedCapacity(t *testing.T) {
+	q := NewBounded[int](2)
+	if err := q.TryPut(1); err != nil {
+		t.Fatalf("TryPut: %v", err)
+	}
+	if err := q.TryPut(2); err != nil {
+		t.Fatalf("TryPut: %v", err)
+	}
+	if err := q.TryPut(3); err != ErrFull {
+		t.Fatalf("TryPut on full queue = %v, want ErrFull", err)
+	}
+	if _, ok := q.PopIf(func(int) bool { return true }); !ok {
+		t.Fatal("PopIf on full queue failed")
+	}
+	// Shedding the head made room for the newer item.
+	if err := q.TryPut(3); err != nil {
+		t.Fatalf("TryPut after PopIf: %v", err)
+	}
+}
