@@ -48,6 +48,11 @@ type fileConfig struct {
 	CheckpointEvry int64  `json:"checkpoint_every"`
 	CheckpointKeep int    `json:"checkpoint_keep"`
 	Resume         bool   `json:"resume"`
+
+	WeightDelta      bool    `json:"weight_delta"`
+	WeightQuantBits  int     `json:"weight_quant_bits"`
+	WeightSkipFactor float64 `json:"weight_skip_factor"`
+	WeightTreeFanout int     `json:"weight_tree_fanout"`
 }
 
 func main() {
@@ -76,6 +81,10 @@ func run() int {
 		ckptEvery  = flag.Int64("ckpt-every", 0, "training sessions between checkpoints (0 = default 100)")
 		ckptKeep   = flag.Int("ckpt-keep", 0, "retain the last K rotated checkpoints as <ckpt>.N (0 = single overwritten file)")
 		resume     = flag.Bool("resume", false, "restore the newest readable checkpoint at -ckpt before training")
+		wDelta     = flag.Bool("weight-delta", false, "broadcast sparse weight deltas against each explorer's acked version (dense fallback on staleness or NACK)")
+		wQuant     = flag.Int("weight-quant", 8, "delta quantization bits: 8 = int8 steps, 0 = exact float32 (with -weight-delta)")
+		wSkip      = flag.Float64("weight-skip", 0, "skip broadcasts whose relative delta norm is below this factor of the running EMA (0 = never skip)")
+		wTree      = flag.Int("weight-tree", 0, "relay weight broadcasts wider than this through a depth-2 machine tree (0 = star fan-out)")
 	)
 	flag.Parse()
 
@@ -87,6 +96,8 @@ func run() int {
 		StoreBudget: *storeBdgt, ShedDepth: *shedDepth, Credits: *credits,
 		Checkpoint: *ckptPath, CheckpointEvry: *ckptEvery,
 		CheckpointKeep: *ckptKeep, Resume: *resume,
+		WeightDelta: *wDelta, WeightQuantBits: *wQuant,
+		WeightSkipFactor: *wSkip, WeightTreeFanout: *wTree,
 	}
 	if *configPath != "" {
 		data, err := os.ReadFile(*configPath)
@@ -124,6 +135,10 @@ func run() int {
 		CheckpointEvery:     fc.CheckpointEvry,
 		CheckpointKeep:      fc.CheckpointKeep,
 		Resume:              fc.Resume,
+		WeightDelta:         fc.WeightDelta,
+		WeightQuantBits:     fc.WeightQuantBits,
+		WeightSkipFactor:    fc.WeightSkipFactor,
+		WeightTreeFanout:    fc.WeightTreeFanout,
 	}
 	if *metrics > 0 {
 		cfg.MetricsEvery = *metrics

@@ -12,6 +12,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"sync"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"xingtian/internal/queue"
 	"xingtian/internal/rollout"
 	"xingtian/internal/serialize"
+	"xingtian/internal/weightplane"
 )
 
 // Track names the metric CI compares for a benchmark. Allocation counts are
@@ -88,6 +90,7 @@ func Suite() []Def {
 		Def{Name: "broker/roundtrip/64KB", Track: TrackAllocsPerOp, Run: benchBrokerRoundTrip},
 		Def{Name: "broker/broadcast/fanout8", Track: TrackAllocsPerOp, Run: benchBrokerBroadcast},
 		Def{Name: "broker/backpressure/shed", Track: TrackAllocsPerOp, Run: benchBrokerBackpressureShed},
+		Def{Name: "weights/broadcast", Track: TrackSpeedup, Run: benchWeightsBroadcast},
 		Def{Name: "exp/table1", Track: TrackNsPerOp, Heavy: true, Run: benchExperiment("table1")},
 		Def{Name: "exp/fig4", Track: TrackNsPerOp, Heavy: true, Run: benchExperiment("fig4")},
 	)
@@ -349,6 +352,61 @@ func benchBrokerBroadcast(b *testing.B) {
 			}
 		}
 	}
+}
+
+// benchWeightsBroadcast measures the wire-byte reduction of the delta
+// weight plane: a learner broadcasting to 8 explorers over a simulated
+// training sequence where ~1% of parameters move per version (SGD-like
+// sparsity at broadcast granularity). The reported "speedup" is the ratio
+// of dense-star bytes to delta-plane bytes — a within-run ratio of two
+// serialized sizes, so it is deterministic and machine-independent, and the
+// CI gate catches the delta encoder losing its compactness.
+func benchWeightsBroadcast(b *testing.B) {
+	const (
+		numParams = 100_000
+		numDst    = 8
+		rounds    = 20
+		perRound  = numParams / 100
+	)
+	dsts := make([]string, numDst)
+	for i := range dsts {
+		dsts[i] = fmt.Sprintf("explorer-%d", i)
+	}
+	var ratio float64
+	for iter := 0; iter < b.N; iter++ {
+		rng := rand.New(rand.NewSource(42))
+		cur := make([]float32, numParams)
+		for i := range cur {
+			cur[i] = rng.Float32()*2 - 1
+		}
+		plane := weightplane.New(weightplane.Config{Enabled: true, QuantBits: 8})
+		acked := make(map[string]int64)
+		var denseBytes, deltaBytes int64
+		for v := int64(1); v <= rounds; v++ {
+			if v > 1 {
+				for k := 0; k < perRound; k++ {
+					cur[rng.Intn(numParams)] += (rng.Float32()*2 - 1) * 0.01
+				}
+			}
+			dense, err := serialize.Marshal(&message.WeightsPayload{Version: v, Data: cur})
+			if err != nil {
+				b.Fatal(err)
+			}
+			denseBytes += int64(len(dense)) * numDst
+			for _, o := range plane.Plan(cur, v, dsts, acked) {
+				data, err := serialize.Marshal(o.Body)
+				if err != nil {
+					b.Fatal(err)
+				}
+				deltaBytes += int64(len(data)) * int64(len(o.Dsts))
+			}
+			for _, d := range dsts {
+				acked[d] = v // every explorer acks before the next broadcast
+			}
+		}
+		ratio = float64(denseBytes) / float64(deltaBytes)
+	}
+	b.ReportMetric(ratio, "speedup")
 }
 
 // benchExperiment adapts a registered experiment (quick preset) to a

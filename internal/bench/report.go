@@ -56,6 +56,14 @@ func FromBenchmarkResult(name, track string, r testing.BenchmarkResult) Result {
 	if r.Bytes > 0 && r.T > 0 {
 		res.MBPerS = float64(r.Bytes) * float64(r.N) / 1e6 / r.T.Seconds()
 	}
+	// Custom metrics reported via b.ReportMetric (e.g. a within-run
+	// "speedup" ratio) ride along so speedup-tracked benchmarks can gate.
+	if len(r.Extra) > 0 {
+		res.Extra = make(map[string]float64, len(r.Extra))
+		for k, v := range r.Extra {
+			res.Extra[k] = v
+		}
+	}
 	return res
 }
 

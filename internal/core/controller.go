@@ -13,6 +13,7 @@ import (
 	"xingtian/internal/netsim"
 	"xingtian/internal/serialize"
 	"xingtian/internal/stats"
+	"xingtian/internal/weightplane"
 )
 
 // Transport is the deployment substrate a Session runs over: a set of
@@ -89,6 +90,21 @@ type Config struct {
 	// MaxInflight bounds un-acknowledged rollout fragments per explorer
 	// (0 = DefaultMaxInflight; < 0 disables flow control).
 	MaxInflight int
+	// WeightDelta enables the communication-efficient weight plane: the
+	// learner broadcasts sparse deltas against the version each explorer
+	// last acked, with dense-snapshot fallback for stale or NACKed peers.
+	WeightDelta bool
+	// WeightQuantBits quantizes delta steps (8 = int8; 0 = exact float32).
+	WeightQuantBits int
+	// WeightSkipFactor scales the adaptive skip threshold: updates whose
+	// relative norm falls below WeightSkipFactor × EMA become pure version
+	// bumps (0 disables skipping).
+	WeightSkipFactor float64
+	// WeightTreeFanout relays weight-class broadcasts wider than this
+	// through a depth-2 machine tree instead of a star (0 keeps the star).
+	// Applies only to the default netsim transport; a caller-supplied
+	// Transport configures its own brokers.
+	WeightTreeFanout int
 	// MaxExplorerRestarts is the per-explorer restart budget. 0 keeps the
 	// historical fail-fast semantics: an explorer error surfaces in Err()
 	// and nothing restarts. With a positive budget the session supervises
@@ -216,6 +232,7 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 				Compressor:     comp,
 				StoreBudget:    cfg.StoreBudget,
 				ShedQueueDepth: cfg.ShedQueueDepth,
+				RelayFanout:    cfg.WeightTreeFanout,
 			}
 			if _, err := cluster.AddBrokerCfg(m, bcfg); err != nil {
 				cluster.Stop()
@@ -260,6 +277,11 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 		CheckpointPath:  cfg.CheckpointPath,
 		CheckpointEvery: cfg.CheckpointEvery,
 		CheckpointKeep:  cfg.CheckpointKeep,
+		WeightPlane: weightplane.Config{
+			Enabled:    cfg.WeightDelta,
+			QuantBits:  cfg.WeightQuantBits,
+			SkipFactor: cfg.WeightSkipFactor,
+		},
 	})
 
 	ctrlPort, err := transport.Register(0, ControllerName)

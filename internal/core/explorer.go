@@ -161,6 +161,9 @@ func (e *Explorer) workerLoop() {
 		e.mu.Unlock()
 
 		m := message.New(message.TypeRollout, ExplorerName(e.id), []string{e.learner}, batch)
+		// The header ack: brokers ledger this version per source so the
+		// learner's weight plane knows which base each explorer holds.
+		m.Header.WeightsVersion = batch.WeightsVersion
 		if err := e.sendBuf.Put(m); err != nil {
 			return
 		}
@@ -200,7 +203,7 @@ func (e *Explorer) drainReceived(block bool) bool {
 			if !e.apply(m) {
 				return false
 			}
-			if m.Header.Type == message.TypeWeights {
+			if m.Header.Type.WeightsClass() {
 				break
 			}
 		}
@@ -227,6 +230,30 @@ func (e *Explorer) apply(m *message.Message) bool {
 			e.fail(fmt.Errorf("explorer %d set weights: %w", e.id, err))
 			return false
 		}
+		e.mu.Lock()
+		e.fragmentsSinceWeights = 0
+		e.mu.Unlock()
+	case *message.WeightsDeltaPayload:
+		var err error
+		if da, ok := e.agent.(DeltaAgent); ok {
+			err = da.ApplyWeightsDelta(body)
+		} else {
+			err = fmt.Errorf("agent cannot apply weight deltas")
+		}
+		if err != nil {
+			// NACK: ask the learner for a dense resync and keep sampling on
+			// the current weights. Failing hard here would turn every
+			// restart-induced stale delta into a supervision cycle.
+			nack := message.New(message.TypeControl, ExplorerName(e.id), []string{e.learner},
+				&message.ControlPayload{Kind: message.ControlWeightsResync})
+			if perr := e.sendBuf.Put(nack); perr != nil {
+				return false
+			}
+		}
+		// Any weights-class message is a flow-control credit, even one that
+		// failed to apply — the NACK guarantees a dense follow-up, and
+		// withholding the credit could deadlock an out-of-credit explorer
+		// whose silence stops the learner from ever broadcasting again.
 		e.mu.Lock()
 		e.fragmentsSinceWeights = 0
 		e.mu.Unlock()

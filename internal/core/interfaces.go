@@ -34,6 +34,14 @@ type Agent interface {
 	EpisodeStats() (episodes int64, meanReturn float64)
 }
 
+// DeltaAgent is implemented by agents that can advance their parameters by
+// a sparse/quantized delta against the last broadcast they applied. Agents
+// without it (or a delta whose base the agent no longer holds) trigger a
+// ControlWeightsResync NACK and the learner falls back to a dense snapshot.
+type DeltaAgent interface {
+	ApplyWeightsDelta(d *message.WeightsDeltaPayload) error
+}
+
 // TrainResult describes one completed training session.
 type TrainResult struct {
 	// StepsConsumed is the number of rollout steps used by the session

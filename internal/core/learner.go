@@ -13,6 +13,7 @@ import (
 	"xingtian/internal/message"
 	"xingtian/internal/queue"
 	"xingtian/internal/stats"
+	"xingtian/internal/weightplane"
 )
 
 // Learner is the learner process of Fig. 2(a): the trainer thread consumes
@@ -27,6 +28,7 @@ type Learner struct {
 	recvBuf   *buffer.Buffer
 	explorers []int32
 	maxSteps  int64
+	plane     *weightplane.Planner
 
 	checkpointPath  string
 	checkpointEvery int64
@@ -66,6 +68,9 @@ type LearnerConfig struct {
 	// CheckpointKeep > 0 rotates checkpoints (path.N, last CheckpointKeep
 	// retained) instead of overwriting a single file.
 	CheckpointKeep int
+	// WeightPlane configures delta/quantized weight broadcasting; the zero
+	// value keeps dense star broadcasts.
+	WeightPlane weightplane.Config
 }
 
 // NewLearner builds a learner around an algorithm and a broker port.
@@ -88,6 +93,7 @@ func NewLearner(alg Algorithm, port *broker.Port, cfg LearnerConfig) *Learner {
 		checkpointPath:  cfg.CheckpointPath,
 		checkpointEvery: every,
 		checkpointKeep:  cfg.CheckpointKeep,
+		plane:           weightplane.New(cfg.WeightPlane),
 		WaitHist:        stats.NewHistogram(),
 		TransHist:       stats.NewHistogram(),
 		Series:          stats.NewSeries(bucket),
@@ -242,15 +248,22 @@ func (l *Learner) ingest(m *message.Message) bool {
 		l.alg.PrepareData(body)
 		l.rolloutsSinceBroadcast.Add(1)
 	case *message.ControlPayload:
-		if body.Kind == message.ControlShutdown {
+		switch body.Kind {
+		case message.ControlShutdown:
 			l.stopOne.Do(func() { close(l.stopped) })
 			return false
+		case message.ControlWeightsResync:
+			// Explorer NACK: its next broadcast must be a dense snapshot.
+			l.plane.MarkStale(m.Header.Src)
 		}
 	}
 	return true
 }
 
-// broadcastWeights stages a weights message for the sender thread.
+// broadcastWeights stages weight messages for the sender thread. The weight
+// plane decides the wire form per destination group — dense snapshot,
+// sparse/quantized delta against the base it last sent, or a pure version
+// bump when the update fell below the adaptive skip threshold.
 func (l *Learner) broadcastWeights(targets []int32) {
 	w := l.alg.Weights()
 	dst := make([]string, 0, len(l.explorers))
@@ -266,11 +279,17 @@ func (l *Learner) broadcastWeights(targets []int32) {
 	if len(dst) == 0 {
 		return
 	}
-	m := message.New(message.TypeWeights, LearnerName, dst, w)
-	m.Header.WeightsVersion = w.Version
-	_ = l.sendBuf.Put(m)
+	for _, o := range l.plane.Plan(w.Data, w.Version, dst, l.port.AckedWeights()) {
+		m := message.New(o.Type, LearnerName, o.Dsts, o.Body)
+		m.Header.WeightsVersion = w.Version
+		m.Header.BaseVersion = o.BaseVersion
+		_ = l.sendBuf.Put(m)
+	}
 	l.rolloutsSinceBroadcast.Store(0)
 }
+
+// PlaneStats snapshots the weight plane's planning counters.
+func (l *Learner) PlaneStats() weightplane.Stats { return l.plane.Stats() }
 
 func (l *Learner) fail(err error) {
 	l.mu.Lock()

@@ -128,20 +128,21 @@ type Runner func(s Settings, w io.Writer) error
 // runners.
 func Registry() map[string]Runner {
 	return map[string]Runner{
-		"table1":    RunTable1,
-		"fig4":      RunFig4,
-		"fig5":      RunFig5,
-		"fig6":      RunFig6,
-		"fig7":      RunFig7,
-		"fig8":      RunFig8,
-		"fig9":      RunFig9,
-		"fig10":     RunFig10,
-		"fig11":     RunFig11,
-		"ablations": RunAblations,
+		"table1":      RunTable1,
+		"fig4":        RunFig4,
+		"fig5":        RunFig5,
+		"fig6":        RunFig6,
+		"fig7":        RunFig7,
+		"fig8":        RunFig8,
+		"fig9":        RunFig9,
+		"fig10":       RunFig10,
+		"fig11":       RunFig11,
+		"ablations":   RunAblations,
+		"weightplane": RunWeightPlane,
 	}
 }
 
 // Names returns the registry keys in canonical order.
 func Names() []string {
-	return []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations"}
+	return []string{"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "ablations", "weightplane"}
 }

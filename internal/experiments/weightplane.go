@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"xingtian/internal/core"
+	"xingtian/internal/stats"
+)
+
+// RunWeightPlane measures the communication-efficient weight plane: the
+// same DQN/CartPole deployment run with dense star broadcasts and with
+// sparse int8 deltas over the relay tree. Returns must stay in family while
+// the learner machine's cross-machine egress — dominated by weight
+// broadcasts once rollouts flow inbound — drops.
+func RunWeightPlane(s Settings, w io.Writer) error {
+	s = s.normalized()
+
+	steps := int64(6000)
+	explorers := 4
+	if s.Quick {
+		steps, explorers = 2000, 2
+	}
+	if s.Explorers > 0 {
+		explorers = s.Explorers
+	}
+
+	type outcome struct {
+		rep   *core.Report
+		plane string
+	}
+	run := func(delta bool) (outcome, error) {
+		algF, agF, err := factoriesLight("DQN", "CartPole", explorers)
+		if err != nil {
+			return outcome{}, err
+		}
+		cfg := core.Config{
+			NumExplorers: explorers,
+			RolloutLen:   50,
+			MaxSteps:     steps,
+			MaxDuration:  2 * time.Minute,
+			Machines:     3,
+			Net:          s.Net(),
+		}
+		if delta {
+			cfg.WeightDelta = true
+			cfg.WeightQuantBits = 8
+			cfg.WeightTreeFanout = 1
+		}
+		sess, err := core.NewSession(cfg, algF, agF, 7)
+		if err != nil {
+			return outcome{}, err
+		}
+		sess.Start()
+		sess.Wait()
+		rep := sess.Stop()
+		if err := sess.Err(); err != nil {
+			return outcome{}, err
+		}
+		ps := sess.Learner().PlaneStats()
+		return outcome{
+			rep:   rep,
+			plane: fmt.Sprintf("dense %d / delta %d / skipped %d / resyncs %d", ps.Dense, ps.Delta, ps.Empty, ps.Resyncs),
+		}, nil
+	}
+
+	dense, err := run(false)
+	if err != nil {
+		return fmt.Errorf("weightplane dense: %w", err)
+	}
+	delta, err := run(true)
+	if err != nil {
+		return fmt.Errorf("weightplane delta: %w", err)
+	}
+
+	egress := func(o outcome) int64 {
+		for _, b := range o.rep.Channel.Brokers {
+			if b.MachineID == 0 {
+				return b.BytesForwarded
+			}
+		}
+		return 0
+	}
+	row := func(label string, o outcome) Row {
+		return Row{Label: label, Values: []string{
+			fmt.Sprintf("%d", o.rep.StepsConsumed),
+			fmt.Sprintf("%.1f", o.rep.MeanReturn),
+			stats.FormatBytes(float64(egress(o))),
+			o.plane,
+		}}
+	}
+	t := &Table{
+		Title:   "Weight plane: dense star vs int8 deltas over the relay tree",
+		Columns: []string{"steps", "mean return", "learner egress", "planner decisions"},
+	}
+	t.Rows = append(t.Rows, row("dense", dense), row("delta+tree", delta))
+	if de, dd := egress(dense), egress(delta); dd > 0 {
+		t.Rows = append(t.Rows, Row{Label: "egress ratio", Values: []string{"", "", fmt.Sprintf("%.1fx", float64(de)/float64(dd)), ""}})
+	}
+	t.Notes = append(t.Notes,
+		"same seed and step budget; returns may differ by async scheduling, not by policy quality",
+		"learner egress counts machine-0 cross-machine body bytes: weight broadcasts plus shutdown control",
+	)
+	t.Fprint(w)
+	return nil
+}

@@ -103,6 +103,8 @@ type wireHeader struct {
 	Compressed     bool
 	CreatedNanos   int64
 	WeightsVersion int64
+	BaseVersion    int64
+	RelayHops      uint8
 	Round          int32
 	SrcMachine     int
 }
@@ -467,6 +469,8 @@ func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []b
 		Compressed:     h.Compressed,
 		CreatedNanos:   h.CreatedNanos,
 		WeightsVersion: h.WeightsVersion,
+		BaseVersion:    h.BaseVersion,
+		RelayHops:      h.RelayHops,
 		Round:          h.Round,
 		SrcMachine:     srcMachine,
 	}
@@ -845,6 +849,8 @@ func (n *Node) readLoop(conn net.Conn, p *peerConn) {
 			Compressed:     wh.Compressed,
 			CreatedNanos:   wh.CreatedNanos,
 			WeightsVersion: wh.WeightsVersion,
+			BaseVersion:    wh.BaseVersion,
+			RelayHops:      wh.RelayHops,
 			Round:          wh.Round,
 		}
 		n.framesReceived.Add(1)

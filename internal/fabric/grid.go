@@ -26,6 +26,10 @@ type GridOptions struct {
 	// oldest droppable messages. Both follow broker.Config semantics.
 	StoreBudget    int64
 	ShedQueueDepth int
+	// RelayFanout enables depth-2 broadcast-tree routing for weight-class
+	// traffic on every broker (see broker.Config.RelayFanout); zero keeps
+	// star fan-out.
+	RelayFanout int
 	// CreditWindow enables credit-based flow control on every mesh link
 	// (bytes in flight per peer; zero disables). StallTimeout bounds how
 	// long a Forward waits on credit before the link is torn down (zero
@@ -80,6 +84,7 @@ func NewGrid(n int, opts GridOptions) (*Grid, error) {
 			Locator:        g,
 			StoreBudget:    opts.StoreBudget,
 			ShedQueueDepth: opts.ShedQueueDepth,
+			RelayFanout:    opts.RelayFanout,
 		})
 		node.AttachBroker(b)
 		g.nodes = append(g.nodes, node)

@@ -197,7 +197,12 @@ func Decompress(dst, src []byte) (int, error) {
 		di += litLen
 
 		if si == len(src) {
-			// Final literals-only sequence.
+			// Final literals-only sequence. A valid block decodes to exactly
+			// len(dst) bytes; anything shorter is a truncated stream whose
+			// zero-garbage tail callers trusting BodySize would consume.
+			if di != len(dst) {
+				return 0, fmt.Errorf("block decoded %d of %d bytes: %w", di, len(dst), ErrCorrupt)
+			}
 			return di, nil
 		}
 
@@ -227,6 +232,9 @@ func Decompress(dst, src []byte) (int, error) {
 			dst[di+i] = dst[di-offset+i]
 		}
 		di += matchLen
+	}
+	if di != len(dst) {
+		return 0, fmt.Errorf("block decoded %d of %d bytes: %w", di, len(dst), ErrCorrupt)
 	}
 	return di, nil
 }

@@ -147,6 +147,38 @@ func TestDecompressTruncatedLengthRun(t *testing.T) {
 	}
 }
 
+func TestDecompressShortOutput(t *testing.T) {
+	// A block that decodes to fewer bytes than len(dst) must not silently
+	// succeed and leave a zero-garbage tail.
+	src := []byte("hello world")
+	comp := Compress(nil, src)
+	dst := make([]byte, len(src)+5)
+	if _, err := Decompress(dst, comp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decompress short output = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecompressTruncatedStream(t *testing.T) {
+	// Truncating a valid compressed block must never yield a silent short
+	// decode: every prefix has to fail (corrupt or dst-too-small), because
+	// callers size dst from the framed raw length.
+	src := bytes.Repeat([]byte("the quick brown fox. "), 200)
+	comp := Compress(nil, src)
+	dst := make([]byte, len(src))
+	for cut := 0; cut < len(comp); cut++ {
+		if _, err := Decompress(dst, comp[:cut]); err == nil {
+			t.Fatalf("Decompress of %d/%d-byte prefix succeeded", cut, len(comp))
+		}
+	}
+}
+
+func TestDecompressEmptyBlockNonEmptyDst(t *testing.T) {
+	dst := make([]byte, 4)
+	if _, err := Decompress(dst, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Decompress(4-byte dst, empty src) = %v, want ErrCorrupt", err)
+	}
+}
+
 func TestCompressAppendsToDst(t *testing.T) {
 	prefix := []byte("header:")
 	src := bytes.Repeat([]byte("data"), 100)

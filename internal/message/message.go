@@ -23,6 +23,11 @@ const (
 	TypeStats
 	TypeControl
 	TypeDummy
+	// TypeWeightsDelta carries a sparse/quantized weight update against a
+	// base version the destination already holds. It shares the privileged
+	// class with TypeWeights: deltas chain, so losing one would wedge the
+	// destination until a dense fallback.
+	TypeWeightsDelta
 )
 
 // String returns a human-readable type name.
@@ -38,9 +43,18 @@ func (t Type) String() string {
 		return "control"
 	case TypeDummy:
 		return "dummy"
+	case TypeWeightsDelta:
+		return "weights-delta"
 	default:
 		return "unknown"
 	}
+}
+
+// WeightsClass reports whether messages of this type carry learner weights
+// (dense snapshots or deltas) — the traffic the weight plane plans, the
+// explorer credit window counts as credits, and the broadcast tree relays.
+func (t Type) WeightsClass() bool {
+	return t == TypeWeights || t == TypeWeightsDelta
 }
 
 // Droppable reports whether messages of this type may be shed under
@@ -79,6 +93,14 @@ type Header struct {
 	CreatedNanos int64
 	// WeightsVersion annotates weights messages.
 	WeightsVersion int64
+	// BaseVersion annotates weights-delta messages with the version the
+	// delta applies on top of.
+	BaseVersion int64
+	// RelayHops is the remaining relay budget for tree-routed broadcasts: a
+	// broker receiving a remote-bound destination list forwards it onward
+	// only while RelayHops > 0, decrementing per hop. Zero (the default)
+	// means star routing.
+	RelayHops uint8
 	// Round annotates dummy-benchmark messages with their round index.
 	Round int32
 }
@@ -97,6 +119,44 @@ type Message struct {
 type WeightsPayload struct {
 	Version int64
 	Data    []float32
+}
+
+// WeightsDeltaPayload carries a sparse and optionally int8-quantized update
+// from BaseVersion to Version. The destination must currently hold exactly
+// the reconstructed weights of BaseVersion (the learner's planner tracks
+// what it last sent each destination and keeps the same reconstruction,
+// so both sides apply bit-identical float32 arithmetic).
+//
+// Layouts:
+//   - sparse:    Indices[i] names the parameter changed by the i-th entry.
+//   - dense:     Indices == nil and the entries cover all NumParams slots.
+//   - quantized: Scale > 0 and Q holds int8 steps; delta[i] = Scale*Q[i].
+//   - exact:     Scale == 0 and Values holds raw float32 deltas.
+//   - empty:     no entries at all — a pure version bump for a broadcast
+//     whose delta norm fell below the skip threshold. It still flows as a
+//     privileged message because weights traffic doubles as flow-control
+//     credit for on-policy explorers.
+type WeightsDeltaPayload struct {
+	Version     int64
+	BaseVersion int64
+	// NumParams is the full parameter-vector length, checked on apply.
+	NumParams int32
+	// Scale is the quantization step (maxAbs/127); 0 means unquantized.
+	Scale float32
+	// Indices are sorted parameter indices for sparse layout; nil = dense.
+	Indices []uint32
+	// Q holds quantized deltas when Scale > 0.
+	Q []int8
+	// Values holds exact float32 deltas when Scale == 0.
+	Values []float32
+}
+
+// Entries returns the number of encoded delta entries.
+func (d *WeightsDeltaPayload) Entries() int {
+	if d.Scale > 0 {
+		return len(d.Q)
+	}
+	return len(d.Values)
 }
 
 // StatsPayload carries periodic metrics from workhorse threads to the
@@ -119,6 +179,10 @@ const (
 	ControlShutdown ControlKind = iota + 1
 	ControlStart
 	ControlSetHyperparams
+	// ControlWeightsResync is an explorer→learner NACK: a weights delta
+	// failed to apply (stale base after a restart, corrupt payload), so the
+	// learner must fall back to a dense snapshot for that explorer.
+	ControlWeightsResync
 )
 
 // ControlPayload carries a control command from a controller.

@@ -30,7 +30,6 @@ type Buffer struct {
 	data     []Transition
 	capacity int
 	next     int
-	full     bool
 }
 
 // NewBuffer returns a buffer holding at most capacity transitions.
@@ -47,7 +46,6 @@ func (b *Buffer) Add(t Transition) {
 		b.data = append(b.data, t)
 		return
 	}
-	b.full = true
 	b.data[b.next] = t
 	b.next = (b.next + 1) % b.capacity
 }
@@ -68,15 +66,18 @@ func (b *Buffer) Sample(rng *rand.Rand, n int) ([]Transition, error) {
 }
 
 // PrioritizedBuffer is a proportional prioritized replay buffer
-// (Schaul et al., 2016) backed by a sum tree.
+// (Schaul et al., 2016) backed by a sum tree. The tree is sized to the next
+// power of two for clean indexing, but the live ring is bounded by the
+// requested capacity so the configured memory budget is respected exactly.
 type PrioritizedBuffer struct {
-	capacity int
+	capacity int // requested capacity: bound on the live ring
+	treeCap  int // capacity rounded up to a power of two: tree leaf count
 	alpha    float64
-	tree     []float64 // binary sum tree, size 2*capacity
+	tree     []float64 // binary sum tree of alpha-weighted priorities, size 2*treeCap
+	maxTree  []float64 // binary max tree of raw priorities, size 2*treeCap
 	data     []Transition
 	next     int
 	size     int
-	maxPrio  float64
 }
 
 // NewPrioritizedBuffer returns a prioritized buffer. alpha controls how
@@ -85,29 +86,39 @@ func NewPrioritizedBuffer(capacity int, alpha float64) *PrioritizedBuffer {
 	if capacity <= 0 {
 		capacity = 1
 	}
-	// Round capacity up to a power of two for a clean tree.
 	capPow := 1
 	for capPow < capacity {
 		capPow *= 2
 	}
 	return &PrioritizedBuffer{
-		capacity: capPow,
+		capacity: capacity,
+		treeCap:  capPow,
 		alpha:    alpha,
 		tree:     make([]float64, 2*capPow),
-		data:     make([]Transition, capPow),
-		maxPrio:  1.0,
+		maxTree:  make([]float64, 2*capPow),
+		data:     make([]Transition, capacity),
 	}
 }
 
 // Len returns the number of stored transitions.
 func (p *PrioritizedBuffer) Len() int { return p.size }
 
+// maxPriority returns the largest raw priority currently stored, defaulting
+// to 1 for an empty buffer. Because it reads the max tree rather than a
+// ratcheting high-water mark, it tracks evictions and downward updates.
+func (p *PrioritizedBuffer) maxPriority() float64 {
+	if m := p.maxTree[1]; m > 0 {
+		return m
+	}
+	return 1.0
+}
+
 // Add inserts a transition with the current maximum priority so new
 // experience is sampled at least once.
 func (p *PrioritizedBuffer) Add(t Transition) {
 	idx := p.next
 	p.data[idx] = t
-	p.setPriority(idx, p.maxPrio)
+	p.setPriority(idx, p.maxPriority())
 	p.next = (p.next + 1) % p.capacity
 	if p.size < p.capacity {
 		p.size++
@@ -116,10 +127,14 @@ func (p *PrioritizedBuffer) Add(t Transition) {
 
 func (p *PrioritizedBuffer) setPriority(idx int, prio float64) {
 	weighted := math.Pow(prio, p.alpha)
-	node := idx + p.capacity
+	node := idx + p.treeCap
 	delta := weighted - p.tree[node]
+	p.maxTree[node] = prio
 	for node >= 1 {
 		p.tree[node] += delta
+		if node < p.treeCap {
+			p.maxTree[node] = math.Max(p.maxTree[2*node], p.maxTree[2*node+1])
+		}
 		node /= 2
 	}
 }
@@ -142,7 +157,7 @@ func (p *PrioritizedBuffer) Sample(rng *rand.Rand, n int, beta float64) ([]Trans
 	for i := 0; i < n; i++ {
 		target := rng.Float64() * total
 		node := 1
-		for node < p.capacity {
+		for node < p.treeCap {
 			left := 2 * node
 			if target <= p.tree[left] || p.tree[2*node+1] == 0 {
 				node = left
@@ -151,10 +166,10 @@ func (p *PrioritizedBuffer) Sample(rng *rand.Rand, n int, beta float64) ([]Trans
 				node = 2*node + 1
 			}
 		}
-		idx := node - p.capacity
+		idx := node - p.treeCap
 		if idx >= p.size { // numerical edge: clamp into the live region
 			idx = p.size - 1
-			node = idx + p.capacity
+			node = idx + p.treeCap
 		}
 		indices[i] = idx
 		out[i] = p.data[idx]
@@ -180,17 +195,14 @@ func (p *PrioritizedBuffer) UpdatePriorities(indices []int, priorities []float64
 		return fmt.Errorf("replay: %d indices but %d priorities", len(indices), len(priorities))
 	}
 	for i, idx := range indices {
-		if idx < 0 || idx >= p.capacity {
-			return fmt.Errorf("replay: index %d out of range", idx)
+		if idx < 0 || idx >= p.size {
+			return fmt.Errorf("replay: index %d out of range (live size %d)", idx, p.size)
 		}
 		prio := priorities[i]
 		if prio <= 0 {
 			prio = 1e-6
 		}
 		p.setPriority(idx, prio)
-		if prio > p.maxPrio {
-			p.maxPrio = prio
-		}
 	}
 	return nil
 }

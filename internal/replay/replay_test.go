@@ -158,6 +158,83 @@ func TestPrioritizedUpdateErrors(t *testing.T) {
 	}
 }
 
+// TestPrioritizedCapacityBound: a non-power-of-two capacity must bound the
+// live ring at the requested size, not at the pow-2-rounded tree size.
+func TestPrioritizedCapacityBound(t *testing.T) {
+	p := NewPrioritizedBuffer(1000, 0.6)
+	for i := 0; i < 2500; i++ {
+		p.Add(tr(float32(i)))
+	}
+	if p.Len() != 1000 {
+		t.Fatalf("Len = %d after overflow, want requested capacity 1000", p.Len())
+	}
+	if len(p.data) != 1000 {
+		t.Fatalf("data ring holds %d slots, want 1000", len(p.data))
+	}
+	// Everything sampled must come from the most recent 1000 adds.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		s, _, _, err := p.Sample(rng, 1, 0.4)
+		if err != nil {
+			t.Fatalf("Sample: %v", err)
+		}
+		if s[0].Reward < 1500 {
+			t.Fatalf("sampled evicted transition with reward %v", s[0].Reward)
+		}
+	}
+}
+
+// TestPrioritizedStaleIndexRejected: indices pointing at never-filled slots
+// (>= live size) must be rejected, not give zero-value transitions priority.
+func TestPrioritizedStaleIndexRejected(t *testing.T) {
+	p := NewPrioritizedBuffer(8, 0.6)
+	p.Add(tr(1))
+	p.Add(tr(2))
+	if err := p.UpdatePriorities([]int{2}, []float64{5}); err == nil {
+		t.Fatal("index beyond live size did not error")
+	}
+	if err := p.UpdatePriorities([]int{-1}, []float64{5}); err == nil {
+		t.Fatal("negative index did not error")
+	}
+	if err := p.UpdatePriorities([]int{1}, []float64{5}); err != nil {
+		t.Fatalf("valid index errored: %v", err)
+	}
+}
+
+// TestPrioritizedMaxPrioDoesNotRatchet: after a priority spike is revised
+// back down, new adds must not keep inheriting the stale spike value.
+func TestPrioritizedMaxPrioDoesNotRatchet(t *testing.T) {
+	p := NewPrioritizedBuffer(4, 1.0)
+	for i := 0; i < 4; i++ {
+		p.Add(tr(float32(i)))
+	}
+	if err := p.UpdatePriorities([]int{0}, []float64{1000}); err != nil {
+		t.Fatalf("UpdatePriorities: %v", err)
+	}
+	if got := p.maxPriority(); got != 1000 {
+		t.Fatalf("maxPriority after spike = %v, want 1000", got)
+	}
+	if err := p.UpdatePriorities([]int{0}, []float64{2}); err != nil {
+		t.Fatalf("UpdatePriorities: %v", err)
+	}
+	if got := p.maxPriority(); got > 2.0001 {
+		t.Fatalf("maxPriority ratcheted: %v, want <= 2 after downward revision", got)
+	}
+	// A fresh add now inherits the live maximum, not the stale spike.
+	p.Add(tr(9))
+	_, idxs, _, err := p.Sample(rand.New(rand.NewSource(8)), 64, 0)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	seen := map[int]bool{}
+	for _, ix := range idxs {
+		seen[ix] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("sampling collapsed onto %v; stale maxPrio suspected", seen)
+	}
+}
+
 func TestPrioritizedSampleEmpty(t *testing.T) {
 	p := NewPrioritizedBuffer(4, 0.5)
 	if _, _, _, err := p.Sample(rand.New(rand.NewSource(1)), 1, 0.4); err == nil {
@@ -201,8 +278,8 @@ func TestPropertySumTreeConsistent(t *testing.T) {
 			}
 		}
 		var leafSum float64
-		for i := 0; i < p.capacity; i++ {
-			leafSum += p.tree[p.capacity+i]
+		for i := 0; i < p.treeCap; i++ {
+			leafSum += p.tree[p.treeCap+i]
 		}
 		return math.Abs(leafSum-p.total()) < 1e-6
 	}

@@ -1,0 +1,278 @@
+package serialize
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xingtian/internal/message"
+)
+
+func randVec(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+	return v
+}
+
+// perturb returns base with a fraction of entries nudged, mimicking one
+// optimizer step's worth of parameter movement.
+func perturb(rng *rand.Rand, base []float32, frac, mag float64) []float32 {
+	out := append([]float32(nil), base...)
+	for i := range out {
+		if rng.Float64() < frac {
+			out[i] += float32(rng.NormFloat64() * mag)
+		}
+	}
+	return out
+}
+
+func TestDeltaExactRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	base := randVec(rng, 500)
+	cur := perturb(rng, base, 0.1, 0.01)
+	d, err := EncodeDelta(base, cur, 3, 4, QuantNone)
+	if err != nil {
+		t.Fatalf("EncodeDelta: %v", err)
+	}
+	if d.Version != 4 || d.BaseVersion != 3 || int(d.NumParams) != len(base) {
+		t.Fatalf("delta header = %+v", d)
+	}
+	got, err := ApplyDelta(base, d)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	for i := range cur {
+		// base + (cur-base) in float32: reconstruction must match what the
+		// same arithmetic produces, and for exact deltas that is cur itself
+		// up to one rounding of the subtraction/addition pair.
+		if math.Abs(float64(got[i]-cur[i])) > 1e-6 {
+			t.Fatalf("exact delta mismatch at %d: %v vs %v", i, got[i], cur[i])
+		}
+	}
+}
+
+func TestDeltaQuantizedBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := randVec(rng, 1000)
+	cur := perturb(rng, base, 0.3, 0.05)
+	d, err := EncodeDelta(base, cur, 7, 8, QuantInt8)
+	if err != nil {
+		t.Fatalf("EncodeDelta: %v", err)
+	}
+	got, err := ApplyDelta(base, d)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	// Quantization error is bounded by one step (scale) per parameter.
+	maxErr := float64(d.Scale) * 1.01
+	if d.Scale == 0 {
+		t.Fatal("expected a non-empty quantized delta")
+	}
+	for i := range cur {
+		if math.Abs(float64(got[i]-cur[i])) > maxErr {
+			t.Fatalf("quantized delta error %v at %d exceeds scale %v", got[i]-cur[i], i, d.Scale)
+		}
+	}
+}
+
+func TestDeltaEmptyVersionBump(t *testing.T) {
+	base := []float32{1, 2, 3}
+	d, err := EncodeDelta(base, base, 5, 6, QuantInt8)
+	if err != nil {
+		t.Fatalf("EncodeDelta: %v", err)
+	}
+	if d.Entries() != 0 {
+		t.Fatalf("identical vectors produced %d entries", d.Entries())
+	}
+	got, err := ApplyDelta(base, d)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	for i := range base {
+		if got[i] != base[i] {
+			t.Fatal("empty delta mutated weights")
+		}
+	}
+}
+
+func TestDeltaShapeMismatchRejected(t *testing.T) {
+	if _, err := EncodeDelta([]float32{1}, []float32{1, 2}, 0, 1, QuantInt8); err == nil {
+		t.Fatal("mismatched encode did not error")
+	}
+	d := &message.WeightsDeltaPayload{NumParams: 4}
+	if _, err := ApplyDelta([]float32{1, 2}, d); err == nil {
+		t.Fatal("mismatched apply did not error")
+	}
+	if _, err := EncodeDelta([]float32{1}, []float32{2}, 0, 1, 16); err == nil {
+		t.Fatal("unsupported quantBits did not error")
+	}
+}
+
+func TestDeltaWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range []struct {
+		name  string
+		frac  float64
+		n     int
+		quant int
+	}{
+		{"sparse-int8", 0.05, 2000, QuantInt8},
+		{"dense-int8", 0.95, 300, QuantInt8},
+		{"sparse-exact", 0.05, 2000, QuantNone},
+		{"dense-exact", 0.95, 300, QuantNone},
+		{"empty", 0, 64, QuantInt8},
+	} {
+		base := randVec(rng, tc.n)
+		cur := perturb(rng, base, tc.frac, 0.02)
+		d, err := EncodeDelta(base, cur, 1, 2, tc.quant)
+		if err != nil {
+			t.Fatalf("%s: EncodeDelta: %v", tc.name, err)
+		}
+		raw, err := Marshal(d)
+		if err != nil {
+			t.Fatalf("%s: Marshal: %v", tc.name, err)
+		}
+		back, err := Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("%s: Unmarshal: %v", tc.name, err)
+		}
+		d2, ok := back.(*message.WeightsDeltaPayload)
+		if !ok {
+			t.Fatalf("%s: Unmarshal returned %T", tc.name, back)
+		}
+		// The wire form must reconstruct the identical vector.
+		want, err := ApplyDelta(base, d)
+		if err != nil {
+			t.Fatalf("%s: ApplyDelta(sent): %v", tc.name, err)
+		}
+		got, err := ApplyDelta(base, d2)
+		if err != nil {
+			t.Fatalf("%s: ApplyDelta(received): %v", tc.name, err)
+		}
+		if d2.Version != d.Version || d2.BaseVersion != d.BaseVersion || d2.NumParams != d.NumParams {
+			t.Fatalf("%s: header mismatch: %+v vs %+v", tc.name, d2, d)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s: reconstruction diverges at %d: %v vs %v", tc.name, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestDeltaWireCompactSparse(t *testing.T) {
+	// A 1%-changed int8 delta must encode far smaller than the dense payload.
+	rng := rand.New(rand.NewSource(4))
+	base := randVec(rng, 100_000)
+	cur := perturb(rng, base, 0.01, 0.02)
+	d, err := EncodeDelta(base, cur, 1, 2, QuantInt8)
+	if err != nil {
+		t.Fatalf("EncodeDelta: %v", err)
+	}
+	raw, err := Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	dense, err := Marshal(&message.WeightsPayload{Version: 2, Data: cur})
+	if err != nil {
+		t.Fatalf("Marshal dense: %v", err)
+	}
+	if len(raw)*10 > len(dense) {
+		t.Fatalf("sparse delta %d bytes vs dense %d: want >10x smaller", len(raw), len(dense))
+	}
+}
+
+// TestPropertyDeltaRoundTrip: for arbitrary base/update pairs, encode→
+// marshal→unmarshal→apply equals encode→apply — the wire never changes what
+// a delta does.
+func TestPropertyDeltaRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint16, fracN uint8, quant bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := int(n)%3000 + 1
+		base := randVec(rng, size)
+		cur := perturb(rng, base, float64(fracN%101)/100, 0.05)
+		qb := QuantNone
+		if quant {
+			qb = QuantInt8
+		}
+		d, err := EncodeDelta(base, cur, 10, 11, qb)
+		if err != nil {
+			return false
+		}
+		raw, err := Marshal(d)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(raw)
+		if err != nil {
+			return false
+		}
+		d2 := back.(*message.WeightsDeltaPayload)
+		want, err1 := ApplyDelta(base, d)
+		got, err2 := ApplyDelta(base, d2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRelDeltaNorm(t *testing.T) {
+	base := []float32{3, 4}
+	if got := RelDeltaNorm(base, base); got != 0 {
+		t.Fatalf("norm of identical vectors = %v", got)
+	}
+	cur := []float32{3, 4.5}
+	got := RelDeltaNorm(base, cur)
+	if math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("RelDeltaNorm = %v, want 0.1", got)
+	}
+	if !math.IsInf(RelDeltaNorm(base, []float32{1}), 1) {
+		t.Fatal("mismatched lengths should give +Inf")
+	}
+}
+
+// FuzzDeltaApply: arbitrary bytes through the delta unmarshaller either fail
+// cleanly or produce a payload that applies within bounds — never a panic or
+// an out-of-range write.
+func FuzzDeltaApply(f *testing.F) {
+	rng := rand.New(rand.NewSource(5))
+	base := randVec(rng, 64)
+	cur := perturb(rng, base, 0.3, 0.1)
+	if d, err := EncodeDelta(base, cur, 1, 2, QuantInt8); err == nil {
+		if raw, err := Marshal(d); err == nil {
+			f.Add(raw[1:]) // strip the tag; the fuzz body re-adds it
+		}
+	}
+	if d, err := EncodeDelta(base, cur, 1, 2, QuantNone); err == nil {
+		if raw, err := Marshal(d); err == nil {
+			f.Add(raw[1:])
+		}
+	}
+	f.Add([]byte{6})
+	f.Add(bytes.Repeat([]byte{6, 0xFF}, 20))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		body, err := Unmarshal(append([]byte{6}, raw...))
+		if err != nil {
+			return
+		}
+		d, ok := body.(*message.WeightsDeltaPayload)
+		if !ok {
+			return
+		}
+		vec := make([]float32, int(uint32(d.NumParams))%4096)
+		_, _ = ApplyDelta(vec, d)
+	})
+}

@@ -32,6 +32,7 @@ const (
 	tagStats
 	tagControl
 	tagDummy
+	tagWeightsDelta
 )
 
 // Marshal encodes a message body into a freshly allocated byte slice.
@@ -50,6 +51,8 @@ func MarshalAppend(dst []byte, body any) ([]byte, error) {
 		return appendRollout(dst, b), nil
 	case *message.WeightsPayload:
 		return appendWeights(dst, b), nil
+	case *message.WeightsDeltaPayload:
+		return appendWeightsDelta(dst, b), nil
 	case *message.StatsPayload:
 		return appendStats(dst, b), nil
 	case *message.ControlPayload:
@@ -84,6 +87,14 @@ func SizeHint(body any) int {
 		return 64 + b.SizeBytes()
 	case *message.WeightsPayload:
 		return 16 + 4*len(b.Data)
+	case *message.WeightsDeltaPayload:
+		n := 40
+		if b.Scale > 0 {
+			n += 6 * len(b.Q)
+		} else {
+			n += 9 * len(b.Values)
+		}
+		return n
 	case *message.StatsPayload:
 		return 96 + len(b.Node)
 	case *message.ControlPayload:
@@ -109,6 +120,8 @@ func Unmarshal(data []byte) (any, error) {
 		return unmarshalRollout(data[1:])
 	case tagWeights:
 		return unmarshalWeights(data[1:])
+	case tagWeightsDelta:
+		return unmarshalWeightsDelta(data[1:])
 	case tagStats:
 		return unmarshalStats(data[1:])
 	case tagControl:

@@ -1,0 +1,305 @@
+// Package weightplane plans the learner's weight broadcasts for the
+// communication-efficient weight plane: sparse/quantized deltas against the
+// version each destination already holds, an adaptive skip threshold that
+// turns negligible updates into pure version bumps, and dense-snapshot
+// fallback whenever a destination's state is unknown, stale, or NACKed.
+//
+// Drift control: the planner maintains one canonical reconstruction chain —
+// recon_v = recon_prev + quantize(cur_v − recon_prev) — and aims every
+// message at the canonical vector. Destinations on the previous broadcast
+// version share the quantized chain delta; stragglers on older versions get
+// an exact (unquantized) delta to the same canonical target; dense sends
+// carry the canonical vector itself. Every destination therefore lands on
+// bit-identical float32 weights, so chained deltas never diverge, and the
+// quantization error never accumulates (each step quantizes the distance to
+// the *true* current weights, absorbing the previous step's error).
+package weightplane
+
+import (
+	"sync"
+
+	"xingtian/internal/message"
+	"xingtian/internal/serialize"
+)
+
+// Config tunes the planner. The zero value disables the delta plane
+// entirely (every broadcast is a dense star send).
+type Config struct {
+	// Enabled turns on delta planning.
+	Enabled bool
+	// QuantBits selects delta quantization: 8 for int8 steps, 0 for exact
+	// float32 deltas.
+	QuantBits int
+	// SkipFactor scales the adaptive skip threshold: a broadcast whose
+	// relative delta norm falls below SkipFactor × EMA(recent norms) is
+	// replaced by an empty version bump. 0 disables skipping.
+	SkipFactor float64
+	// StaleGap forces a dense snapshot when a destination's last-acked
+	// version trails the current one by more than this many versions.
+	// 0 means DefaultStaleGap.
+	StaleGap int64
+}
+
+// DefaultStaleGap is the acked-version gap that forces dense fallback.
+const DefaultStaleGap = 64
+
+// emaAlpha is the smoothing factor of the adaptive-threshold EMA.
+const emaAlpha = 0.1
+
+// Outbound is one planned weight message covering a group of destinations
+// that share a base version.
+type Outbound struct {
+	Type message.Type
+	Body any
+	// BaseVersion annotates delta messages (mirrored into the header).
+	BaseVersion int64
+	Dsts        []string
+}
+
+// Stats counts planner decisions.
+type Stats struct {
+	// Dense counts destinations sent a full snapshot.
+	Dense int64
+	// Delta counts destinations sent a non-empty delta.
+	Delta int64
+	// Empty counts destinations sent a pure version bump (skipped update).
+	Empty int64
+	// Resyncs counts NACK-forced dense fallbacks.
+	Resyncs int64
+	// EMANorm is the current adaptive-threshold EMA of relative delta norms.
+	EMANorm float64
+}
+
+// Planner plans weight broadcasts. Safe for concurrent use.
+type Planner struct {
+	cfg Config
+
+	mu        sync.Mutex
+	ring      map[int64][]float32 // canonical reconstructions by version
+	lastSent  map[string]int64    // per-destination version last planned
+	prevAcked map[string]int64    // per-destination high-water acked version
+	stale     map[string]bool     // NACKed or restart-suspected destinations
+	lastVer   int64               // version of the newest ring entry
+	prevChain int64               // base version the newest chain delta applies to
+	emaNorm   float64
+	stats     Stats
+}
+
+// New returns a planner for cfg.
+func New(cfg Config) *Planner {
+	if cfg.StaleGap <= 0 {
+		cfg.StaleGap = DefaultStaleGap
+	}
+	return &Planner{
+		cfg:       cfg,
+		ring:      make(map[int64][]float32),
+		lastSent:  make(map[string]int64),
+		prevAcked: make(map[string]int64),
+		stale:     make(map[string]bool),
+	}
+}
+
+// Enabled reports whether delta planning is on.
+func (p *Planner) Enabled() bool { return p.cfg.Enabled }
+
+// MarkStale records an explorer NACK (ControlWeightsResync): its next
+// broadcast will be a dense snapshot.
+func (p *Planner) MarkStale(dst string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stale[dst] = true
+	p.stats.Resyncs++
+}
+
+// Stats returns a snapshot of planner counters.
+func (p *Planner) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.EMANorm = p.emaNorm
+	return s
+}
+
+// Plan maps a broadcast of cur@version to dsts into grouped messages.
+// acked carries the last weights version observed on each destination's
+// rollouts (may be nil). The returned groups cover every destination
+// exactly once.
+func (p *Planner) Plan(cur []float32, version int64, dsts []string, acked map[string]int64) []Outbound {
+	if len(dsts) == 0 {
+		return nil
+	}
+	if !p.cfg.Enabled {
+		p.mu.Lock()
+		p.stats.Dense += int64(len(dsts))
+		p.mu.Unlock()
+		return []Outbound{{
+			Type: message.TypeWeights,
+			Body: &message.WeightsPayload{Version: version, Data: append([]float32(nil), cur...)},
+			Dsts: dsts,
+		}}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	// Restart detection: an acked version moving backwards means the
+	// destination was rebuilt and lost its mirror.
+	for d, v := range acked {
+		if prev, ok := p.prevAcked[d]; ok && v < prev {
+			p.stale[d] = true
+		}
+		if v > p.prevAcked[d] {
+			p.prevAcked[d] = v
+		}
+	}
+
+	recon, chainDelta, _ := p.advanceChain(cur, version)
+
+	var denseDsts []string
+	deltaByBase := make(map[int64][]string)
+	for _, d := range dsts {
+		base, sentBefore := p.lastSent[d]
+		_, haveBase := p.ring[base]
+		ackedV, haveAck := acked[d]
+		switch {
+		case p.stale[d] || !sentBefore || !haveBase:
+			denseDsts = append(denseDsts, d)
+		case haveAck && version-ackedV > p.cfg.StaleGap:
+			denseDsts = append(denseDsts, d)
+		default:
+			deltaByBase[base] = append(deltaByBase[base], d)
+		}
+	}
+
+	var out []Outbound
+	if len(denseDsts) > 0 {
+		out = append(out, Outbound{
+			Type: message.TypeWeights,
+			Body: &message.WeightsPayload{Version: version, Data: append([]float32(nil), recon...)},
+			Dsts: denseDsts,
+		})
+		p.stats.Dense += int64(len(denseDsts))
+		for _, d := range denseDsts {
+			delete(p.stale, d)
+		}
+	}
+	for base, group := range deltaByBase {
+		var body *message.WeightsDeltaPayload
+		switch {
+		case base == p.prevChainBase(version) && chainDelta != nil:
+			body = chainDelta
+		case base == version:
+			// Warm-up re-broadcast of the current version: pure bump.
+			body = &message.WeightsDeltaPayload{Version: version, BaseVersion: base, NumParams: int32(len(recon))}
+		default:
+			// Straggler base: exact delta onto the canonical target.
+			exact, err := serialize.EncodeDelta(p.ring[base], recon, base, version, serialize.QuantNone)
+			if err != nil {
+				// Shape changed under us — dense is always safe.
+				out = append(out, Outbound{
+					Type: message.TypeWeights,
+					Body: &message.WeightsPayload{Version: version, Data: append([]float32(nil), recon...)},
+					Dsts: group,
+				})
+				p.stats.Dense += int64(len(group))
+				continue
+			}
+			body = exact
+		}
+		if body.Entries() == 0 {
+			p.stats.Empty += int64(len(group))
+		} else {
+			p.stats.Delta += int64(len(group))
+		}
+		out = append(out, Outbound{
+			Type:        message.TypeWeightsDelta,
+			Body:        body,
+			BaseVersion: body.BaseVersion,
+			Dsts:        group,
+		})
+	}
+
+	for _, d := range dsts {
+		p.lastSent[d] = version
+	}
+	p.prune(version)
+	return out
+}
+
+// advanceChain extends the canonical reconstruction chain to version and
+// returns the canonical vector, the chain delta from the previous broadcast
+// version (nil when this is the first broadcast or shapes changed), and
+// whether the adaptive threshold skipped the update.
+func (p *Planner) advanceChain(cur []float32, version int64) (recon []float32, chainDelta *message.WeightsDeltaPayload, skipped bool) {
+	if r, ok := p.ring[version]; ok && p.lastVer == version {
+		// Re-broadcast of an already-planned version (learner warm-up).
+		return r, nil, false
+	}
+	prev, havePrev := p.ring[p.lastVer]
+	if !havePrev || len(prev) != len(cur) {
+		recon = append([]float32(nil), cur...)
+		p.ring[version] = recon
+		p.lastVer = version
+		return recon, nil, false
+	}
+
+	relNorm := serialize.RelDeltaNorm(prev, cur)
+	if p.cfg.SkipFactor > 0 && p.emaNorm > 0 && relNorm < p.cfg.SkipFactor*p.emaNorm {
+		// Below threshold: canonical weights stay put, version advances.
+		recon = prev
+		p.ring[version] = recon
+		chainDelta = &message.WeightsDeltaPayload{
+			Version: version, BaseVersion: p.lastVer, NumParams: int32(len(cur)),
+		}
+		p.prevChain = p.lastVer
+		p.lastVer = version
+		return recon, chainDelta, true
+	}
+	if relNorm > 0 {
+		if p.emaNorm == 0 {
+			p.emaNorm = relNorm
+		} else {
+			p.emaNorm = (1-emaAlpha)*p.emaNorm + emaAlpha*relNorm
+		}
+	}
+
+	d, err := serialize.EncodeDelta(prev, cur, p.lastVer, version, p.cfg.QuantBits)
+	if err != nil {
+		recon = append([]float32(nil), cur...)
+		p.ring[version] = recon
+		p.prevChain = p.lastVer
+		p.lastVer = version
+		return recon, nil, false
+	}
+	recon, err = serialize.ApplyDelta(prev, d)
+	if err != nil {
+		recon = append([]float32(nil), cur...)
+		d = nil
+	}
+	p.ring[version] = recon
+	p.prevChain = p.lastVer
+	p.lastVer = version
+	return recon, d, false
+}
+
+// prevChainBase returns the base version the chain delta for version was
+// encoded against.
+func (p *Planner) prevChainBase(version int64) int64 {
+	if p.lastVer == version {
+		return p.prevChain
+	}
+	return -1
+}
+
+// prune drops ring entries no destination can still need.
+func (p *Planner) prune(version int64) {
+	needed := map[int64]bool{version: true, p.lastVer: true}
+	for _, v := range p.lastSent {
+		needed[v] = true
+	}
+	for v := range p.ring {
+		if !needed[v] {
+			delete(p.ring, v)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package weightplane
+
+import (
+	"math/rand"
+	"testing"
+
+	"xingtian/internal/message"
+	"xingtian/internal/serialize"
+)
+
+// mirror mimics an explorer: dense sets, deltas chain.
+type mirror struct {
+	version int64
+	flat    []float32
+}
+
+func (m *mirror) receive(t *testing.T, o Outbound) {
+	t.Helper()
+	switch b := o.Body.(type) {
+	case *message.WeightsPayload:
+		m.version = b.Version
+		m.flat = append([]float32(nil), b.Data...)
+	case *message.WeightsDeltaPayload:
+		if b.BaseVersion != m.version {
+			t.Fatalf("delta base %d does not match mirror version %d", b.BaseVersion, m.version)
+		}
+		out, err := serialize.ApplyDelta(m.flat, b)
+		if err != nil {
+			t.Fatalf("ApplyDelta: %v", err)
+		}
+		m.flat = out
+		m.version = b.Version
+	default:
+		t.Fatalf("unexpected body %T", o.Body)
+	}
+}
+
+func deliver(t *testing.T, mirrors map[string]*mirror, outs []Outbound) {
+	t.Helper()
+	covered := map[string]bool{}
+	for _, o := range outs {
+		for _, d := range o.Dsts {
+			if covered[d] {
+				t.Fatalf("destination %s covered twice", d)
+			}
+			covered[d] = true
+			mirrors[d].receive(t, o)
+		}
+	}
+}
+
+func step(rng *rand.Rand, w []float32, mag float64) []float32 {
+	out := append([]float32(nil), w...)
+	for i := range out {
+		if rng.Float64() < 0.2 {
+			out[i] += float32(rng.NormFloat64() * mag)
+		}
+	}
+	return out
+}
+
+// TestPlannerChainConvergence: across many broadcasts every mirror tracks
+// the canonical reconstruction bit-exactly, and non-first broadcasts are
+// deltas, not dense.
+func TestPlannerChainConvergence(t *testing.T) {
+	p := New(Config{Enabled: true, QuantBits: serialize.QuantInt8})
+	dsts := []string{"explorer-0", "explorer-1", "explorer-2"}
+	mirrors := map[string]*mirror{}
+	for _, d := range dsts {
+		mirrors[d] = &mirror{}
+	}
+	rng := rand.New(rand.NewSource(1))
+	w := step(rng, make([]float32, 400), 1)
+
+	for v := int64(1); v <= 20; v++ {
+		outs := p.Plan(w, v, dsts, nil)
+		deliver(t, mirrors, outs)
+		if v > 1 {
+			for _, o := range outs {
+				if o.Type != message.TypeWeightsDelta {
+					t.Fatalf("broadcast %d used %v, want delta", v, o.Type)
+				}
+			}
+		}
+		// All mirrors bit-identical, at the current version.
+		ref := mirrors[dsts[0]]
+		if ref.version != v {
+			t.Fatalf("mirror at version %d after broadcast %d", ref.version, v)
+		}
+		for _, d := range dsts[1:] {
+			m := mirrors[d]
+			if m.version != ref.version || len(m.flat) != len(ref.flat) {
+				t.Fatalf("mirror %s diverged in shape/version", d)
+			}
+			for i := range m.flat {
+				if m.flat[i] != ref.flat[i] {
+					t.Fatalf("mirror %s diverged at %d", d, i)
+				}
+			}
+		}
+		w = step(rng, w, 0.02)
+	}
+	s := p.Stats()
+	if s.Delta == 0 || s.Dense != int64(len(dsts)) {
+		t.Fatalf("stats = %+v; want exactly one dense round then deltas", s)
+	}
+}
+
+// TestPlannerStragglerGetsExactDelta: a destination missing from some
+// broadcasts still converges onto the canonical vector via an exact delta.
+func TestPlannerStragglerGetsExactDelta(t *testing.T) {
+	p := New(Config{Enabled: true, QuantBits: serialize.QuantInt8})
+	all := []string{"a", "b"}
+	mirrors := map[string]*mirror{"a": {}, "b": {}}
+	rng := rand.New(rand.NewSource(2))
+	w := step(rng, make([]float32, 200), 1)
+
+	deliver(t, mirrors, p.Plan(w, 1, all, nil))
+	// Broadcasts 2..4 target only "a".
+	for v := int64(2); v <= 4; v++ {
+		w = step(rng, w, 0.02)
+		deliver(t, mirrors, p.Plan(w, v, []string{"a"}, nil))
+	}
+	// Broadcast 5 targets both; "b" is 4 versions behind.
+	w = step(rng, w, 0.02)
+	deliver(t, mirrors, p.Plan(w, 5, all, nil))
+	ma, mb := mirrors["a"], mirrors["b"]
+	if ma.version != 5 || mb.version != 5 {
+		t.Fatalf("versions = %d/%d, want 5/5", ma.version, mb.version)
+	}
+	for i := range ma.flat {
+		if ma.flat[i] != mb.flat[i] {
+			t.Fatalf("straggler diverged at %d: %v vs %v", i, ma.flat[i], mb.flat[i])
+		}
+	}
+}
+
+// TestPlannerSkipEmitsEmptyDelta: negligible updates become version bumps,
+// never silence (weights traffic doubles as credit).
+func TestPlannerSkipEmitsEmptyDelta(t *testing.T) {
+	p := New(Config{Enabled: true, QuantBits: serialize.QuantInt8, SkipFactor: 0.5})
+	dsts := []string{"x"}
+	mirrors := map[string]*mirror{"x": {}}
+	rng := rand.New(rand.NewSource(3))
+	w := step(rng, make([]float32, 300), 1)
+
+	deliver(t, mirrors, p.Plan(w, 1, dsts, nil))
+	// Big moves to establish the EMA.
+	for v := int64(2); v <= 5; v++ {
+		w = step(rng, w, 0.1)
+		deliver(t, mirrors, p.Plan(w, v, dsts, nil))
+	}
+	// A tiny move must be skipped — but still produce a message.
+	w2 := append([]float32(nil), w...)
+	w2[0] += 1e-7
+	outs := p.Plan(w2, 6, dsts, nil)
+	if len(outs) != 1 {
+		t.Fatalf("skip produced %d messages, want 1", len(outs))
+	}
+	d, ok := outs[0].Body.(*message.WeightsDeltaPayload)
+	if !ok || d.Entries() != 0 {
+		t.Fatalf("skip body = %#v, want empty delta", outs[0].Body)
+	}
+	deliver(t, mirrors, outs)
+	if mirrors["x"].version != 6 {
+		t.Fatalf("version after skip = %d, want 6", mirrors["x"].version)
+	}
+	if p.Stats().Empty == 0 {
+		t.Fatal("Empty stat not incremented")
+	}
+}
+
+// TestPlannerNACKForcesDense: MarkStale triggers a dense snapshot on the
+// next broadcast, after which deltas resume.
+func TestPlannerNACKForcesDense(t *testing.T) {
+	p := New(Config{Enabled: true, QuantBits: serialize.QuantInt8})
+	dsts := []string{"x", "y"}
+	mirrors := map[string]*mirror{"x": {}, "y": {}}
+	rng := rand.New(rand.NewSource(4))
+	w := step(rng, make([]float32, 100), 1)
+	deliver(t, mirrors, p.Plan(w, 1, dsts, nil))
+	w = step(rng, w, 0.02)
+	deliver(t, mirrors, p.Plan(w, 2, dsts, nil))
+
+	// "y" restarts: mirror wiped, NACK raised.
+	mirrors["y"] = &mirror{}
+	p.MarkStale("y")
+	w = step(rng, w, 0.02)
+	outs := p.Plan(w, 3, dsts, nil)
+	var yType, xType message.Type
+	for _, o := range outs {
+		for _, d := range o.Dsts {
+			if d == "y" {
+				yType = o.Type
+			} else {
+				xType = o.Type
+			}
+		}
+	}
+	if yType != message.TypeWeights {
+		t.Fatalf("NACKed destination got %v, want dense weights", yType)
+	}
+	if xType != message.TypeWeightsDelta {
+		t.Fatalf("healthy destination got %v, want delta", xType)
+	}
+	deliver(t, mirrors, outs)
+	// Next round both take deltas again and agree.
+	w = step(rng, w, 0.02)
+	deliver(t, mirrors, p.Plan(w, 4, dsts, nil))
+	for i := range mirrors["x"].flat {
+		if mirrors["x"].flat[i] != mirrors["y"].flat[i] {
+			t.Fatalf("post-resync divergence at %d", i)
+		}
+	}
+	if p.Stats().Resyncs != 1 {
+		t.Fatalf("Resyncs = %d, want 1", p.Stats().Resyncs)
+	}
+}
+
+// TestPlannerAckRegressionForcesDense: a destination whose acked version
+// moves backwards (silent restart) is re-seeded densely without a NACK.
+func TestPlannerAckRegressionForcesDense(t *testing.T) {
+	p := New(Config{Enabled: true, QuantBits: serialize.QuantInt8})
+	dsts := []string{"x"}
+	mirrors := map[string]*mirror{"x": {}}
+	rng := rand.New(rand.NewSource(5))
+	w := step(rng, make([]float32, 100), 1)
+	deliver(t, mirrors, p.Plan(w, 1, dsts, map[string]int64{"x": 0}))
+	w = step(rng, w, 0.02)
+	deliver(t, mirrors, p.Plan(w, 2, dsts, map[string]int64{"x": 1}))
+	// Ack regresses 1 → 0: restart suspected.
+	mirrors["x"] = &mirror{}
+	w = step(rng, w, 0.02)
+	outs := p.Plan(w, 3, dsts, map[string]int64{"x": 0})
+	if len(outs) != 1 || outs[0].Type != message.TypeWeights {
+		t.Fatalf("ack regression produced %+v, want dense", outs)
+	}
+	deliver(t, mirrors, outs)
+}
+
+// TestPlannerStaleGapForcesDense: an ack trailing beyond StaleGap forces a
+// dense snapshot.
+func TestPlannerStaleGapForcesDense(t *testing.T) {
+	p := New(Config{Enabled: true, QuantBits: serialize.QuantInt8, StaleGap: 2})
+	dsts := []string{"x"}
+	mirrors := map[string]*mirror{"x": {}}
+	rng := rand.New(rand.NewSource(6))
+	w := step(rng, make([]float32, 100), 1)
+	deliver(t, mirrors, p.Plan(w, 1, dsts, nil))
+	for v := int64(2); v <= 5; v++ {
+		w = step(rng, w, 0.02)
+		outs := p.Plan(w, v, dsts, map[string]int64{"x": 1})
+		deliver(t, mirrors, outs)
+		if v >= 4 { // gap v-1 > 2
+			if outs[0].Type != message.TypeWeights {
+				t.Fatalf("broadcast %d with stale ack got %v, want dense", v, outs[0].Type)
+			}
+		}
+	}
+}
+
+// TestPlannerDisabledIsDenseStar: with the plane off, every broadcast is one
+// dense message to all destinations.
+func TestPlannerDisabledIsDenseStar(t *testing.T) {
+	p := New(Config{})
+	outs := p.Plan([]float32{1, 2}, 7, []string{"a", "b"}, nil)
+	if len(outs) != 1 || outs[0].Type != message.TypeWeights || len(outs[0].Dsts) != 2 {
+		t.Fatalf("disabled planner produced %+v", outs)
+	}
+}
