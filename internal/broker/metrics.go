@@ -340,6 +340,9 @@ type WireMetrics struct {
 	// AcksSent / AcksReceived count credit-replenishing ack frames.
 	AcksSent     int64
 	AcksReceived int64
+	// DroppedInject counts frames discarded by fault injection (test rigs
+	// only; always zero in production).
+	DroppedInject int64
 	// StalledPeers is a gauge: peers currently blocked on credit.
 	StalledPeers int
 }
@@ -394,6 +397,9 @@ func (w WireMetrics) String() string {
 	s := fmt.Sprintf("wire[m%d] frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d reconnects=%d redialFail=%d retried=%d droppedRetry=%d",
 		w.MachineID, w.FramesSent, w.FramesReceived, w.BytesSent, w.BytesReceived,
 		w.CorruptStreams, w.Reconnects, w.RedialFailures, w.RetriedFrames, w.DroppedRetry)
+	if w.DroppedInject > 0 {
+		s += fmt.Sprintf(" droppedInject=%d", w.DroppedInject)
+	}
 	if w.AcksSent > 0 || w.AcksReceived > 0 || w.CreditStalls > 0 || w.StallTimeouts > 0 {
 		s += fmt.Sprintf(" credits: stalls=%d stallTimeouts=%d acksSent=%d acksRecv=%d stalledPeers=%d",
 			w.CreditStalls, w.StallTimeouts, w.AcksSent, w.AcksReceived, w.StalledPeers)

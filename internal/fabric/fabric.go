@@ -236,6 +236,7 @@ func (m Metrics) Wire(machineID int) broker.WireMetrics {
 		StallTimeouts:  m.StallTimeouts,
 		AcksSent:       m.AcksSent,
 		AcksReceived:   m.AcksReceived,
+		DroppedInject:  m.DroppedInject,
 		StalledPeers:   m.StalledPeers,
 	}
 }

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SuiteVersion identifies the analyzer suite in cache keys and the JSON
+// report. Bump it whenever analyzer behaviour changes: every old cache entry
+// becomes an unreachable key and the module is re-analyzed from scratch.
+const SuiteVersion = "xt-lint/v1"
+
+// Cache persists one PkgFacts JSON file per package, keyed by everything
+// that can change the package's analysis result:
+//
+//   - the suite version (analyzer changes invalidate everything),
+//   - the package's own source files (content, not mtime),
+//   - the export data of its transitive dependencies — a dependency's API
+//     surface, which is also what the type-checker itself consumes, and
+//     which changes with the toolchain version.
+//
+// The key deliberately does NOT include other packages' sources beyond their
+// export data: a body-only edit in a dependency re-analyzes that package but
+// not its importers, which is what keeps CI lint time flat as the module
+// grows. Cross-package correctness is preserved because the module analyzers
+// run over the merged PkgFacts every time — only parsing, type-checking, and
+// fact collection are skipped.
+type Cache struct {
+	dir string
+	// fileHash memoizes export-data content hashes: the stdlib's export
+	// files are dependencies of nearly every package, so each is read once
+	// per run, not once per package.
+	fileHash map[string]string
+}
+
+// NewCache opens (creating on first store) a cache rooted at dir.
+func NewCache(dir string) *Cache {
+	return &Cache{dir: dir, fileHash: make(map[string]string)}
+}
+
+// DefaultCacheDir is the per-user cache location used when no -cache flag is
+// given: <os user cache dir>/xt-lint.
+func DefaultCacheDir() (string, error) {
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", err
+	}
+	return filepath.Join(base, "xt-lint"), nil
+}
+
+// key computes the cache key for one package, or "" when the package is not
+// cacheable (unreadable sources or export data — analyzed fresh, never
+// stored).
+func (c *Cache) key(t listPackage, exports map[string]string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\n%s\n", SuiteVersion, t.ImportPath)
+	for _, name := range t.GoFiles {
+		data, err := os.ReadFile(filepath.Join(t.Dir, name))
+		if err != nil {
+			return ""
+		}
+		fmt.Fprintf(h, "src %s %x\n", name, sha256.Sum256(data))
+	}
+	deps := append([]string(nil), t.Deps...)
+	sort.Strings(deps)
+	for _, dep := range deps {
+		exp, ok := exports[dep]
+		if !ok {
+			continue // source-only dep (another target): its key covers it
+		}
+		fh := c.hashFile(exp)
+		if fh == "" {
+			return ""
+		}
+		fmt.Fprintf(h, "dep %s %s\n", dep, fh)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashFile returns the memoized content hash of one export-data file, or ""
+// when unreadable.
+func (c *Cache) hashFile(path string) string {
+	if h, ok := c.fileHash[path]; ok {
+		return h
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		c.fileHash[path] = ""
+		return ""
+	}
+	defer f.Close()
+	hash := sha256.New()
+	if _, err := io.Copy(hash, f); err != nil {
+		c.fileHash[path] = ""
+		return ""
+	}
+	h := hex.EncodeToString(hash.Sum(nil))
+	c.fileHash[path] = h
+	return h
+}
+
+// lookup restores the facts stored under key, if any. A corrupt or
+// unreadable entry is a miss, never an error: the package is simply
+// re-analyzed.
+func (c *Cache) lookup(key string) (*PkgFacts, bool) {
+	data, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		return nil, false
+	}
+	var f PkgFacts
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, false
+	}
+	return &f, true
+}
+
+// store writes facts under key atomically (temp file + rename) so a crashed
+// run never leaves a truncated entry behind. Store failures are swallowed:
+// the cache is an accelerator, not a correctness dependency.
+func (c *Cache) store(key string, f *PkgFacts) {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, "entry-*.tmp")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.entryPath(key)); err != nil {
+		os.Remove(name)
+	}
+}
+
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

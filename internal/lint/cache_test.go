@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// writeScratchModule lays down a two-package module: package a carries a
+// lockhold violation plus a suppressed one (testing finding replay and
+// suppression survival through the cache), and holds a.S.mu across a call
+// into package b (a benign cross-package lock edge feeding the module
+// analyzers). b/cycle.go exists only to be edited by the invalidation leg.
+func writeScratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratchlint\n\ngo 1.22\n")
+	write("a/a.go", `package a
+
+import (
+	"sync"
+	"time"
+
+	"scratchlint/b"
+)
+
+type S struct{ mu sync.Mutex }
+
+func (s *S) Bad() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+
+func (s *S) Quiet() {
+	s.mu.Lock()
+	//lint:ignore lockhold deliberate for the cache round-trip test
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+
+func (s *S) WithLock(u *b.T) {
+	s.mu.Lock()
+	b.LockT(u)
+	s.mu.Unlock()
+}
+
+func LockS(s *S) {
+	s.mu.Lock()
+	s.mu.Unlock()
+}
+`)
+	write("b/b.go", `package b
+
+import "sync"
+
+type T struct{ mu sync.Mutex }
+
+func LockT(u *T) {
+	u.mu.Lock()
+	u.mu.Unlock()
+}
+`)
+	write("b/cycle.go", `package b
+
+// This file exists so the invalidation leg of the cache test can append a
+// comment: b's key must change while a's sources (and b's API surface, and
+// therefore its export data) stay the same.
+`)
+	return dir
+}
+
+// runStats runs LoadModule+Run against dir with the given cache and returns
+// the findings (as analyzer+message strings, sorted) and load stats.
+func runWithCache(t *testing.T, dir string, cache *Cache) ([]string, *LoadStats) {
+	t.Helper()
+	mod, stats, err := LoadModule(dir, []string{"./..."}, cache)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	findings := mod.Run()
+	var got []string
+	for _, f := range findings {
+		got = append(got, "["+f.Analyzer+"] "+f.Message)
+	}
+	sort.Strings(got)
+	return got, stats
+}
+
+// TestCacheRoundTrip: a cold run misses every package; a warm run hits every
+// package, replays the per-package findings (suppressions intact), and the
+// module analyzers still see the cross-package facts. Invalidating one
+// package re-analyzes only it.
+func TestCacheRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-tool integration test in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+
+	dir := writeScratchModule(t)
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+
+	cold, coldStats := runWithCache(t, dir, NewCache(cacheDir))
+	if coldStats.CacheHits != 0 || coldStats.CacheMisses != coldStats.Packages {
+		t.Errorf("cold run: hits=%d misses=%d packages=%d, want all misses",
+			coldStats.CacheHits, coldStats.CacheMisses, coldStats.Packages)
+	}
+	if len(cold) != 1 {
+		t.Fatalf("cold run findings = %v, want exactly the lockhold finding", cold)
+	}
+	if want := "[lockhold] blocking time.Sleep while holding s.mu (locked at line 13)"; cold[0] != want {
+		t.Errorf("cold finding = %q, want %q", cold[0], want)
+	}
+
+	warm, warmStats := runWithCache(t, dir, NewCache(cacheDir))
+	if warmStats.CacheMisses != 0 || warmStats.CacheHits != warmStats.Packages {
+		t.Errorf("warm run: hits=%d misses=%d packages=%d, want all hits",
+			warmStats.CacheHits, warmStats.CacheMisses, warmStats.Packages)
+	}
+	if len(warm) != len(cold) || warm[0] != cold[0] {
+		t.Errorf("warm findings %v != cold findings %v", warm, cold)
+	}
+
+	// Touch the leaf package a (nothing imports it): only a's key changes,
+	// so the third run re-analyzes exactly one package and serves b from the
+	// cache. (Editing b instead would also invalidate a: gc export data
+	// embeds source positions, so even a comment edit ripples to importers —
+	// conservative in the safe direction.)
+	aPath := filepath.Join(dir, "a", "a.go")
+	data, err := os.ReadFile(aPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(aPath, append(data, []byte("\n// invalidate\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	third, thirdStats := runWithCache(t, dir, NewCache(cacheDir))
+	if thirdStats.CacheMisses != 1 || thirdStats.CacheHits != thirdStats.Packages-1 {
+		t.Errorf("leaf edit: hits=%d misses=%d packages=%d, want exactly one miss",
+			thirdStats.CacheHits, thirdStats.CacheMisses, thirdStats.Packages)
+	}
+	if len(third) != len(cold) || third[0] != cold[0] {
+		t.Errorf("post-edit findings %v != cold findings %v", third, cold)
+	}
+}
+
+// TestCacheModuleAnalysisFromFacts: a module-wide lock-order cycle seeded in
+// one package keeps being reported when every package is restored from the
+// cache — the module analyzers run over PkgFacts, fresh or not.
+func TestCacheModuleAnalysisFromFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-tool integration test in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratchcycle\n\ngo 1.22\n")
+	write("a.go", `package a
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+func ab(x *A, y *B) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+func ba(x *A, y *B) {
+	y.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	y.mu.Unlock()
+}
+`)
+
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	countCycles := func(findings []string) int {
+		n := 0
+		for _, f := range findings {
+			if len(f) > 11 && f[:11] == "[lockorder]" {
+				n++
+			}
+		}
+		return n
+	}
+
+	cold, _ := runWithCache(t, dir, NewCache(cacheDir))
+	if countCycles(cold) != 2 {
+		t.Fatalf("cold run lockorder findings = %v, want the two cycle edges", cold)
+	}
+	warm, warmStats := runWithCache(t, dir, NewCache(cacheDir))
+	if warmStats.CacheHits != warmStats.Packages {
+		t.Fatalf("warm run not fully cached: %+v", warmStats)
+	}
+	if countCycles(warm) != 2 {
+		t.Errorf("warm run lost the cycle: findings = %v", warm)
+	}
+}

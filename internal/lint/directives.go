@@ -125,10 +125,17 @@ func suppress(findings []Finding, directives []directive) []Finding {
 // ownsMarked reports whether a //lint:owns directive falls inside [lo, hi]
 // (a function body or declaration span, doc comment included).
 func ownsMarked(p *Pass, lo, hi token.Pos) bool {
-	for _, d := range p.directives {
+	return ownsDirectiveIn(p, lo, hi) != nil
+}
+
+// ownsDirectiveIn returns the first //lint:owns directive inside [lo, hi],
+// or nil.
+func ownsDirectiveIn(p *Pass, lo, hi token.Pos) *directive {
+	for i := range p.directives {
+		d := &p.directives[i]
 		if d.verb == "owns" && d.pos >= lo && d.pos <= hi {
-			return true
+			return d
 		}
 	}
-	return false
+	return nil
 }

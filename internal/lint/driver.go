@@ -26,6 +26,7 @@ type listPackage struct {
 	Standard   bool
 	DepOnly    bool
 	Export     string
+	Deps       []string
 	Module     *struct {
 		Path string
 		Main bool
@@ -42,40 +43,36 @@ type listPackage struct {
 // package metadata plus export-data files, go/parser and go/types do the
 // rest.
 func Load(dir string, patterns []string) ([]*Pass, error) {
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = dir
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
+	m, _, err := LoadModule(dir, patterns, nil)
 	if err != nil {
-		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+		return nil, err
 	}
+	return m.Passes, nil
+}
 
-	exports := make(map[string]string)
-	var targets []listPackage
-	dec := json.NewDecoder(bytes.NewReader(out))
-	for {
-		var p listPackage
-		if err := dec.Decode(&p); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("decode go list output: %w", err)
-		}
-		if p.Error != nil {
-			return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
-		}
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
-		}
-		if p.Module != nil && !p.Standard && !p.DepOnly {
-			targets = append(targets, p)
-		}
+// LoadStats summarizes one LoadModule resolution for the JSON report.
+type LoadStats struct {
+	// Packages is the number of module packages matched by the patterns.
+	Packages int `json:"packages"`
+	// CacheHits counts packages restored from the summary cache without
+	// parsing or type-checking.
+	CacheHits int `json:"cache_hits"`
+	// CacheMisses counts packages analyzed fresh (cache disabled counts
+	// everything here).
+	CacheMisses int `json:"cache_misses"`
+}
+
+// LoadModule resolves patterns like Load but returns a ready-to-Run Module.
+// With a non-nil cache, packages whose key (suite version + own sources +
+// dependency export data) hits a stored entry are restored as PkgFacts —
+// their per-package findings replay verbatim and their summaries still feed
+// the module analyzers — and only the rest are parsed and type-checked.
+// Fresh results are written back to the cache by Module.Run.
+func LoadModule(dir string, patterns []string, cache *Cache) (*Module, *LoadStats, error) {
+	targets, exports, err := listTargets(dir, patterns)
+	if err != nil {
+		return nil, nil, err
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
 
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
@@ -86,15 +83,81 @@ func Load(dir string, patterns []string) ([]*Pass, error) {
 		return os.Open(file)
 	})
 
+	stats := &LoadStats{}
 	var passes []*Pass
+	var restored []*PkgFacts
+	keyOf := make(map[*Pass]string)
 	for _, t := range targets {
+		stats.Packages++
+		key := ""
+		if cache != nil {
+			key = cache.key(t, exports)
+		}
+		if key != "" {
+			if f, ok := cache.lookup(key); ok && f.ImportPath == t.ImportPath {
+				restored = append(restored, f)
+				stats.CacheHits++
+				continue
+			}
+		}
+		stats.CacheMisses++
 		pass, err := checkPackage(fset, imp, t)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		passes = append(passes, pass)
+		if key != "" {
+			keyOf[pass] = key
+		}
 	}
-	return passes, nil
+
+	m := NewModule(passes)
+	for _, f := range restored {
+		m.AddFacts(f)
+	}
+	m.cache, m.cacheKeys = cache, keyOf
+	return m, stats, nil
+}
+
+// listTargets runs `go list -deps -export -json`, returning the module
+// packages to analyze (sorted by import path) and the export-data file of
+// every resolved package.
+func listTargets(dir string, patterns []string) ([]listPackage, map[string]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("decode go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && !p.Standard && !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	return targets, exports, nil
 }
 
 // checkPackage parses and type-checks one module package from source.
@@ -132,12 +195,9 @@ func NewInfo() *types.Info {
 	}
 }
 
-// Run executes the analyzer suite over every pass and returns all surviving
-// findings in deterministic order.
+// Run executes the analyzer suite over every pass as one module — summaries
+// and the module analyzers see all packages together — and returns all
+// surviving findings in deterministic order.
 func Run(passes []*Pass) []Finding {
-	var all []Finding
-	for _, p := range passes {
-		all = append(all, p.RunAnalyzers()...)
-	}
-	return all
+	return NewModule(passes).Run()
 }

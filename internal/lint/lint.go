@@ -8,7 +8,7 @@
 //
 // The driver (Load + Run, see driver.go) type-checks every package in the
 // module with go/parser and go/types (no golang.org/x/tools dependency) and
-// runs six project-specific analyzers:
+// runs nine project-specific analyzers. Six are per-package:
 //
 //   - refbalance: every objectstore.Store.Get/Pin is matched by a Release on
 //     all return paths of the enclosing function, unless the ownership
@@ -29,6 +29,24 @@
 //     result is never discarded, and a function shedding via queue PopIf
 //     increments a drop/shed counter.
 //
+// Three work module-wide over per-function summaries (module.go,
+// summary.go), so they see through package boundaries and survive the
+// summary cache (cache.go):
+//
+//   - refbalance (interprocedural part): a Get whose reference is released
+//     by a callee — possibly in another package — is balanced without a
+//     //lint:owns escape, and a //lint:owns on a provably balanced function
+//     is itself a finding (stale escape).
+//   - lockorder: the module-wide lock-acquisition graph (broker mutexes,
+//     store shard locks, fabric peer locks, queue internals) is acyclic;
+//     cycles are potential deadlocks. DESIGN.md §5c codifies the order.
+//   - typeswitch: every switch over message.Type is exhaustive or carries a
+//     deliberate default — adding a message class cannot silently bypass
+//     Droppable()/weights-class routing.
+//   - metricdrift: every Drops-taxonomy field is summed in Total() and
+//     written somewhere; every broker/fabric atomic counter is incremented
+//     and surfaced; metrics conversions don't silently drop counters.
+//
 // Findings are reported as `file:line: [analyzer] message` and can be
 // suppressed with `//lint:ignore <analyzer> <reason>` on the finding's line
 // or the line above it. A malformed suppression (unknown analyzer, missing
@@ -45,18 +63,18 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 )
 
-// Finding is one analyzer report.
+// Finding is one analyzer report. The shape is JSON-stable: it appears in
+// the -json report, in baseline files, and in cached PkgFacts.
 type Finding struct {
 	// Pos locates the finding.
-	Pos token.Position
+	Pos token.Position `json:"pos"`
 	// Analyzer is the name of the analyzer that produced the finding (or
 	// "directive" for malformed //lint: comments).
-	Analyzer string
+	Analyzer string `json:"analyzer"`
 	// Message describes the violation.
-	Message string
+	Message string `json:"message"`
 }
 
 // String renders the finding in the canonical `file:line: [analyzer] message`
@@ -65,7 +83,9 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
 }
 
-// Analyzer is one executable invariant check.
+// Analyzer is one executable invariant check. At least one of Run and
+// RunModule is set; metricdrift sets both (its snapshot-parity rule is
+// package-local, its counter-rot rules need the module view).
 type Analyzer struct {
 	// Name is the analyzer's identifier, used in reports and //lint:ignore
 	// directives.
@@ -74,6 +94,9 @@ type Analyzer struct {
 	Doc string
 	// Run reports findings for one type-checked package.
 	Run func(*Pass)
+	// RunModule reports findings over the merged facts of all packages,
+	// fresh or cache-restored.
+	RunModule func(*Module)
 }
 
 // DirectiveAnalyzer is the pseudo-analyzer name under which malformed
@@ -89,6 +112,9 @@ func Analyzers() []*Analyzer {
 		{Name: "atomicmix", Doc: "atomic-bearing structs never copied by value; no mixed atomic/plain field access", Run: runAtomicmix},
 		{Name: "goleak", Doc: "goroutines spawned in broker/fabric/core/faultinject observe a stop signal", Run: runGoleak},
 		{Name: "droptaxonomy", Doc: "TryPut refusals and PopIf sheds are counted in the drop taxonomy", Run: runDroptaxonomy},
+		{Name: "lockorder", Doc: "the module-wide lock-acquisition graph is acyclic (no potential deadlocks)", RunModule: runLockorder},
+		{Name: "typeswitch", Doc: "every switch over message.Type is exhaustive or has a deliberate default", Run: runTypeswitch},
+		{Name: "metricdrift", Doc: "taxonomy and metrics counters are fed, aggregated, and surfaced — nowhere rotten", Run: runMetricdriftPkg, RunModule: runMetricdrift},
 	}
 }
 
@@ -115,6 +141,16 @@ type Pass struct {
 	// directives are the parsed //lint: comments of Files.
 	directives []directive
 
+	// mod is the module run this pass belongs to; analyzers reach the
+	// cross-package summaries through it.
+	mod *Module
+	// facts are the pass's collected serializable facts (summaries, metric
+	// decls/uses) — the module analyzers' input and the cache's payload.
+	facts *PkgFacts
+	// final holds the pass's surviving per-package findings after
+	// suppression, for cache write-back.
+	final []Finding
+
 	findings []Finding
 	current  string // name of the analyzer currently running
 }
@@ -134,26 +170,10 @@ func (p *Pass) reportAs(analyzer string, pos token.Pos, format string, args ...a
 
 // RunAnalyzers executes the full suite plus directive validation on one
 // package and returns the surviving (non-suppressed) findings sorted by
-// position.
+// position. It is the single-package convenience form of Module.Run: the
+// module analyzers run too, seeing exactly this package.
 func (p *Pass) RunAnalyzers() []Finding {
-	p.directives = parseDirectives(p.Fset, p.Files)
-	validateDirectives(p)
-	for _, a := range Analyzers() {
-		p.current = a.Name
-		a.Run(p)
-	}
-	p.current = ""
-	out := suppress(p.findings, p.directives)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pos.Filename != out[j].Pos.Filename {
-			return out[i].Pos.Filename < out[j].Pos.Filename
-		}
-		if out[i].Pos.Line != out[j].Pos.Line {
-			return out[i].Pos.Line < out[j].Pos.Line
-		}
-		return out[i].Analyzer < out[j].Analyzer
-	})
-	return out
+	return NewModule([]*Pass{p}).Run()
 }
 
 // ---------------------------------------------------------------------------

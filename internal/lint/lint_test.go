@@ -192,6 +192,32 @@ func TestGoleakGolden(t *testing.T)      { runGolden(t, "broker") }
 // are findings; bound errors and counted sheds pass.
 func TestDroptaxonomyGolden(t *testing.T) { runGolden(t, "droptaxonomy") }
 
+// TestTypeswitchGolden: switches over message.Type must be exhaustive or
+// carry a deliberate default; aliases cover their value.
+func TestTypeswitchGolden(t *testing.T) { runGolden(t, "typeswitch") }
+
+// TestLockorderGolden: a seeded two-mutex cycle — one direct nesting edge,
+// one edge through the call graph — is reported on both edges.
+func TestLockorderGolden(t *testing.T) { runGolden(t, "lockorder") }
+
+// TestMetricdriftGolden: unfed taxonomy fields, counters that rot (never
+// incremented / never read), and a snapshot conversion that drops a counter.
+func TestMetricdriftGolden(t *testing.T) { runGolden(t, "metricdrift") }
+
+// TestCrossPackageModule runs two packages as one module: xmoda acquires
+// references, xmodb releases them. The hand-off through xmodb.Consume must
+// pass without //lint:owns; the hand-off through xmodb.Inspect (which
+// releases nothing) is the deliberate cross-package leak that must be
+// reported.
+func TestCrossPackageModule(t *testing.T) {
+	pa := loadTestPackage(t, "xmoda")
+	pb := loadTestPackage(t, "xmodb")
+	findings := NewModule([]*Pass{pa, pb}).Run()
+	wants := collectWants(t, pa.Fset, pa.Files)
+	wants = append(wants, collectWants(t, pb.Fset, pb.Files)...)
+	checkWants(t, findings, wants)
+}
+
 // TestGoleakFaultinjectGolden: the goleak net extends to the fault-injection
 // package, in both literal and named-callee forms.
 func TestGoleakFaultinjectGolden(t *testing.T) { runGolden(t, "faultinject") }
@@ -247,16 +273,19 @@ func TestFindingsSorted(t *testing.T) {
 	}
 }
 
-// TestKnownAnalyzers: the registry exposes all six analyzers plus the
-// directive pseudo-analyzer.
+// TestKnownAnalyzers: the registry exposes all nine analyzers plus the
+// directive pseudo-analyzer — ten suppressible names in all.
 func TestKnownAnalyzers(t *testing.T) {
 	known := KnownAnalyzers()
-	for _, name := range []string{"refbalance", "lockhold", "headershare", "atomicmix", "goleak", "droptaxonomy", "directive"} {
+	for _, name := range []string{
+		"refbalance", "lockhold", "headershare", "atomicmix", "goleak",
+		"droptaxonomy", "lockorder", "typeswitch", "metricdrift", "directive",
+	} {
 		if !known[name] {
 			t.Errorf("KnownAnalyzers() is missing %q", name)
 		}
 	}
-	if len(known) != 7 {
-		t.Errorf("KnownAnalyzers() has %d entries, want 7", len(known))
+	if len(known) != 10 {
+		t.Errorf("KnownAnalyzers() has %d entries, want 10", len(known))
 	}
 }

@@ -28,6 +28,14 @@ import (
 // pooled call nested inside a larger expression is an immediate hand-off to
 // the enclosing call and out of lexical reach. Buffer acquires are matched
 // only by FreeBuf, never by Release-shaped calls, and vice versa.
+//
+// The analysis is interprocedural through module summaries: a call to a
+// function whose summary proves it releases (or FreeBufs) its i-th
+// parameter on all paths counts as a release of that argument — including
+// across package boundaries — so documented hand-offs to releasing helpers
+// need no //lint:owns escape. Conversely, a //lint:owns on a function whose
+// every acquire is now provably balanced is reported as stale: an escape
+// hatch nobody needs anymore is a hole in the contract.
 func runRefbalance(p *Pass) {
 	for _, file := range p.Files {
 		funcScopes(file, func(body *ast.BlockStmt, decl *ast.FuncDecl) {
@@ -38,14 +46,29 @@ func runRefbalance(p *Pass) {
 					lo = decl.Doc.Pos()
 				}
 			}
-			if ownsMarked(p, lo, body.End()) {
-				return
-			}
 			rb := &rbScope{p: p}
 			rb.walkStmts(body.List, token.NoPos, false)
+			if d := ownsDirectiveIn(p, lo, body.End()); d != nil {
+				if len(rb.acquires) > 0 && rb.allBalanced(body) {
+					p.Reportf(d.pos, "stale //lint:owns: every reference acquired here is released on all paths (interprocedurally); remove the directive")
+				}
+				return
+			}
 			rb.check(body)
 		})
 	}
+}
+
+// allBalanced reports whether every acquire in the scope is matched on
+// every exit path.
+func (rb *rbScope) allBalanced(body *ast.BlockStmt) bool {
+	implicitEnd := rb.implicitExit(body)
+	for _, a := range rb.acquires {
+		if !rb.balanced(a, implicitEnd) {
+			return false
+		}
+	}
+	return true
 }
 
 type rbAcquire struct {
@@ -243,6 +266,25 @@ func (rb *rbScope) classifyCall(call *ast.CallExpr, loopEnd token.Pos, deferred 
 			id:       exprString(call.Args[0]),
 			deferred: deferred,
 		})
+		return
+	}
+	// Interprocedural releases: the callee's summary proves it releases
+	// (or frees) specific parameters on all its paths, so passing a held
+	// reference there is a release here. Summaries cover the whole module,
+	// so this sees through package boundaries.
+	if sum := rb.p.mod.summary(funcKey(f)); sum != nil {
+		for i, arg := range call.Args {
+			if sum.releasesParam(i, false) {
+				rb.releases = append(rb.releases, rbRelease{
+					pos: call.Pos(), id: exprString(arg), deferred: deferred,
+				})
+			}
+			if sum.releasesParam(i, true) {
+				rb.releases = append(rb.releases, rbRelease{
+					pos: call.Pos(), id: exprString(arg), deferred: deferred, buf: true,
+				})
+			}
+		}
 	}
 }
 

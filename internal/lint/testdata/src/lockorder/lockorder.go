@@ -1,0 +1,57 @@
+// Package lockorder seeds a two-mutex ordering cycle for the lockorder
+// analyzer: one edge is a direct nested acquisition, the other arises only
+// interprocedurally (a call made with a lock held reaches a function that
+// takes the opposite lock), so the golden exercises both the direct-edge
+// path and the call-graph closure.
+package lockorder
+
+import "sync"
+
+// Ledger and Journal each guard their own state.
+type Ledger struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Journal struct {
+	mu sync.Mutex
+	n  int
+}
+
+// appendJournal takes the journal lock on its own; it is the far end of the
+// interprocedural edge.
+func appendJournal(j *Journal) {
+	j.mu.Lock()
+	j.n++
+	j.mu.Unlock()
+}
+
+// ledgerThenJournal holds the ledger lock across a call that acquires the
+// journal lock: edge Ledger.mu → Journal.mu, discovered through the closure.
+func ledgerThenJournal(l *Ledger, j *Journal) {
+	l.mu.Lock()
+	appendJournal(j) // want "lock-order cycle: lockorder.Journal.mu acquired while lockorder.Ledger.mu is held"
+	l.n++
+	l.mu.Unlock()
+}
+
+// journalThenLedger nests the acquisitions directly the other way around:
+// edge Journal.mu → Ledger.mu, closing the cycle.
+func journalThenLedger(l *Ledger, j *Journal) {
+	j.mu.Lock()
+	l.mu.Lock() // want "lock-order cycle: lockorder.Ledger.mu acquired while lockorder.Journal.mu is held"
+	l.n++
+	j.n++
+	l.mu.Unlock()
+	j.mu.Unlock()
+}
+
+// nestedSameOrder repeats the Ledger → Journal order: consistent nesting is
+// not a cycle and stays silent (the edge is already represented above).
+func nestedSameOrder(l *Ledger, j *Journal) {
+	l.mu.Lock()
+	j.mu.Lock()
+	j.n++
+	j.mu.Unlock()
+	l.mu.Unlock()
+}

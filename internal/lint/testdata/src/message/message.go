@@ -13,3 +13,17 @@ type Message struct {
 	Header *Header
 	Body   any
 }
+
+// Type tags the payload carried by a message, mirroring the real enum so the
+// typeswitch analyzer's goldens can exercise exhaustiveness.
+type Type uint8
+
+// Message types.
+const (
+	TypeRollout Type = iota + 1
+	TypeWeights
+	TypeStats
+	TypeControl
+	TypeDummy
+	TypeWeightsDelta
+)

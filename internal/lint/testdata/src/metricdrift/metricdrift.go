@@ -1,0 +1,80 @@
+// Package fabric (import path "metricdrift") exercises the metricdrift
+// analyzer: taxonomy fields must be summed in Total() and fed somewhere,
+// atomic counters in broker/fabric packages must be both incremented and
+// read, and a Metrics conversion method must carry every counter across.
+package fabric
+
+import "sync/atomic"
+
+// Drops is a taxonomy struct: it has a Total() method, so every integer
+// field must appear in the sum and be written somewhere in the module.
+type Drops struct {
+	QueueFull int64 // summed and fed: silent
+	Shed      int64 // want "taxonomy field fabric.Drops.Shed is not summed in fabric.Drops.Total"
+	Phantom   int64 // want "taxonomy field fabric.Drops.Phantom is never written anywhere in the module"
+}
+
+// Total deliberately forgets Shed.
+func (d Drops) Total() int64 {
+	return d.QueueFull + d.Phantom
+}
+
+// record feeds the fields Total should see (Phantom stays unfed).
+func record(d *Drops) {
+	d.QueueFull++
+	d.Shed++
+}
+
+// health carries atomic wire counters: each must be mutated and loaded
+// somewhere in the module.
+type health struct {
+	framesSent atomic.Int64 // bumped and snapshotted: silent
+	ghost      atomic.Int64 // want "atomic counter fabric.health.ghost is never incremented anywhere in the module"
+	hoarded    atomic.Int64 // want "atomic counter fabric.health.hoarded is incremented but never read anywhere in the module"
+}
+
+func (h *health) bump() {
+	h.framesSent.Add(1)
+	h.hoarded.Add(1)
+}
+
+func (h *health) snapshot() int64 {
+	return h.framesSent.Load()
+}
+
+// Metrics is a local snapshot; its Wire conversions must consume every
+// integer receiver field (snapshot parity).
+type Metrics struct {
+	FramesSent int64
+	FramesRecv int64
+	BytesSent  int64
+	Corrupt    int64
+}
+
+// WireShape is the transport-neutral form Metrics converts into.
+type WireShape struct {
+	FramesSent int64
+	FramesRecv int64
+	BytesSent  int64
+	Corrupt    int64
+}
+
+// Wire drops Corrupt on the floor: the counter still costs an atomic on the
+// hot path but vanishes from cluster health.
+func (m Metrics) Wire() WireShape { // want "metrics conversion Metrics.Wire → WireShape drops counter field\\(s\\) Corrupt"
+	return WireShape{
+		FramesSent: m.FramesSent,
+		FramesRecv: m.FramesRecv,
+		BytesSent:  m.BytesSent,
+	}
+}
+
+// WireFull carries everything across: silent.
+func (m Metrics) WireFull() WireShape {
+	return WireShape{
+		FramesSent: m.FramesSent,
+		FramesRecv: m.FramesRecv,
+		BytesSent:  m.BytesSent,
+		Corrupt:    m.Corrupt,
+	}
+}

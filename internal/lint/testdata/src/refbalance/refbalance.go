@@ -114,3 +114,50 @@ func viaWrapper(w *wrapper, id objectstore.ID) {
 	}
 	w.release(id)
 }
+
+// consumeRef releases its argument on every path. Its summary advertises the
+// hand-off (ReleasesParams includes the id parameter), so callers passing a
+// held reference here are balanced without any //lint:owns escape — note the
+// name is deliberately not Release-shaped.
+func consumeRef(s *objectstore.Store, id objectstore.ID) {
+	_ = s.Release(id)
+}
+
+// noteRef only inspects the reference; passing a held one here releases
+// nothing.
+func noteRef(s *objectstore.Store, id objectstore.ID) {}
+
+// handoffToCallee is balanced interprocedurally: the Get is matched by
+// consumeRef's documented release.
+func handoffToCallee(s *objectstore.Store, id objectstore.ID) {
+	data, err := s.Get(id)
+	if err != nil {
+		return
+	}
+	_ = data
+	consumeRef(s, id)
+}
+
+// handoffLeak hands the reference to a callee that does not release it.
+func handoffLeak(s *objectstore.Store, id objectstore.ID) {
+	data, err := s.Get(id) // want "objectstore Get\\(id\\) is not released on the path to the end of the function"
+	if err != nil {
+		return
+	}
+	_ = data
+	noteRef(s, id)
+}
+
+// staleOwns is marked owns, but consumeRef now provably releases the
+// reference: the directive outlived the code it excused.
+//
+//lint:owns legacy note: the sender used to keep the reference
+func staleOwns(s *objectstore.Store, id objectstore.ID) {
+	// want[-2] "stale //lint:owns: every reference acquired here is released on all paths"
+	data, err := s.Get(id)
+	if err != nil {
+		return
+	}
+	_ = data
+	consumeRef(s, id)
+}

@@ -1,0 +1,69 @@
+// Package typeswitch exercises the typeswitch analyzer: every switch over
+// message.Type must list all declared constants or carry a deliberate
+// default clause.
+package typeswitch
+
+import "message"
+
+// classifyExhaustive covers every constant: no finding.
+func classifyExhaustive(t message.Type) string {
+	switch t {
+	case message.TypeRollout:
+		return "rollout"
+	case message.TypeWeights, message.TypeWeightsDelta:
+		return "weights"
+	case message.TypeStats:
+		return "stats"
+	case message.TypeControl:
+		return "control"
+	case message.TypeDummy:
+		return "dummy"
+	}
+	return ""
+}
+
+// classifyDefaulted funnels new classes through a deliberate default: no
+// finding even though cases are missing.
+func classifyDefaulted(t message.Type) bool {
+	switch t {
+	case message.TypeWeights, message.TypeWeightsDelta:
+		return true
+	default:
+		return false
+	}
+}
+
+// classifyLeaky forgets the newer classes and has no default: a new message
+// type silently falls through.
+func classifyLeaky(t message.Type) bool {
+	switch t { // want "switch over message.Type is not exhaustive: missing TypeControl, TypeDummy, TypeWeightsDelta; add the case\\(s\\) or a deliberate default"
+	case message.TypeRollout, message.TypeStats:
+		return true
+	case message.TypeWeights:
+		return false
+	}
+	return false
+}
+
+// classifyAliased covers a constant through a same-value alias: aliases
+// count, so only the genuinely missing classes are reported.
+const weightsAlias = message.TypeWeights
+
+func classifyAliased(t message.Type) bool {
+	switch t { // want "switch over message.Type is not exhaustive: missing TypeDummy, TypeWeightsDelta; add the case\\(s\\) or a deliberate default"
+	case message.TypeRollout, message.TypeStats, message.TypeControl:
+		return false
+	case weightsAlias:
+		return true
+	}
+	return false
+}
+
+// switchOverOtherType is not a message.Type switch: ignored.
+func switchOverOtherType(n int) bool {
+	switch n {
+	case 1:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,31 @@
+// Package xmoda is the acquiring half of the cross-package refbalance
+// golden: references taken here are handed to xmodb, and only the functions
+// whose callee provably releases stay silent.
+package xmoda
+
+import (
+	"objectstore"
+	"xmodb"
+)
+
+// HandOff is balanced across the package boundary: xmodb.Consume's summary
+// proves it releases the id parameter, so no //lint:owns is needed.
+func HandOff(s *objectstore.Store, id objectstore.ID) error {
+	data, err := s.Get(id)
+	if err != nil {
+		return err
+	}
+	_ = data
+	return xmodb.Consume(s, id)
+}
+
+// Leak crosses the boundary into a callee that does not release: the
+// deliberate cross-package leak the module run must report.
+func Leak(s *objectstore.Store, id objectstore.ID) uint64 {
+	data, err := s.Get(id) // want "objectstore Get\\(id\\) is not released on the path to the return"
+	if err != nil {
+		return 0
+	}
+	_ = data
+	return xmodb.Inspect(s, id)
+}

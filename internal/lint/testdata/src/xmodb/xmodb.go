@@ -1,0 +1,16 @@
+// Package xmodb is the releasing half of the cross-package refbalance
+// golden: its summaries must carry the release contract across the package
+// boundary into xmoda.
+package xmodb
+
+import "objectstore"
+
+// Consume releases the reference on every path.
+func Consume(s *objectstore.Store, id objectstore.ID) error {
+	return s.Release(id)
+}
+
+// Inspect reads the object's identity without releasing anything.
+func Inspect(s *objectstore.Store, id objectstore.ID) uint64 {
+	return uint64(id)
+}

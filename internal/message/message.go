@@ -53,8 +53,16 @@ func (t Type) String() string {
 // WeightsClass reports whether messages of this type carry learner weights
 // (dense snapshots or deltas) — the traffic the weight plane plans, the
 // explorer credit window counts as credits, and the broadcast tree relays.
+// The switch is deliberately exhaustive with no default: adding a message
+// type must force a decision here (xt-lint's typeswitch analyzer enforces it).
 func (t Type) WeightsClass() bool {
-	return t == TypeWeights || t == TypeWeightsDelta
+	switch t {
+	case TypeWeights, TypeWeightsDelta:
+		return true
+	case TypeRollout, TypeStats, TypeControl, TypeDummy:
+		return false
+	}
+	return false // unknown wire value: not weights traffic
 }
 
 // Droppable reports whether messages of this type may be shed under
@@ -66,8 +74,16 @@ func (t Type) WeightsClass() bool {
 // privileged class may hold store references past the budget's high
 // watermark, so its volume must stay small — which is exactly why
 // high-frequency telemetry is in the droppable class.
+// Exhaustive by design, like WeightsClass: the shed paths in broker and the
+// relay tree consult this, so a new type must be classified explicitly.
 func (t Type) Droppable() bool {
-	return t == TypeRollout || t == TypeDummy || t == TypeStats
+	switch t {
+	case TypeRollout, TypeDummy, TypeStats:
+		return true
+	case TypeWeights, TypeControl, TypeWeightsDelta:
+		return false
+	}
+	return false // unknown wire value: fail safe, never shed
 }
 
 // Header is the metadata that travels through header queues and ID queues.
