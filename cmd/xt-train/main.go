@@ -5,6 +5,7 @@
 // Usage:
 //
 //	xt-train -alg DQN -env CartPole -explorers 2 -steps 20000
+//	xt-train -alg IMPALA -env CartPole -explorers 8 -topology replicated -learners 2
 //	xt-train -config deploy.json
 //
 // Example deploy.json:
@@ -53,6 +54,36 @@ type fileConfig struct {
 	WeightQuantBits  int     `json:"weight_quant_bits"`
 	WeightSkipFactor float64 `json:"weight_skip_factor"`
 	WeightTreeFanout int     `json:"weight_tree_fanout"`
+
+	Topology     string `json:"topology"`
+	Learners     int    `json:"learners"`
+	MaxStaleness int    `json:"max_staleness"`
+	SyncEvery    int    `json:"sync_every"`
+}
+
+// topologyFor maps the deployment description onto a core.Topology. The
+// empty string and "fused" keep the seed's single-learner loop; "replicated"
+// opts into the fragment runtime with fc.Learners learn replicas.
+func topologyFor(fc fileConfig) (core.Topology, error) {
+	switch fc.Topology {
+	case "", "fused":
+		if fc.Topology == "" && fc.Learners > 1 {
+			return core.Topology{}, fmt.Errorf("-learners %d needs -topology replicated", fc.Learners)
+		}
+		return core.Topology{}, nil
+	case "replicated":
+		n := fc.Learners
+		if n < 1 {
+			n = 1
+		}
+		return core.Topology{
+			Learners:     n,
+			MaxStaleness: fc.MaxStaleness,
+			SyncEvery:    fc.SyncEvery,
+		}, nil
+	default:
+		return core.Topology{}, fmt.Errorf("unknown topology %q (want fused or replicated)", fc.Topology)
+	}
 }
 
 func main() {
@@ -85,6 +116,10 @@ func run() int {
 		wQuant     = flag.Int("weight-quant", 8, "delta quantization bits: 8 = int8 steps, 0 = exact float32 (with -weight-delta)")
 		wSkip      = flag.Float64("weight-skip", 0, "skip broadcasts whose relative delta norm is below this factor of the running EMA (0 = never skip)")
 		wTree      = flag.Int("weight-tree", 0, "relay weight broadcasts wider than this through a depth-2 machine tree (0 = star fan-out)")
+		topology   = flag.String("topology", "", `fragment topology: "" or "fused" = seed's single-learner loop, "replicated" = N learn fragments on the dataflow-fragment runtime`)
+		learners   = flag.Int("learners", 1, "learn-fragment replicas (with -topology replicated)")
+		staleness  = flag.Int("staleness", -1, "max sample→learn staleness in weight versions: 0 = strict assignment order, -1 = unbounded (with -topology replicated)")
+		syncEvery  = flag.Int("sync-every", 1, "aggregations between weight echoes back to the learn replicas (with -topology replicated)")
 	)
 	flag.Parse()
 
@@ -98,6 +133,8 @@ func run() int {
 		CheckpointKeep: *ckptKeep, Resume: *resume,
 		WeightDelta: *wDelta, WeightQuantBits: *wQuant,
 		WeightSkipFactor: *wSkip, WeightTreeFanout: *wTree,
+		Topology: *topology, Learners: *learners,
+		MaxStaleness: *staleness, SyncEvery: *syncEvery,
 	}
 	if *configPath != "" {
 		data, err := os.ReadFile(*configPath)
@@ -116,8 +153,17 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	topo, err := topologyFor(fc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	fmt.Printf("training %s on %s: %d explorer(s), %d machine(s), budget %d steps\n",
 		fc.Algorithm, fc.Environment, fc.Explorers, max(fc.Machines, 1), fc.MaxSteps)
+	if fc.Topology == "replicated" {
+		fmt.Printf("  topology: replicated, %d learn fragment(s), max staleness %d\n",
+			max(fc.Learners, 1), fc.MaxStaleness)
+	}
 
 	cfg := core.Config{
 		NumExplorers:        fc.Explorers,
@@ -139,6 +185,7 @@ func run() int {
 		WeightQuantBits:     fc.WeightQuantBits,
 		WeightSkipFactor:    fc.WeightSkipFactor,
 		WeightTreeFanout:    fc.WeightTreeFanout,
+		Topology:            topo,
 	}
 	if *metrics > 0 {
 		cfg.MetricsEvery = *metrics
@@ -152,6 +199,12 @@ func run() int {
 	fmt.Printf("done in %v\n", report.Duration.Round(time.Millisecond))
 	fmt.Printf("  steps consumed:   %d (%.0f steps/s)\n", report.StepsConsumed, report.Throughput)
 	fmt.Printf("  train sessions:   %d\n", report.TrainIters)
+	if fr := report.Fragments; fr != nil {
+		fmt.Printf("  fragments:        %d learner(s), %d aggregation(s), committed version %d\n",
+			fr.Learners, fr.Aggregations, fr.CommittedVersion)
+		fmt.Printf("  sample dispatch:  %d rollout(s), %d stale drop(s) (max staleness %d)\n",
+			fr.Dispatched, fr.StaleDrops, fr.MaxStaleness)
+	}
 	fmt.Printf("  episodes:         %d (mean return %.2f)\n", report.Episodes, report.MeanReturn)
 	fmt.Printf("  learner wait avg: %v\n", report.MeanWait.Round(time.Microsecond))
 	fmt.Printf("  transmission avg: %v\n", report.MeanTransmission.Round(time.Microsecond))

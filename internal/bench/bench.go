@@ -91,6 +91,8 @@ func Suite() []Def {
 		Def{Name: "broker/broadcast/fanout8", Track: TrackAllocsPerOp, Run: benchBrokerBroadcast},
 		Def{Name: "broker/backpressure/shed", Track: TrackAllocsPerOp, Run: benchBrokerBackpressureShed},
 		Def{Name: "weights/broadcast", Track: TrackSpeedup, Run: benchWeightsBroadcast},
+		Def{Name: "fragments/checkpoint/roundtrip", Track: TrackAllocsPerOp, Run: benchFragmentsCheckpoint},
+		Def{Name: "fragments/impala/2v1", Track: TrackSpeedup, Heavy: true, Run: benchFragmentsIMPALA2v1},
 		Def{Name: "exp/table1", Track: TrackNsPerOp, Heavy: true, Run: benchExperiment("table1")},
 		Def{Name: "exp/fig4", Track: TrackNsPerOp, Heavy: true, Run: benchExperiment("fig4")},
 	)

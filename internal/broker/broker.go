@@ -545,6 +545,24 @@ func (b *Broker) noteAck(src string, version int64) {
 	b.ackMu.Unlock()
 }
 
+// MergeAcked folds a forwarded ack-ledger snapshot into this broker's
+// ledger. The fragment runtime uses it when the sample fragment (which sees
+// every rollout) and the broadcast fragment (whose weight plane needs the
+// ledger) sit behind different brokers: the sampler ships periodic
+// ControlAckSnapshot messages and the broadcaster merges them here. Entries
+// overwrite last-value-wins, matching noteAck — a restarted source's version
+// regression must stay visible.
+func (b *Broker) MergeAcked(snap map[string]int64) {
+	if len(snap) == 0 {
+		return
+	}
+	b.ackMu.Lock()
+	for k, v := range snap {
+		b.acked[k] = v
+	}
+	b.ackMu.Unlock()
+}
+
 // AckedWeights returns a copy of the last weights version observed on each
 // source's rollout traffic through this broker.
 func (b *Broker) AckedWeights() map[string]int64 {
@@ -674,6 +692,10 @@ func (p *Port) Send(m *message.Message) error {
 // AckedWeights exposes the broker's rollout-carried weights-version ledger
 // (see Broker.AckedWeights); the learner's planner polls it per broadcast.
 func (p *Port) AckedWeights() map[string]int64 { return p.broker.AckedWeights() }
+
+// MergeAcked folds a forwarded ack-ledger snapshot into the broker's ledger
+// (see Broker.MergeAcked).
+func (p *Port) MergeAcked(snap map[string]int64) { p.broker.MergeAcked(snap) }
 
 // Recv blocks until a message addressed to this client arrives, fetches the
 // body from the object store (releasing the reference), and decodes it.

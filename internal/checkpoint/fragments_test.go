@@ -1,0 +1,149 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleStates() []FragmentState {
+	return []FragmentState{
+		{Name: "broadcaster", State: State{Version: 42, Weights: []float32{1.5, -2.25, 0}}},
+		{Name: "learn-0", State: State{Version: 41, Weights: []float32{0.5, 0.25, -1}}},
+		{Name: "learn-1", State: State{Version: 40, Weights: []float32{3, 4, 5}}},
+	}
+}
+
+func TestFragmentsRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.ckpt")
+	want := sampleStates()
+	if err := SaveFragments(path, want); err != nil {
+		t.Fatalf("SaveFragments: %v", err)
+	}
+	got, err := LoadFragments(path)
+	if err != nil {
+		t.Fatalf("LoadFragments: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d states, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || got[i].State.Version != want[i].State.Version {
+			t.Fatalf("state %d = %+v, want %+v", i, got[i], want[i])
+		}
+		for j, w := range want[i].State.Weights {
+			if got[i].State.Weights[j] != w {
+				t.Fatalf("state %d weight %d = %v, want %v", i, j, got[i].State.Weights[j], w)
+			}
+		}
+	}
+}
+
+func TestFragmentsEmptySet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.ckpt")
+	if err := SaveFragments(path, nil); err != nil {
+		t.Fatalf("SaveFragments(nil): %v", err)
+	}
+	got, err := LoadFragments(path)
+	if err != nil {
+		t.Fatalf("LoadFragments: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %d states, want 0", len(got))
+	}
+}
+
+func TestFragmentsCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.ckpt")
+	if err := SaveFragments(path, sampleStates()); err != nil {
+		t.Fatalf("SaveFragments: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"flipped-byte", func(b []byte) []byte { b[9] ^= 0xff; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := tc.mutate(append([]byte(nil), data...))
+			p := filepath.Join(t.TempDir(), "bad.ckpt")
+			if err := os.WriteFile(p, mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadFragments(p); !errors.Is(err, ErrCorrupt) && err == nil {
+				t.Fatalf("LoadFragments(%s) = %v, want error", tc.name, err)
+			}
+		})
+	}
+}
+
+// TestFragmentsPlainCheckpointRejected: a fragment-set loader pointed at a
+// single-state checkpoint (different magic) must fail cleanly, not
+// misparse it.
+func TestFragmentsPlainCheckpointRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plain.ckpt")
+	if err := Save(path, State{Version: 1, Weights: []float32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFragments(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("LoadFragments on plain checkpoint = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFragmentsRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.ckpt")
+	for v := int64(1); v <= 5; v++ {
+		states := []FragmentState{{Name: "broadcaster", State: State{Version: v, Weights: []float32{float32(v)}}}}
+		if err := SaveFragmentsRotating(path, states, 3); err != nil {
+			t.Fatalf("SaveFragmentsRotating v%d: %v", v, err)
+		}
+	}
+	members, err := rotationMembers(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 3 {
+		t.Fatalf("rotation kept %d members, want 3", len(members))
+	}
+	got, err := LoadLatestFragments(path)
+	if err != nil {
+		t.Fatalf("LoadLatestFragments: %v", err)
+	}
+	if got[0].State.Version != 5 {
+		t.Fatalf("latest version = %d, want 5", got[0].State.Version)
+	}
+}
+
+// TestFragmentsLatestSkipsCorrupt: a torn newest member must not block
+// restoring from the previous good one.
+func TestFragmentsLatestSkipsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.ckpt")
+	good := []FragmentState{{Name: "broadcaster", State: State{Version: 7, Weights: []float32{7}}}}
+	if err := SaveFragmentsRotating(path, good, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fmt.Sprintf("%s.2", path), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLatestFragments(path)
+	if err != nil {
+		t.Fatalf("LoadLatestFragments: %v", err)
+	}
+	if got[0].State.Version != 7 {
+		t.Fatalf("restored version = %d, want 7", got[0].State.Version)
+	}
+}
+
+func TestLoadLatestFragmentsMissing(t *testing.T) {
+	if _, err := LoadLatestFragments(filepath.Join(t.TempDir(), "none.ckpt")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}

@@ -115,6 +115,14 @@ type Config struct {
 	// RestartBackoff is the delay before the first restart of a slot;
 	// it doubles per consecutive restart (default 10ms).
 	RestartBackoff time.Duration
+	// Topology selects how the training loop's dataflow fragments are
+	// replicated and placed. The zero value keeps the fused legacy loop
+	// (single Learner on machine 0 — the seed's behavior, bit for bit); a
+	// fragmented topology (Learners >= 1, Fused false) runs the sample,
+	// learn, and broadcast fragments as separate processes per the
+	// topology's placement, with the bounded-staleness rule on the
+	// sample→learn edge.
+	Topology Topology
 	// MetricsEvery, when > 0 with MetricsWriter set, logs a channel-health
 	// summary line for every broker at this interval while the run waits.
 	MetricsEvery time.Duration
@@ -158,6 +166,10 @@ type Report struct {
 	// after shutdown: cumulative traffic/drop counters plus the leak check
 	// (Channel.TotalLeaked() must be 0 in a refcount-clean run).
 	Channel broker.ClusterHealth
+	// Fragments carries the fragment-runtime measurements (nil for fused
+	// runs): staleness-filter drops, per-replica consumption, aggregation
+	// rounds, and the broadcast fragment's weight-plane counters.
+	Fragments *FragmentReport
 }
 
 // explorerSlot is one supervised explorer position: a stable ID/machine/name
@@ -190,7 +202,8 @@ func (sl *explorerSlot) current() *Explorer {
 type Session struct {
 	cfg       Config
 	transport Transport
-	learner   *Learner
+	learner   *Learner     // fused topology only
+	frags     *fragRuntime // fragmented topology only
 	slots     []*explorerSlot
 	ctrlPort  *broker.Port
 	agF       AgentFactory
@@ -250,39 +263,51 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 		shutdown:  make(chan struct{}),
 	}
 
-	alg, err := algF(seed)
-	if err != nil {
-		transport.Stop()
-		return nil, fmt.Errorf("core: build algorithm: %w", err)
-	}
-	if cfg.Resume && cfg.CheckpointPath != "" {
-		if err := restoreAlgorithm(alg, cfg.CheckpointPath); err != nil {
+	if cfg.Topology.fragmented() {
+		topo, err := cfg.Topology.normalized(cfg.Machines)
+		if err != nil {
 			transport.Stop()
 			return nil, err
 		}
+		if err := s.buildFragments(topo, algF); err != nil {
+			transport.Stop()
+			return nil, err
+		}
+	} else {
+		alg, err := algF(seed)
+		if err != nil {
+			transport.Stop()
+			return nil, fmt.Errorf("core: build algorithm: %w", err)
+		}
+		if cfg.Resume && cfg.CheckpointPath != "" {
+			if err := restoreAlgorithm(alg, cfg.CheckpointPath); err != nil {
+				transport.Stop()
+				return nil, err
+			}
+		}
+		learnerPort, err := transport.Register(0, LearnerName)
+		if err != nil {
+			transport.Stop()
+			return nil, err
+		}
+		ids := make([]int32, cfg.NumExplorers)
+		for i := range ids {
+			ids[i] = int32(i)
+		}
+		s.learner = NewLearner(alg, learnerPort, LearnerConfig{
+			Explorers:       ids,
+			MaxSteps:        cfg.MaxSteps,
+			SeriesBucket:    cfg.SeriesBucket,
+			CheckpointPath:  cfg.CheckpointPath,
+			CheckpointEvery: cfg.CheckpointEvery,
+			CheckpointKeep:  cfg.CheckpointKeep,
+			WeightPlane: weightplane.Config{
+				Enabled:    cfg.WeightDelta,
+				QuantBits:  cfg.WeightQuantBits,
+				SkipFactor: cfg.WeightSkipFactor,
+			},
+		})
 	}
-	learnerPort, err := transport.Register(0, LearnerName)
-	if err != nil {
-		transport.Stop()
-		return nil, err
-	}
-	ids := make([]int32, cfg.NumExplorers)
-	for i := range ids {
-		ids[i] = int32(i)
-	}
-	s.learner = NewLearner(alg, learnerPort, LearnerConfig{
-		Explorers:       ids,
-		MaxSteps:        cfg.MaxSteps,
-		SeriesBucket:    cfg.SeriesBucket,
-		CheckpointPath:  cfg.CheckpointPath,
-		CheckpointEvery: cfg.CheckpointEvery,
-		CheckpointKeep:  cfg.CheckpointKeep,
-		WeightPlane: weightplane.Config{
-			Enabled:    cfg.WeightDelta,
-			QuantBits:  cfg.WeightQuantBits,
-			SkipFactor: cfg.WeightSkipFactor,
-		},
-	})
 
 	ctrlPort, err := transport.Register(0, ControllerName)
 	if err != nil {
@@ -329,6 +354,104 @@ func restoreAlgorithm(alg Algorithm, path string) error {
 	return nil
 }
 
+// buildFragments constructs the fragment runtime for a fragmented topology:
+// N algorithm replicas from the same factory and seed (identical
+// initialization, so the broadcast fragment's first aggregate is exact), a
+// sample fragment on its machine, one learn fragment per replica, and the
+// broadcast fragment seeded with the shared initial weights — or the
+// per-fragment checkpoint set when resuming.
+func (s *Session) buildFragments(topo Topology, algF AlgorithmFactory) error {
+	algs := make([]Algorithm, topo.Learners)
+	for i := range algs {
+		alg, err := algF(s.seed)
+		if err != nil {
+			return fmt.Errorf("core: build algorithm replica %d: %w", i, err)
+		}
+		algs[i] = alg
+	}
+
+	w0 := algs[0].Weights()
+	initVersion, initWeights := w0.Version, w0.Data
+	if s.cfg.Resume && s.cfg.CheckpointPath != "" {
+		states, err := checkpoint.LoadLatestFragments(s.cfg.CheckpointPath)
+		switch {
+		case errors.Is(err, checkpoint.ErrNoCheckpoint):
+			// Fresh start.
+		case err != nil:
+			return fmt.Errorf("core: resume fragments: %w", err)
+		default:
+			byName := make(map[string]checkpoint.State, len(states))
+			for _, fs := range states {
+				byName[fs.Name] = fs.State
+			}
+			for i, alg := range algs {
+				st, ok := byName[LearnName(i)]
+				if !ok {
+					continue // replica added since the checkpoint: keeps fresh init
+				}
+				r, okR := alg.(WeightsRestorer)
+				if !okR {
+					return fmt.Errorf("core: resume fragments: algorithm %s cannot restore weights", alg.Name())
+				}
+				if err := r.RestoreWeights(st.Version, st.Weights); err != nil {
+					return fmt.Errorf("core: resume fragment %s: %w", LearnName(i), err)
+				}
+			}
+			if st, ok := byName[BroadcastName]; ok {
+				initVersion, initWeights = st.Version, st.Weights
+			}
+		}
+	}
+
+	samplePort, err := s.transport.Register(topo.SampleMachine, SampleName)
+	if err != nil {
+		return err
+	}
+	learnNames := make([]string, topo.Learners)
+	learns := make([]*LearnFragment, topo.Learners)
+	for i := range learns {
+		learnNames[i] = LearnName(i)
+		port, err := s.transport.Register(topo.LearnMachines[i], learnNames[i])
+		if err != nil {
+			return err
+		}
+		learns[i] = NewLearnFragment(i, algs[i], port, s.cfg.NumExplorers, s.cfg.SeriesBucket)
+	}
+	castPort, err := s.transport.Register(topo.BroadcastMachine, BroadcastName)
+	if err != nil {
+		return err
+	}
+	explorerNames := make([]string, s.cfg.NumExplorers)
+	for i := range explorerNames {
+		explorerNames[i] = ExplorerName(int32(i))
+	}
+	caster := NewBroadcastFragment(castPort, BroadcastConfig{
+		Explorers:      explorerNames,
+		Learners:       learnNames,
+		SyncEvery:      topo.SyncEvery,
+		InitialVersion: initVersion,
+		InitialWeights: initWeights,
+		WeightPlane: weightplane.Config{
+			Enabled:    s.cfg.WeightDelta,
+			QuantBits:  s.cfg.WeightQuantBits,
+			SkipFactor: s.cfg.WeightSkipFactor,
+		},
+		CheckpointPath:  s.cfg.CheckpointPath,
+		CheckpointEvery: s.cfg.CheckpointEvery,
+		CheckpointKeep:  s.cfg.CheckpointKeep,
+	})
+	s.frags = &fragRuntime{
+		topo:     topo,
+		sampler:  NewSampleFragment(samplePort, learnNames, topo.MaxStaleness),
+		learns:   learns,
+		caster:   caster,
+		maxSteps: s.cfg.MaxSteps,
+		done:     make(chan struct{}),
+		stopMon:  make(chan struct{}),
+	}
+	return nil
+}
+
 // buildExplorer creates one explorer incarnation: fresh agent from the
 // factory, port registered under the slot's canonical name.
 func (s *Session) buildExplorer(id int32, machine int) (*Explorer, error) {
@@ -344,6 +467,9 @@ func (s *Session) buildExplorer(id int32, machine int) (*Explorer, error) {
 	if s.cfg.MaxInflight != 0 {
 		ex.SetMaxInflight(s.cfg.MaxInflight)
 	}
+	if s.frags != nil {
+		ex.SetRolloutDst(SampleName)
+	}
 	return ex, nil
 }
 
@@ -356,7 +482,13 @@ func (s *Session) Start() {
 	s.start = time.Now()
 	s.wg.Add(1)
 	go s.collectStats()
-	s.learner.Start()
+	if s.frags != nil {
+		// Fragments first: the broadcast fragment's initial broadcast lands
+		// in the explorer ID queues before any explorer starts sampling.
+		s.frags.start()
+	} else {
+		s.learner.Start()
+	}
 	for _, sl := range s.slots {
 		sl.current().Start()
 	}
@@ -366,7 +498,9 @@ func (s *Session) Start() {
 			go s.supervise(sl)
 		}
 	}
-	s.learner.broadcastWeights(nil)
+	if s.frags == nil {
+		s.learner.broadcastWeights(nil)
+	}
 }
 
 // supervise is the per-slot supervisor thread: it waits for the slot's
@@ -475,9 +609,15 @@ func (s *Session) Wait() {
 	ticker := time.NewTicker(50 * time.Millisecond)
 	defer ticker.Stop()
 	lastMetrics := time.Now()
+	var done <-chan struct{}
+	if s.frags != nil {
+		done = s.frags.done
+	} else {
+		done = s.learner.Done()
+	}
 	for {
 		select {
-		case <-s.learner.Done():
+		case <-done:
 			return
 		case <-timeout:
 			return
@@ -547,20 +687,36 @@ func (s *Session) doStop() *Report {
 	s.superWG.Wait()
 
 	// Broadcast shutdown like the center controller.
-	dst := make([]string, 0, len(s.slots)+1)
+	dst := make([]string, 0, len(s.slots)+4)
 	for _, sl := range s.slots {
 		dst = append(dst, ExplorerName(sl.id))
 	}
-	dst = append(dst, LearnerName)
+	if s.frags != nil {
+		dst = append(dst, SampleName)
+		for i := range s.frags.learns {
+			dst = append(dst, LearnName(i))
+		}
+		dst = append(dst, BroadcastName)
+	} else {
+		dst = append(dst, LearnerName)
+	}
 	_ = s.ctrlPort.Send(message.New(message.TypeControl, ControllerName, dst,
 		&message.ControlPayload{Kind: message.ControlShutdown}))
 
-	s.learner.Stop()
+	if s.frags != nil {
+		s.frags.stop()
+	} else {
+		s.learner.Stop()
+	}
 	for _, sl := range s.slots {
 		sl.current().Stop()
 	}
 	s.transport.Stop() // closes ID queues, unblocking receiver threads
-	s.learner.Join()
+	if s.frags != nil {
+		s.frags.join()
+	} else {
+		s.learner.Join()
+	}
 	for _, sl := range s.slots {
 		sl.current().Join()
 	}
@@ -586,22 +742,48 @@ func (s *Session) doStop() *Report {
 		sl.mu.Unlock()
 	}
 	restarts, exhausted, lastErr := s.supervisionStats()
-	steps := s.learner.StepsConsumed()
 	channel := s.transport.Health()
 	channel.Supervision = broker.SupervisionStats{
 		ExplorerRestarts: restarts,
 		BudgetExhausted:  exhausted,
 		LastRestartError: lastErr,
 	}
+	var steps, iters int64
+	var series []float64
+	var meanWait, meanTrans time.Duration
+	var waitCDF []stats.CDFPoint
+	var fragRep *FragmentReport
+	if s.frags != nil {
+		steps = s.frags.stepsConsumed()
+		iters = s.frags.trainIters()
+		series = s.frags.mergedSeries()
+		waitHists := make([]*stats.Histogram, 0, len(s.frags.learns))
+		transHists := make([]*stats.Histogram, 0, len(s.frags.learns))
+		for _, l := range s.frags.learns {
+			waitHists = append(waitHists, l.WaitHist)
+			transHists = append(transHists, l.TransHist)
+		}
+		meanWait = meanOver(waitHists)
+		waitCDF = busiest(waitHists).CDF()
+		meanTrans = meanOver(transHists)
+		fragRep = s.frags.report()
+	} else {
+		steps = s.learner.StepsConsumed()
+		iters = s.learner.TrainIters()
+		series = s.learner.Series.PerSecond()
+		meanWait = s.learner.WaitHist.Mean()
+		waitCDF = s.learner.WaitHist.CDF()
+		meanTrans = s.learner.TransHist.Mean()
+	}
 	rep := &Report{
 		StepsConsumed:          steps,
-		TrainIters:             s.learner.TrainIters(),
+		TrainIters:             iters,
 		Duration:               duration,
 		Throughput:             float64(steps) / duration.Seconds(),
-		ThroughputSeries:       s.learner.Series.PerSecond(),
-		MeanWait:               s.learner.WaitHist.Mean(),
-		WaitCDF:                s.learner.WaitHist.CDF(),
-		MeanTransmission:       s.learner.TransHist.Mean(),
+		ThroughputSeries:       series,
+		MeanWait:               meanWait,
+		WaitCDF:                waitCDF,
+		MeanTransmission:       meanTrans,
 		Episodes:               episodes,
 		MeanReturn:             meanReturn,
 		StepsGenerated:         generated,
@@ -609,6 +791,7 @@ func (s *Session) doStop() *Report {
 		RestartBudgetExhausted: exhausted,
 		RestartLastError:       lastErr,
 		Channel:                channel,
+		Fragments:              fragRep,
 	}
 	return rep
 }
@@ -627,8 +810,19 @@ func (s *Session) ChannelHealth() broker.ClusterHealth {
 	return h
 }
 
-// Learner exposes the learner for inspection in tests and experiments.
+// Learner exposes the learner for inspection in tests and experiments. It
+// is nil under a fragmented topology — use Fragments instead.
 func (s *Session) Learner() *Learner { return s.learner }
+
+// Fragments exposes the fragment runtime's pieces for inspection in tests
+// and experiments (sampler, learn replicas, broadcaster). All nil for a
+// fused topology.
+func (s *Session) Fragments() (*SampleFragment, []*LearnFragment, *BroadcastFragment) {
+	if s.frags == nil {
+		return nil, nil, nil
+	}
+	return s.frags.sampler, s.frags.learns, s.frags.caster
+}
 
 // Err returns the first process error observed, if any. A learner error
 // always surfaces. Explorer errors surface directly when supervision is
@@ -636,7 +830,11 @@ func (s *Session) Learner() *Learner { return s.learner }
 // supervision on, only terminal failures — an exhausted restart budget or a
 // failed rebuild — surface, since handled errors were restarted away.
 func (s *Session) Err() error {
-	if err := s.learner.Err(); err != nil {
+	if s.frags != nil {
+		if err := s.frags.err(); err != nil {
+			return err
+		}
+	} else if err := s.learner.Err(); err != nil {
 		return err
 	}
 	for _, sl := range s.slots {

@@ -79,6 +79,12 @@ func NewExplorer(id int32, agent Agent, port *broker.Port, rolloutLen int) *Expl
 // Call before Start.
 func (e *Explorer) SetMaxInflight(n int) { e.maxInflight = n }
 
+// SetRolloutDst overrides the destination rollout fragments are shipped to
+// (default: the learner). The fragment runtime points explorers at the
+// sample fragment, which applies the bounded-staleness filter and dispatches
+// to learn replicas. Call before Start.
+func (e *Explorer) SetRolloutDst(name string) { e.learner = name }
+
 // Start launches the three explorer threads.
 func (e *Explorer) Start() {
 	e.wg.Add(3)
@@ -241,10 +247,12 @@ func (e *Explorer) apply(m *message.Message) bool {
 			err = fmt.Errorf("agent cannot apply weight deltas")
 		}
 		if err != nil {
-			// NACK: ask the learner for a dense resync and keep sampling on
-			// the current weights. Failing hard here would turn every
-			// restart-induced stale delta into a supervision cycle.
-			nack := message.New(message.TypeControl, ExplorerName(e.id), []string{e.learner},
+			// NACK: ask the broadcast's producer for a dense resync and keep
+			// sampling on the current weights. Failing hard here would turn
+			// every restart-induced stale delta into a supervision cycle. The
+			// NACK goes to the delta's Src — the learner in the fused loop,
+			// the broadcast fragment in a fragment topology.
+			nack := message.New(message.TypeControl, ExplorerName(e.id), []string{m.Header.Src},
 				&message.ControlPayload{Kind: message.ControlWeightsResync})
 			if perr := e.sendBuf.Put(nack); perr != nil {
 				return false

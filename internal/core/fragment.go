@@ -1,0 +1,866 @@
+// Dataflow-fragment runtime: the training loop decomposed into
+// independently placeable fragments in the style of MSRL, connected only by
+// the existing queue/store/fabric primitives (broker ports). Four fragment
+// kinds exist:
+//
+//   - rollout fragments — the explorers, unchanged, pointed at the sample
+//     fragment instead of the learner;
+//   - the replay/sample fragment — receives every rollout, applies the
+//     topology's bounded-staleness rule against the committed weights
+//     version, and dispatches survivors round-robin to the learn replicas;
+//   - learn fragments — one Algorithm replica each, training independently
+//     and pushing post-train weights to the broadcast fragment;
+//   - the broadcast fragment — aggregates replica weights (element-wise
+//     mean of each replica's latest push), commits a new global version,
+//     plans the weight broadcast to every explorer through the §5g weight
+//     plane, periodically echoes the aggregate back to the replicas so they
+//     do not drift, and owns per-fragment checkpointing.
+//
+// Relaxed assignment dependencies: stages never hand-shake. A learn
+// fragment may train on any rollout the sampler dispatched, and the sampler
+// dispatches any rollout at most Topology.MaxStaleness weight versions
+// behind the committed version (0 = strict assignment order, negative =
+// unbounded). The dispatch-time committed version is stamped into the
+// rollout header's BaseVersion so the bound is checkable downstream.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xingtian/internal/broker"
+	"xingtian/internal/buffer"
+	"xingtian/internal/checkpoint"
+	"xingtian/internal/message"
+	"xingtian/internal/queue"
+	"xingtian/internal/stats"
+	"xingtian/internal/weightplane"
+)
+
+// ackSnapshotEvery is the rollout cadence at which the sample fragment
+// forwards its ack ledger to the broadcast fragment. Snapshots are
+// privileged control traffic, so the cadence bounds their rate.
+const ackSnapshotEvery = 4
+
+// SampleFragment is the replay/sample stage: the one consumer of raw
+// rollout traffic. It keeps the rollout-carried ack ledger, enforces the
+// bounded-staleness edge, and load-balances dispatch across learn replicas.
+type SampleFragment struct {
+	port      *broker.Port
+	learnDsts []string
+	maxStale  int
+
+	committed atomic.Int64
+	ledger    map[string]int64 // touched only by the recv loop
+	next      int
+	sinceSnap int
+
+	staleDrops atomic.Int64
+	dispatched atomic.Int64
+
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	lastErr error
+}
+
+// NewSampleFragment builds the sample fragment over a broker port.
+func NewSampleFragment(port *broker.Port, learnDsts []string, maxStale int) *SampleFragment {
+	return &SampleFragment{
+		port:      port,
+		learnDsts: append([]string(nil), learnDsts...),
+		maxStale:  maxStale,
+		ledger:    make(map[string]int64),
+	}
+}
+
+// Start launches the sampler's receive/dispatch loop.
+func (s *SampleFragment) Start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+func (s *SampleFragment) loop() {
+	defer s.wg.Done()
+	for {
+		m, err := s.port.Recv()
+		if err != nil {
+			return // broker stopped
+		}
+		switch body := m.Body.(type) {
+		case *message.RolloutBody:
+			if !s.dispatch(m, body) {
+				return
+			}
+		case *message.ControlPayload:
+			switch body.Kind {
+			case message.ControlShutdown:
+				return
+			case message.ControlVersionAnnounce:
+				s.advanceCommitted(m.Header.WeightsVersion)
+			}
+		}
+	}
+}
+
+// dispatch applies the bounded-staleness rule to one rollout and forwards
+// the survivors. It returns false when the channel is torn down.
+func (s *SampleFragment) dispatch(m *message.Message, body *message.RolloutBody) bool {
+	v := m.Header.WeightsVersion
+	src := m.Header.Src
+	s.ledger[src] = v
+	c := s.committed.Load()
+	if s.maxStale >= 0 && c-v > int64(s.maxStale) {
+		// The rollout is older than the edge allows: shed it here. The
+		// explorer's credit is unharmed — broadcasts reach every explorer,
+		// so the spent fragment is refilled by the next weights message.
+		s.staleDrops.Add(1)
+	} else {
+		// Strict assignment order (K=0) routes by version: every rollout of
+		// one weights version reaches the same replica, so algorithms that
+		// train on one batch per explorer at the current policy (PPO) see
+		// the complete synchronous set — per-rollout round-robin would split
+		// it and no replica could ever train. Relaxed edges (K != 0) keep
+		// round-robin, which balances load without regard to version.
+		var dst string
+		if s.maxStale == 0 {
+			dst = s.learnDsts[int(v)%len(s.learnDsts)]
+		} else {
+			dst = s.learnDsts[s.next%len(s.learnDsts)]
+			s.next++
+		}
+		fm := message.New(message.TypeRollout, src, []string{dst}, body)
+		fm.Header.WeightsVersion = v
+		fm.Header.BaseVersion = c // dispatch-time committed version, for the bound's audit
+		if err := s.port.Send(fm); err != nil {
+			if !errors.Is(err, queue.ErrClosed) {
+				s.fail(fmt.Errorf("sample fragment dispatch: %w", err))
+			}
+			return false
+		}
+		s.dispatched.Add(1)
+	}
+	s.sinceSnap++
+	if s.sinceSnap >= ackSnapshotEvery {
+		s.sinceSnap = 0
+		snap := make(map[string]int64, len(s.ledger))
+		for k, ver := range s.ledger {
+			snap[k] = ver
+		}
+		sm := message.New(message.TypeControl, SampleName, []string{BroadcastName},
+			&message.ControlPayload{Kind: message.ControlAckSnapshot, Acked: snap})
+		if err := s.port.Send(sm); err != nil {
+			if !errors.Is(err, queue.ErrClosed) {
+				s.fail(fmt.Errorf("sample fragment ack snapshot: %w", err))
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// advanceCommitted raises the committed version monotonically — announces
+// can arrive out of order across machines and a regression would re-open
+// the staleness window.
+func (s *SampleFragment) advanceCommitted(v int64) {
+	for {
+		cur := s.committed.Load()
+		if v <= cur || s.committed.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func (s *SampleFragment) fail(err error) {
+	s.mu.Lock()
+	if s.lastErr == nil {
+		s.lastErr = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first error the sampler hit, if any.
+func (s *SampleFragment) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// StaleDrops reports rollouts shed by the bounded-staleness filter.
+func (s *SampleFragment) StaleDrops() int64 { return s.staleDrops.Load() }
+
+// Dispatched reports rollouts forwarded to learn fragments.
+func (s *SampleFragment) Dispatched() int64 { return s.dispatched.Load() }
+
+// Committed reports the newest committed weights version the sampler knows.
+func (s *SampleFragment) Committed() int64 { return s.committed.Load() }
+
+// Join waits for the sampler's loop after the broker has been stopped.
+func (s *SampleFragment) Join() { s.wg.Wait() }
+
+// LearnFragment is one learn replica: an Algorithm instance training on
+// whatever the sampler dispatches to it, pushing post-train weights to the
+// broadcast fragment, and installing the aggregate echoes it receives.
+type LearnFragment struct {
+	idx          int
+	alg          Algorithm
+	port         *broker.Port
+	recvBuf      *buffer.Buffer
+	numExplorers int
+
+	// WaitHist, TransHist, and Series mirror the legacy learner's
+	// measurement hooks; the session merges them across replicas.
+	WaitHist  *stats.Histogram
+	TransHist *stats.Histogram
+	Series    *stats.Series
+
+	stepsConsumed       atomic.Int64
+	trainIters          atomic.Int64
+	rolloutsSinceUpdate atomic.Int64
+
+	// observeStaleness, when set before Start, is called for every rollout
+	// the replica ingests with the rollout's weights version and the
+	// committed version stamped at dispatch — the audit hook the bounded-
+	// staleness property tests use.
+	observeStaleness func(rolloutVer, dispatchVer int64)
+
+	wg      sync.WaitGroup
+	stopped chan struct{}
+	stopOne sync.Once
+
+	mu      sync.Mutex
+	lastErr error
+}
+
+// NewLearnFragment builds learn replica idx around an algorithm and port.
+func NewLearnFragment(idx int, alg Algorithm, port *broker.Port, numExplorers int, bucket time.Duration) *LearnFragment {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	return &LearnFragment{
+		idx:          idx,
+		alg:          alg,
+		port:         port,
+		recvBuf:      buffer.New(),
+		numExplorers: numExplorers,
+		WaitHist:     stats.NewHistogram(),
+		TransHist:    stats.NewHistogram(),
+		Series:       stats.NewSeries(bucket),
+		stopped:      make(chan struct{}),
+	}
+}
+
+// SetStalenessObserver installs the per-rollout staleness audit hook. Call
+// before Start.
+func (l *LearnFragment) SetStalenessObserver(fn func(rolloutVer, dispatchVer int64)) {
+	l.observeStaleness = fn
+}
+
+// Start launches the replica's receiver and trainer threads.
+func (l *LearnFragment) Start() {
+	l.wg.Add(2)
+	go l.receiverLoop()
+	go l.trainerLoop()
+}
+
+func (l *LearnFragment) receiverLoop() {
+	defer l.wg.Done()
+	for {
+		m, err := l.port.Recv()
+		if err != nil {
+			l.recvBuf.Close()
+			return
+		}
+		if m.Header.Type == message.TypeRollout {
+			l.TransHist.Observe(time.Duration(time.Now().UnixNano() - m.Header.CreatedNanos))
+		}
+		if err := l.recvBuf.Put(m); err != nil {
+			return
+		}
+	}
+}
+
+// trainerLoop mirrors the legacy trainer thread: ingest what has arrived,
+// train when the algorithm is ready, push the result to the broadcast
+// fragment, and block only when there is truly nothing to do.
+func (l *LearnFragment) trainerLoop() {
+	defer l.wg.Done()
+	for {
+		select {
+		case <-l.stopped:
+			return
+		default:
+		}
+
+		ingested := l.drainNonBlocking()
+
+		res, ok, err := l.alg.TryTrain()
+		if err != nil {
+			l.fail(fmt.Errorf("learn fragment %d train: %w", l.idx, err))
+			return
+		}
+		if !ok {
+			// Warm-up credit refresh, as in the fused loop: explorers spend
+			// credit per rollout and refill on weights-class messages, so a
+			// replica that cannot train yet must nudge the broadcast
+			// fragment into re-broadcasting or the deployment can wedge
+			// with every explorer out of credit.
+			if l.rolloutsSinceUpdate.Load() >= int64(l.numExplorers) {
+				if !l.pushWeights() {
+					return
+				}
+			}
+			if ingested == 0 {
+				waitStart := time.Now()
+				m, err := l.recvBuf.Next()
+				if err != nil {
+					return
+				}
+				l.WaitHist.Observe(time.Since(waitStart))
+				if !l.ingest(m) {
+					return
+				}
+			}
+			continue
+		}
+
+		l.trainIters.Add(1)
+		l.stepsConsumed.Add(int64(res.StepsConsumed))
+		l.Series.Add(float64(res.StepsConsumed))
+		if res.Broadcast {
+			if !l.pushWeights() {
+				return
+			}
+		}
+	}
+}
+
+func (l *LearnFragment) drainNonBlocking() int {
+	n := 0
+	for n < drainCap {
+		m, err := l.recvBuf.TryNext()
+		if errors.Is(err, queue.ErrEmpty) || errors.Is(err, queue.ErrClosed) {
+			return n
+		}
+		if err != nil {
+			return n
+		}
+		if !l.ingest(m) {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// ingest routes one received message; it returns false on shutdown.
+func (l *LearnFragment) ingest(m *message.Message) bool {
+	switch body := m.Body.(type) {
+	case *message.RolloutBody:
+		if l.observeStaleness != nil {
+			l.observeStaleness(m.Header.WeightsVersion, m.Header.BaseVersion)
+		}
+		l.alg.PrepareData(body)
+		l.rolloutsSinceUpdate.Add(1)
+	case *message.WeightsPayload:
+		// Aggregate echo from the broadcast fragment: install it so the
+		// replicas stay within one aggregation of each other. All four zoo
+		// algorithms restore versions; one that cannot just keeps training
+		// on its own parameters.
+		if r, okR := l.alg.(WeightsRestorer); okR {
+			if err := r.RestoreWeights(body.Version, body.Data); err != nil {
+				l.fail(fmt.Errorf("learn fragment %d install aggregate: %w", l.idx, err))
+				return false
+			}
+		}
+	case *message.ControlPayload:
+		if body.Kind == message.ControlShutdown {
+			l.stopOne.Do(func() { close(l.stopped) })
+			return false
+		}
+	}
+	return true
+}
+
+// pushWeights sends the replica's current parameters to the broadcast
+// fragment. It returns false when the channel is torn down.
+func (l *LearnFragment) pushWeights() bool {
+	w := l.alg.Weights()
+	m := message.New(message.TypeWeights, LearnName(l.idx), []string{BroadcastName}, w)
+	m.Header.WeightsVersion = w.Version
+	if err := l.port.Send(m); err != nil {
+		if !errors.Is(err, queue.ErrClosed) {
+			l.fail(fmt.Errorf("learn fragment %d push: %w", l.idx, err))
+		}
+		return false
+	}
+	l.rolloutsSinceUpdate.Store(0)
+	return true
+}
+
+func (l *LearnFragment) fail(err error) {
+	l.mu.Lock()
+	if l.lastErr == nil {
+		l.lastErr = err
+	}
+	l.mu.Unlock()
+	l.stopOne.Do(func() { close(l.stopped) })
+}
+
+// Err returns the first error the replica hit, if any.
+func (l *LearnFragment) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastErr
+}
+
+// StepsConsumed reports rollout steps this replica trained on.
+func (l *LearnFragment) StepsConsumed() int64 { return l.stepsConsumed.Load() }
+
+// TrainIters reports completed training sessions on this replica.
+func (l *LearnFragment) TrainIters() int64 { return l.trainIters.Load() }
+
+// Algorithm exposes the replica's algorithm for tests and experiments.
+func (l *LearnFragment) Algorithm() Algorithm { return l.alg }
+
+// Stop signals the replica's threads to finish.
+func (l *LearnFragment) Stop() {
+	l.stopOne.Do(func() { close(l.stopped) })
+	l.recvBuf.Close()
+}
+
+// Join waits for the replica's threads after Stop and broker shutdown.
+func (l *LearnFragment) Join() { l.wg.Wait() }
+
+// BroadcastFragment aggregates replica weights into the committed model and
+// plans its distribution: weight-plane broadcasts to every explorer,
+// aggregate echoes to the replicas, version announces to the sampler, and
+// per-fragment checkpoints.
+type BroadcastFragment struct {
+	port      *broker.Port
+	explorers []string
+	learnDsts []string
+	plane     *weightplane.Planner
+	syncEvery int
+
+	ckptPath  string
+	ckptEvery int64
+	ckptKeep  int
+
+	version atomic.Int64
+	aggs    atomic.Int64
+
+	// Replica state is touched only by the recv loop.
+	replica    map[string][]float32
+	replicaVer map[string]int64
+	agg        []float32
+
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	lastErr error
+}
+
+// BroadcastConfig parameterizes the broadcast fragment.
+type BroadcastConfig struct {
+	// Explorers lists every explorer client name (broadcast destinations).
+	Explorers []string
+	// Learners lists the learn replica names (aggregate-echo destinations).
+	Learners []string
+	// SyncEvery is the aggregation cadence of replica echoes (>= 1).
+	SyncEvery int
+	// InitialVersion/InitialWeights seed the committed model (the replicas'
+	// shared initialization, or the restored checkpoint).
+	InitialVersion int64
+	InitialWeights []float32
+	// WeightPlane configures delta/quantized broadcasting (§5g).
+	WeightPlane weightplane.Config
+	// CheckpointPath, when set, saves the per-fragment checkpoint set every
+	// CheckpointEvery aggregations, rotating CheckpointKeep members.
+	CheckpointPath  string
+	CheckpointEvery int64
+	CheckpointKeep  int
+}
+
+// NewBroadcastFragment builds the broadcast fragment over a broker port.
+func NewBroadcastFragment(port *broker.Port, cfg BroadcastConfig) *BroadcastFragment {
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = 100
+	}
+	sync := cfg.SyncEvery
+	if sync < 1 {
+		sync = 1
+	}
+	b := &BroadcastFragment{
+		port:       port,
+		explorers:  append([]string(nil), cfg.Explorers...),
+		learnDsts:  append([]string(nil), cfg.Learners...),
+		plane:      weightplane.New(cfg.WeightPlane),
+		syncEvery:  sync,
+		ckptPath:   cfg.CheckpointPath,
+		ckptEvery:  every,
+		ckptKeep:   cfg.CheckpointKeep,
+		replica:    make(map[string][]float32),
+		replicaVer: make(map[string]int64),
+		agg:        append([]float32(nil), cfg.InitialWeights...),
+	}
+	b.version.Store(cfg.InitialVersion)
+	return b
+}
+
+// Start broadcasts the initial committed model (seeding every explorer's
+// behavior policy, as the fused loop does on Session.Start) and launches
+// the aggregation loop.
+func (b *BroadcastFragment) Start() {
+	b.broadcast()
+	b.wg.Add(1)
+	go b.loop()
+}
+
+func (b *BroadcastFragment) loop() {
+	defer b.wg.Done()
+	for {
+		m, err := b.port.Recv()
+		if err != nil {
+			return // broker stopped
+		}
+		switch body := m.Body.(type) {
+		case *message.WeightsPayload:
+			if !b.aggregate(m.Header.Src, body) {
+				return
+			}
+		case *message.ControlPayload:
+			switch body.Kind {
+			case message.ControlShutdown:
+				return
+			case message.ControlAckSnapshot:
+				b.port.MergeAcked(body.Acked)
+			case message.ControlWeightsResync:
+				b.plane.MarkStale(m.Header.Src)
+			}
+		}
+	}
+}
+
+// aggregate folds one replica push into the committed model: the aggregate
+// is the element-wise mean of every replica's latest weights (lazy
+// aggregation — replicas contribute at their own pace), the global version
+// advances, and the new model is distributed. It returns false when the
+// channel is torn down.
+func (b *BroadcastFragment) aggregate(src string, w *message.WeightsPayload) bool {
+	b.replica[src] = w.Data
+	b.replicaVer[src] = w.Version
+	if len(b.replica) == 1 {
+		b.agg = append(b.agg[:0], w.Data...)
+	} else {
+		if len(b.agg) != len(w.Data) {
+			b.fail(fmt.Errorf("broadcast fragment: replica %s pushed %d params, aggregate holds %d",
+				src, len(w.Data), len(b.agg)))
+			return false
+		}
+		for i := range b.agg {
+			var sum float32
+			for _, rw := range b.replica {
+				sum += rw[i]
+			}
+			b.agg[i] = sum / float32(len(b.replica))
+		}
+	}
+	b.version.Add(1)
+	n := b.aggs.Add(1)
+	if !b.broadcast() {
+		return false
+	}
+	// Echo the committed model back to the replicas — even a single one.
+	// The echo is what ties a replica's internal version counter to the
+	// committed version explorers see on their broadcasts: an on-policy
+	// algorithm (PPO) matches incoming batch versions against its own
+	// counter, and a warm-up push bumps the committed version without a
+	// train, so without the echo the two counters drift apart and every
+	// subsequent batch is discarded as stale. The echo is staged before any
+	// explorer's next batch can arrive, so the replica re-syncs first.
+	if n%int64(b.syncEvery) == 0 {
+		if !b.echoAggregate() {
+			return false
+		}
+	}
+	if b.ckptPath != "" && n%b.ckptEvery == 0 {
+		if err := b.saveCheckpoint(); err != nil {
+			b.fail(fmt.Errorf("broadcast fragment checkpoint: %w", err))
+			return false
+		}
+	}
+	return true
+}
+
+// broadcast plans and sends the committed model to every explorer through
+// the weight plane, then announces the committed version to the sampler.
+func (b *BroadcastFragment) broadcast() bool {
+	v := b.version.Load()
+	for _, o := range b.plane.Plan(b.agg, v, b.explorers, b.port.AckedWeights()) {
+		m := message.New(o.Type, BroadcastName, o.Dsts, o.Body)
+		m.Header.WeightsVersion = v
+		m.Header.BaseVersion = o.BaseVersion
+		if !b.send(m) {
+			return false
+		}
+	}
+	am := message.New(message.TypeControl, BroadcastName, []string{SampleName},
+		&message.ControlPayload{Kind: message.ControlVersionAnnounce})
+	am.Header.WeightsVersion = v
+	return b.send(am)
+}
+
+// echoAggregate sends the committed model back to every learn replica.
+func (b *BroadcastFragment) echoAggregate() bool {
+	m := message.New(message.TypeWeights, BroadcastName, b.learnDsts,
+		&message.WeightsPayload{Version: b.version.Load(), Data: append([]float32(nil), b.agg...)})
+	m.Header.WeightsVersion = b.version.Load()
+	return b.send(m)
+}
+
+// saveCheckpoint persists the per-fragment checkpoint set: the committed
+// aggregate plus each replica's last pushed weights.
+func (b *BroadcastFragment) saveCheckpoint() error {
+	states := []checkpoint.FragmentState{{
+		Name:  BroadcastName,
+		State: checkpoint.State{Version: b.version.Load(), Weights: append([]float32(nil), b.agg...)},
+	}}
+	for _, name := range b.learnDsts {
+		if w, ok := b.replica[name]; ok {
+			states = append(states, checkpoint.FragmentState{
+				Name:  name,
+				State: checkpoint.State{Version: b.replicaVer[name], Weights: append([]float32(nil), w...)},
+			})
+		}
+	}
+	if b.ckptKeep > 0 {
+		return checkpoint.SaveFragmentsRotating(b.ckptPath, states, b.ckptKeep)
+	}
+	return checkpoint.SaveFragments(b.ckptPath, states)
+}
+
+func (b *BroadcastFragment) send(m *message.Message) bool {
+	if err := b.port.Send(m); err != nil {
+		if !errors.Is(err, queue.ErrClosed) {
+			b.fail(fmt.Errorf("broadcast fragment send: %w", err))
+		}
+		return false
+	}
+	return true
+}
+
+func (b *BroadcastFragment) fail(err error) {
+	b.mu.Lock()
+	if b.lastErr == nil {
+		b.lastErr = err
+	}
+	b.mu.Unlock()
+}
+
+// Err returns the first error the broadcast fragment hit, if any.
+func (b *BroadcastFragment) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastErr
+}
+
+// Version reports the committed weights version.
+func (b *BroadcastFragment) Version() int64 { return b.version.Load() }
+
+// Aggregations reports completed aggregation rounds.
+func (b *BroadcastFragment) Aggregations() int64 { return b.aggs.Load() }
+
+// PlaneStats snapshots the weight plane's planning counters.
+func (b *BroadcastFragment) PlaneStats() weightplane.Stats { return b.plane.Stats() }
+
+// Join waits for the aggregation loop after the broker has been stopped.
+func (b *BroadcastFragment) Join() { b.wg.Wait() }
+
+// FragmentReport summarizes a fragment-topology run inside core.Report.
+type FragmentReport struct {
+	// Topology echoes the normalized topology the run used.
+	Learners     int
+	MaxStaleness int
+	// StaleDrops counts rollouts shed by the bounded-staleness filter and
+	// Dispatched the rollouts that reached a learn replica.
+	StaleDrops int64
+	Dispatched int64
+	// Aggregations counts broadcast-fragment aggregation rounds and
+	// CommittedVersion the final committed weights version.
+	Aggregations     int64
+	CommittedVersion int64
+	// LearnSteps/LearnIters break consumption down per replica.
+	LearnSteps []int64
+	LearnIters []int64
+	// Plane is the weight plane's final planning counters.
+	Plane weightplane.Stats
+}
+
+// fragRuntime is the Session-side scheduler state for a fragment topology.
+type fragRuntime struct {
+	topo    Topology
+	sampler *SampleFragment
+	learns  []*LearnFragment
+	caster  *BroadcastFragment
+
+	maxSteps int64
+	done     chan struct{}
+	doneOne  sync.Once
+	monWG    sync.WaitGroup
+	stopMon  chan struct{}
+}
+
+// start launches every fragment plus the completion monitor (the fragment
+// scheduler's only centralized piece: fragments do not know the global step
+// budget, so the session sums replica consumption and ends the run).
+func (f *fragRuntime) start() {
+	f.caster.Start()
+	for _, l := range f.learns {
+		l.Start()
+	}
+	f.sampler.Start()
+	f.monWG.Add(1)
+	go f.monitor()
+}
+
+func (f *fragRuntime) monitor() {
+	defer f.monWG.Done()
+	ticker := time.NewTicker(5 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.stopMon:
+			return
+		case <-ticker.C:
+			if f.maxSteps > 0 && f.stepsConsumed() >= f.maxSteps {
+				f.doneOne.Do(func() { close(f.done) })
+				return
+			}
+			for _, l := range f.learns {
+				if l.Err() != nil {
+					f.doneOne.Do(func() { close(f.done) })
+					return
+				}
+			}
+			if f.sampler.Err() != nil || f.caster.Err() != nil {
+				f.doneOne.Do(func() { close(f.done) })
+				return
+			}
+		}
+	}
+}
+
+func (f *fragRuntime) stepsConsumed() int64 {
+	var sum int64
+	for _, l := range f.learns {
+		sum += l.StepsConsumed()
+	}
+	return sum
+}
+
+func (f *fragRuntime) trainIters() int64 {
+	var sum int64
+	for _, l := range f.learns {
+		sum += l.TrainIters()
+	}
+	return sum
+}
+
+// err returns the first fragment error, if any.
+func (f *fragRuntime) err() error {
+	for _, l := range f.learns {
+		if e := l.Err(); e != nil {
+			return e
+		}
+	}
+	if e := f.sampler.Err(); e != nil {
+		return e
+	}
+	return f.caster.Err()
+}
+
+// stop signals every fragment to finish; the broker teardown that follows
+// unblocks their receive loops.
+func (f *fragRuntime) stop() {
+	close(f.stopMon)
+	f.doneOne.Do(func() { close(f.done) })
+	for _, l := range f.learns {
+		l.Stop()
+	}
+}
+
+// join waits for every fragment thread after broker shutdown.
+func (f *fragRuntime) join() {
+	f.monWG.Wait()
+	f.sampler.Join()
+	for _, l := range f.learns {
+		l.Join()
+	}
+	f.caster.Join()
+}
+
+// report assembles the fragment-side measurements.
+func (f *fragRuntime) report() *FragmentReport {
+	fr := &FragmentReport{
+		Learners:         f.topo.Learners,
+		MaxStaleness:     f.topo.MaxStaleness,
+		StaleDrops:       f.sampler.StaleDrops(),
+		Dispatched:       f.sampler.Dispatched(),
+		Aggregations:     f.caster.Aggregations(),
+		CommittedVersion: f.caster.Version(),
+		Plane:            f.caster.PlaneStats(),
+	}
+	for _, l := range f.learns {
+		fr.LearnSteps = append(fr.LearnSteps, l.StepsConsumed())
+		fr.LearnIters = append(fr.LearnIters, l.TrainIters())
+	}
+	return fr
+}
+
+// mergedSeries sums per-replica throughput series element-wise.
+func (f *fragRuntime) mergedSeries() []float64 {
+	var out []float64
+	for _, l := range f.learns {
+		s := l.Series.PerSecond()
+		if len(s) > len(out) {
+			grown := make([]float64, len(s))
+			copy(grown, out)
+			out = grown
+		}
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// meanOver computes the observation-weighted mean of per-replica histogram
+// means.
+func meanOver(hists []*stats.Histogram) time.Duration {
+	var total int64
+	var weighted float64
+	for _, h := range hists {
+		n := int64(h.Count())
+		total += n
+		weighted += float64(h.Mean()) * float64(n)
+	}
+	if total == 0 {
+		return 0
+	}
+	return time.Duration(weighted / float64(total))
+}
+
+// busiest returns the histogram with the most observations (the CDF the
+// report carries; replicas see statistically identical traffic).
+func busiest(hists []*stats.Histogram) *stats.Histogram {
+	best := hists[0]
+	for _, h := range hists[1:] {
+		if h.Count() > best.Count() {
+			best = h
+		}
+	}
+	return best
+}

@@ -1,0 +1,524 @@
+package core_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xingtian/internal/algorithm"
+	"xingtian/internal/checkpoint"
+	"xingtian/internal/core"
+	"xingtian/internal/env"
+	"xingtian/internal/fabric"
+	"xingtian/internal/netsim"
+)
+
+func quickDDPGFactories(t *testing.T) (core.AlgorithmFactory, core.AgentFactory) {
+	t.Helper()
+	e := env.NewPendulum(0)
+	spec := algorithm.ContinuousSpecFor(e)
+	algF := func(seed int64) (core.Algorithm, error) {
+		cfg := algorithm.DefaultDDPGConfig()
+		cfg.TrainStart = 100
+		cfg.TrainEvery = 2
+		cfg.BatchSize = 16
+		return algorithm.NewDDPG(spec, cfg, seed), nil
+	}
+	agF := func(id int32, seed int64) (core.Agent, error) {
+		runner := algorithm.NewContinuousEnvRunner(env.NewPendulum(seed))
+		return algorithm.NewDDPGAgent(spec, runner, seed), nil
+	}
+	return algF, agF
+}
+
+// TestFragmentFusedCompatTopology: the zero-value and FusedTopology configs
+// must keep the legacy single-Learner loop — same code path as the seed, so
+// compatibility is bit-for-bit by construction.
+func TestFragmentFusedCompatTopology(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		topo core.Topology
+	}{
+		{"zero-value", core.Topology{}},
+		{"explicit-fused", core.FusedTopology()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			algF, agF := quickDQNFactories(t)
+			s, err := core.NewSession(core.Config{
+				NumExplorers: 2,
+				RolloutLen:   50,
+				MaxSteps:     1000,
+				MaxDuration:  30 * time.Second,
+				Topology:     tc.topo,
+			}, algF, agF, 1)
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			if s.Learner() == nil {
+				t.Fatal("fused topology must run the legacy Learner")
+			}
+			if sampler, _, _ := s.Fragments(); sampler != nil {
+				t.Fatal("fused topology must not build the fragment runtime")
+			}
+			s.Start()
+			s.Wait()
+			rep := s.Stop()
+			if err := s.Err(); err != nil {
+				t.Fatalf("session error: %v", err)
+			}
+			if rep.StepsConsumed < 1000 {
+				t.Fatalf("StepsConsumed = %d, want >= 1000", rep.StepsConsumed)
+			}
+			if rep.Fragments != nil {
+				t.Fatal("fused run must not report fragment measurements")
+			}
+		})
+	}
+}
+
+// TestFragmentRuntimeAllAlgorithms: all four zoo algorithms must run
+// unchanged on the fragment runtime (single learn replica), reach their step
+// goal, and leave the channel refcount-clean.
+func TestFragmentRuntimeAllAlgorithms(t *testing.T) {
+	cases := []struct {
+		name      string
+		factories func() (core.AlgorithmFactory, core.AgentFactory)
+		explorers int
+		rollout   int
+		maxSteps  int64
+	}{
+		{"DQN", func() (core.AlgorithmFactory, core.AgentFactory) { return quickDQNFactories(t) }, 2, 50, 1000},
+		{"IMPALA", func() (core.AlgorithmFactory, core.AgentFactory) { return quickIMPALAFactories(t) }, 2, 40, 1200},
+		{"PPO", func() (core.AlgorithmFactory, core.AgentFactory) { return quickPPOFactories(t, 2) }, 2, 64, 1280},
+		{"DDPG", func() (core.AlgorithmFactory, core.AgentFactory) { return quickDDPGFactories(t) }, 2, 50, 800},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			algF, agF := tc.factories()
+			s, err := core.NewSession(core.Config{
+				NumExplorers: tc.explorers,
+				RolloutLen:   tc.rollout,
+				MaxSteps:     tc.maxSteps,
+				MaxDuration:  60 * time.Second,
+				Topology:     core.Topology{Learners: 1, MaxStaleness: core.StalenessUnbounded},
+			}, algF, agF, 11)
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			if s.Learner() != nil {
+				t.Fatal("fragmented topology must not build the legacy Learner")
+			}
+			s.Start()
+			s.Wait()
+			// An algorithm that trains many times per rollout (e.g. DQN off
+			// its replay buffer) can hit MaxSteps before the broadcast
+			// fragment is ever scheduled; its queued weight pushes are still
+			// in flight. Wait for the first aggregation so the assertion
+			// checks wiring, not goroutine scheduling.
+			_, _, caster := s.Fragments()
+			deadline := time.Now().Add(10 * time.Second)
+			for caster.Aggregations() == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			rep := s.Stop()
+			if err := s.Err(); err != nil {
+				t.Fatalf("session error: %v", err)
+			}
+			if rep.StepsConsumed < tc.maxSteps {
+				t.Fatalf("StepsConsumed = %d, want >= %d", rep.StepsConsumed, tc.maxSteps)
+			}
+			if rep.Fragments == nil {
+				t.Fatal("fragmented run must report fragment measurements")
+			}
+			if rep.Fragments.Dispatched == 0 {
+				t.Fatal("sampler dispatched nothing")
+			}
+			if rep.Fragments.Aggregations == 0 {
+				t.Fatal("broadcast fragment never aggregated")
+			}
+			if leaked := rep.Channel.TotalLeaked(); leaked != 0 {
+				t.Fatalf("TotalLeaked = %d, want 0; health:\n%s", leaked, rep.Channel.String())
+			}
+		})
+	}
+}
+
+// TestFragmentTwoLearnerIMPALA: a replicated topology must spread training
+// across both learn replicas and aggregate their weights.
+func TestFragmentTwoLearnerIMPALA(t *testing.T) {
+	algF, agF := quickIMPALAFactories(t)
+	s, err := core.NewSession(core.Config{
+		NumExplorers: 4,
+		RolloutLen:   40,
+		MaxSteps:     4000,
+		MaxDuration:  60 * time.Second,
+		Topology:     core.ReplicatedTopology(2),
+	}, algF, agF, 12)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	s.Start()
+	s.Wait()
+	rep := s.Stop()
+	if err := s.Err(); err != nil {
+		t.Fatalf("session error: %v", err)
+	}
+	if rep.StepsConsumed < 4000 {
+		t.Fatalf("StepsConsumed = %d, want >= 4000", rep.StepsConsumed)
+	}
+	fr := rep.Fragments
+	if fr == nil || len(fr.LearnSteps) != 2 {
+		t.Fatalf("Fragments = %+v, want 2 learn replicas", fr)
+	}
+	for i, steps := range fr.LearnSteps {
+		if steps == 0 {
+			t.Fatalf("learn replica %d consumed no steps (dispatch must round-robin)", i)
+		}
+	}
+	if fr.Aggregations < 2 {
+		t.Fatalf("Aggregations = %d, want >= 2", fr.Aggregations)
+	}
+	if fr.CommittedVersion == 0 {
+		t.Fatal("committed version never advanced")
+	}
+	if leaked := rep.Channel.TotalLeaked(); leaked != 0 {
+		t.Fatalf("TotalLeaked = %d, want 0", leaked)
+	}
+}
+
+// TestFragmentStalenessBound is the bounded-staleness property test: for
+// every K, no learn replica may ever observe a rollout more than K weight
+// versions behind the committed version stamped at dispatch; K=0 must
+// reproduce strict assignment order (every trained rollout carries the
+// committed weights version or newer).
+func TestFragmentStalenessBound(t *testing.T) {
+	for _, k := range []int{0, 1, 3} {
+		t.Run(fmt.Sprintf("K=%d", k), func(t *testing.T) {
+			algF, agF := quickIMPALAFactories(t)
+			s, err := core.NewSession(core.Config{
+				NumExplorers: 4,
+				RolloutLen:   40,
+				MaxSteps:     3000,
+				MaxDuration:  60 * time.Second,
+				Topology:     core.Topology{Learners: 2, MaxStaleness: k},
+			}, algF, agF, int64(20+k))
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			var observed atomic.Int64
+			var mu sync.Mutex
+			var violations []string
+			_, learns, _ := s.Fragments()
+			for i, l := range learns {
+				i := i
+				l.SetStalenessObserver(func(rolloutVer, dispatchVer int64) {
+					observed.Add(1)
+					if dispatchVer-rolloutVer > int64(k) {
+						mu.Lock()
+						if len(violations) < 8 {
+							violations = append(violations, fmt.Sprintf(
+								"replica %d: rollout version %d is %d behind committed %d (bound %d)",
+								i, rolloutVer, dispatchVer-rolloutVer, dispatchVer, k))
+						}
+						mu.Unlock()
+					}
+				})
+			}
+			s.Start()
+			s.Wait()
+			rep := s.Stop()
+			if err := s.Err(); err != nil {
+				t.Fatalf("session error: %v", err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if len(violations) > 0 {
+				t.Fatalf("staleness bound violated:\n%v", violations)
+			}
+			if observed.Load() == 0 {
+				t.Fatal("no rollouts observed")
+			}
+			if rep.Fragments.MaxStaleness != k {
+				t.Fatalf("report MaxStaleness = %d, want %d", rep.Fragments.MaxStaleness, k)
+			}
+		})
+	}
+}
+
+// TestFragmentStrictOrderOnPolicy: under strict assignment order (K=0) the
+// sampler routes by version — every rollout of one weights version reaches
+// the same replica — so an on-policy algorithm that trains on one batch per
+// explorer at the current policy (PPO) still assembles its complete
+// synchronous set under replication. Per-rollout round-robin would split the
+// set and livelock PPO: no replica could ever collect all four explorers'
+// batches before the version moved (regression caught live; this pins it).
+func TestFragmentStrictOrderOnPolicy(t *testing.T) {
+	algF, agF := quickPPOFactories(t, 4)
+	s, err := core.NewSession(core.Config{
+		NumExplorers: 4,
+		RolloutLen:   40,
+		MaxSteps:     1600,
+		MaxDuration:  60 * time.Second,
+		Topology:     core.Topology{Learners: 2, MaxStaleness: 0},
+	}, algF, agF, 31)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	s.Start()
+	s.Wait()
+	rep := s.Stop()
+	if err := s.Err(); err != nil {
+		t.Fatalf("session error: %v", err)
+	}
+	if rep.TrainIters == 0 {
+		t.Fatal("PPO never trained under strict assignment order with 2 replicas")
+	}
+	if rep.StepsConsumed < 1600 {
+		t.Fatalf("steps consumed = %d, want >= 1600", rep.StepsConsumed)
+	}
+	if leaked := rep.Channel.TotalLeaked(); leaked != 0 {
+		t.Fatalf("%d object(s) leaked", leaked)
+	}
+}
+
+// fragTopologyCase is one CI matrix entry of the fragment-topology job.
+type fragTopologyCase struct {
+	name      string
+	machines  int
+	grid      bool // real-TCP fabric.Grid instead of netsim
+	explorers int
+	maxSteps  int64
+	topo      core.Topology
+}
+
+var fragTopologyCases = []fragTopologyCase{
+	{name: "fused-1m", machines: 1, explorers: 2, maxSteps: 1500, topo: core.FusedTopology()},
+	{name: "impala-2l", machines: 1, explorers: 4, maxSteps: 3000, topo: core.ReplicatedTopology(2)},
+	{name: "grid-4m", machines: 4, grid: true, explorers: 4, maxSteps: 2000, topo: core.Topology{
+		Learners:         2,
+		SampleMachine:    0,
+		BroadcastMachine: 3,
+		LearnMachines:    []int{1, 2},
+		MaxStaleness:     core.StalenessUnbounded,
+	}},
+}
+
+// fragTopologyReport is the JSON artifact one matrix run writes.
+type fragTopologyReport struct {
+	Topology        string               `json:"topology"`
+	Machines        int                  `json:"machines"`
+	Grid            bool                 `json:"grid"`
+	StepsConsumed   int64                `json:"steps_consumed"`
+	TrainIters      int64                `json:"train_iters"`
+	Throughput      float64              `json:"throughput_steps_per_s"`
+	DurationMS      int64                `json:"duration_ms"`
+	PrivilegedDrops int64                `json:"privileged_drops"`
+	Leaked          int64                `json:"leaked"`
+	Fragments       *core.FragmentReport `json:"fragments,omitempty"`
+}
+
+// TestFragmentTopologyCI is the fragment-topology matrix driver the CI
+// `fragments` job runs: XT_FRAG_TOPOLOGY selects the case (all run without
+// it), each asserting a clean store drain and zero privileged drops, and
+// XT_FRAG_REPORT names the per-topology JSON report artifact.
+func TestFragmentTopologyCI(t *testing.T) {
+	want := os.Getenv("XT_FRAG_TOPOLOGY")
+	ran := false
+	for _, tc := range fragTopologyCases {
+		if want != "" && tc.name != want {
+			continue
+		}
+		ran = true
+		t.Run(tc.name, func(t *testing.T) {
+			runFragTopologyCase(t, tc)
+		})
+	}
+	if !ran {
+		t.Fatalf("unknown XT_FRAG_TOPOLOGY %q", want)
+	}
+}
+
+func runFragTopologyCase(t *testing.T, tc fragTopologyCase) {
+	algF, agF := quickIMPALAFactories(t)
+	cfg := core.Config{
+		NumExplorers: tc.explorers,
+		RolloutLen:   40,
+		MaxSteps:     tc.maxSteps,
+		MaxDuration:  90 * time.Second,
+		Machines:     tc.machines,
+		Topology:     tc.topo,
+	}
+	if tc.grid {
+		g, err := fabric.NewGrid(tc.machines, fabric.GridOptions{})
+		if err != nil {
+			t.Fatalf("NewGrid: %v", err)
+		}
+		cfg.Transport = g
+	} else if tc.machines > 1 {
+		cfg.Net = netsim.Config{Bandwidth: 1 << 30, TimeScale: 1}
+	}
+	s, err := core.NewSession(cfg, algF, agF, 33)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	s.Start()
+	s.Wait()
+
+	// Drop taxonomy before Stop: anything but backpressure shedding on a
+	// healthy run is a routing or refcount bug, and a privileged message
+	// (weights/control) must never have been dropped at all.
+	live := s.ChannelHealth()
+	var privileged int64
+	for _, bm := range live.Brokers {
+		d := bm.Drops
+		if other := d.Total() - d.ShedOldest - d.StoreBudget; other != 0 {
+			t.Errorf("machine %d dropped %d messages outside backpressure shedding: %+v",
+				bm.MachineID, other, d)
+			privileged += other
+		}
+	}
+
+	rep := s.Stop()
+	if err := s.Err(); err != nil {
+		t.Fatalf("session error: %v", err)
+	}
+	if rep.StepsConsumed < tc.maxSteps {
+		t.Fatalf("StepsConsumed = %d, want >= %d", rep.StepsConsumed, tc.maxSteps)
+	}
+	leaked := rep.Channel.TotalLeaked()
+	if leaked != 0 {
+		t.Fatalf("store not drained: TotalLeaked = %d\n%s", leaked, rep.Channel.String())
+	}
+	for _, bm := range rep.Channel.Brokers {
+		if bm.ReleaseErrors != 0 {
+			t.Fatalf("machine %d ReleaseErrors = %d, want 0", bm.MachineID, bm.ReleaseErrors)
+		}
+	}
+
+	if path := os.Getenv("XT_FRAG_REPORT"); path != "" {
+		out := fragTopologyReport{
+			Topology:        tc.name,
+			Machines:        tc.machines,
+			Grid:            tc.grid,
+			StepsConsumed:   rep.StepsConsumed,
+			TrainIters:      rep.TrainIters,
+			Throughput:      rep.Throughput,
+			DurationMS:      rep.Duration.Milliseconds(),
+			PrivilegedDrops: privileged,
+			Leaked:          leaked,
+			Fragments:       rep.Fragments,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal report: %v", err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatalf("write report: %v", err)
+		}
+	}
+}
+
+// TestFragmentCheckpointResume: a fragmented run saves per-fragment state
+// (committed aggregate plus each replica's last push), and a resumed
+// session continues from the saved committed version instead of restarting
+// the version sequence.
+func TestFragmentCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.ckpt")
+	algF, agF := quickIMPALAFactories(t)
+	cfg := core.Config{
+		NumExplorers:    2,
+		RolloutLen:      40,
+		MaxSteps:        2000,
+		MaxDuration:     60 * time.Second,
+		Topology:        core.ReplicatedTopology(2),
+		CheckpointPath:  path,
+		CheckpointEvery: 2,
+	}
+	rep, err := core.Run(cfg, algF, agF, 14)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	states, err := checkpoint.LoadLatestFragments(path)
+	if err != nil {
+		t.Fatalf("LoadLatestFragments: %v", err)
+	}
+	byName := map[string]checkpoint.State{}
+	for _, fs := range states {
+		byName[fs.Name] = fs.State
+	}
+	saved, ok := byName[core.BroadcastName]
+	if !ok {
+		t.Fatalf("checkpoint set %v missing the broadcast fragment", states)
+	}
+	if saved.Version <= 0 || len(saved.Weights) == 0 {
+		t.Fatalf("broadcast state = v%d with %d weights", saved.Version, len(saved.Weights))
+	}
+	if _, ok := byName[core.LearnName(0)]; !ok {
+		t.Fatalf("checkpoint set %v missing learn-0", states)
+	}
+	_ = rep
+
+	cfg.Resume = true
+	s, err := core.NewSession(cfg, algF, agF, 15)
+	if err != nil {
+		t.Fatalf("resumed NewSession: %v", err)
+	}
+	_, _, caster := s.Fragments()
+	if got := caster.Version(); got != saved.Version {
+		t.Fatalf("resumed committed version = %d, want %d", got, saved.Version)
+	}
+	s.Start()
+	s.Wait()
+	s.Stop()
+	if err := s.Err(); err != nil {
+		t.Fatalf("resumed session error: %v", err)
+	}
+}
+
+// TestStopDuringRestartBackoffReturnsPromptly: Session.Stop issued while a
+// supervisor sleeps out a restart backoff must interrupt the sleep instead
+// of waiting the timer out.
+func TestStopDuringRestartBackoffReturnsPromptly(t *testing.T) {
+	algF := func(seed int64) (core.Algorithm, error) { return &countingAlgorithm{}, nil }
+	agF := func(id int32, seed int64) (core.Agent, error) {
+		return &faultyAgent{failAfter: 1}, nil
+	}
+	backoff := 30 * time.Second
+	s, err := core.NewSession(core.Config{
+		NumExplorers:        1,
+		RolloutLen:          10,
+		MaxSteps:            1 << 40,
+		MaxDuration:         5 * time.Minute,
+		MaxExplorerRestarts: 10,
+		RestartBackoff:      backoff,
+	}, algF, agF, 13)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	s.Start()
+
+	// Wait until supervision has observed the failure (LastRestartError is
+	// recorded after teardown, right before the backoff sleep starts).
+	deadline := time.Now().Add(10 * time.Second)
+	for s.ChannelHealth().Supervision.LastRestartError == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("supervision never observed the explorer failure")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	stopStart := time.Now()
+	rep := s.Stop()
+	if elapsed := time.Since(stopStart); elapsed > 5*time.Second {
+		t.Fatalf("Stop took %v with a %v restart backoff pending — the backoff sleep must be interrupted",
+			elapsed, backoff)
+	}
+	if leaked := rep.Channel.TotalLeaked(); leaked != 0 {
+		t.Fatalf("TotalLeaked = %d", leaked)
+	}
+}

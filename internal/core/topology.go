@@ -1,0 +1,147 @@
+package core
+
+import "fmt"
+
+// FragmentKind identifies one of the four dataflow-fragment types the
+// training loop decomposes into (the MSRL fragment model): rollout fragments
+// (explorers), the replay/sample fragment, learn fragments, and the
+// broadcast fragment.
+type FragmentKind uint8
+
+// Fragment kinds.
+const (
+	FragRollout FragmentKind = iota + 1
+	FragSample
+	FragLearn
+	FragBroadcast
+)
+
+// String returns a human-readable fragment-kind name.
+func (k FragmentKind) String() string {
+	switch k {
+	case FragRollout:
+		return "rollout"
+	case FragSample:
+		return "sample"
+	case FragLearn:
+		return "learn"
+	case FragBroadcast:
+		return "broadcast"
+	default:
+		return "unknown"
+	}
+}
+
+// SampleName is the canonical client name of the replay/sample fragment.
+const SampleName = "sampler"
+
+// BroadcastName is the canonical client name of the broadcast fragment.
+const BroadcastName = "broadcaster"
+
+// LearnName formats the canonical client name of a learn-fragment replica.
+func LearnName(i int) string { return fmt.Sprintf("learn-%d", i) }
+
+// StalenessUnbounded disables the sample→learn staleness filter: rollouts
+// are dispatched regardless of how many weight versions behind they are.
+const StalenessUnbounded = -1
+
+// Topology describes how the training loop's fragments are replicated and
+// placed. The zero value is the fused compatibility topology: the
+// replay/sample, learn, and broadcast fragments run fused inside the single
+// legacy Learner on machine 0, reproducing the seed's
+// explorer→broker→learner loop bit for bit. Any non-fused topology runs the
+// fragment runtime instead: explorers ship rollouts to the sample fragment,
+// which dispatches them round-robin to N learn replicas under a bounded-
+// staleness rule, and a broadcast fragment aggregates replica weights and
+// plans the broadcasts back to every explorer.
+type Topology struct {
+	// Learners replicates the learn fragment. 0 keeps the fused legacy
+	// loop; 1 runs a single learn fragment on the fragment runtime; values
+	// > 1 replicate it (Fused must be false).
+	Learners int
+	// Fused runs the compatibility topology regardless of the other fields
+	// (except Learners, which must be <= 1): sample+learn+broadcast fused
+	// in the legacy Learner. A zero-value Topology is treated as fused.
+	Fused bool
+	// SampleMachine places the replay/sample fragment (default machine 0).
+	SampleMachine int
+	// BroadcastMachine places the broadcast fragment (default machine 0).
+	BroadcastMachine int
+	// LearnMachines places each learn replica; nil places all replicas on
+	// machine 0, otherwise its length must equal the replica count.
+	LearnMachines []int
+	// MaxStaleness bounds the sample→learn edge in weight versions: a
+	// rollout generated under weights version v is dispatched only while
+	// the broadcast fragment's committed version c satisfies c-v <=
+	// MaxStaleness. 0 is strict assignment order (only rollouts from the
+	// current weights reach a learn fragment); StalenessUnbounded (-1, or
+	// any negative value) disables the filter. Ignored when Fused.
+	MaxStaleness int
+	// SyncEvery makes the broadcast fragment echo the aggregated weights
+	// back to the learn replicas every SyncEvery aggregations (0 = every
+	// aggregation). The echo keeps replicas from drifting apart and pins
+	// each replica's internal version counter to the committed version
+	// explorers see — on-policy algorithms need SyncEvery == 1.
+	SyncEvery int
+}
+
+// FusedTopology returns the compatibility topology: the seed's single-
+// learner loop, bit-for-bit.
+func FusedTopology() Topology { return Topology{Learners: 1, Fused: true} }
+
+// ReplicatedTopology returns a fragment topology with n learn replicas on
+// machine 0 and an unbounded staleness edge — the multi-learner scaling
+// configuration.
+func ReplicatedTopology(n int) Topology {
+	return Topology{Learners: n, MaxStaleness: StalenessUnbounded}
+}
+
+// fragmented reports whether the topology runs the fragment runtime (as
+// opposed to the fused legacy loop). A zero-value Topology (Fused false,
+// Learners 0) is fused: callers opt into the fragment runtime by naming a
+// replica count, e.g. Topology{Learners: 1} or ReplicatedTopology(n).
+func (t Topology) fragmented() bool {
+	return !t.Fused && t.Learners >= 1
+}
+
+// normalized fills defaults and validates the topology against the
+// deployment width.
+func (t Topology) normalized(machines int) (Topology, error) {
+	if t.Learners < 1 {
+		t.Learners = 1
+	}
+	if t.Fused && t.Learners > 1 {
+		return t, fmt.Errorf("core: fused topology cannot replicate the learn fragment (%d learners)", t.Learners)
+	}
+	if t.LearnMachines == nil {
+		t.LearnMachines = make([]int, t.Learners)
+	}
+	if len(t.LearnMachines) != t.Learners {
+		return t, fmt.Errorf("core: topology places %d learn fragments but replicates %d",
+			len(t.LearnMachines), t.Learners)
+	}
+	place := func(what string, m int) error {
+		if m < 0 || m >= machines {
+			return fmt.Errorf("core: topology places the %s fragment on machine %d of %d", what, m, machines)
+		}
+		return nil
+	}
+	if err := place("sample", t.SampleMachine); err != nil {
+		return t, err
+	}
+	if err := place("broadcast", t.BroadcastMachine); err != nil {
+		return t, err
+	}
+	for _, m := range t.LearnMachines {
+		if err := place("learn", m); err != nil {
+			return t, err
+		}
+	}
+	if t.MaxStaleness < 0 {
+		t.MaxStaleness = StalenessUnbounded
+	}
+	if t.SyncEvery < 1 {
+		t.SyncEvery = 1
+	}
+	return t, nil
+}

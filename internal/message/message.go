@@ -199,6 +199,16 @@ const (
 	// failed to apply (stale base after a restart, corrupt payload), so the
 	// learner must fall back to a dense snapshot for that explorer.
 	ControlWeightsResync
+	// ControlAckSnapshot carries a sample fragment's rollout-carried
+	// weights-version ledger to the broadcast fragment, whose broker may
+	// never see rollout traffic directly (the fragments can live on
+	// different machines). The snapshot rides in ControlPayload.Acked.
+	ControlAckSnapshot
+	// ControlVersionAnnounce tells the sample fragment which weights
+	// version the broadcast fragment last committed; the version itself
+	// travels in Header.WeightsVersion. The sampler's bounded-staleness
+	// filter measures rollout age against it.
+	ControlVersionAnnounce
 )
 
 // ControlPayload carries a control command from a controller.
@@ -206,6 +216,9 @@ type ControlPayload struct {
 	Kind ControlKind
 	// Hyperparams is set for ControlSetHyperparams (PBT mutation).
 	Hyperparams map[string]float64
+	// Acked is set for ControlAckSnapshot: the last weights version seen on
+	// each source's rollout traffic, keyed by source name.
+	Acked map[string]int64
 }
 
 // DummyPayload is the opaque byte body used by the §5.1 data-transmission

@@ -423,6 +423,11 @@ func appendControl(out []byte, c *message.ControlPayload) []byte {
 		out = putString(out, k)
 		out = putF64(out, v)
 	}
+	out = putU32(out, uint32(len(c.Acked)))
+	for k, v := range c.Acked {
+		out = putString(out, k)
+		out = putU64(out, uint64(v))
+	}
 	return out
 }
 
@@ -445,6 +450,24 @@ func unmarshalControl(data []byte) (*message.ControlPayload, error) {
 				return nil, r.err
 			}
 			c.Hyperparams[k] = v
+		}
+	}
+	na := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if na > 0 {
+		if na > len(data) {
+			return nil, fmt.Errorf("control ack count %d: %w", na, ErrBadPayload)
+		}
+		c.Acked = make(map[string]int64, na)
+		for i := 0; i < na; i++ {
+			k := r.str()
+			v := int64(r.u64())
+			if r.err != nil {
+				return nil, r.err
+			}
+			c.Acked[k] = v
 		}
 	}
 	return c, nil
