@@ -59,6 +59,12 @@ type fileConfig struct {
 	Learners     int    `json:"learners"`
 	MaxStaleness int    `json:"max_staleness"`
 	SyncEvery    int    `json:"sync_every"`
+
+	// LearnerRestarts < 0 keeps the fail-fast seed semantics; >= 0 arms
+	// learn-replica failover with that respawn budget (needs -topology
+	// replicated and >= 2 learners). HeartbeatMS tunes the liveness cadence.
+	LearnerRestarts int `json:"learner_restarts"`
+	HeartbeatMS     int `json:"heartbeat_ms"`
 }
 
 // topologyFor maps the deployment description onto a core.Topology. The
@@ -120,6 +126,8 @@ func run() int {
 		learners   = flag.Int("learners", 1, "learn-fragment replicas (with -topology replicated)")
 		staleness  = flag.Int("staleness", -1, "max sample→learn staleness in weight versions: 0 = strict assignment order, -1 = unbounded (with -topology replicated)")
 		syncEvery  = flag.Int("sync-every", 1, "aggregations between weight echoes back to the learn replicas (with -topology replicated)")
+		lRestarts  = flag.Int("learner-restarts", -1, "learn-replica respawn budget: -1 = fail fast (seed semantics), >= 0 arms quarantine/respawn failover with that budget (needs -topology replicated and >= 2 learners)")
+		heartbeat  = flag.Duration("heartbeat", 0, "learn-replica liveness cadence under -learner-restarts >= 0 (0 = default 25ms; hung-replica deadline is 4 missed beats)")
 	)
 	flag.Parse()
 
@@ -135,6 +143,7 @@ func run() int {
 		WeightSkipFactor: *wSkip, WeightTreeFanout: *wTree,
 		Topology: *topology, Learners: *learners,
 		MaxStaleness: *staleness, SyncEvery: *syncEvery,
+		LearnerRestarts: *lRestarts, HeartbeatMS: int(heartbeat.Milliseconds()),
 	}
 	if *configPath != "" {
 		data, err := os.ReadFile(*configPath)
@@ -164,6 +173,14 @@ func run() int {
 		fmt.Printf("  topology: replicated, %d learn fragment(s), max staleness %d\n",
 			max(fc.Learners, 1), fc.MaxStaleness)
 	}
+	if fc.LearnerRestarts >= 0 {
+		if fc.Topology != "replicated" || fc.Learners < 2 {
+			fmt.Fprintln(os.Stderr, "-learner-restarts needs -topology replicated with -learners >= 2 (failover requires a survivor)")
+			return 2
+		}
+		fmt.Printf("  failover: learn-replica respawn budget %d, heartbeat %dms\n",
+			fc.LearnerRestarts, fc.HeartbeatMS)
+	}
 
 	cfg := core.Config{
 		NumExplorers:        fc.Explorers,
@@ -186,6 +203,9 @@ func run() int {
 		WeightSkipFactor:    fc.WeightSkipFactor,
 		WeightTreeFanout:    fc.WeightTreeFanout,
 		Topology:            topo,
+		LearnerFailover:     fc.LearnerRestarts >= 0,
+		MaxLearnerRestarts:  max(fc.LearnerRestarts, 0),
+		HeartbeatEvery:      time.Duration(fc.HeartbeatMS) * time.Millisecond,
 	}
 	if *metrics > 0 {
 		cfg.MetricsEvery = *metrics
@@ -204,6 +224,10 @@ func run() int {
 			fr.Learners, fr.Aggregations, fr.CommittedVersion)
 		fmt.Printf("  sample dispatch:  %d rollout(s), %d stale drop(s) (max staleness %d)\n",
 			fr.Dispatched, fr.StaleDrops, fr.MaxStaleness)
+		if fr.Quarantines > 0 || fr.Respawns > 0 || fr.Degraded > 0 {
+			fmt.Printf("  failover:         %d quarantine(s), %d re-dispatch(es), %d respawn(s), %d degraded slot(s)\n",
+				fr.Quarantines, fr.Redispatches, fr.Respawns, fr.Degraded)
+		}
 	}
 	fmt.Printf("  episodes:         %d (mean return %.2f)\n", report.Episodes, report.MeanReturn)
 	fmt.Printf("  learner wait avg: %v\n", report.MeanWait.Round(time.Microsecond))

@@ -75,6 +75,12 @@ type Broker struct {
 
 	ackMu sync.Mutex
 	acked map[string]int64 // last weights version seen on each source's rollouts
+	// consumed is the consumption-side ack ledger: the highest dispatched
+	// rollout header ID each learn replica has reported ingesting (via
+	// fragment heartbeats). The sample fragment prunes its in-flight
+	// retention ledger against it; everything at or below the acked ID is
+	// safely trained-or-dropped and never needs re-dispatch.
+	consumed map[string]uint64
 
 	mu         sync.Mutex
 	idQueues   map[string]*queue.Queue[*message.Header]
@@ -145,6 +151,7 @@ func New(cfg Config) *Broker {
 		locator:     cfg.Locator,
 		health:      newHealth(),
 		acked:       make(map[string]int64),
+		consumed:    make(map[string]uint64),
 		idQueues:    make(map[string]*queue.Queue[*message.Header]),
 		forwarders:  make(map[int]*queue.Queue[forwardItem]),
 		routerDone:  make(chan struct{}),
@@ -575,6 +582,35 @@ func (b *Broker) AckedWeights() map[string]int64 {
 	return out
 }
 
+// MergeConsumed folds consumption acks into the broker's ledger: consumer
+// reports the highest dispatched rollout header ID it has ingested. Unlike
+// the weights ledger this one keeps the maximum, never the last value — IDs
+// are monotonic within the dispatching process and per-destination delivery
+// is ordered, so the high-water mark covers every earlier dispatch, while a
+// late beat from a retired incarnation must not re-open the window.
+func (b *Broker) MergeConsumed(consumer string, lastID uint64) {
+	if consumer == "" {
+		return
+	}
+	b.ackMu.Lock()
+	if lastID > b.consumed[consumer] {
+		b.consumed[consumer] = lastID
+	}
+	b.ackMu.Unlock()
+}
+
+// ConsumedAcks returns a copy of the consumption-ack ledger: the highest
+// ingested dispatch ID per consumer name.
+func (b *Broker) ConsumedAcks() map[string]uint64 {
+	b.ackMu.Lock()
+	defer b.ackMu.Unlock()
+	out := make(map[string]uint64, len(b.consumed))
+	for k, v := range b.consumed {
+		out[k] = v
+	}
+	return out
+}
+
 // drainIDQueue reclaims the object-store references of headers left
 // undelivered in a closed ID queue.
 func (b *Broker) drainIDQueue(q *queue.Queue[*message.Header]) {
@@ -696,6 +732,18 @@ func (p *Port) AckedWeights() map[string]int64 { return p.broker.AckedWeights() 
 // MergeAcked folds a forwarded ack-ledger snapshot into the broker's ledger
 // (see Broker.MergeAcked).
 func (p *Port) MergeAcked(snap map[string]int64) { p.broker.MergeAcked(snap) }
+
+// MergeConsumed records a consumer's consumption ack in the broker's ledger
+// (see Broker.MergeConsumed); the sample fragment feeds it from replica
+// heartbeats.
+func (p *Port) MergeConsumed(consumer string, lastID uint64) {
+	p.broker.MergeConsumed(consumer, lastID)
+}
+
+// ConsumedAcks exposes the broker's consumption-ack ledger (see
+// Broker.ConsumedAcks); the sample fragment prunes in-flight rollout
+// retention against it.
+func (p *Port) ConsumedAcks() map[string]uint64 { return p.broker.ConsumedAcks() }
 
 // Recv blocks until a message addressed to this client arrives, fetches the
 // body from the object store (releasing the reference), and decodes it.

@@ -123,6 +123,24 @@ type Config struct {
 	// topology's placement, with the bounded-staleness rule on the
 	// sample→learn edge.
 	Topology Topology
+	// LearnerFailover supervises learn replicas in a fragmented topology
+	// with >= 2 replicas (§5i): a replica that errors or misses its
+	// heartbeat deadline is quarantined — the sampler re-dispatches its
+	// un-acked batches to survivors and the broadcaster recommits the
+	// survivor mean — and, while MaxLearnerRestarts lasts, respawned from
+	// the latest fragment checkpoint under an exponential backoff. A slot
+	// whose budget runs out degrades the run to permanent N-1; when every
+	// slot has degraded the session fails. Fused topologies and single
+	// replicas keep the historical fail-fast semantics regardless.
+	LearnerFailover bool
+	// MaxLearnerRestarts is the per-replica respawn budget under
+	// LearnerFailover. 0 quarantines without respawning (a failed replica
+	// immediately degrades its slot).
+	MaxLearnerRestarts int
+	// HeartbeatEvery is the replica liveness cadence under LearnerFailover
+	// (default 25ms). The broadcast-side detector deadline is four missed
+	// beats.
+	HeartbeatEvery time.Duration
 	// MetricsEvery, when > 0 with MetricsWriter set, logs a channel-health
 	// summary line for every broker at this interval while the run waits.
 	MetricsEvery time.Duration
@@ -207,6 +225,7 @@ type Session struct {
 	slots     []*explorerSlot
 	ctrlPort  *broker.Port
 	agF       AgentFactory
+	algF      AlgorithmFactory // retained for learn-replica respawns
 	seed      int64
 	start     time.Time
 
@@ -259,6 +278,7 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 		cfg:       cfg,
 		transport: transport,
 		agF:       agF,
+		algF:      algF,
 		seed:      seed,
 		shutdown:  make(chan struct{}),
 	}
@@ -403,19 +423,36 @@ func (s *Session) buildFragments(topo Topology, algF AlgorithmFactory) error {
 		}
 	}
 
+	// Failover arms only with replicas to fail over to: fused topologies and
+	// single replicas keep the historical fail-fast semantics.
+	failover := s.cfg.LearnerFailover && topo.Learners >= 2
+	hbEvery := s.cfg.HeartbeatEvery
+	if hbEvery <= 0 {
+		hbEvery = 25 * time.Millisecond
+	}
+
 	samplePort, err := s.transport.Register(topo.SampleMachine, SampleName)
 	if err != nil {
 		return err
 	}
 	learnNames := make([]string, topo.Learners)
-	learns := make([]*LearnFragment, topo.Learners)
-	for i := range learns {
+	lslots := make([]*learnSlot, topo.Learners)
+	for i := range lslots {
 		learnNames[i] = LearnName(i)
 		port, err := s.transport.Register(topo.LearnMachines[i], learnNames[i])
 		if err != nil {
 			return err
 		}
-		learns[i] = NewLearnFragment(i, algs[i], port, s.cfg.NumExplorers, s.cfg.SeriesBucket)
+		frag := NewLearnFragment(i, algs[i], port, s.cfg.NumExplorers, s.cfg.SeriesBucket)
+		if failover {
+			frag.SetFailover(0, hbEvery)
+		}
+		lslots[i] = &learnSlot{
+			idx:     i,
+			machine: topo.LearnMachines[i],
+			suspect: make(chan struct{}, 1),
+			frag:    frag,
+		}
 	}
 	castPort, err := s.transport.Register(topo.BroadcastMachine, BroadcastName)
 	if err != nil {
@@ -440,14 +477,33 @@ func (s *Session) buildFragments(topo Topology, algF AlgorithmFactory) error {
 		CheckpointEvery: s.cfg.CheckpointEvery,
 		CheckpointKeep:  s.cfg.CheckpointKeep,
 	})
+	sampler := NewSampleFragment(samplePort, learnNames, topo.MaxStaleness)
 	s.frags = &fragRuntime{
-		topo:     topo,
-		sampler:  NewSampleFragment(samplePort, learnNames, topo.MaxStaleness),
-		learns:   learns,
-		caster:   caster,
-		maxSteps: s.cfg.MaxSteps,
-		done:     make(chan struct{}),
-		stopMon:  make(chan struct{}),
+		topo:        topo,
+		sampler:     sampler,
+		slots:       lslots,
+		caster:      caster,
+		failover:    failover,
+		maxRestarts: s.cfg.MaxLearnerRestarts,
+		hbEvery:     hbEvery,
+		maxSteps:    s.cfg.MaxSteps,
+		done:        make(chan struct{}),
+		stopMon:     make(chan struct{}),
+	}
+	if failover {
+		sampler.SetFailover()
+		byName := make(map[string]*learnSlot, len(lslots))
+		for _, sl := range lslots {
+			byName[LearnName(sl.idx)] = sl
+		}
+		caster.SetFailover(heartbeatMisses*hbEvery, func(name string) {
+			if sl, ok := byName[name]; ok {
+				select {
+				case sl.suspect <- struct{}{}:
+				default:
+				}
+			}
+		})
 	}
 	return nil
 }
@@ -498,9 +554,177 @@ func (s *Session) Start() {
 			go s.supervise(sl)
 		}
 	}
+	if s.frags != nil && s.frags.failover {
+		for _, sl := range s.frags.slots {
+			s.superWG.Add(1)
+			go s.superviseLearn(sl)
+		}
+	}
 	if s.frags == nil {
 		s.learner.broadcastWeights(nil)
 	}
+}
+
+// superviseLearn is the per-slot supervisor of one learn replica: it waits
+// for the incarnation to record an error or for the broadcast fragment's
+// deadline detector to flag it hung, quarantines it (the sampler shrinks its
+// rotation and re-dispatches the un-acked batches; the broadcaster recommits
+// the survivor mean), tears the incarnation down without unregistering its
+// port, and — while the respawn budget lasts — rebuilds the replica from the
+// latest fragment checkpoint at the next incarnation epoch and rejoins it.
+// A slot whose budget runs out degrades to permanent N-1; when the last live
+// slot degrades, the session fails.
+func (s *Session) superviseLearn(sl *learnSlot) {
+	defer s.superWG.Done()
+	backoff := s.cfg.RestartBackoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for {
+		frag := sl.current()
+		var err error
+		select {
+		case <-s.shutdown:
+			return
+		case <-frag.Failed():
+			err = frag.Err()
+		case <-sl.suspect:
+			err = fmt.Errorf("core: learn replica %d missed its heartbeat deadline", sl.idx)
+		}
+		name := LearnName(sl.idx)
+
+		// Quarantine first, so the dataflow reroutes while the incarnation
+		// is still being torn down. The replica's port stays registered —
+		// in-flight echoes to its name must drain as consumed messages, not
+		// privileged drops — and is reused by the next incarnation.
+		qm := message.New(message.TypeControl, ControllerName, []string{SampleName, BroadcastName},
+			&message.ControlPayload{Kind: message.ControlQuarantine, Peer: name})
+		if s.ctrlPort.Send(qm) != nil {
+			return // transport torn down under us
+		}
+
+		// Tear the incarnation down: Stop closes its receive buffer, then a
+		// drain nudge makes a receiver blocked in Recv observe the closure
+		// (its Put fails). Waiting on RecvDone before building the
+		// replacement guarantees the nudge cannot be consumed by the new
+		// incarnation's receiver.
+		frag.Stop()
+		_ = s.ctrlPort.Send(message.New(message.TypeControl, ControllerName, []string{name},
+			&message.ControlPayload{Kind: message.ControlDrain}))
+		select {
+		case <-s.shutdown:
+			return
+		case <-frag.RecvDone():
+		}
+		// The trainer may be wedged inside a training step (the very hang
+		// that tripped the detector); reap it in the background so failover
+		// latency is not hostage to the stall.
+		s.frags.zombieWG.Add(1)
+		go func(old *LearnFragment) {
+			defer s.frags.zombieWG.Done()
+			old.Join()
+		}(frag)
+
+		sl.mu.Lock()
+		sl.lastErr = err
+		sl.priorSteps += frag.StepsConsumed()
+		sl.priorIters += frag.TrainIters()
+		exhausted := sl.restarts >= int64(s.cfg.MaxLearnerRestarts)
+		if exhausted {
+			sl.degraded = true
+		}
+		sl.mu.Unlock()
+		if exhausted {
+			s.frags.degraded.Add(1)
+			if s.frags.liveReplicas() == 0 {
+				sl.mu.Lock()
+				sl.terminalErr = fmt.Errorf("core: learn replica %d restart budget (%d) exhausted with no live replica left: %w",
+					sl.idx, s.cfg.MaxLearnerRestarts, err)
+				sl.mu.Unlock()
+			}
+			return
+		}
+
+		timer := time.NewTimer(backoff)
+		select {
+		case <-s.shutdown:
+			timer.Stop()
+			return
+		case <-timer.C:
+		}
+		backoff *= 2
+
+		next, berr := s.respawnLearn(sl, frag)
+		if berr != nil {
+			sl.mu.Lock()
+			sl.degraded = true
+			sl.mu.Unlock()
+			s.frags.degraded.Add(1)
+			if s.frags.liveReplicas() == 0 {
+				sl.mu.Lock()
+				sl.terminalErr = fmt.Errorf("core: respawn learn replica %d: %w", sl.idx, berr)
+				sl.mu.Unlock()
+			}
+			return
+		}
+		sl.mu.Lock()
+		sl.restarts++
+		sl.epoch++
+		epoch := sl.epoch
+		sl.frag = next
+		sl.mu.Unlock()
+		s.frags.respawns.Add(1)
+		next.Start()
+		// Rejoin at the new epoch: the sampler re-admits the replica to its
+		// rotation and the broadcaster answers with a dense resync echo.
+		rm := message.New(message.TypeControl, ControllerName, []string{SampleName, BroadcastName},
+			&message.ControlPayload{Kind: message.ControlRejoin, Peer: name})
+		rm.Header.Round = epoch
+		if s.ctrlPort.Send(rm) != nil {
+			return
+		}
+	}
+}
+
+// respawnLearn builds the next incarnation of a learn slot: a fresh
+// algorithm from the retained factory, restored from the replica's state in
+// the latest fragment checkpoint set (falling back to the committed
+// aggregate's state, then to fresh initialization — the rejoin echo resyncs
+// it either way), over the slot's original port.
+func (s *Session) respawnLearn(sl *learnSlot, old *LearnFragment) (*LearnFragment, error) {
+	alg, err := s.algF(s.seed)
+	if err != nil {
+		return nil, fmt.Errorf("build algorithm: %w", err)
+	}
+	if s.cfg.CheckpointPath != "" {
+		states, lerr := checkpoint.LoadLatestFragments(s.cfg.CheckpointPath)
+		if lerr == nil {
+			byName := make(map[string]checkpoint.State, len(states))
+			for _, fs := range states {
+				byName[fs.Name] = fs.State
+			}
+			st, ok := byName[LearnName(sl.idx)]
+			if !ok {
+				st, ok = byName[BroadcastName]
+			}
+			if ok {
+				if r, okR := alg.(WeightsRestorer); okR {
+					if rerr := r.RestoreWeights(st.Version, st.Weights); rerr != nil {
+						return nil, fmt.Errorf("restore checkpoint: %w", rerr)
+					}
+				}
+			}
+		}
+		// An unreadable checkpoint is a fresh start, not a terminal error:
+		// the rejoin echo installs the committed aggregate regardless.
+	}
+	next := NewLearnFragment(sl.idx, alg, old.port, s.cfg.NumExplorers, s.cfg.SeriesBucket)
+	next.observeStaleness = old.observeStaleness
+	sl.mu.Lock()
+	epoch := sl.epoch + 1
+	sl.mu.Unlock()
+	next.SetFailover(epoch, s.frags.hbEvery)
+	return next, nil
 }
 
 // supervise is the per-slot supervisor thread: it waits for the slot's
@@ -693,7 +917,7 @@ func (s *Session) doStop() *Report {
 	}
 	if s.frags != nil {
 		dst = append(dst, SampleName)
-		for i := range s.frags.learns {
+		for i := range s.frags.slots {
 			dst = append(dst, LearnName(i))
 		}
 		dst = append(dst, BroadcastName)
@@ -757,9 +981,10 @@ func (s *Session) doStop() *Report {
 		steps = s.frags.stepsConsumed()
 		iters = s.frags.trainIters()
 		series = s.frags.mergedSeries()
-		waitHists := make([]*stats.Histogram, 0, len(s.frags.learns))
-		transHists := make([]*stats.Histogram, 0, len(s.frags.learns))
-		for _, l := range s.frags.learns {
+		learns := s.frags.learns()
+		waitHists := make([]*stats.Histogram, 0, len(learns))
+		transHists := make([]*stats.Histogram, 0, len(learns))
+		for _, l := range learns {
 			waitHists = append(waitHists, l.WaitHist)
 			transHists = append(transHists, l.TransHist)
 		}
@@ -821,7 +1046,7 @@ func (s *Session) Fragments() (*SampleFragment, []*LearnFragment, *BroadcastFrag
 	if s.frags == nil {
 		return nil, nil, nil
 	}
-	return s.frags.sampler, s.frags.learns, s.frags.caster
+	return s.frags.sampler, s.frags.learns(), s.frags.caster
 }
 
 // Err returns the first process error observed, if any. A learner error

@@ -45,6 +45,27 @@ import (
 // privileged control traffic, so the cadence bounds their rate.
 const ackSnapshotEvery = 4
 
+// inflightCap bounds the sampler's per-replica in-flight retention ring
+// (failover mode only): the newest un-acked dispatches kept for re-dispatch
+// if the replica is quarantined. Rollouts are droppable traffic, so rolling
+// the oldest entry off a full ring loses nothing the channel guarantees.
+const inflightCap = 128
+
+// heartbeatMisses is the deadline multiplier of the broadcast-side health
+// detector: a replica silent for heartbeatMisses consecutive heartbeat
+// intervals is suspected hung and reported for quarantine.
+const heartbeatMisses = 4
+
+// inflightRollout is one un-acked dispatch retained by the sampler for
+// possible re-dispatch. Bodies are plain Go values (no store references), so
+// retention costs memory only.
+type inflightRollout struct {
+	id   uint64
+	ver  int64
+	src  string
+	body *message.RolloutBody
+}
+
 // SampleFragment is the replay/sample stage: the one consumer of raw
 // rollout traffic. It keeps the rollout-carried ack ledger, enforces the
 // bounded-staleness edge, and load-balances dispatch across learn replicas.
@@ -58,8 +79,18 @@ type SampleFragment struct {
 	next      int
 	sinceSnap int
 
-	staleDrops atomic.Int64
-	dispatched atomic.Int64
+	// Failover state (§5i), touched only by the recv loop. live is the
+	// current dispatch rotation (learnDsts minus quarantined replicas),
+	// epochs the incarnation epoch each replica last rejoined at, and
+	// inflight the per-replica un-acked dispatch retention ring.
+	failover bool
+	live     []string
+	epochs   map[string]int32
+	inflight map[string][]inflightRollout
+
+	staleDrops   atomic.Int64
+	dispatched   atomic.Int64
+	redispatches atomic.Int64
 
 	wg      sync.WaitGroup
 	mu      sync.Mutex
@@ -71,9 +102,20 @@ func NewSampleFragment(port *broker.Port, learnDsts []string, maxStale int) *Sam
 	return &SampleFragment{
 		port:      port,
 		learnDsts: append([]string(nil), learnDsts...),
+		live:      append([]string(nil), learnDsts...),
 		maxStale:  maxStale,
 		ledger:    make(map[string]int64),
 	}
+}
+
+// SetFailover arms the sampler's quarantine/re-dispatch machinery: the
+// dispatch rotation shrinks past quarantined replicas and every dispatch is
+// retained (bounded) until the destination's heartbeat acks it. Call before
+// Start.
+func (s *SampleFragment) SetFailover() {
+	s.failover = true
+	s.epochs = make(map[string]int32)
+	s.inflight = make(map[string][]inflightRollout)
 }
 
 // Start launches the sampler's receive/dispatch loop.
@@ -100,9 +142,121 @@ func (s *SampleFragment) loop() {
 				return
 			case message.ControlVersionAnnounce:
 				s.advanceCommitted(m.Header.WeightsVersion)
+			case message.ControlHeartbeat:
+				s.handleHeartbeat(m.Header.Src, m.Header.Round, body.LastRolloutID)
+			case message.ControlQuarantine:
+				if !s.quarantine(body.Peer) {
+					return
+				}
+			case message.ControlRejoin:
+				s.rejoin(body.Peer, m.Header.Round)
 			}
 		}
 	}
+}
+
+// handleHeartbeat folds one replica liveness beat into the broker's
+// consumption-ack ledger and prunes the replica's in-flight retention ring:
+// IDs are monotonic within this process and per-destination delivery is
+// ordered, so everything at or below the acked ID is consumed (or shed by
+// the replica) and never needs re-dispatch. Beats from retired incarnations
+// (stale epoch) are ignored — a zombie's ack must not release batches its
+// replacement never saw.
+func (s *SampleFragment) handleHeartbeat(src string, epoch int32, lastID uint64) {
+	if !s.failover || s.epochs[src] != epoch {
+		return
+	}
+	s.port.MergeConsumed(src, lastID)
+	acked := s.port.ConsumedAcks()[src]
+	q := s.inflight[src]
+	keep := q[:0]
+	for _, e := range q {
+		if e.id > acked {
+			keep = append(keep, e)
+		}
+	}
+	s.inflight[src] = keep
+}
+
+// quarantine retires a replica from the dispatch rotation and re-dispatches
+// its retained un-acked batches to the survivors, subject to the same
+// bounded-staleness rule as first dispatch (an entry that aged past the
+// bound while in flight is shed, not replayed). Duplicate training is
+// possible — the ack is a heartbeat-carried high-water mark, so a batch the
+// replica trained on just before dying is replayed at-least-once — which
+// off-policy replicas absorb and the staleness bound caps for on-policy
+// ones. It returns false when the channel is torn down mid-redispatch.
+func (s *SampleFragment) quarantine(peer string) bool {
+	if !s.failover {
+		return true
+	}
+	live := s.live[:0]
+	found := false
+	for _, n := range s.live {
+		if n == peer {
+			found = true
+			continue
+		}
+		live = append(live, n)
+	}
+	s.live = live
+	if !found {
+		return true // duplicate quarantine: already retired
+	}
+	pend := s.inflight[peer]
+	delete(s.inflight, peer)
+	c := s.committed.Load()
+	for _, e := range pend {
+		if s.maxStale >= 0 && c-e.ver > int64(s.maxStale) {
+			s.staleDrops.Add(1)
+			continue
+		}
+		if len(s.live) == 0 {
+			// No survivors to replay onto; the slot supervisors decide
+			// whether that is terminal. Account the batch as shed.
+			s.staleDrops.Add(1)
+			continue
+		}
+		if !s.forward(e.src, e.ver, c, e.body) {
+			return false
+		}
+		s.redispatches.Add(1)
+	}
+	return true
+}
+
+// rejoin restores a respawned replica to the dispatch rotation at its new
+// incarnation epoch.
+func (s *SampleFragment) rejoin(peer string, epoch int32) {
+	if !s.failover {
+		return
+	}
+	for _, n := range s.live {
+		if n == peer {
+			return // duplicate rejoin
+		}
+	}
+	// Preserve the canonical replica order so K=0 version-routing stays
+	// deterministic for a fixed live set.
+	old := s.live
+	live := make([]string, 0, len(old)+1)
+	for _, n := range s.learnDsts {
+		if n == peer || s.contains(old, n) {
+			live = append(live, n)
+		}
+	}
+	s.live = live
+	s.epochs[peer] = epoch
+	s.inflight[peer] = nil
+}
+
+func (s *SampleFragment) contains(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
 }
 
 // dispatch applies the bounded-staleness rule to one rollout and forwards
@@ -117,30 +271,12 @@ func (s *SampleFragment) dispatch(m *message.Message, body *message.RolloutBody)
 		// explorer's credit is unharmed — broadcasts reach every explorer,
 		// so the spent fragment is refilled by the next weights message.
 		s.staleDrops.Add(1)
-	} else {
-		// Strict assignment order (K=0) routes by version: every rollout of
-		// one weights version reaches the same replica, so algorithms that
-		// train on one batch per explorer at the current policy (PPO) see
-		// the complete synchronous set — per-rollout round-robin would split
-		// it and no replica could ever train. Relaxed edges (K != 0) keep
-		// round-robin, which balances load without regard to version.
-		var dst string
-		if s.maxStale == 0 {
-			dst = s.learnDsts[int(v)%len(s.learnDsts)]
-		} else {
-			dst = s.learnDsts[s.next%len(s.learnDsts)]
-			s.next++
-		}
-		fm := message.New(message.TypeRollout, src, []string{dst}, body)
-		fm.Header.WeightsVersion = v
-		fm.Header.BaseVersion = c // dispatch-time committed version, for the bound's audit
-		if err := s.port.Send(fm); err != nil {
-			if !errors.Is(err, queue.ErrClosed) {
-				s.fail(fmt.Errorf("sample fragment dispatch: %w", err))
-			}
-			return false
-		}
-		s.dispatched.Add(1)
+	} else if len(s.live) == 0 {
+		// Every replica is quarantined; the supervisors decide whether the
+		// run is terminal. Shed rather than wedge the rollout path.
+		s.staleDrops.Add(1)
+	} else if !s.forward(src, v, c, body) {
+		return false
 	}
 	s.sinceSnap++
 	if s.sinceSnap >= ackSnapshotEvery {
@@ -157,6 +293,43 @@ func (s *SampleFragment) dispatch(m *message.Message, body *message.RolloutBody)
 			}
 			return false
 		}
+	}
+	return true
+}
+
+// forward routes one surviving rollout to a live learn replica and, in
+// failover mode, retains it in the destination's in-flight ring until a
+// heartbeat acks it. It returns false when the channel is torn down.
+func (s *SampleFragment) forward(src string, v, c int64, body *message.RolloutBody) bool {
+	// Strict assignment order (K=0) routes by version: every rollout of
+	// one weights version reaches the same replica, so algorithms that
+	// train on one batch per explorer at the current policy (PPO) see
+	// the complete synchronous set — per-rollout round-robin would split
+	// it and no replica could ever train. Relaxed edges (K != 0) keep
+	// round-robin, which balances load without regard to version.
+	var dst string
+	if s.maxStale == 0 {
+		dst = s.live[int(v)%len(s.live)]
+	} else {
+		dst = s.live[s.next%len(s.live)]
+		s.next++
+	}
+	fm := message.New(message.TypeRollout, src, []string{dst}, body)
+	fm.Header.WeightsVersion = v
+	fm.Header.BaseVersion = c // dispatch-time committed version, for the bound's audit
+	if err := s.port.Send(fm); err != nil {
+		if !errors.Is(err, queue.ErrClosed) {
+			s.fail(fmt.Errorf("sample fragment dispatch: %w", err))
+		}
+		return false
+	}
+	s.dispatched.Add(1)
+	if s.failover {
+		q := append(s.inflight[dst], inflightRollout{id: fm.Header.ID, ver: v, src: src, body: body})
+		if len(q) > inflightCap {
+			q = q[1:]
+		}
+		s.inflight[dst] = q
 	}
 	return true
 }
@@ -194,6 +367,10 @@ func (s *SampleFragment) StaleDrops() int64 { return s.staleDrops.Load() }
 // Dispatched reports rollouts forwarded to learn fragments.
 func (s *SampleFragment) Dispatched() int64 { return s.dispatched.Load() }
 
+// Redispatches reports quarantined replicas' un-acked batches replayed to
+// surviving replicas.
+func (s *SampleFragment) Redispatches() int64 { return s.redispatches.Load() }
+
 // Committed reports the newest committed weights version the sampler knows.
 func (s *SampleFragment) Committed() int64 { return s.committed.Load() }
 
@@ -226,9 +403,27 @@ type LearnFragment struct {
 	// staleness property tests use.
 	observeStaleness func(rolloutVer, dispatchVer int64)
 
-	wg      sync.WaitGroup
-	stopped chan struct{}
-	stopOne sync.Once
+	// Failover plumbing (§5i). epoch is the incarnation number stamped into
+	// every outbound push and heartbeat (Header.Round) so peers can discard
+	// a retired incarnation's late messages; hbEvery > 0 runs the heartbeat
+	// thread. activity counts trainer-loop iterations and waiting marks the
+	// trainer blocked on input — together the liveness evidence: a beat is
+	// sent only while the trainer progresses or idles at the receive buffer,
+	// so a trainer wedged inside a training step falls silent and trips the
+	// broadcast-side deadline detector. lastRollout is the newest dispatched
+	// rollout ID ingested, carried on beats as the consumption ack.
+	epoch       int32
+	hbEvery     time.Duration
+	activity    atomic.Int64
+	waiting     atomic.Bool
+	lastRollout atomic.Uint64
+
+	wg       sync.WaitGroup
+	stopped  chan struct{}
+	stopOne  sync.Once
+	failed   chan struct{}
+	failOne  sync.Once
+	recvDone chan struct{}
 
 	mu      sync.Mutex
 	lastErr error
@@ -249,8 +444,26 @@ func NewLearnFragment(idx int, alg Algorithm, port *broker.Port, numExplorers in
 		TransHist:    stats.NewHistogram(),
 		Series:       stats.NewSeries(bucket),
 		stopped:      make(chan struct{}),
+		failed:       make(chan struct{}),
+		recvDone:     make(chan struct{}),
 	}
 }
+
+// SetFailover stamps the replica's incarnation epoch and arms the heartbeat
+// thread (hbEvery > 0). Call before Start.
+func (l *LearnFragment) SetFailover(epoch int32, hbEvery time.Duration) {
+	l.epoch = epoch
+	l.hbEvery = hbEvery
+}
+
+// Failed is closed when the replica records an error (never on a clean
+// Stop); the slot supervisor selects on it.
+func (l *LearnFragment) Failed() <-chan struct{} { return l.failed }
+
+// RecvDone is closed when the receiver thread exits; the supervisor waits on
+// it before handing the replica's port to a new incarnation, so two receiver
+// threads never compete for one queue.
+func (l *LearnFragment) RecvDone() <-chan struct{} { return l.recvDone }
 
 // SetStalenessObserver installs the per-rollout staleness audit hook. Call
 // before Start.
@@ -258,15 +471,57 @@ func (l *LearnFragment) SetStalenessObserver(fn func(rolloutVer, dispatchVer int
 	l.observeStaleness = fn
 }
 
-// Start launches the replica's receiver and trainer threads.
+// Start launches the replica's receiver and trainer threads, plus the
+// heartbeat thread when failover armed one.
 func (l *LearnFragment) Start() {
 	l.wg.Add(2)
 	go l.receiverLoop()
 	go l.trainerLoop()
+	if l.hbEvery > 0 {
+		l.wg.Add(1)
+		go l.heartbeatLoop()
+	}
+}
+
+// heartbeatLoop piggybacks liveness on the control plane: every hbEvery it
+// sends a ControlHeartbeat to the sampler and broadcaster — but only when the
+// trainer either made progress since the last beat or is parked at the
+// receive buffer waiting for input. A trainer wedged *inside* a training step
+// is neither, so the replica falls silent and the broadcaster's deadline
+// detector quarantines it. Each beat carries the newest dispatched rollout ID
+// ingested, which the sampler folds into the broker's consumption ledger to
+// prune its in-flight window.
+func (l *LearnFragment) heartbeatLoop() {
+	defer l.wg.Done()
+	tick := time.NewTicker(l.hbEvery)
+	defer tick.Stop()
+	var lastSeen int64 = -1
+	for {
+		select {
+		case <-l.stopped:
+			return
+		case <-tick.C:
+		}
+		act := l.activity.Load()
+		if act == lastSeen && !l.waiting.Load() {
+			continue
+		}
+		lastSeen = act
+		m := message.New(message.TypeControl, LearnName(l.idx), []string{SampleName, BroadcastName}, &message.ControlPayload{
+			Kind:          message.ControlHeartbeat,
+			Peer:          LearnName(l.idx),
+			LastRolloutID: l.lastRollout.Load(),
+		})
+		m.Header.Round = l.epoch
+		if err := l.port.Send(m); err != nil {
+			return
+		}
+	}
 }
 
 func (l *LearnFragment) receiverLoop() {
 	defer l.wg.Done()
+	defer close(l.recvDone)
 	for {
 		m, err := l.port.Recv()
 		if err != nil {
@@ -293,6 +548,7 @@ func (l *LearnFragment) trainerLoop() {
 			return
 		default:
 		}
+		l.activity.Add(1)
 
 		ingested := l.drainNonBlocking()
 
@@ -314,7 +570,9 @@ func (l *LearnFragment) trainerLoop() {
 			}
 			if ingested == 0 {
 				waitStart := time.Now()
+				l.waiting.Store(true)
 				m, err := l.recvBuf.Next()
+				l.waiting.Store(false)
 				if err != nil {
 					return
 				}
@@ -362,6 +620,7 @@ func (l *LearnFragment) ingest(m *message.Message) bool {
 		if l.observeStaleness != nil {
 			l.observeStaleness(m.Header.WeightsVersion, m.Header.BaseVersion)
 		}
+		l.lastRollout.Store(m.Header.ID)
 		l.alg.PrepareData(body)
 		l.rolloutsSinceUpdate.Add(1)
 	case *message.WeightsPayload:
@@ -376,9 +635,15 @@ func (l *LearnFragment) ingest(m *message.Message) bool {
 			}
 		}
 	case *message.ControlPayload:
-		if body.Kind == message.ControlShutdown {
+		switch body.Kind {
+		case message.ControlShutdown:
 			l.stopOne.Do(func() { close(l.stopped) })
 			return false
+		case message.ControlDrain:
+			// Teardown nudge for a *retired* incarnation whose receiver is
+			// blocked: its recvBuf is closed, so the Put fails and the
+			// receiver exits. A live incarnation's buffer accepts the Put and
+			// the nudge is ignored here.
 		}
 	}
 	return true
@@ -390,6 +655,7 @@ func (l *LearnFragment) pushWeights() bool {
 	w := l.alg.Weights()
 	m := message.New(message.TypeWeights, LearnName(l.idx), []string{BroadcastName}, w)
 	m.Header.WeightsVersion = w.Version
+	m.Header.Round = l.epoch
 	if err := l.port.Send(m); err != nil {
 		if !errors.Is(err, queue.ErrClosed) {
 			l.fail(fmt.Errorf("learn fragment %d push: %w", l.idx, err))
@@ -406,6 +672,7 @@ func (l *LearnFragment) fail(err error) {
 		l.lastErr = err
 	}
 	l.mu.Unlock()
+	l.failOne.Do(func() { close(l.failed) })
 	l.stopOne.Do(func() { close(l.stopped) })
 }
 
@@ -457,6 +724,24 @@ type BroadcastFragment struct {
 	replicaVer map[string]int64
 	agg        []float32
 
+	// Failover plumbing (§5i). hbTimeout > 0 arms the deadline detector: a
+	// replica whose weight pushes and heartbeats both fall silent for the
+	// timeout is reported to onSuspect (the session's slot supervisor), which
+	// quarantines it out of band. seenMu guards the liveness maps — they are
+	// written by both the recv loop and the detector thread. epochs fences
+	// out a retired incarnation's late traffic by incarnation number.
+	hbTimeout   time.Duration
+	onSuspect   func(name string)
+	seenMu      sync.Mutex
+	lastSeen    map[string]time.Time
+	suspected   map[string]bool
+	quarantined map[string]bool
+	epochs      map[string]int32
+	quarantines atomic.Int64
+	stalePushes atomic.Int64
+	detStop     chan struct{}
+	detOne      sync.Once
+
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	lastErr error
@@ -494,20 +779,32 @@ func NewBroadcastFragment(port *broker.Port, cfg BroadcastConfig) *BroadcastFrag
 		sync = 1
 	}
 	b := &BroadcastFragment{
-		port:       port,
-		explorers:  append([]string(nil), cfg.Explorers...),
-		learnDsts:  append([]string(nil), cfg.Learners...),
-		plane:      weightplane.New(cfg.WeightPlane),
-		syncEvery:  sync,
-		ckptPath:   cfg.CheckpointPath,
-		ckptEvery:  every,
-		ckptKeep:   cfg.CheckpointKeep,
-		replica:    make(map[string][]float32),
-		replicaVer: make(map[string]int64),
-		agg:        append([]float32(nil), cfg.InitialWeights...),
+		port:        port,
+		explorers:   append([]string(nil), cfg.Explorers...),
+		learnDsts:   append([]string(nil), cfg.Learners...),
+		plane:       weightplane.New(cfg.WeightPlane),
+		syncEvery:   sync,
+		ckptPath:    cfg.CheckpointPath,
+		ckptEvery:   every,
+		ckptKeep:    cfg.CheckpointKeep,
+		replica:     make(map[string][]float32),
+		replicaVer:  make(map[string]int64),
+		agg:         append([]float32(nil), cfg.InitialWeights...),
+		lastSeen:    make(map[string]time.Time),
+		suspected:   make(map[string]bool),
+		quarantined: make(map[string]bool),
+		epochs:      make(map[string]int32),
+		detStop:     make(chan struct{}),
 	}
 	b.version.Store(cfg.InitialVersion)
 	return b
+}
+
+// SetFailover arms the replica deadline detector: a live replica silent for
+// hbTimeout is handed to onSuspect exactly once. Call before Start.
+func (b *BroadcastFragment) SetFailover(hbTimeout time.Duration, onSuspect func(name string)) {
+	b.hbTimeout = hbTimeout
+	b.onSuspect = onSuspect
 }
 
 // Start broadcasts the initial committed model (seeding every explorer's
@@ -517,6 +814,74 @@ func (b *BroadcastFragment) Start() {
 	b.broadcast()
 	b.wg.Add(1)
 	go b.loop()
+	if b.hbTimeout > 0 {
+		b.wg.Add(1)
+		go b.detectorLoop()
+	}
+}
+
+// detectorLoop is the broadcast-side deadline detector: it scans the
+// liveness map a few times per timeout window and reports every live replica
+// whose pushes and heartbeats have both gone silent past the deadline. The
+// suspicion callback runs outside seenMu — it sends on channels.
+func (b *BroadcastFragment) detectorLoop() {
+	defer b.wg.Done()
+	period := b.hbTimeout / 4
+	if period < time.Millisecond {
+		period = time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-b.detStop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		var overdue []string
+		b.seenMu.Lock()
+		for _, name := range b.learnDsts {
+			if b.quarantined[name] || b.suspected[name] {
+				continue
+			}
+			seen, ok := b.lastSeen[name]
+			if !ok {
+				// First sighting: the deadline clock starts at detector
+				// startup, not at process zero, so a slow-to-warm-up replica
+				// gets a full window before suspicion.
+				b.lastSeen[name] = now
+				continue
+			}
+			if now.Sub(seen) > b.hbTimeout {
+				b.suspected[name] = true
+				overdue = append(overdue, name)
+			}
+		}
+		b.seenMu.Unlock()
+		for _, name := range overdue {
+			if b.onSuspect != nil {
+				b.onSuspect(name)
+			}
+		}
+	}
+}
+
+// admitPush fences replica traffic during failover: a quarantined replica's
+// late pushes and a retired incarnation's (stale epoch) pushes are counted
+// and dropped; admitted traffic refreshes the liveness clock.
+func (b *BroadcastFragment) admitPush(src string, epoch int32) bool {
+	if b.hbTimeout <= 0 {
+		return true
+	}
+	b.seenMu.Lock()
+	defer b.seenMu.Unlock()
+	if b.quarantined[src] || epoch != b.epochs[src] {
+		b.stalePushes.Add(1)
+		return false
+	}
+	b.lastSeen[src] = time.Now()
+	return true
 }
 
 func (b *BroadcastFragment) loop() {
@@ -528,6 +893,9 @@ func (b *BroadcastFragment) loop() {
 		}
 		switch body := m.Body.(type) {
 		case *message.WeightsPayload:
+			if !b.admitPush(m.Header.Src, m.Header.Round) {
+				continue
+			}
 			if !b.aggregate(m.Header.Src, body) {
 				return
 			}
@@ -539,6 +907,16 @@ func (b *BroadcastFragment) loop() {
 				b.port.MergeAcked(body.Acked)
 			case message.ControlWeightsResync:
 				b.plane.MarkStale(m.Header.Src)
+			case message.ControlHeartbeat:
+				b.admitPush(m.Header.Src, m.Header.Round)
+			case message.ControlQuarantine:
+				if !b.retireReplica(body.Peer) {
+					return
+				}
+			case message.ControlRejoin:
+				if !b.rejoinReplica(body.Peer, m.Header.Round) {
+					return
+				}
 			}
 		}
 	}
@@ -613,9 +991,85 @@ func (b *BroadcastFragment) broadcast() bool {
 	return b.send(am)
 }
 
-// echoAggregate sends the committed model back to every learn replica.
+// retireReplica drops a quarantined replica's contribution from the
+// committed model: its last push leaves the element-wise mean, the survivor
+// mean is recommitted at a fresh version, and the correction is broadcast so
+// explorers and surviving replicas converge on the post-failure aggregate.
+// It returns false when the channel is torn down.
+func (b *BroadcastFragment) retireReplica(peer string) bool {
+	b.seenMu.Lock()
+	dup := b.quarantined[peer]
+	b.quarantined[peer] = true
+	delete(b.suspected, peer)
+	b.seenMu.Unlock()
+	if dup {
+		return true
+	}
+	b.quarantines.Add(1)
+	if _, contributed := b.replica[peer]; !contributed {
+		return true // never pushed: the aggregate already excludes it
+	}
+	delete(b.replica, peer)
+	delete(b.replicaVer, peer)
+	if len(b.replica) > 0 {
+		for i := range b.agg {
+			var sum float32
+			for _, rw := range b.replica {
+				sum += rw[i]
+			}
+			b.agg[i] = sum / float32(len(b.replica))
+		}
+	}
+	// With zero survivors the last committed aggregate stands — it is the
+	// checkpointable state a respawned replica restores from.
+	b.version.Add(1)
+	b.plane.NoteCorrection()
+	if !b.broadcast() {
+		return false
+	}
+	return b.echoAggregate()
+}
+
+// rejoinReplica readmits a respawned replica at its new incarnation epoch
+// and answers with a dense resync echo so the newcomer installs the current
+// committed model before its first push. It returns false when the channel
+// is torn down.
+func (b *BroadcastFragment) rejoinReplica(peer string, epoch int32) bool {
+	b.seenMu.Lock()
+	delete(b.quarantined, peer)
+	delete(b.suspected, peer)
+	b.epochs[peer] = epoch
+	b.lastSeen[peer] = time.Now()
+	b.seenMu.Unlock()
+	m := message.New(message.TypeWeights, BroadcastName, []string{peer},
+		&message.WeightsPayload{Version: b.version.Load(), Data: append([]float32(nil), b.agg...)})
+	m.Header.WeightsVersion = b.version.Load()
+	return b.send(m)
+}
+
+// liveLearnDsts returns the replicas currently in the echo set.
+func (b *BroadcastFragment) liveLearnDsts() []string {
+	if b.hbTimeout <= 0 {
+		return b.learnDsts
+	}
+	b.seenMu.Lock()
+	defer b.seenMu.Unlock()
+	live := make([]string, 0, len(b.learnDsts))
+	for _, name := range b.learnDsts {
+		if !b.quarantined[name] {
+			live = append(live, name)
+		}
+	}
+	return live
+}
+
+// echoAggregate sends the committed model back to every live learn replica.
 func (b *BroadcastFragment) echoAggregate() bool {
-	m := message.New(message.TypeWeights, BroadcastName, b.learnDsts,
+	dsts := b.liveLearnDsts()
+	if len(dsts) == 0 {
+		return true
+	}
+	m := message.New(message.TypeWeights, BroadcastName, dsts,
 		&message.WeightsPayload{Version: b.version.Load(), Data: append([]float32(nil), b.agg...)})
 	m.Header.WeightsVersion = b.version.Load()
 	return b.send(m)
@@ -676,6 +1130,18 @@ func (b *BroadcastFragment) Aggregations() int64 { return b.aggs.Load() }
 // PlaneStats snapshots the weight plane's planning counters.
 func (b *BroadcastFragment) PlaneStats() weightplane.Stats { return b.plane.Stats() }
 
+// Quarantines reports replicas retired from the aggregate.
+func (b *BroadcastFragment) Quarantines() int64 { return b.quarantines.Load() }
+
+// StalePushes reports pushes and heartbeats fenced out by quarantine or a
+// retired incarnation epoch.
+func (b *BroadcastFragment) StalePushes() int64 { return b.stalePushes.Load() }
+
+// Stop signals the detector thread; the recv loop exits with the broker.
+func (b *BroadcastFragment) Stop() {
+	b.detOne.Do(func() { close(b.detStop) })
+}
+
 // Join waits for the aggregation loop after the broker has been stopped.
 func (b *BroadcastFragment) Join() { b.wg.Wait() }
 
@@ -692,19 +1158,69 @@ type FragmentReport struct {
 	// CommittedVersion the final committed weights version.
 	Aggregations     int64
 	CommittedVersion int64
-	// LearnSteps/LearnIters break consumption down per replica.
+	// LearnSteps/LearnIters break consumption down per replica, priors from
+	// retired incarnations included.
 	LearnSteps []int64
 	LearnIters []int64
+	// Failover counters (§5i): Quarantines is replicas retired from the
+	// aggregate, Redispatches the un-acked batches replayed to survivors,
+	// Respawns the restarted incarnations, Degraded the slots that exhausted
+	// their restart budget and run permanently N-1, and StalePushes the
+	// fenced-out traffic from retired incarnations.
+	Quarantines  int64
+	Redispatches int64
+	Respawns     int64
+	Degraded     int64
+	StalePushes  int64
 	// Plane is the weight plane's final planning counters.
 	Plane weightplane.Stats
+}
+
+// learnSlot is the supervised home of one learn replica: the slot outlives
+// every incarnation, carrying the restart budget, the incarnation epoch, and
+// the retired incarnations' accumulated progress.
+type learnSlot struct {
+	idx     int
+	machine int
+	// suspect receives deadline-detector verdicts for this slot (capacity 1;
+	// duplicates collapse).
+	suspect chan struct{}
+
+	mu          sync.Mutex
+	frag        *LearnFragment
+	epoch       int32
+	restarts    int64
+	degraded    bool
+	lastErr     error
+	terminalErr error
+	priorSteps  int64
+	priorIters  int64
+}
+
+// current returns the slot's live incarnation.
+func (sl *learnSlot) current() *LearnFragment {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.frag
 }
 
 // fragRuntime is the Session-side scheduler state for a fragment topology.
 type fragRuntime struct {
 	topo    Topology
 	sampler *SampleFragment
-	learns  []*LearnFragment
+	slots   []*learnSlot
 	caster  *BroadcastFragment
+
+	// failover arms replica supervision (LearnerFailover with >= 2 replicas);
+	// maxRestarts and hbEvery echo the session config.
+	failover    bool
+	maxRestarts int
+	hbEvery     time.Duration
+	respawns    atomic.Int64
+	degraded    atomic.Int64
+	// zombieWG tracks reaper threads joining retired incarnations whose
+	// trainer may be wedged; join() waits for it after the transport stops.
+	zombieWG sync.WaitGroup
 
 	maxSteps int64
 	done     chan struct{}
@@ -713,12 +1229,34 @@ type fragRuntime struct {
 	stopMon  chan struct{}
 }
 
+// learns snapshots the live incarnation of every slot.
+func (f *fragRuntime) learns() []*LearnFragment {
+	out := make([]*LearnFragment, len(f.slots))
+	for i, sl := range f.slots {
+		out[i] = sl.current()
+	}
+	return out
+}
+
+// liveReplicas counts slots that have not degraded out of the run.
+func (f *fragRuntime) liveReplicas() int {
+	n := 0
+	for _, sl := range f.slots {
+		sl.mu.Lock()
+		if !sl.degraded {
+			n++
+		}
+		sl.mu.Unlock()
+	}
+	return n
+}
+
 // start launches every fragment plus the completion monitor (the fragment
 // scheduler's only centralized piece: fragments do not know the global step
 // budget, so the session sums replica consumption and ends the run).
 func (f *fragRuntime) start() {
 	f.caster.Start()
-	for _, l := range f.learns {
+	for _, l := range f.learns() {
 		l.Start()
 	}
 	f.sampler.Start()
@@ -739,10 +1277,25 @@ func (f *fragRuntime) monitor() {
 				f.doneOne.Do(func() { close(f.done) })
 				return
 			}
-			for _, l := range f.learns {
-				if l.Err() != nil {
-					f.doneOne.Do(func() { close(f.done) })
-					return
+			if f.failover {
+				// Replica errors are the supervisors' to judge: the run ends
+				// only on a terminal verdict (budget exhausted with no live
+				// replica left, or an unrecoverable respawn).
+				for _, sl := range f.slots {
+					sl.mu.Lock()
+					terminal := sl.terminalErr != nil
+					sl.mu.Unlock()
+					if terminal {
+						f.doneOne.Do(func() { close(f.done) })
+						return
+					}
+				}
+			} else {
+				for _, l := range f.learns() {
+					if l.Err() != nil {
+						f.doneOne.Do(func() { close(f.done) })
+						return
+					}
 				}
 			}
 			if f.sampler.Err() != nil || f.caster.Err() != nil {
@@ -755,24 +1308,39 @@ func (f *fragRuntime) monitor() {
 
 func (f *fragRuntime) stepsConsumed() int64 {
 	var sum int64
-	for _, l := range f.learns {
-		sum += l.StepsConsumed()
+	for _, sl := range f.slots {
+		sl.mu.Lock()
+		sum += sl.priorSteps + sl.frag.StepsConsumed()
+		sl.mu.Unlock()
 	}
 	return sum
 }
 
 func (f *fragRuntime) trainIters() int64 {
 	var sum int64
-	for _, l := range f.learns {
-		sum += l.TrainIters()
+	for _, sl := range f.slots {
+		sl.mu.Lock()
+		sum += sl.priorIters + sl.frag.TrainIters()
+		sl.mu.Unlock()
 	}
 	return sum
 }
 
-// err returns the first fragment error, if any.
+// err returns the first fragment error, if any. Under failover a replica
+// error surfaces only when its slot supervisor judged it terminal.
 func (f *fragRuntime) err() error {
-	for _, l := range f.learns {
-		if e := l.Err(); e != nil {
+	for _, sl := range f.slots {
+		sl.mu.Lock()
+		terminal := sl.terminalErr
+		frag := sl.frag
+		sl.mu.Unlock()
+		if f.failover {
+			if terminal != nil {
+				return terminal
+			}
+			continue
+		}
+		if e := frag.Err(); e != nil {
 			return e
 		}
 	}
@@ -787,19 +1355,22 @@ func (f *fragRuntime) err() error {
 func (f *fragRuntime) stop() {
 	close(f.stopMon)
 	f.doneOne.Do(func() { close(f.done) })
-	for _, l := range f.learns {
+	f.caster.Stop()
+	for _, l := range f.learns() {
 		l.Stop()
 	}
 }
 
-// join waits for every fragment thread after broker shutdown.
+// join waits for every fragment thread after broker shutdown, including
+// reapers still draining retired incarnations.
 func (f *fragRuntime) join() {
 	f.monWG.Wait()
 	f.sampler.Join()
-	for _, l := range f.learns {
+	for _, l := range f.learns() {
 		l.Join()
 	}
 	f.caster.Join()
+	f.zombieWG.Wait()
 }
 
 // report assembles the fragment-side measurements.
@@ -811,11 +1382,18 @@ func (f *fragRuntime) report() *FragmentReport {
 		Dispatched:       f.sampler.Dispatched(),
 		Aggregations:     f.caster.Aggregations(),
 		CommittedVersion: f.caster.Version(),
+		Quarantines:      f.caster.Quarantines(),
+		Redispatches:     f.sampler.Redispatches(),
+		Respawns:         f.respawns.Load(),
+		Degraded:         f.degraded.Load(),
+		StalePushes:      f.caster.StalePushes(),
 		Plane:            f.caster.PlaneStats(),
 	}
-	for _, l := range f.learns {
-		fr.LearnSteps = append(fr.LearnSteps, l.StepsConsumed())
-		fr.LearnIters = append(fr.LearnIters, l.TrainIters())
+	for _, sl := range f.slots {
+		sl.mu.Lock()
+		fr.LearnSteps = append(fr.LearnSteps, sl.priorSteps+sl.frag.StepsConsumed())
+		fr.LearnIters = append(fr.LearnIters, sl.priorIters+sl.frag.TrainIters())
+		sl.mu.Unlock()
 	}
 	return fr
 }
@@ -823,7 +1401,7 @@ func (f *fragRuntime) report() *FragmentReport {
 // mergedSeries sums per-replica throughput series element-wise.
 func (f *fragRuntime) mergedSeries() []float64 {
 	var out []float64
-	for _, l := range f.learns {
+	for _, l := range f.learns() {
 		s := l.Series.PerSecond()
 		if len(s) > len(out) {
 			grown := make([]float64, len(s))

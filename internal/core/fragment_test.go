@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,7 +16,9 @@ import (
 	"xingtian/internal/core"
 	"xingtian/internal/env"
 	"xingtian/internal/fabric"
+	"xingtian/internal/message"
 	"xingtian/internal/netsim"
+	"xingtian/internal/rollout"
 )
 
 func quickDDPGFactories(t *testing.T) (core.AlgorithmFactory, core.AgentFactory) {
@@ -121,10 +124,9 @@ func TestFragmentRuntimeAllAlgorithms(t *testing.T) {
 			// in flight. Wait for the first aggregation so the assertion
 			// checks wiring, not goroutine scheduling.
 			_, _, caster := s.Fragments()
-			deadline := time.Now().Add(10 * time.Second)
-			for caster.Aggregations() == 0 && time.Now().Before(deadline) {
-				time.Sleep(time.Millisecond)
-			}
+			waitUntil(t, 10*time.Second, "first aggregation", func() bool {
+				return caster.Aggregations() > 0
+			})
 			rep := s.Stop()
 			if err := s.Err(); err != nil {
 				t.Fatalf("session error: %v", err)
@@ -294,6 +296,15 @@ type fragTopologyCase struct {
 	explorers int
 	maxSteps  int64
 	topo      core.Topology
+	// Failover legs: failover arms LearnerFailover with restarts as the
+	// respawn budget and heartbeat as the liveness cadence; killAfter > 0
+	// makes learn replica 0's first incarnation error after that many trains.
+	failover  bool
+	restarts  int
+	heartbeat time.Duration
+	killAfter int
+	// check runs extra per-leg assertions on the fragment report.
+	check func(t *testing.T, fr *core.FragmentReport)
 }
 
 var fragTopologyCases = []fragTopologyCase{
@@ -306,6 +317,59 @@ var fragTopologyCases = []fragTopologyCase{
 		LearnMachines:    []int{1, 2},
 		MaxStaleness:     core.StalenessUnbounded,
 	}},
+	// Degraded-mode leg: one replica dies with a zero respawn budget, the
+	// run must finish N-1 — still with zero privileged drops and a drained
+	// store. The generous heartbeat keeps loaded CI workers from tripping
+	// the deadline on scheduling noise (the kill is detected via the error
+	// channel, not the heartbeat plane).
+	{name: "degraded-2l-kill1", machines: 1, explorers: 4, maxSteps: 3000,
+		topo: core.ReplicatedTopology(2), failover: true, restarts: 0,
+		heartbeat: 500 * time.Millisecond, killAfter: 3,
+		check: func(t *testing.T, fr *core.FragmentReport) {
+			if fr.Quarantines < 1 {
+				t.Errorf("Quarantines = %d, want >= 1 (a replica was killed)", fr.Quarantines)
+			}
+			if fr.Respawns != 0 {
+				t.Errorf("Respawns = %d, want 0 (the budget is zero)", fr.Respawns)
+			}
+			if fr.Degraded != 1 {
+				t.Errorf("Degraded = %d, want 1", fr.Degraded)
+			}
+		}},
+}
+
+// killerAlgorithm wraps a real algorithm and errors out of TryTrain after a
+// fixed number of successful trains — the crash vector of the failover legs.
+// It forwards weight restoration so the wrapped replica keeps resyncing from
+// aggregate echoes until the kill.
+type killerAlgorithm struct {
+	inner  core.Algorithm
+	after  int
+	trains int
+}
+
+var errReplicaKilled = errors.New("injected replica kill")
+
+func (k *killerAlgorithm) Name() string                     { return k.inner.Name() }
+func (k *killerAlgorithm) PrepareData(b *rollout.Batch)     { k.inner.PrepareData(b) }
+func (k *killerAlgorithm) Weights() *message.WeightsPayload { return k.inner.Weights() }
+
+func (k *killerAlgorithm) RestoreWeights(version int64, data []float32) error {
+	if r, ok := k.inner.(core.WeightsRestorer); ok {
+		return r.RestoreWeights(version, data)
+	}
+	return nil
+}
+
+func (k *killerAlgorithm) TryTrain() (core.TrainResult, bool, error) {
+	res, ok, err := k.inner.TryTrain()
+	if err == nil && ok {
+		k.trains++
+		if k.trains > k.after {
+			return core.TrainResult{}, false, errReplicaKilled
+		}
+	}
+	return res, ok, err
 }
 
 // fragTopologyReport is the JSON artifact one matrix run writes.
@@ -345,13 +409,33 @@ func TestFragmentTopologyCI(t *testing.T) {
 
 func runFragTopologyCase(t *testing.T, tc fragTopologyCase) {
 	algF, agF := quickIMPALAFactories(t)
+	if tc.killAfter > 0 {
+		// The first factory call is learn replica 0's first incarnation; it
+		// gets the kill wrapper, everything later runs clean.
+		base := algF
+		var calls atomic.Int32
+		algF = func(seed int64) (core.Algorithm, error) {
+			alg, err := base(seed)
+			if err != nil {
+				return nil, err
+			}
+			if calls.Add(1) == 1 {
+				return &killerAlgorithm{inner: alg, after: tc.killAfter}, nil
+			}
+			return alg, nil
+		}
+	}
 	cfg := core.Config{
-		NumExplorers: tc.explorers,
-		RolloutLen:   40,
-		MaxSteps:     tc.maxSteps,
-		MaxDuration:  90 * time.Second,
-		Machines:     tc.machines,
-		Topology:     tc.topo,
+		NumExplorers:       tc.explorers,
+		RolloutLen:         40,
+		MaxSteps:           tc.maxSteps,
+		MaxDuration:        90 * time.Second,
+		Machines:           tc.machines,
+		Topology:           tc.topo,
+		LearnerFailover:    tc.failover,
+		MaxLearnerRestarts: tc.restarts,
+		HeartbeatEvery:     tc.heartbeat,
+		RestartBackoff:     2 * time.Millisecond,
 	}
 	if tc.grid {
 		g, err := fabric.NewGrid(tc.machines, fabric.GridOptions{})
@@ -398,6 +482,9 @@ func runFragTopologyCase(t *testing.T, tc fragTopologyCase) {
 		if bm.ReleaseErrors != 0 {
 			t.Fatalf("machine %d ReleaseErrors = %d, want 0", bm.MachineID, bm.ReleaseErrors)
 		}
+	}
+	if tc.check != nil {
+		tc.check(t, rep.Fragments)
 	}
 
 	if path := os.Getenv("XT_FRAG_REPORT"); path != "" {
@@ -504,13 +591,9 @@ func TestStopDuringRestartBackoffReturnsPromptly(t *testing.T) {
 
 	// Wait until supervision has observed the failure (LastRestartError is
 	// recorded after teardown, right before the backoff sleep starts).
-	deadline := time.Now().Add(10 * time.Second)
-	for s.ChannelHealth().Supervision.LastRestartError == "" {
-		if time.Now().After(deadline) {
-			t.Fatal("supervision never observed the explorer failure")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	waitUntil(t, 10*time.Second, "supervision to observe the explorer failure", func() bool {
+		return s.ChannelHealth().Supervision.LastRestartError != ""
+	})
 
 	stopStart := time.Now()
 	rep := s.Stop()

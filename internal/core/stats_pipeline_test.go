@@ -24,19 +24,16 @@ func TestControllerCollectsStats(t *testing.T) {
 	s.Start()
 	s.Wait()
 
-	deadline := time.Now().Add(2 * time.Second)
 	var got map[string]struct{ steps int64 }
-	for {
+	collect := func() bool {
 		stats := s.ControllerStats()
 		got = map[string]struct{ steps int64 }{}
 		for node, st := range stats {
 			got[node] = struct{ steps int64 }{st.StepsGenerated}
 		}
-		if len(got) >= 2 || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(10 * time.Millisecond)
+		return len(got) >= 2
 	}
+	waitUntil(t, 2*time.Second, "stats from both nodes", collect)
 	s.Stop()
 	if err := s.Err(); err != nil {
 		t.Fatalf("session error: %v", err)

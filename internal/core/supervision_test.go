@@ -80,13 +80,9 @@ func TestRestartBudgetExhaustionFailsFast(t *testing.T) {
 		t.Fatalf("NewSession: %v", err)
 	}
 	s.Start()
-	deadline := time.Now().Add(5 * time.Second)
-	for s.Err() == nil {
-		if time.Now().After(deadline) {
-			t.Fatal("budget exhaustion never surfaced in Err")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	waitUntil(t, 5*time.Second, "budget exhaustion to surface in Err", func() bool {
+		return s.Err() != nil
+	})
 	rep := s.Stop()
 	err = s.Err()
 	if !strings.Contains(err.Error(), "restart budget") || !errors.Is(err, errAgentBoom) {

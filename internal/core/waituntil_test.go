@@ -1,0 +1,25 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond with exponential backoff (1ms doubling to 50ms) until
+// it holds or the timeout expires, failing the test on timeout. Tests use it
+// instead of hand-rolled sleep loops so every wait has the same backoff shape
+// and the same failure message discipline.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	backoff := time.Millisecond
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", timeout, what)
+		}
+		time.Sleep(backoff)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}

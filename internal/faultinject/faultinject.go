@@ -12,7 +12,9 @@
 //   - netsim: Injector satisfies netsim.FaultHook, adding latency spikes to
 //     simulated transfers.
 //   - core: Injector.NewAgentFault hands each explorer incarnation a
-//     deterministic crash schedule for its Rollout loop.
+//     deterministic crash schedule for its Rollout loop; NewCrash and
+//     NewStall/NewStallAfter do the same for learn replicas (one-shot
+//     errors and silent hangs inside a training step).
 //
 // All counters are process-global within one Injector, so a schedule like
 // "reset every 40th write" interleaves deterministically across connections
@@ -53,6 +55,15 @@ type Config struct {
 	// LatencySpike is the injected delay per spike (default 5ms when
 	// LatencySpikeEveryN is set).
 	LatencySpike time.Duration
+	// StallAfterCalls arms each Stall handle built by NewStall: the handle's
+	// first incarnation hangs once, for StallDuration, after this many
+	// guarded calls. A stall is the silent failure mode — the caller blocks
+	// instead of erroring, which is what heartbeat deadline detectors exist
+	// to catch.
+	StallAfterCalls int
+	// StallDuration is the injected hang per stall (default 250ms when
+	// StallAfterCalls is set).
+	StallDuration time.Duration
 }
 
 // Injector is a seeded fault source. It is safe for concurrent use.
@@ -69,6 +80,7 @@ type Injector struct {
 	corruptions atomic.Int64
 	spikes      atomic.Int64
 	agentFaults atomic.Int64
+	stalls      atomic.Int64
 }
 
 // New builds an injector for the given schedule.
@@ -76,17 +88,21 @@ func New(cfg Config) *Injector {
 	if cfg.LatencySpikeEveryN > 0 && cfg.LatencySpike <= 0 {
 		cfg.LatencySpike = 5 * time.Millisecond
 	}
+	if cfg.StallAfterCalls > 0 && cfg.StallDuration <= 0 {
+		cfg.StallDuration = 250 * time.Millisecond
+	}
 	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 }
 
 // Stats reports how many faults of each class the injector has fired.
 type Stats struct {
-	// ConnResets, Corruptions, LatencySpikes, and AgentFaults count fired
-	// faults per class.
+	// ConnResets, Corruptions, LatencySpikes, AgentFaults, and Stalls count
+	// fired faults per class.
 	ConnResets    int64
 	Corruptions   int64
 	LatencySpikes int64
 	AgentFaults   int64
+	Stalls        int64
 	// Writes and Transfers count the observed events the schedules key on.
 	Writes    int64
 	Transfers int64
@@ -99,6 +115,7 @@ func (i *Injector) Stats() Stats {
 		Corruptions:   i.corruptions.Load(),
 		LatencySpikes: i.spikes.Load(),
 		AgentFaults:   i.agentFaults.Load(),
+		Stalls:        i.stalls.Load(),
 		Writes:        i.writes.Load(),
 		Transfers:     i.transfers.Load(),
 	}
@@ -106,8 +123,8 @@ func (i *Injector) Stats() Stats {
 
 // String renders the snapshot human-readably.
 func (s Stats) String() string {
-	return fmt.Sprintf("faults: resets=%d corruptions=%d spikes=%d agent=%d (writes=%d transfers=%d)",
-		s.ConnResets, s.Corruptions, s.LatencySpikes, s.AgentFaults, s.Writes, s.Transfers)
+	return fmt.Sprintf("faults: resets=%d corruptions=%d spikes=%d agent=%d stalls=%d (writes=%d transfers=%d)",
+		s.ConnResets, s.Corruptions, s.LatencySpikes, s.AgentFaults, s.Stalls, s.Writes, s.Transfers)
 }
 
 // TransferDelay implements netsim.FaultHook: every Nth simulated transfer
@@ -185,6 +202,14 @@ func (i *Injector) NewAgentFault() *AgentFault {
 	return &AgentFault{inj: i, failAfter: i.cfg.AgentFailAfterRollouts}
 }
 
+// NewCrash returns a one-shot crash schedule firing after n guarded calls,
+// independent of the config-driven agent schedule. Chaos tests use it to
+// kill one specific learn replica after a fixed number of trains while the
+// explorer schedules run their own counts.
+func (i *Injector) NewCrash(n int) *AgentFault {
+	return &AgentFault{inj: i, failAfter: n}
+}
+
 // ShouldFail reports whether this Rollout call must return an error. It
 // fires exactly once, after the configured number of clean rollouts, and
 // never again for the same handle.
@@ -204,4 +229,71 @@ func (f *AgentFault) ShouldFail() bool {
 		return true
 	}
 	return false
+}
+
+// Stall is a one-shot hang schedule: the guarded call after the configured
+// count blocks for the seeded duration instead of proceeding, and the handle
+// never fires again. Unlike AgentFault the caller does not error — the hang
+// is silent, which is exactly the failure mode a heartbeat deadline detector
+// must catch (a replica wedged inside a training step, a remote call that
+// never returns).
+type Stall struct {
+	inj       *Injector
+	after     int
+	dur       time.Duration
+	onStalled func() // test hook, observed just before the hang begins
+
+	mu    sync.Mutex
+	calls int
+	fired bool
+}
+
+// NewStall returns a hang schedule armed from Config.StallAfterCalls and
+// Config.StallDuration. Call once per guarded site; pass the handle across
+// incarnations so a restarted replica runs clean.
+func (i *Injector) NewStall() *Stall {
+	return &Stall{inj: i, after: i.cfg.StallAfterCalls, dur: i.cfg.StallDuration}
+}
+
+// NewStallAfter returns a hang schedule with an explicit call count and
+// duration, independent of the config-driven schedule.
+func (i *Injector) NewStallAfter(n int, d time.Duration) *Stall {
+	if d <= 0 {
+		d = 250 * time.Millisecond
+	}
+	return &Stall{inj: i, after: n, dur: d}
+}
+
+// OnStalled installs a hook invoked right before the injected hang starts
+// (for tests that need to observe the exact stall window). Call before the
+// handle is shared.
+func (st *Stall) OnStalled(fn func()) { st.onStalled = fn }
+
+// MaybeStall blocks the calling goroutine for the seeded duration when the
+// schedule says this call is the one that hangs; it reports whether the
+// stall fired on this call.
+func (st *Stall) MaybeStall() bool {
+	if st == nil || st.after <= 0 {
+		return false
+	}
+	st.mu.Lock()
+	if st.fired {
+		st.mu.Unlock()
+		return false
+	}
+	st.calls++
+	due := st.calls > st.after
+	if due {
+		st.fired = true
+	}
+	st.mu.Unlock()
+	if !due {
+		return false
+	}
+	st.inj.stalls.Add(1)
+	if st.onStalled != nil {
+		st.onStalled()
+	}
+	time.Sleep(st.dur)
+	return true
 }

@@ -117,7 +117,10 @@ type Header struct {
 	// only while RelayHops > 0, decrementing per hop. Zero (the default)
 	// means star routing.
 	RelayHops uint8
-	// Round annotates dummy-benchmark messages with their round index.
+	// Round annotates dummy-benchmark messages with their round index and
+	// fragment heartbeat/weights traffic with the sending replica's
+	// incarnation epoch (so a respawned replica's peers can discard a
+	// retired incarnation's late messages).
 	Round int32
 }
 
@@ -209,6 +212,26 @@ const (
 	// travels in Header.WeightsVersion. The sampler's bounded-staleness
 	// filter measures rollout age against it.
 	ControlVersionAnnounce
+	// ControlHeartbeat is a learn replica's liveness beat to the sample and
+	// broadcast fragments. Header.Src names the replica, Header.Round its
+	// incarnation epoch, and ControlPayload.LastRolloutID the newest
+	// dispatched rollout the replica has ingested — the consumption ack the
+	// sampler prunes its in-flight ledger with.
+	ControlHeartbeat
+	// ControlQuarantine tells the sample and broadcast fragments to retire
+	// the replica named in ControlPayload.Peer: the sampler stops
+	// dispatching to it (re-dispatching its un-acked in-flight batches to
+	// survivors) and the broadcaster drops it from aggregation.
+	ControlQuarantine
+	// ControlRejoin reverses a quarantine after a supervised respawn: the
+	// replica named in ControlPayload.Peer rejoins dispatch and aggregation
+	// at the incarnation epoch carried in Header.Round. The broadcaster
+	// answers with a dense aggregate echo (the RestoreWeights resync path).
+	ControlRejoin
+	// ControlDrain is a teardown nudge addressed to a stopping replica so a
+	// receiver thread blocked on its port observes the closed receive buffer
+	// and exits. Live incarnations ignore it.
+	ControlDrain
 )
 
 // ControlPayload carries a control command from a controller.
@@ -219,6 +242,12 @@ type ControlPayload struct {
 	// Acked is set for ControlAckSnapshot: the last weights version seen on
 	// each source's rollout traffic, keyed by source name.
 	Acked map[string]int64
+	// Peer names the learn replica a ControlQuarantine/ControlRejoin (and,
+	// redundantly with Header.Src, a ControlHeartbeat) concerns.
+	Peer string
+	// LastRolloutID is set for ControlHeartbeat: the highest dispatched
+	// rollout header ID the replica has ingested this incarnation.
+	LastRolloutID uint64
 }
 
 // DummyPayload is the opaque byte body used by the §5.1 data-transmission

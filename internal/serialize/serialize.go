@@ -98,8 +98,11 @@ func SizeHint(body any) int {
 	case *message.StatsPayload:
 		return 96 + len(b.Node)
 	case *message.ControlPayload:
-		n := 32
+		n := 48 + len(b.Peer)
 		for k := range b.Hyperparams {
+			n += 12 + len(k)
+		}
+		for k := range b.Acked {
 			n += 12 + len(k)
 		}
 		return n
@@ -428,6 +431,8 @@ func appendControl(out []byte, c *message.ControlPayload) []byte {
 		out = putString(out, k)
 		out = putU64(out, uint64(v))
 	}
+	out = putString(out, c.Peer)
+	out = putU64(out, c.LastRolloutID)
 	return out
 }
 
@@ -469,6 +474,11 @@ func unmarshalControl(data []byte) (*message.ControlPayload, error) {
 			}
 			c.Acked[k] = v
 		}
+	}
+	c.Peer = r.str()
+	c.LastRolloutID = r.u64()
+	if r.err != nil {
+		return nil, r.err
 	}
 	return c, nil
 }

@@ -66,6 +66,10 @@ type Stats struct {
 	Empty int64
 	// Resyncs counts NACK-forced dense fallbacks.
 	Resyncs int64
+	// Corrections counts failover-forced broadcasts: a learn replica was
+	// quarantined, so the committed aggregate was recomputed over the
+	// survivors and re-planned out of cadence.
+	Corrections int64
 	// EMANorm is the current adaptive-threshold EMA of relative delta norms.
 	EMANorm float64
 }
@@ -109,6 +113,14 @@ func (p *Planner) MarkStale(dst string) {
 	defer p.mu.Unlock()
 	p.stale[dst] = true
 	p.stats.Resyncs++
+}
+
+// NoteCorrection records a failover-forced corrective broadcast (the
+// aggregate recomputed over surviving replicas after a quarantine).
+func (p *Planner) NoteCorrection() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Corrections++
 }
 
 // Stats returns a snapshot of planner counters.
