@@ -450,7 +450,7 @@ func (s *Session) buildFragments(topo Topology, algF AlgorithmFactory) error {
 		lslots[i] = &learnSlot{
 			idx:     i,
 			machine: topo.LearnMachines[i],
-			suspect: make(chan struct{}, 1),
+			suspect: make(chan int32, 1),
 			frag:    frag,
 		}
 	}
@@ -496,10 +496,10 @@ func (s *Session) buildFragments(topo Topology, algF AlgorithmFactory) error {
 		for _, sl := range lslots {
 			byName[LearnName(sl.idx)] = sl
 		}
-		caster.SetFailover(heartbeatMisses*hbEvery, func(name string) {
+		caster.SetFailover(heartbeatMisses*hbEvery, func(name string, epoch int32) {
 			if sl, ok := byName[name]; ok {
 				select {
-				case sl.suspect <- struct{}{}:
+				case sl.suspect <- epoch:
 				default:
 				}
 			}
@@ -588,7 +588,13 @@ func (s *Session) superviseLearn(sl *learnSlot) {
 			return
 		case <-frag.Failed():
 			err = frag.Err()
-		case <-sl.suspect:
+		case ep := <-sl.suspect:
+			if ep != sl.curEpoch() {
+				// Stale verdict: the detector condemned an incarnation that
+				// has already been torn down and replaced. The successor is
+				// healthy until its own epoch says otherwise.
+				continue
+			}
 			err = fmt.Errorf("core: learn replica %d missed its heartbeat deadline", sl.idx)
 		}
 		name := LearnName(sl.idx)
@@ -627,8 +633,6 @@ func (s *Session) superviseLearn(sl *learnSlot) {
 
 		sl.mu.Lock()
 		sl.lastErr = err
-		sl.priorSteps += frag.StepsConsumed()
-		sl.priorIters += frag.TrainIters()
 		exhausted := sl.restarts >= int64(s.cfg.MaxLearnerRestarts)
 		if exhausted {
 			sl.degraded = true
@@ -671,9 +675,22 @@ func (s *Session) superviseLearn(sl *learnSlot) {
 		sl.restarts++
 		sl.epoch++
 		epoch := sl.epoch
+		// Fold the retired incarnation's progress exactly when it stops being
+		// sl.frag: stepsConsumed()/report() read priorSteps + frag's counters,
+		// so folding any earlier would double-count the retiree for as long
+		// as (or forever, if the slot degrades) it stays installed.
+		sl.priorSteps += frag.StepsConsumed()
+		sl.priorIters += frag.TrainIters()
 		sl.frag = next
 		sl.mu.Unlock()
 		s.frags.respawns.Add(1)
+		// Discard any suspicion verdict still buffered against the retired
+		// incarnation, so it cannot occupy the slot's capacity-1 channel when
+		// the detector has a genuine verdict on the successor.
+		select {
+		case <-sl.suspect:
+		default:
+		}
 		next.Start()
 		// Rejoin at the new epoch: the sampler re-admits the replica to its
 		// rotation and the broadcaster answers with a dense resync echo.

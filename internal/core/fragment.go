@@ -514,6 +514,13 @@ func (l *LearnFragment) heartbeatLoop() {
 		})
 		m.Header.Round = l.epoch
 		if err := l.port.Send(m); err != nil {
+			// Only a closed channel ends the beat silently; any other send
+			// failure is surfaced through fail() so the supervisor sees the
+			// real cause instead of a deadline-detector quarantine of a
+			// replica that merely stopped beating.
+			if !errors.Is(err, queue.ErrClosed) {
+				l.fail(fmt.Errorf("learn fragment %d heartbeat: %w", l.idx, err))
+			}
 			return
 		}
 	}
@@ -729,9 +736,11 @@ type BroadcastFragment struct {
 	// timeout is reported to onSuspect (the session's slot supervisor), which
 	// quarantines it out of band. seenMu guards the liveness maps — they are
 	// written by both the recv loop and the detector thread. epochs fences
-	// out a retired incarnation's late traffic by incarnation number.
+	// out a retired incarnation's late traffic by incarnation number; the
+	// verdict carries the suspected incarnation's epoch so a stale verdict
+	// cannot condemn a respawned successor.
 	hbTimeout   time.Duration
-	onSuspect   func(name string)
+	onSuspect   func(name string, epoch int32)
 	seenMu      sync.Mutex
 	lastSeen    map[string]time.Time
 	suspected   map[string]bool
@@ -802,7 +811,7 @@ func NewBroadcastFragment(port *broker.Port, cfg BroadcastConfig) *BroadcastFrag
 
 // SetFailover arms the replica deadline detector: a live replica silent for
 // hbTimeout is handed to onSuspect exactly once. Call before Start.
-func (b *BroadcastFragment) SetFailover(hbTimeout time.Duration, onSuspect func(name string)) {
+func (b *BroadcastFragment) SetFailover(hbTimeout time.Duration, onSuspect func(name string, epoch int32)) {
 	b.hbTimeout = hbTimeout
 	b.onSuspect = onSuspect
 }
@@ -839,7 +848,11 @@ func (b *BroadcastFragment) detectorLoop() {
 		case <-tick.C:
 		}
 		now := time.Now()
-		var overdue []string
+		type verdict struct {
+			name  string
+			epoch int32
+		}
+		var overdue []verdict
 		b.seenMu.Lock()
 		for _, name := range b.learnDsts {
 			if b.quarantined[name] || b.suspected[name] {
@@ -855,13 +868,13 @@ func (b *BroadcastFragment) detectorLoop() {
 			}
 			if now.Sub(seen) > b.hbTimeout {
 				b.suspected[name] = true
-				overdue = append(overdue, name)
+				overdue = append(overdue, verdict{name: name, epoch: b.epochs[name]})
 			}
 		}
 		b.seenMu.Unlock()
-		for _, name := range overdue {
+		for _, v := range overdue {
 			if b.onSuspect != nil {
-				b.onSuspect(name)
+				b.onSuspect(v.name, v.epoch)
 			}
 		}
 	}
@@ -1183,8 +1196,9 @@ type learnSlot struct {
 	idx     int
 	machine int
 	// suspect receives deadline-detector verdicts for this slot (capacity 1;
-	// duplicates collapse).
-	suspect chan struct{}
+	// duplicates collapse). Each verdict carries the epoch of the suspected
+	// incarnation so the supervisor can discard one that raced a respawn.
+	suspect chan int32
 
 	mu          sync.Mutex
 	frag        *LearnFragment
@@ -1193,8 +1207,13 @@ type learnSlot struct {
 	degraded    bool
 	lastErr     error
 	terminalErr error
-	priorSteps  int64
-	priorIters  int64
+	// priorSteps/priorIters accumulate the progress of *replaced*
+	// incarnations only: they are folded in at the instant frag is swapped
+	// to the respawn, so a retired incarnation that never gets a successor
+	// (degraded slot, failed respawn, backoff window) keeps contributing
+	// through frag — each incarnation's steps count exactly once.
+	priorSteps int64
+	priorIters int64
 }
 
 // current returns the slot's live incarnation.
@@ -1202,6 +1221,13 @@ func (sl *learnSlot) current() *LearnFragment {
 	sl.mu.Lock()
 	defer sl.mu.Unlock()
 	return sl.frag
+}
+
+// curEpoch returns the slot's current incarnation epoch.
+func (sl *learnSlot) curEpoch() int32 {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.epoch
 }
 
 // fragRuntime is the Session-side scheduler state for a fragment topology.

@@ -24,11 +24,20 @@ type failoverAlgorithm struct {
 	stallAt  int
 	stallFor time.Duration
 
-	mu      sync.Mutex
-	pending []*rollout.Batch
-	version int64
-	weights []float32
-	trains  int
+	mu       sync.Mutex
+	pending  []*rollout.Batch
+	version  int64
+	weights  []float32
+	trains   int
+	consumed int64
+}
+
+// consumedSteps reports the rollout steps this instance actually trained on
+// (errored trains excluded) — the ground truth the session report must match.
+func (f *failoverAlgorithm) consumedSteps() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.consumed
 }
 
 var (
@@ -76,14 +85,26 @@ func (f *failoverAlgorithm) TryTrain() (core.TrainResult, bool, error) {
 	if f.stallAt > 0 && trains == f.stallAt {
 		time.Sleep(f.stallFor)
 	}
+	f.mu.Lock()
+	f.consumed += int64(len(b.Steps))
+	f.mu.Unlock()
 	return core.TrainResult{StepsConsumed: len(b.Steps), Broadcast: true}, true, nil
+}
+
+// faultSpec configures the single faulty first incarnation that
+// failoverFactories wires up. A plain value type (unlike failoverAlgorithm,
+// which carries a mutex) so it can be passed by value.
+type faultSpec struct {
+	crashAt  int
+	stallAt  int
+	stallFor time.Duration
 }
 
 // failoverFactories wires a 2-replica failover deployment: the first factory
 // call (learn replica 0's first incarnation) gets the configured fault,
 // every later call — replica 1 and all respawns — runs clean. Explorers
 // never fail.
-func failoverFactories(fault failoverAlgorithm) (core.AlgorithmFactory, core.AgentFactory) {
+func failoverFactories(fault faultSpec) (core.AlgorithmFactory, core.AgentFactory) {
 	var calls atomic.Int32
 	algF := func(seed int64) (core.Algorithm, error) {
 		a := &failoverAlgorithm{weights: []float32{1}}
@@ -100,11 +121,81 @@ func failoverFactories(fault failoverAlgorithm) (core.AlgorithmFactory, core.Age
 	return algF, agF
 }
 
+// TestLearnerFailoverStepAccounting: every incarnation's steps must count
+// exactly once in the session report, whether the slot respawned (the retired
+// incarnation's progress is folded into the slot when its successor is
+// installed) or degraded permanently (the retiree stays installed and keeps
+// counting directly). The report is compared against the ground truth the
+// algorithm instances tracked themselves — a double-count fails the equality.
+func TestLearnerFailoverStepAccounting(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		restarts int
+	}{
+		{name: "degraded-no-respawn", restarts: 0},
+		{name: "respawned", restarts: 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var mu sync.Mutex
+			var algs []*failoverAlgorithm
+			algF := func(seed int64) (core.Algorithm, error) {
+				a := &failoverAlgorithm{weights: []float32{1}}
+				mu.Lock()
+				if len(algs) == 0 {
+					a.crashAt = 2
+				}
+				algs = append(algs, a)
+				mu.Unlock()
+				return a, nil
+			}
+			agF := func(id int32, seed int64) (core.Agent, error) {
+				return &faultyAgent{failAfter: 1 << 30}, nil
+			}
+			s, err := core.NewSession(core.Config{
+				NumExplorers:       4,
+				RolloutLen:         40,
+				MaxSteps:           2000,
+				MaxDuration:        60 * time.Second,
+				Topology:           core.ReplicatedTopology(2),
+				LearnerFailover:    true,
+				MaxLearnerRestarts: tc.restarts,
+				RestartBackoff:     2 * time.Millisecond,
+				HeartbeatEvery:     20 * time.Millisecond,
+			}, algF, agF, 25)
+			if err != nil {
+				t.Fatalf("NewSession: %v", err)
+			}
+			s.Start()
+			s.Wait()
+			rep := s.Stop()
+			if err := s.Err(); err != nil {
+				t.Fatalf("session error: %v", err)
+			}
+			var actual int64
+			mu.Lock()
+			for _, a := range algs {
+				actual += a.consumedSteps()
+			}
+			mu.Unlock()
+			var reported int64
+			for _, n := range rep.Fragments.LearnSteps {
+				reported += n
+			}
+			if reported != actual {
+				t.Fatalf("LearnSteps sum = %d, algorithms trained on %d — each incarnation must count exactly once", reported, actual)
+			}
+			if int64(rep.StepsConsumed) != actual {
+				t.Fatalf("StepsConsumed = %d, algorithms trained on %d", rep.StepsConsumed, actual)
+			}
+		})
+	}
+}
+
 // TestLearnerFailoverRespawn: a 2-replica topology with a crashing replica
 // must quarantine it, re-dispatch its in-flight batches, respawn it from the
 // fragment checkpoint, and still reach the step target with a clean channel.
 func TestLearnerFailoverRespawn(t *testing.T) {
-	algF, agF := failoverFactories(failoverAlgorithm{crashAt: 3})
+	algF, agF := failoverFactories(faultSpec{crashAt: 3})
 	s, err := core.NewSession(core.Config{
 		NumExplorers:       4,
 		RolloutLen:         40,
@@ -152,7 +243,7 @@ func TestLearnerFailoverRespawn(t *testing.T) {
 // replica is quarantined and its slot degrades permanently; the run must
 // complete N-1 on the survivor without a session error.
 func TestLearnerFailoverDegradedBudgetZero(t *testing.T) {
-	algF, agF := failoverFactories(failoverAlgorithm{crashAt: 2})
+	algF, agF := failoverFactories(faultSpec{crashAt: 2})
 	s, err := core.NewSession(core.Config{
 		NumExplorers:       4,
 		RolloutLen:         40,
@@ -196,7 +287,7 @@ func TestLearnerFailoverDegradedBudgetZero(t *testing.T) {
 // can catch it. The detector must quarantine it and the run complete on the
 // survivor.
 func TestLearnerFailoverHungReplicaDetected(t *testing.T) {
-	algF, agF := failoverFactories(failoverAlgorithm{stallAt: 2, stallFor: 1500 * time.Millisecond})
+	algF, agF := failoverFactories(faultSpec{stallAt: 2, stallFor: 1500 * time.Millisecond})
 	s, err := core.NewSession(core.Config{
 		NumExplorers:       4,
 		RolloutLen:         40,
@@ -243,7 +334,7 @@ func TestLearnerFailoverHungReplicaDetected(t *testing.T) {
 // learn-replica supervisor sleeps out a long respawn backoff must interrupt
 // it, return within the 5s bound, and stay idempotent.
 func TestStopDuringLearnerFailoverReturnsPromptly(t *testing.T) {
-	algF, agF := failoverFactories(failoverAlgorithm{crashAt: 1})
+	algF, agF := failoverFactories(faultSpec{crashAt: 1})
 	s, err := core.NewSession(core.Config{
 		NumExplorers:       2,
 		RolloutLen:         20,
