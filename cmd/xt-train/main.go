@@ -27,6 +27,8 @@ import (
 	"xingtian/internal/algorithm"
 	"xingtian/internal/core"
 	"xingtian/internal/env"
+	"xingtian/internal/fabric"
+	"xingtian/internal/serialize"
 )
 
 // fileConfig is the JSON deployment description.
@@ -65,6 +67,15 @@ type fileConfig struct {
 	// replicated and >= 2 learners). HeartbeatMS tunes the liveness cadence.
 	LearnerRestarts int `json:"learner_restarts"`
 	HeartbeatMS     int `json:"heartbeat_ms"`
+
+	// Grid runs the machines over a real TCP loopback fabric grid instead
+	// of the simulated network. MachineFailover arms §5j whole-machine
+	// fault domains on top of it (needs Grid, >= 2 machines, and a
+	// replicated topology with >= 2 learners); LeaseMS tunes the membership
+	// lease renewal period (0 = transport default, 25ms).
+	Grid            bool `json:"grid"`
+	MachineFailover bool `json:"machine_failover"`
+	LeaseMS         int  `json:"lease_ms"`
 }
 
 // topologyFor maps the deployment description onto a core.Topology. The
@@ -128,6 +139,10 @@ func run() int {
 		syncEvery  = flag.Int("sync-every", 1, "aggregations between weight echoes back to the learn replicas (with -topology replicated)")
 		lRestarts  = flag.Int("learner-restarts", -1, "learn-replica respawn budget: -1 = fail fast (seed semantics), >= 0 arms quarantine/respawn failover with that budget (needs -topology replicated and >= 2 learners)")
 		heartbeat  = flag.Duration("heartbeat", 0, "learn-replica liveness cadence under -learner-restarts >= 0 (0 = default 25ms; hung-replica deadline is 4 missed beats)")
+		gridWire   = flag.Bool("grid", false, "run the machines over a real TCP loopback fabric grid instead of the simulated network")
+		mFailover  = flag.Bool("machine-failover", false, "survive whole-machine loss: lease-based membership plus fragment re-placement onto survivors (needs -grid, -machines >= 2, -topology replicated, -learners >= 2)")
+		leaseMS    = flag.Int("lease-ms", 0, "membership lease renewal period in ms under -machine-failover (0 = default 25ms; death verdict after 4 missed renewals with a downed link)")
+		reportPath = flag.String("report", "", `write a single-line JSON run report (steps, throughput, fragment and machine-failover counters) to this path ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -144,6 +159,7 @@ func run() int {
 		Topology: *topology, Learners: *learners,
 		MaxStaleness: *staleness, SyncEvery: *syncEvery,
 		LearnerRestarts: *lRestarts, HeartbeatMS: int(heartbeat.Milliseconds()),
+		Grid: *gridWire, MachineFailover: *mFailover, LeaseMS: *leaseMS,
 	}
 	if *configPath != "" {
 		data, err := os.ReadFile(*configPath)
@@ -181,6 +197,31 @@ func run() int {
 		fmt.Printf("  failover: learn-replica respawn budget %d, heartbeat %dms\n",
 			fc.LearnerRestarts, fc.HeartbeatMS)
 	}
+	if fc.LeaseMS != 0 && !fc.MachineFailover {
+		fmt.Fprintln(os.Stderr, "-lease-ms tunes the membership plane and needs -machine-failover")
+		return 2
+	}
+	if fc.MachineFailover {
+		// Machine failover is a real-wire feature: the membership plane and
+		// the Kill fence live on the fabric grid, and re-placement needs
+		// both a surviving machine and a surviving learn replica.
+		switch {
+		case !fc.Grid:
+			fmt.Fprintln(os.Stderr, "-machine-failover needs -grid (the membership plane runs on the TCP fabric, not the simulated network)")
+			return 2
+		case fc.Machines < 2:
+			fmt.Fprintln(os.Stderr, "-machine-failover needs -machines >= 2 (re-placement requires a survivor machine)")
+			return 2
+		case fc.Topology != "replicated" || fc.Learners < 2:
+			fmt.Fprintln(os.Stderr, "-machine-failover needs -topology replicated with -learners >= 2 (a dead machine's learn replicas must leave a survivor)")
+			return 2
+		}
+		lease := fc.LeaseMS
+		if lease == 0 {
+			lease = int(fabric.DefaultLeaseEvery.Milliseconds())
+		}
+		fmt.Printf("  machine failover: lease %dms, verdict after 4 missed renewals\n", lease)
+	}
 
 	cfg := core.Config{
 		NumExplorers:        fc.Explorers,
@@ -206,6 +247,26 @@ func run() int {
 		LearnerFailover:     fc.LearnerRestarts >= 0,
 		MaxLearnerRestarts:  max(fc.LearnerRestarts, 0),
 		HeartbeatEvery:      time.Duration(fc.HeartbeatMS) * time.Millisecond,
+		MachineFailover:     fc.MachineFailover,
+		LeaseEvery:          time.Duration(fc.LeaseMS) * time.Millisecond,
+	}
+	if fc.Grid {
+		opts := fabric.GridOptions{
+			StoreBudget:    fc.StoreBudget,
+			ShedQueueDepth: fc.ShedDepth,
+		}
+		if fc.Compress {
+			opts.Compressor = serialize.NewCompressor()
+		}
+		if fc.WeightTreeFanout > 0 {
+			opts.RelayFanout = fc.WeightTreeFanout
+		}
+		g, gerr := fabric.NewGrid(max(fc.Machines, 1), opts)
+		if gerr != nil {
+			fmt.Fprintf(os.Stderr, "grid: %v\n", gerr)
+			return 2
+		}
+		cfg.Transport = g
 	}
 	if *metrics > 0 {
 		cfg.MetricsEvery = *metrics
@@ -228,6 +289,10 @@ func run() int {
 			fmt.Printf("  failover:         %d quarantine(s), %d re-dispatch(es), %d respawn(s), %d degraded slot(s)\n",
 				fr.Quarantines, fr.Redispatches, fr.Respawns, fr.Degraded)
 		}
+		if fc.MachineFailover {
+			fmt.Printf("  machine plane:    %d lease renewal(s), %d machine verdict(s), %d takeover(s)\n",
+				fr.LeaseRenewals, fr.MachineVerdicts, fr.Takeovers)
+		}
 	}
 	fmt.Printf("  episodes:         %d (mean return %.2f)\n", report.Episodes, report.MeanReturn)
 	fmt.Printf("  learner wait avg: %v\n", report.MeanWait.Round(time.Microsecond))
@@ -246,11 +311,63 @@ func run() int {
 	for _, ws := range report.Channel.Wire {
 		fmt.Printf("  %s\n", ws.String())
 	}
+	if *reportPath != "" {
+		if err := writeRunReport(*reportPath, fc, report); err != nil {
+			fmt.Fprintf(os.Stderr, "write report: %v\n", err)
+			return 1
+		}
+	}
 	if leaked := report.Channel.TotalLeaked(); leaked > 0 {
 		fmt.Fprintf(os.Stderr, "WARNING: %d object(s) leaked in the object store at shutdown\n", leaked)
 		return 1
 	}
 	return 0
+}
+
+// runReport is the single-line JSON artifact -report emits: run shape, the
+// headline throughput numbers, and — when the fragment runtime ran — the
+// full fragment report, whose lease/takeover counters the machine-failover
+// chaos legs grep for.
+type runReport struct {
+	Algorithm     string               `json:"algorithm"`
+	Environment   string               `json:"environment"`
+	Machines      int                  `json:"machines"`
+	Grid          bool                 `json:"grid"`
+	StepsConsumed int64                `json:"steps_consumed"`
+	TrainIters    int64                `json:"train_iters"`
+	Throughput    float64              `json:"throughput_steps_per_s"`
+	DurationMS    int64                `json:"duration_ms"`
+	Episodes      int64                `json:"episodes"`
+	MeanReturn    float64              `json:"mean_return"`
+	Leaked        int64                `json:"leaked"`
+	Fragments     *core.FragmentReport `json:"fragments,omitempty"`
+}
+
+func writeRunReport(path string, fc fileConfig, report *core.Report) error {
+	out := runReport{
+		Algorithm:     fc.Algorithm,
+		Environment:   fc.Environment,
+		Machines:      max(fc.Machines, 1),
+		Grid:          fc.Grid,
+		StepsConsumed: report.StepsConsumed,
+		TrainIters:    report.TrainIters,
+		Throughput:    report.Throughput,
+		DurationMS:    report.Duration.Milliseconds(),
+		Episodes:      report.Episodes,
+		MeanReturn:    report.MeanReturn,
+		Leaked:        report.Channel.TotalLeaked(),
+		Fragments:     report.Fragments,
+	}
+	data, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // buildFactories wires the zoo algorithm and agents for the config.

@@ -249,6 +249,25 @@ func (b *Broker) route() {
 		}
 		b.health.headersRouted.Add(1)
 		local, remotes := b.localRemoteSplit(h.Dst)
+		// The sender pinned exactly one reference; the authoritative
+		// destination split happens here, once. Splitting in both Send and
+		// route lets a registration move between the two calls (fragment
+		// re-placement swaps names across machines mid-flight) and skews
+		// the refcount ledger — consolidated destinations leak, dispersed
+		// ones over-release. Pin up to the route-time count before any
+		// consumer can release.
+		need := len(local) + len(remotes)
+		if need == 0 {
+			// Every destination vanished since Send: drop silently, as
+			// Send itself does for unreachable names.
+			b.release(h.ObjectID)
+			continue
+		}
+		for i := 1; i < need; i++ {
+			// Cannot fail: this goroutine still holds the sender's pin.
+			//lint:ignore refbalance each pinned reference is released by its consumer — the local Recv/drop paths or the remote forward ledger below
+			_ = b.store.Pin(h.ObjectID)
+		}
 
 		for _, name := range local {
 			q := b.idQueue(name)
@@ -306,7 +325,7 @@ func (b *Broker) route() {
 				b.release(h.ObjectID)
 			}
 		}
-		// The sender pinned one reference per remote machine; tree routing
+		// route pinned one reference per remote machine; tree routing
 		// consumes one per relay group, so the folded-away machines' pins
 		// must be returned here to keep the refcount ledger balanced.
 		for i := len(groups); i < len(remotes); i++ {
@@ -690,13 +709,17 @@ func (p *Port) Send(m *message.Message) error {
 	framed, compressed := p.broker.compressor.Pack(raw)
 	serialize.FreeBuf(raw)
 
+	// The split here is advisory — a reachability check and drop-accounting
+	// weight only. The router recomputes it and owns the refcount ledger
+	// (see route): the sender pins exactly one reference, so a registration
+	// that moves between this call and routing cannot skew the ledger.
 	local, remotes := p.broker.localRemoteSplit(m.Header.Dst)
 	refs := len(local) + len(remotes)
 	if refs == 0 {
 		return nil // no reachable destination; drop silently like a router
 	}
 	h := m.Header
-	id, err := p.broker.admit(h.Type, framed, refs)
+	id, err := p.broker.admit(h.Type, framed, 1)
 	if err != nil {
 		// Budget refusal: the trajectory is shed at the source. Sends are
 		// fire-and-forget for droppable traffic, so the producer keeps
@@ -710,11 +733,9 @@ func (p *Port) Send(m *message.Message) error {
 	h.BodySize = len(framed)
 	h.Compressed = compressed
 	if err := p.broker.headerQ.Put(h); err != nil {
-		// Router is gone; reclaim all references.
+		// Router is gone; reclaim the pinned reference.
 		p.broker.health.dropQueueClosed.Add(int64(refs))
-		for i := 0; i < refs; i++ {
-			p.broker.release(h.ObjectID)
-		}
+		p.broker.release(h.ObjectID)
 		return fmt.Errorf("broker send from %s: %w", p.name, err)
 	}
 	p.broker.health.sends.Add(1)

@@ -321,6 +321,10 @@ type WireMetrics struct {
 	BytesReceived int64
 	// CorruptStreams counts connections torn down on malformed frames.
 	CorruptStreams int64
+	// CorruptFrames counts connections torn down on a frame-checksum
+	// mismatch: the payload bytes were damaged in flight and were discarded
+	// before deserialization.
+	CorruptFrames int64
 	// Reconnects counts successful redials of a lost peer connection.
 	Reconnects int64
 	// RedialFailures counts failed redial attempts while backing off.
@@ -394,9 +398,9 @@ func (c ClusterHealth) TotalLeaked() int64 {
 
 // String renders the wire snapshot human-readably.
 func (w WireMetrics) String() string {
-	s := fmt.Sprintf("wire[m%d] frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d reconnects=%d redialFail=%d retried=%d droppedRetry=%d",
+	s := fmt.Sprintf("wire[m%d] frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d corruptFrames=%d reconnects=%d redialFail=%d retried=%d droppedRetry=%d",
 		w.MachineID, w.FramesSent, w.FramesReceived, w.BytesSent, w.BytesReceived,
-		w.CorruptStreams, w.Reconnects, w.RedialFailures, w.RetriedFrames, w.DroppedRetry)
+		w.CorruptStreams, w.CorruptFrames, w.Reconnects, w.RedialFailures, w.RetriedFrames, w.DroppedRetry)
 	if w.DroppedInject > 0 {
 		s += fmt.Sprintf(" droppedInject=%d", w.DroppedInject)
 	}
@@ -431,16 +435,17 @@ func (c ClusterHealth) Summary() string {
 	for _, b := range c.Brokers {
 		parts = append(parts, b.Summary())
 	}
-	var reconnects, redialFailures, retried, corrupt int64
+	var reconnects, redialFailures, retried, corrupt, corruptFrames int64
 	for _, w := range c.Wire {
 		reconnects += w.Reconnects
 		redialFailures += w.RedialFailures
 		retried += w.RetriedFrames
 		corrupt += w.CorruptStreams
+		corruptFrames += w.CorruptFrames
 	}
 	if len(c.Wire) > 0 {
-		parts = append(parts, fmt.Sprintf("wire reconnects=%d redialFail=%d retried=%d corrupt=%d",
-			reconnects, redialFailures, retried, corrupt))
+		parts = append(parts, fmt.Sprintf("wire reconnects=%d redialFail=%d retried=%d corrupt=%d corruptFrames=%d",
+			reconnects, redialFailures, retried, corrupt, corruptFrames))
 	}
 	if s := c.Supervision; s.ExplorerRestarts > 0 || s.BudgetExhausted > 0 {
 		parts = append(parts, fmt.Sprintf("restarts=%d budgetExhausted=%d",

@@ -147,3 +147,75 @@ func TestLoadLatestFragmentsMissing(t *testing.T) {
 		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
 	}
 }
+
+// TestFragmentsLoadRacingSave: the standby-rebuild path (§5j) reads the
+// fragment checkpoint while the incumbent is still writing rotations. A
+// concurrent LoadLatestFragments must never observe a torn fragment set —
+// every successful load returns a complete, internally consistent snapshot
+// from some finished rotation member (all fragments from the same save, the
+// broadcaster's version matching its weights).
+func TestFragmentsLoadRacingSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "frag.ckpt")
+	seed := []FragmentState{
+		{Name: "broadcaster", State: State{Version: 1, Weights: []float32{1, 1}}},
+		{Name: "sampler", State: State{Version: 1}},
+	}
+	if err := SaveFragmentsRotating(path, seed, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	saverDone := make(chan error, 1)
+	go func() {
+		var err error
+		for v := int64(2); ; v++ {
+			select {
+			case <-stop:
+				saverDone <- err
+				return
+			default:
+			}
+			states := []FragmentState{
+				{Name: "broadcaster", State: State{Version: v, Weights: []float32{float32(v), float32(v)}}},
+				{Name: "sampler", State: State{Version: v}},
+			}
+			if serr := SaveFragmentsRotating(path, states, 3); serr != nil && err == nil {
+				err = serr
+			}
+		}
+	}()
+
+	for i := 0; i < 200; i++ {
+		got, err := LoadLatestFragments(path)
+		if err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+		if len(got) != 2 {
+			t.Fatalf("load %d: %d fragments, want 2 (torn set)", i, len(got))
+		}
+		byName := map[string]State{}
+		for _, fs := range got {
+			byName[fs.Name] = fs.State
+		}
+		b, ok := byName["broadcaster"]
+		if !ok {
+			t.Fatalf("load %d: broadcaster missing: %+v", i, got)
+		}
+		s, ok := byName["sampler"]
+		if !ok {
+			t.Fatalf("load %d: sampler missing: %+v", i, got)
+		}
+		// Same-save consistency: both fragments carry the save's version,
+		// and the broadcaster's weights encode it too.
+		if b.Version != s.Version {
+			t.Fatalf("load %d: torn set — broadcaster v%d, sampler v%d", i, b.Version, s.Version)
+		}
+		if len(b.Weights) != 2 || b.Weights[0] != float32(b.Version) {
+			t.Fatalf("load %d: broadcaster v%d carries weights %v", i, b.Version, b.Weights)
+		}
+	}
+	close(stop)
+	if err := <-saverDone; err != nil {
+		t.Fatalf("saver: %v", err)
+	}
+}

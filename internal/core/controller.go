@@ -141,6 +141,23 @@ type Config struct {
 	// (default 25ms). The broadcast-side detector deadline is four missed
 	// beats.
 	HeartbeatEvery time.Duration
+	// MachineFailover arms machine-level fault domains (§5j): the
+	// transport's lease-based membership plane declares a silent machine
+	// dead and the session re-places every fragment it hosted onto
+	// survivors — learn replicas through the §5i respawn path, the sampler
+	// and broadcaster through warm standbys rebuilt from surviving state,
+	// the broker ack ledger, and fragment checkpoints, explorer slots
+	// directly. Requires a Transport implementing MachineFailoverTransport
+	// (fabric.Grid) over >= 2 machines and a fragmented topology with >= 2
+	// replicas. The coordinator (machine 0) hosts the detector; its own
+	// death stays terminal. A zero MaxLearnerRestarts is raised to 1 —
+	// re-placing a learn replica consumes respawn budget.
+	MachineFailover bool
+	// LeaseEvery is the membership lease renewal period under
+	// MachineFailover (0 = the transport default, 25ms for fabric.Grid). A
+	// machine silent for four consecutive renewals with a corroborating
+	// downed link — or eight regardless of link state — is declared dead.
+	LeaseEvery time.Duration
 	// MetricsEvery, when > 0 with MetricsWriter set, logs a channel-health
 	// summary line for every broker at this interval while the run waits.
 	MetricsEvery time.Duration
@@ -193,12 +210,21 @@ type Report struct {
 // explorerSlot is one supervised explorer position: a stable ID/machine/name
 // whose *Explorer incarnation may be replaced after a failure.
 type explorerSlot struct {
-	id      int32
-	machine int
+	id int32
+
+	// replaced is nudged (capacity 1) when machine failover installs a
+	// replacement incarnation, waking a supervisor blocked on the retiree.
+	replaced chan struct{}
+	// rebuildMu serializes whole teardown-and-rebuild critical sections
+	// between the slot supervisor and the machine-failover engine, so two
+	// actors never race on the slot's port registration.
+	rebuildMu sync.Mutex
 
 	mu              sync.Mutex
+	machine         int // current home; machine failover may move the slot
 	ex              *Explorer
 	restarts        int64
+	moves           int32 // machine-failover re-placements (takeover epochs)
 	lastErr         error // most recent failure supervision observed
 	terminalErr     error // budget exhaustion or rebuild failure; surfaces in Err
 	budgetExhausted bool
@@ -207,6 +233,13 @@ type explorerSlot struct {
 	priorSteps     int64
 	priorEpisodes  int64
 	priorReturnSum float64
+}
+
+// home returns the slot's current machine.
+func (sl *explorerSlot) home() int {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.machine
 }
 
 // current returns the slot's live explorer.
@@ -232,8 +265,22 @@ type Session struct {
 	shutdown chan struct{}
 	superWG  sync.WaitGroup
 
+	// Machine failover (§5j): mfTransport is the membership-capable
+	// transport when armed, mfVerdicts carries death verdicts from the
+	// membership detector to the re-placement engine, and mfDead (under
+	// mfMu) fences duplicates and steers placement away from dead homes.
+	mfTransport MachineFailoverTransport
+	mfVerdicts  chan mfVerdict
+	mfMu        sync.Mutex
+	mfDead      map[int]bool
+
 	statsMu   sync.Mutex
 	nodeStats map[string]*message.StatsPayload
+	// takeoverByFrag counts ControlTakeover announcements per fragment name
+	// and machineDeadSeen the ControlMachineDead verdicts, as observed on
+	// the controller's stats channel.
+	takeoverByFrag  map[string]int64
+	machineDeadSeen int64
 
 	stopOnce sync.Once
 	report   *Report
@@ -250,6 +297,12 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 	}
 	if cfg.Machines < 1 {
 		cfg.Machines = 1
+	}
+	if cfg.MachineFailover && cfg.MaxLearnerRestarts < 1 {
+		// A learn replica on a condemned machine is re-placed through the
+		// §5i respawn path, which consumes restart budget; machine failover
+		// is meaningless without at least one respawn per slot.
+		cfg.MaxLearnerRestarts = 1
 	}
 	transport := cfg.Transport
 	if transport == nil {
@@ -336,6 +389,7 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 	}
 	s.ctrlPort = ctrlPort
 	s.nodeStats = make(map[string]*message.StatsPayload)
+	s.takeoverByFrag = make(map[string]int64)
 
 	for i := 0; i < cfg.NumExplorers; i++ {
 		machine := i % cfg.Machines
@@ -344,9 +398,55 @@ func NewSession(cfg Config, algF AlgorithmFactory, agF AgentFactory, seed int64)
 			transport.Stop()
 			return nil, err
 		}
-		s.slots = append(s.slots, &explorerSlot{id: int32(i), machine: machine, ex: ex})
+		s.slots = append(s.slots, &explorerSlot{
+			id:       int32(i),
+			machine:  machine,
+			ex:       ex,
+			replaced: make(chan struct{}, 1),
+		})
+	}
+
+	if cfg.MachineFailover {
+		if err := s.armMachineFailover(); err != nil {
+			transport.Stop()
+			return nil, err
+		}
 	}
 	return s, nil
+}
+
+// armMachineFailover validates the deployment against the §5j requirements
+// and starts the transport's membership plane; verdicts are enqueued for
+// the re-placement engine (started in Start).
+func (s *Session) armMachineFailover() error {
+	mft, ok := s.transport.(MachineFailoverTransport)
+	if !ok {
+		return fmt.Errorf("core: MachineFailover requires a membership-capable transport (fabric.Grid); got %T", s.transport)
+	}
+	if s.frags == nil {
+		return fmt.Errorf("core: MachineFailover requires a fragmented topology (Topology.Learners >= 2)")
+	}
+	if !s.frags.failover {
+		return fmt.Errorf("core: MachineFailover requires >= 2 learn replicas, got %d", s.frags.topo.Learners)
+	}
+	if mft.Machines() < 2 {
+		return fmt.Errorf("core: MachineFailover needs at least 2 machines, got %d", mft.Machines())
+	}
+	s.mfTransport = mft
+	s.mfDead = make(map[int]bool)
+	// One verdict per machine fits the buffer, so the non-blocking enqueue
+	// below can never drop a verdict.
+	s.mfVerdicts = make(chan mfVerdict, mft.Machines())
+	onDead := func(machine, epoch int) {
+		select {
+		case s.mfVerdicts <- mfVerdict{machine: machine, epoch: epoch}:
+		default:
+		}
+	}
+	if err := mft.StartMembership(coordinatorMachine, s.cfg.LeaseEvery, leaseMisses, onDead); err != nil {
+		return fmt.Errorf("core: start membership plane: %w", err)
+	}
+	return nil
 }
 
 // restoreAlgorithm reinstates the newest readable checkpoint at path into
@@ -424,8 +524,10 @@ func (s *Session) buildFragments(topo Topology, algF AlgorithmFactory) error {
 	}
 
 	// Failover arms only with replicas to fail over to: fused topologies and
-	// single replicas keep the historical fail-fast semantics.
-	failover := s.cfg.LearnerFailover && topo.Learners >= 2
+	// single replicas keep the historical fail-fast semantics. Machine
+	// failover implies replica failover — its learn re-placement rides the
+	// same quarantine/respawn path.
+	failover := (s.cfg.LearnerFailover || s.cfg.MachineFailover) && topo.Learners >= 2
 	hbEvery := s.cfg.HeartbeatEvery
 	if hbEvery <= 0 {
 		hbEvery = 25 * time.Millisecond
@@ -479,16 +581,18 @@ func (s *Session) buildFragments(topo Topology, algF AlgorithmFactory) error {
 	})
 	sampler := NewSampleFragment(samplePort, learnNames, topo.MaxStaleness)
 	s.frags = &fragRuntime{
-		topo:        topo,
-		sampler:     sampler,
-		slots:       lslots,
-		caster:      caster,
-		failover:    failover,
-		maxRestarts: s.cfg.MaxLearnerRestarts,
-		hbEvery:     hbEvery,
-		maxSteps:    s.cfg.MaxSteps,
-		done:        make(chan struct{}),
-		stopMon:     make(chan struct{}),
+		topo:          topo,
+		sampler:       sampler,
+		slots:         lslots,
+		caster:        caster,
+		sampleMachine: topo.SampleMachine,
+		castMachine:   topo.BroadcastMachine,
+		failover:      failover,
+		maxRestarts:   s.cfg.MaxLearnerRestarts,
+		hbEvery:       hbEvery,
+		maxSteps:      s.cfg.MaxSteps,
+		done:          make(chan struct{}),
+		stopMon:       make(chan struct{}),
 	}
 	if failover {
 		sampler.SetFailover()
@@ -496,14 +600,17 @@ func (s *Session) buildFragments(topo Topology, algF AlgorithmFactory) error {
 		for _, sl := range lslots {
 			byName[LearnName(sl.idx)] = sl
 		}
-		caster.SetFailover(heartbeatMisses*hbEvery, func(name string, epoch int32) {
+		// Retained on the runtime so a standby broadcaster re-arms the
+		// identical deadline detector after a machine takeover.
+		s.frags.suspectFn = func(name string, epoch int32) {
 			if sl, ok := byName[name]; ok {
 				select {
 				case sl.suspect <- epoch:
 				default:
 				}
 			}
-		})
+		}
+		caster.SetFailover(heartbeatMisses*hbEvery, s.frags.suspectFn)
 	}
 	return nil
 }
@@ -559,6 +666,10 @@ func (s *Session) Start() {
 			s.superWG.Add(1)
 			go s.superviseLearn(sl)
 		}
+	}
+	if s.mfTransport != nil {
+		s.superWG.Add(1)
+		go s.machineFailoverLoop()
 	}
 	if s.frags == nil {
 		s.learner.broadcastWeights(nil)
@@ -658,6 +769,7 @@ func (s *Session) superviseLearn(sl *learnSlot) {
 		}
 		backoff *= 2
 
+		homeBefore := sl.home()
 		next, berr := s.respawnLearn(sl, frag)
 		if berr != nil {
 			sl.mu.Lock()
@@ -700,6 +812,11 @@ func (s *Session) superviseLearn(sl *learnSlot) {
 		if s.ctrlPort.Send(rm) != nil {
 			return
 		}
+		if to := sl.home(); to != homeBefore {
+			// The respawn re-placed the replica onto a survivor (§5j):
+			// record exactly one takeover for the cross-machine move.
+			s.announceTakeover(name, to, epoch, false)
+		}
 	}
 }
 
@@ -707,11 +824,33 @@ func (s *Session) superviseLearn(sl *learnSlot) {
 // algorithm from the retained factory, restored from the replica's state in
 // the latest fragment checkpoint set (falling back to the committed
 // aggregate's state, then to fresh initialization — the rejoin echo resyncs
-// it either way), over the slot's original port.
+// it either way), over the slot's original port. When the slot's home
+// machine has been condemned by a membership verdict the port is re-placed
+// onto a survivor instead (§5j): the old registration died with its broker.
 func (s *Session) respawnLearn(sl *learnSlot, old *LearnFragment) (*LearnFragment, error) {
 	alg, err := s.algF(s.seed)
 	if err != nil {
 		return nil, fmt.Errorf("build algorithm: %w", err)
+	}
+	port := old.port
+	sl.mu.Lock()
+	home := sl.machine
+	sl.mu.Unlock()
+	if s.machineDead(home) {
+		name := LearnName(sl.idx)
+		s.transport.Unregister(home, name)
+		to := s.pickSurvivor()
+		if to < 0 {
+			return nil, fmt.Errorf("no survivor machine for %s", name)
+		}
+		p, rerr := s.transport.Register(to, name)
+		if rerr != nil {
+			return nil, fmt.Errorf("re-place %s on machine %d: %w", name, to, rerr)
+		}
+		port = p
+		sl.mu.Lock()
+		sl.machine = to
+		sl.mu.Unlock()
 	}
 	if s.cfg.CheckpointPath != "" {
 		states, lerr := checkpoint.LoadLatestFragments(s.cfg.CheckpointPath)
@@ -735,7 +874,7 @@ func (s *Session) respawnLearn(sl *learnSlot, old *LearnFragment) (*LearnFragmen
 		// An unreadable checkpoint is a fresh start, not a terminal error:
 		// the rejoin echo installs the committed aggregate regardless.
 	}
-	next := NewLearnFragment(sl.idx, alg, old.port, s.cfg.NumExplorers, s.cfg.SeriesBucket)
+	next := NewLearnFragment(sl.idx, alg, port, s.cfg.NumExplorers, s.cfg.SeriesBucket)
 	next.observeStaleness = old.observeStaleness
 	sl.mu.Lock()
 	epoch := sl.epoch + 1
@@ -761,12 +900,26 @@ func (s *Session) supervise(sl *explorerSlot) {
 		select {
 		case <-s.shutdown:
 			return
+		case <-sl.replaced:
+			// Machine failover installed a replacement; supervise it.
+			continue
 		case <-ex.Failed():
 		}
 		err := ex.Err()
 		name := ExplorerName(sl.id)
+
+		// The teardown and the rebuild each run under rebuildMu so they are
+		// atomic against the machine-failover engine's own re-placement; a
+		// current() mismatch inside the critical section means the engine
+		// got there first and this incarnation is already torn down.
+		sl.rebuildMu.Lock()
+		if sl.current() != ex {
+			sl.rebuildMu.Unlock()
+			continue
+		}
+		machine := sl.home()
 		ex.Stop()
-		s.transport.Unregister(sl.machine, name)
+		s.transport.Unregister(machine, name)
 		ex.Join()
 
 		sl.mu.Lock()
@@ -778,6 +931,7 @@ func (s *Session) supervise(sl *explorerSlot) {
 				sl.id, s.cfg.MaxExplorerRestarts, err)
 		}
 		sl.mu.Unlock()
+		sl.rebuildMu.Unlock()
 		if exhausted {
 			return
 		}
@@ -791,8 +945,25 @@ func (s *Session) supervise(sl *explorerSlot) {
 		}
 		backoff *= 2
 
-		next, berr := s.buildExplorer(sl.id, sl.machine)
+		sl.rebuildMu.Lock()
+		if sl.current() != ex {
+			sl.rebuildMu.Unlock()
+			continue
+		}
+		next, berr := s.buildExplorer(sl.id, sl.home())
 		if berr != nil {
+			sl.rebuildMu.Unlock()
+			if s.mfTransport != nil {
+				// The home broker may be dying ahead of its machine-death
+				// verdict; the re-placement engine rebuilds the slot on a
+				// survivor and nudges replaced.
+				select {
+				case <-s.shutdown:
+					return
+				case <-sl.replaced:
+					continue
+				}
+			}
 			sl.mu.Lock()
 			sl.terminalErr = fmt.Errorf("core: restart explorer %d: %w", sl.id, berr)
 			sl.mu.Unlock()
@@ -807,10 +978,13 @@ func (s *Session) supervise(sl *explorerSlot) {
 		sl.restarts++
 		sl.mu.Unlock()
 		next.Start()
+		sl.rebuildMu.Unlock()
 	}
 }
 
-// collectStats is the center controller's receive loop.
+// collectStats is the center controller's receive loop: periodic node
+// statistics, plus the machine-failover record — takeover announcements and
+// death verdicts the re-placement engine posts to the controller.
 func (s *Session) collectStats() {
 	defer s.wg.Done()
 	for {
@@ -818,12 +992,41 @@ func (s *Session) collectStats() {
 		if err != nil {
 			return // broker stopped
 		}
-		if stats, ok := m.Body.(*message.StatsPayload); ok {
+		switch body := m.Body.(type) {
+		case *message.StatsPayload:
 			s.statsMu.Lock()
-			s.nodeStats[stats.Node] = stats
+			s.nodeStats[body.Node] = body
 			s.statsMu.Unlock()
+		case *message.ControlPayload:
+			switch body.Kind {
+			case message.ControlTakeover:
+				s.statsMu.Lock()
+				s.takeoverByFrag[body.Peer]++
+				s.statsMu.Unlock()
+			case message.ControlMachineDead:
+				s.statsMu.Lock()
+				s.machineDeadSeen++
+				s.statsMu.Unlock()
+			}
 		}
 	}
+}
+
+// TakeoverStats snapshots machine-failover progress while the session runs:
+// membership death verdicts fired and per-fragment takeover counts the
+// controller has observed. Zero and nil when MachineFailover is off.
+func (s *Session) TakeoverStats() (verdicts int64, byFragment map[string]int64) {
+	if s.mfTransport == nil {
+		return 0, nil
+	}
+	_, verdicts = s.mfTransport.MembershipStats()
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	byFragment = make(map[string]int64, len(s.takeoverByFrag))
+	for k, v := range s.takeoverByFrag {
+		byFragment[k] = v
+	}
+	return verdicts, byFragment
 }
 
 // ControllerStats snapshots the latest statistics message per node, as
@@ -1009,6 +1212,17 @@ func (s *Session) doStop() *Report {
 		waitCDF = busiest(waitHists).CDF()
 		meanTrans = meanOver(transHists)
 		fragRep = s.frags.report()
+		if s.mfTransport != nil {
+			fragRep.LeaseRenewals, fragRep.MachineVerdicts = s.mfTransport.MembershipStats()
+			s.statsMu.Lock()
+			if len(s.takeoverByFrag) > 0 {
+				fragRep.TakeoverByFragment = make(map[string]int64, len(s.takeoverByFrag))
+				for k, v := range s.takeoverByFrag {
+					fragRep.TakeoverByFragment[k] = v
+				}
+			}
+			s.statsMu.Unlock()
+		}
 	} else {
 		steps = s.learner.StepsConsumed()
 		iters = s.learner.TrainIters()
@@ -1080,7 +1294,10 @@ func (s *Session) Err() error {
 		return err
 	}
 	for _, sl := range s.slots {
-		if s.cfg.MaxExplorerRestarts > 0 {
+		// Machine failover implies explorer supervision by the engine even
+		// with a zero restart budget: a dead machine's explorer error is
+		// handled by re-placement, not surfaced.
+		if s.cfg.MaxExplorerRestarts > 0 || s.mfTransport != nil {
 			sl.mu.Lock()
 			err := sl.terminalErr
 			sl.mu.Unlock()

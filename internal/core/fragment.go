@@ -231,6 +231,12 @@ func (s *SampleFragment) rejoin(peer string, epoch int32) {
 	if !s.failover {
 		return
 	}
+	// Record the new incarnation epoch even when the peer is already in the
+	// rotation: a standby sampler's seeded epochs may predate a respawn that
+	// raced the machine takeover, and the rejoin is the authoritative epoch
+	// record either way (a stale entry would fence out the live replica's
+	// heartbeats and its in-flight ring would never prune).
+	s.epochs[peer] = epoch
 	for _, n := range s.live {
 		if n == peer {
 			return // duplicate rejoin
@@ -248,6 +254,20 @@ func (s *SampleFragment) rejoin(peer string, epoch int32) {
 	s.live = live
 	s.epochs[peer] = epoch
 	s.inflight[peer] = nil
+}
+
+// seedFailoverState primes a standby sampler (machine takeover) before
+// Start: the slot-tracked incarnation epochs fence retired incarnations'
+// late traffic, and the live rotation excludes replicas already degraded
+// out of the run. Transiently-quarantined replicas may appear live here —
+// their supervisor's ControlRejoin re-synchronizes the epoch, and the
+// bounded in-flight ring absorbs any dispatch to a not-yet-respawned
+// replica. Call after SetFailover.
+func (s *SampleFragment) seedFailoverState(epochs map[string]int32, live []string) {
+	for n, ep := range epochs {
+		s.epochs[n] = ep
+	}
+	s.live = append([]string(nil), live...)
 }
 
 func (s *SampleFragment) contains(names []string, want string) bool {
@@ -816,6 +836,22 @@ func (b *BroadcastFragment) SetFailover(hbTimeout time.Duration, onSuspect func(
 	b.onSuspect = onSuspect
 }
 
+// seedFailoverState primes a standby broadcaster (machine takeover) before
+// Start with the slot-tracked incarnation epochs and the set of replicas
+// already degraded out of the run, so the standby fences retired
+// incarnations' late pushes exactly as the dead incarnation did. Call after
+// SetFailover.
+func (b *BroadcastFragment) seedFailoverState(epochs map[string]int32, quarantined []string) {
+	b.seenMu.Lock()
+	defer b.seenMu.Unlock()
+	for n, ep := range epochs {
+		b.epochs[n] = ep
+	}
+	for _, n := range quarantined {
+		b.quarantined[n] = true
+	}
+}
+
 // Start broadcasts the initial committed model (seeding every explorer's
 // behavior policy, as the fused loop does on Session.Start) and launches
 // the aggregation loop.
@@ -928,6 +964,20 @@ func (b *BroadcastFragment) loop() {
 				}
 			case message.ControlRejoin:
 				if !b.rejoinReplica(body.Peer, m.Header.Round) {
+					return
+				}
+			case message.ControlTakeover:
+				// A fragment was re-placed after a machine death. A rebuilt
+				// explorer's plane state is marked stale so its next weights
+				// are a dense snapshot; either way the committed model is
+				// re-broadcast — the takeover window may have starved
+				// explorers of flow-control credit, and a standby sampler
+				// re-learns the committed version from the announce that
+				// rides along with every broadcast.
+				if body.Peer != SampleName {
+					b.plane.MarkStale(body.Peer)
+				}
+				if !b.broadcast() {
 					return
 				}
 			}
@@ -1089,11 +1139,16 @@ func (b *BroadcastFragment) echoAggregate() bool {
 }
 
 // saveCheckpoint persists the per-fragment checkpoint set: the committed
-// aggregate plus each replica's last pushed weights.
+// aggregate, the sampler's committed-version fence (its dispatch ledger and
+// in-flight ring cover droppable traffic only and are reconstructed from
+// heartbeats), plus each replica's last pushed weights.
 func (b *BroadcastFragment) saveCheckpoint() error {
 	states := []checkpoint.FragmentState{{
 		Name:  BroadcastName,
 		State: checkpoint.State{Version: b.version.Load(), Weights: append([]float32(nil), b.agg...)},
+	}, {
+		Name:  SampleName,
+		State: checkpoint.State{Version: b.version.Load()},
 	}}
 	for _, name := range b.learnDsts {
 		if w, ok := b.replica[name]; ok {
@@ -1185,6 +1240,16 @@ type FragmentReport struct {
 	Respawns     int64
 	Degraded     int64
 	StalePushes  int64
+	// Machine-failover counters (§5j): LeaseRenewals is the membership
+	// plane's received lease count, MachineVerdicts the epoch-fenced
+	// machine-death verdicts, Takeovers the fragments re-placed onto
+	// survivors, and TakeoverByFragment the per-fragment breakdown counted
+	// from ControlTakeover records on the control plane (exactly one per
+	// dead fragment when epoch fencing holds).
+	LeaseRenewals      int64
+	MachineVerdicts    int64
+	Takeovers          int64
+	TakeoverByFragment map[string]int64
 	// Plane is the weight plane's final planning counters.
 	Plane weightplane.Stats
 }
@@ -1230,20 +1295,42 @@ func (sl *learnSlot) curEpoch() int32 {
 	return sl.epoch
 }
 
+// home returns the slot's current machine (machine failover may move it).
+func (sl *learnSlot) home() int {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.machine
+}
+
 // fragRuntime is the Session-side scheduler state for a fragment topology.
 type fragRuntime struct {
-	topo    Topology
-	sampler *SampleFragment
-	slots   []*learnSlot
-	caster  *BroadcastFragment
+	topo  Topology
+	slots []*learnSlot
 
-	// failover arms replica supervision (LearnerFailover with >= 2 replicas);
-	// maxRestarts and hbEvery echo the session config.
+	// fragMu guards the singleton-fragment pointers and their placement:
+	// machine failover swaps a standby sampler or broadcaster in while the
+	// monitor, reporters, and supervisors keep reading. sampleMachine and
+	// castMachine track the current homes; samplerEpoch/casterEpoch count
+	// incarnations (takeover fencing, stamped into ControlTakeover).
+	fragMu        sync.Mutex
+	sampler       *SampleFragment
+	caster        *BroadcastFragment
+	sampleMachine int
+	castMachine   int
+	samplerEpoch  int32
+	casterEpoch   int32
+
+	// failover arms replica supervision (LearnerFailover or MachineFailover
+	// with >= 2 replicas); maxRestarts and hbEvery echo the session config,
+	// and suspectFn is the broadcaster's deadline-detector callback — kept
+	// so a standby broadcaster re-arms the identical detector.
 	failover    bool
 	maxRestarts int
 	hbEvery     time.Duration
+	suspectFn   func(name string, epoch int32)
 	respawns    atomic.Int64
 	degraded    atomic.Int64
+	takeovers   atomic.Int64
 	// zombieWG tracks reaper threads joining retired incarnations whose
 	// trainer may be wedged; join() waits for it after the transport stops.
 	zombieWG sync.WaitGroup
@@ -1253,6 +1340,20 @@ type fragRuntime struct {
 	doneOne  sync.Once
 	monWG    sync.WaitGroup
 	stopMon  chan struct{}
+}
+
+// getSampler returns the live sampler incarnation.
+func (f *fragRuntime) getSampler() *SampleFragment {
+	f.fragMu.Lock()
+	defer f.fragMu.Unlock()
+	return f.sampler
+}
+
+// getCaster returns the live broadcaster incarnation.
+func (f *fragRuntime) getCaster() *BroadcastFragment {
+	f.fragMu.Lock()
+	defer f.fragMu.Unlock()
+	return f.caster
 }
 
 // learns snapshots the live incarnation of every slot.
@@ -1281,11 +1382,11 @@ func (f *fragRuntime) liveReplicas() int {
 // scheduler's only centralized piece: fragments do not know the global step
 // budget, so the session sums replica consumption and ends the run).
 func (f *fragRuntime) start() {
-	f.caster.Start()
+	f.getCaster().Start()
 	for _, l := range f.learns() {
 		l.Start()
 	}
-	f.sampler.Start()
+	f.getSampler().Start()
 	f.monWG.Add(1)
 	go f.monitor()
 }
@@ -1324,7 +1425,7 @@ func (f *fragRuntime) monitor() {
 					}
 				}
 			}
-			if f.sampler.Err() != nil || f.caster.Err() != nil {
+			if f.getSampler().Err() != nil || f.getCaster().Err() != nil {
 				f.doneOne.Do(func() { close(f.done) })
 				return
 			}
@@ -1370,10 +1471,10 @@ func (f *fragRuntime) err() error {
 			return e
 		}
 	}
-	if e := f.sampler.Err(); e != nil {
+	if e := f.getSampler().Err(); e != nil {
 		return e
 	}
-	return f.caster.Err()
+	return f.getCaster().Err()
 }
 
 // stop signals every fragment to finish; the broker teardown that follows
@@ -1381,7 +1482,7 @@ func (f *fragRuntime) err() error {
 func (f *fragRuntime) stop() {
 	close(f.stopMon)
 	f.doneOne.Do(func() { close(f.done) })
-	f.caster.Stop()
+	f.getCaster().Stop()
 	for _, l := range f.learns() {
 		l.Stop()
 	}
@@ -1391,29 +1492,31 @@ func (f *fragRuntime) stop() {
 // reapers still draining retired incarnations.
 func (f *fragRuntime) join() {
 	f.monWG.Wait()
-	f.sampler.Join()
+	f.getSampler().Join()
 	for _, l := range f.learns() {
 		l.Join()
 	}
-	f.caster.Join()
+	f.getCaster().Join()
 	f.zombieWG.Wait()
 }
 
 // report assembles the fragment-side measurements.
 func (f *fragRuntime) report() *FragmentReport {
+	sampler, caster := f.getSampler(), f.getCaster()
 	fr := &FragmentReport{
 		Learners:         f.topo.Learners,
 		MaxStaleness:     f.topo.MaxStaleness,
-		StaleDrops:       f.sampler.StaleDrops(),
-		Dispatched:       f.sampler.Dispatched(),
-		Aggregations:     f.caster.Aggregations(),
-		CommittedVersion: f.caster.Version(),
-		Quarantines:      f.caster.Quarantines(),
-		Redispatches:     f.sampler.Redispatches(),
+		StaleDrops:       sampler.StaleDrops(),
+		Dispatched:       sampler.Dispatched(),
+		Aggregations:     caster.Aggregations(),
+		CommittedVersion: caster.Version(),
+		Quarantines:      caster.Quarantines(),
+		Redispatches:     sampler.Redispatches(),
 		Respawns:         f.respawns.Load(),
 		Degraded:         f.degraded.Load(),
-		StalePushes:      f.caster.StalePushes(),
-		Plane:            f.caster.PlaneStats(),
+		Takeovers:        f.takeovers.Load(),
+		StalePushes:      caster.StalePushes(),
+		Plane:            caster.PlaneStats(),
 	}
 	for _, sl := range f.slots {
 		sl.mu.Lock()

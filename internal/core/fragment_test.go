@@ -16,6 +16,7 @@ import (
 	"xingtian/internal/core"
 	"xingtian/internal/env"
 	"xingtian/internal/fabric"
+	"xingtian/internal/faultinject"
 	"xingtian/internal/message"
 	"xingtian/internal/netsim"
 	"xingtian/internal/rollout"
@@ -303,6 +304,18 @@ type fragTopologyCase struct {
 	restarts  int
 	heartbeat time.Duration
 	killAfter int
+	// Machine-failover legs (§5j): machineFailover arms Config.MachineFailover
+	// with leaseEvery as the renewal period; killMachine > 0 arms a seeded
+	// whole-machine kill (faultinject.NewMachineKill → Grid.Kill) after
+	// killAfterWrites frame writes across the deployment. A machine kill
+	// makes mid-run drops unavoidable (in-flight traffic toward the dead
+	// machine, swap windows during re-placement), so these legs skip the
+	// strict pre-Stop drop taxonomy and assert survival, takeover counts,
+	// and leak-freedom instead.
+	machineFailover bool
+	leaseEvery      time.Duration
+	killMachine     int
+	killAfterWrites int
 	// check runs extra per-leg assertions on the fragment report.
 	check func(t *testing.T, fr *core.FragmentReport)
 }
@@ -334,6 +347,77 @@ var fragTopologyCases = []fragTopologyCase{
 			}
 			if fr.Degraded != 1 {
 				t.Errorf("Degraded = %d, want 1", fr.Degraded)
+			}
+		}},
+	// Whole-machine kill legs (§5j): a 4-machine TCP grid hosting a
+	// 2-learner IMPALA loses one entire non-coordinator machine mid-run to
+	// a seeded write-count trigger. The run must still reach the step
+	// target with exactly one membership verdict and exactly one takeover
+	// per fragment the dead machine hosted. machine-kill-4m kills the
+	// sampler-hosting machine (sampler + explorer-1); machine-kill-learn-4m
+	// kills a learn-hosting machine (learn replica 0 + explorer-2).
+	{name: "machine-kill-4m", machines: 4, grid: true, explorers: 4, maxSteps: 8000,
+		topo: core.Topology{
+			Learners:         2,
+			SampleMachine:    1,
+			BroadcastMachine: 3,
+			LearnMachines:    []int{2, 3},
+			MaxStaleness:     core.StalenessUnbounded,
+		},
+		machineFailover: true, leaseEvery: 10 * time.Millisecond,
+		restarts: 3, heartbeat: 500 * time.Millisecond,
+		killMachine: 1, killAfterWrites: 80,
+		check: func(t *testing.T, fr *core.FragmentReport) {
+			if fr.MachineVerdicts != 1 {
+				t.Errorf("MachineVerdicts = %d, want 1", fr.MachineVerdicts)
+			}
+			if fr.LeaseRenewals == 0 {
+				t.Errorf("LeaseRenewals = 0, want > 0")
+			}
+			wantTakeovers := map[string]int64{
+				core.SampleName:      1,
+				core.ExplorerName(1): 1,
+			}
+			for name, want := range wantTakeovers {
+				if got := fr.TakeoverByFragment[name]; got != want {
+					t.Errorf("TakeoverByFragment[%s] = %d, want %d (full map: %v)",
+						name, got, want, fr.TakeoverByFragment)
+				}
+			}
+			if len(fr.TakeoverByFragment) != len(wantTakeovers) {
+				t.Errorf("unexpected extra takeovers: %v", fr.TakeoverByFragment)
+			}
+		}},
+	{name: "machine-kill-learn-4m", machines: 4, grid: true, explorers: 4, maxSteps: 8000,
+		topo: core.Topology{
+			Learners:         2,
+			SampleMachine:    1,
+			BroadcastMachine: 3,
+			LearnMachines:    []int{2, 3},
+			MaxStaleness:     core.StalenessUnbounded,
+		},
+		machineFailover: true, leaseEvery: 10 * time.Millisecond,
+		restarts: 3, heartbeat: 500 * time.Millisecond,
+		killMachine: 2, killAfterWrites: 80,
+		check: func(t *testing.T, fr *core.FragmentReport) {
+			if fr.MachineVerdicts != 1 {
+				t.Errorf("MachineVerdicts = %d, want 1", fr.MachineVerdicts)
+			}
+			if fr.Respawns < 1 {
+				t.Errorf("Respawns = %d, want >= 1 (learn replica re-placed)", fr.Respawns)
+			}
+			wantTakeovers := map[string]int64{
+				core.LearnName(0):    1,
+				core.ExplorerName(2): 1,
+			}
+			for name, want := range wantTakeovers {
+				if got := fr.TakeoverByFragment[name]; got != want {
+					t.Errorf("TakeoverByFragment[%s] = %d, want %d (full map: %v)",
+						name, got, want, fr.TakeoverByFragment)
+				}
+			}
+			if len(fr.TakeoverByFragment) != len(wantTakeovers) {
+				t.Errorf("unexpected extra takeovers: %v", fr.TakeoverByFragment)
 			}
 		}},
 }
@@ -436,11 +520,27 @@ func runFragTopologyCase(t *testing.T, tc fragTopologyCase) {
 		MaxLearnerRestarts: tc.restarts,
 		HeartbeatEvery:     tc.heartbeat,
 		RestartBackoff:     2 * time.Millisecond,
+		MachineFailover:    tc.machineFailover,
+		LeaseEvery:         tc.leaseEvery,
 	}
 	if tc.grid {
-		g, err := fabric.NewGrid(tc.machines, fabric.GridOptions{})
+		opts := fabric.GridOptions{}
+		var inj *faultinject.Injector
+		if tc.killMachine > 0 {
+			inj = faultinject.New(faultinject.Config{Seed: 7})
+			opts.ConnWrapperFor = inj.WrapConnFor
+		}
+		g, err := fabric.NewGrid(tc.machines, opts)
 		if err != nil {
 			t.Fatalf("NewGrid: %v", err)
+		}
+		if tc.killMachine > 0 {
+			kill := inj.NewMachineKill(tc.killAfterWrites, func() { g.Kill(tc.killMachine) })
+			defer func() {
+				if !kill.Fired() {
+					t.Errorf("machine kill never fired (run finished under %d writes?)", tc.killAfterWrites)
+				}
+			}()
 		}
 		cfg.Transport = g
 	} else if tc.machines > 1 {
@@ -455,15 +555,21 @@ func runFragTopologyCase(t *testing.T, tc fragTopologyCase) {
 
 	// Drop taxonomy before Stop: anything but backpressure shedding on a
 	// healthy run is a routing or refcount bug, and a privileged message
-	// (weights/control) must never have been dropped at all.
-	live := s.ChannelHealth()
+	// (weights/control) must never have been dropped at all. A whole-machine
+	// kill makes other drop classes unavoidable (traffic in flight toward
+	// the dead machine, unknown-destination windows while fragments swap
+	// homes), so kill legs skip this and lean on the survival, takeover,
+	// and leak assertions below.
 	var privileged int64
-	for _, bm := range live.Brokers {
-		d := bm.Drops
-		if other := d.Total() - d.ShedOldest - d.StoreBudget; other != 0 {
-			t.Errorf("machine %d dropped %d messages outside backpressure shedding: %+v",
-				bm.MachineID, other, d)
-			privileged += other
+	if tc.killMachine == 0 {
+		live := s.ChannelHealth()
+		for _, bm := range live.Brokers {
+			d := bm.Drops
+			if other := d.Total() - d.ShedOldest - d.StoreBudget; other != 0 {
+				t.Errorf("machine %d dropped %d messages outside backpressure shedding: %+v",
+					bm.MachineID, other, d)
+				privileged += other
+			}
 		}
 	}
 

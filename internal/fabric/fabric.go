@@ -4,8 +4,12 @@
 // package is the production code path, exercised over loopback in the
 // integration tests and by examples/distributed.
 //
-// Wire format per message: a 4-byte big-endian frame length, then a
-// gob-encoded header, then the framed body bytes.
+// Wire format per message: a 4-byte big-endian frame length, a 4-byte
+// big-endian header length, the gob-encoded header, the framed body bytes,
+// and a 4-byte big-endian CRC32C trailer over header+body. The receiver
+// verifies the checksum before the header is decoded: a corrupt frame never
+// reaches serialize — the connection is torn down into the redial path and
+// the event is counted as Metrics.CorruptFrames.
 //
 // # Credit-based flow control
 //
@@ -45,6 +49,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
@@ -66,6 +71,13 @@ const MaxFrameSize = 1 << 30
 // bits of an ack's first word carry the acknowledged wire bytes; the second
 // word is zero (acks have no header or body).
 const ackFlag = 1 << 31
+
+// crcLen is the size of the CRC32C frame trailer covering header+body.
+const crcLen = 4
+
+// castagnoliTable is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64) used for the frame-integrity trailer.
+var castagnoliTable = crc32.MakeTable(crc32.Castagnoli)
 
 // DefaultStallTimeout bounds how long a Forward waits for the receiver to
 // replenish the credit window before the link is declared stalled and torn
@@ -132,6 +144,7 @@ type Node struct {
 	bytesSent      atomic.Int64
 	bytesReceived  atomic.Int64
 	corruptStreams atomic.Int64
+	corruptFrames  atomic.Int64
 	droppedInject  atomic.Int64
 	reconnects     atomic.Int64
 	redialFailures atomic.Int64
@@ -158,6 +171,10 @@ type Metrics struct {
 	// CorruptStreams counts connections torn down on malformed frames
 	// (bad length prefix or undecodable header).
 	CorruptStreams int64
+	// CorruptFrames counts connections torn down on a CRC32C trailer
+	// mismatch: structurally plausible frames whose header+body bytes were
+	// damaged in flight, caught before the payload reached serialize.
+	CorruptFrames int64
 	// DroppedInject counts frames received before a broker was attached.
 	DroppedInject int64
 	// Reconnects counts successful redials of a lost peer connection.
@@ -192,6 +209,7 @@ func (n *Node) Metrics() Metrics {
 		BytesSent:      n.bytesSent.Load(),
 		BytesReceived:  n.bytesReceived.Load(),
 		CorruptStreams: n.corruptStreams.Load(),
+		CorruptFrames:  n.corruptFrames.Load(),
 		DroppedInject:  n.droppedInject.Load(),
 		Reconnects:     n.reconnects.Load(),
 		RedialFailures: n.redialFailures.Load(),
@@ -228,6 +246,7 @@ func (m Metrics) Wire(machineID int) broker.WireMetrics {
 		BytesSent:      m.BytesSent,
 		BytesReceived:  m.BytesReceived,
 		CorruptStreams: m.CorruptStreams,
+		CorruptFrames:  m.CorruptFrames,
 		Reconnects:     m.Reconnects,
 		RedialFailures: m.RedialFailures,
 		RetriedFrames:  m.RetriedFrames,
@@ -243,9 +262,9 @@ func (m Metrics) Wire(machineID int) broker.WireMetrics {
 
 // String renders the snapshot human-readably.
 func (m Metrics) String() string {
-	s := fmt.Sprintf("fabric frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d droppedInject=%d reconnects=%d redialFail=%d retried=%d droppedRetry=%d",
+	s := fmt.Sprintf("fabric frames: sent=%d recv=%d bytes: sent=%d recv=%d corrupt=%d corruptFrames=%d droppedInject=%d reconnects=%d redialFail=%d retried=%d droppedRetry=%d",
 		m.FramesSent, m.FramesReceived, m.BytesSent, m.BytesReceived, m.CorruptStreams,
-		m.DroppedInject, m.Reconnects, m.RedialFailures, m.RetriedFrames, m.DroppedRetry)
+		m.CorruptFrames, m.DroppedInject, m.Reconnects, m.RedialFailures, m.RetriedFrames, m.DroppedRetry)
 	if m.AcksSent > 0 || m.AcksReceived > 0 || m.CreditStalls > 0 {
 		s += fmt.Sprintf(" credits: stalls=%d stallTimeouts=%d acksSent=%d acksRecv=%d stalledPeers=%d",
 			m.CreditStalls, m.StallTimeouts, m.AcksSent, m.AcksReceived, m.StalledPeers)
@@ -487,19 +506,26 @@ func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []b
 	}
 	hdr = w.b
 	hdrLen := len(hdr) - 8
-	frameLen := 4 + hdrLen + len(framed)
+	// CRC32C trailer over header+body: the receiver verifies it before the
+	// gob decode, so a damaged frame tears the connection down instead of
+	// feeding garbage to serialize.
+	crc := crc32.Update(0, castagnoliTable, hdr[8:])
+	crc = crc32.Update(crc, castagnoliTable, framed)
+	var trailer [crcLen]byte
+	binary.BigEndian.PutUint32(trailer[:], crc)
+	frameLen := 4 + hdrLen + len(framed) + crcLen
 	binary.BigEndian.PutUint32(hdr[0:], uint32(frameLen))
 	binary.BigEndian.PutUint32(hdr[4:], uint32(hdrLen))
 
-	// One vectored write per frame: prefix, header, and body go out in a
-	// single writev, so a frame is never interleaved with another sender's
-	// bytes and the connection mutex is held for one syscall, not three.
-	total := int64(len(hdr) + len(framed))
+	// One vectored write per frame: prefix, header, body, and checksum go
+	// out in a single writev, so a frame is never interleaved with another
+	// sender's bytes and the connection mutex is held for one syscall.
+	total := int64(len(hdr) + len(framed) + crcLen)
 	if err := n.waitCredit(peer, total); err != nil {
 		serialize.FreeBuf(hdr)
 		return err
 	}
-	bufs := net.Buffers{hdr, framed}
+	bufs := net.Buffers{hdr, framed, trailer[:]}
 	peer.mu.Lock()
 	switch peer.state {
 	case stateConnected:
@@ -516,7 +542,7 @@ func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []b
 		// for post-reconnect retry (it may have been partially written; the
 		// receiver's framing discards a truncated tail when the conn dies),
 		// tear the conn down, and start the redial loop.
-		queued := peer.enqueueRetryLocked(hdr, framed)
+		queued := peer.enqueueRetryLocked(hdr, framed, trailer[:])
 		_ = peer.conn.Close()
 		peer.conn = nil
 		peer.state = stateBackingOff
@@ -534,7 +560,7 @@ func (n *Node) Forward(srcMachine, dstMachine int, h *message.Header, framed []b
 		n.droppedRetry.Add(1)
 		return fmt.Errorf("fabric write (retry queue full): %w", werr)
 	case stateBackingOff:
-		queued := peer.enqueueRetryLocked(hdr, framed)
+		queued := peer.enqueueRetryLocked(hdr, framed, trailer[:])
 		peer.mu.Unlock()
 		serialize.FreeBuf(hdr)
 		if queued {
@@ -651,17 +677,18 @@ func (n *Node) PeerStalled(machine int) bool {
 	return p.stalled
 }
 
-// enqueueRetryLocked copies one wire frame (prefix+header+body) into the
-// bounded retry queue. The copy is required: hdr is pooled and framed
-// belongs to the object store; both outlive this call only through the
-// copy. Caller holds p.mu. Reports whether the frame fit.
-func (p *peerConn) enqueueRetryLocked(hdr, framed []byte) bool {
+// enqueueRetryLocked copies one wire frame (prefix+header+body+checksum)
+// into the bounded retry queue. The copy is required: hdr is pooled and
+// framed belongs to the object store; both outlive this call only through
+// the copy. Caller holds p.mu. Reports whether the frame fit.
+func (p *peerConn) enqueueRetryLocked(hdr, framed, trailer []byte) bool {
 	if len(p.retry) >= retryQueueCap {
 		return false
 	}
-	frame := make([]byte, 0, len(hdr)+len(framed))
+	frame := make([]byte, 0, len(hdr)+len(framed)+len(trailer))
 	frame = append(frame, hdr...)
 	frame = append(frame, framed...)
+	frame = append(frame, trailer...)
 	p.retry = append(p.retry, frame)
 	return true
 }
@@ -824,7 +851,7 @@ func (n *Node) readLoop(conn net.Conn, p *peerConn) {
 			}
 			continue
 		}
-		if frameLen > MaxFrameSize || hdrLen+4 > frameLen {
+		if frameLen > MaxFrameSize || hdrLen+4+crcLen > frameLen {
 			n.corruptStreams.Add(1)
 			return // corrupt stream
 		}
@@ -834,13 +861,23 @@ func (n *Node) readLoop(conn net.Conn, p *peerConn) {
 			serialize.FreeBuf(payload)
 			return
 		}
+		// Verify the CRC32C trailer over header+body before anything is
+		// decoded: a damaged frame resets the connection into the redial
+		// path instead of handing garbage to gob or serialize.
+		covered := payload[:len(payload)-crcLen]
+		want := binary.BigEndian.Uint32(payload[len(payload)-crcLen:])
+		if crc32.Checksum(covered, castagnoliTable) != want {
+			serialize.FreeBuf(payload)
+			n.corruptFrames.Add(1)
+			return
+		}
 		var wh wireHeader
 		if err := gob.NewDecoder(&sliceReader{b: payload[:hdrLen]}).Decode(&wh); err != nil {
 			serialize.FreeBuf(payload)
 			n.corruptStreams.Add(1)
 			return
 		}
-		body := payload[hdrLen:]
+		body := covered[hdrLen:]
 		h := &message.Header{
 			ID:             wh.ID,
 			Type:           message.Type(wh.Type),

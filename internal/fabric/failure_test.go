@@ -110,8 +110,9 @@ func TestWriteFailureRetriesAfterReconnect(t *testing.T) {
 		node1.Stop()
 	}()
 
-	// Frame 1 = writes 1-2 (header, body). Write 3 — frame 2's header — dies.
-	killer := &killNthWrite{n: 3}
+	// Frame 1 = writes 1-3 (header, body, CRC). Write 4 — frame 2's header —
+	// dies.
+	killer := &killNthWrite{n: 4}
 	node0.SetConnWrapper(killer.wrap)
 	node0.SetRedialPolicy(20, time.Millisecond)
 	if err := node0.Connect(1, node1.Addr()); err != nil {

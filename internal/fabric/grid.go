@@ -17,6 +17,11 @@ type GridOptions struct {
 	// ConnWrapper is installed on every node before the mesh connects —
 	// the fault-injection seam (faultinject.Injector.WrapConn).
 	ConnWrapper func(net.Conn) net.Conn
+	// ConnWrapperFor, when set, supplies a per-machine conn wrapper and
+	// takes precedence over ConnWrapper — the seam direction-aware faults
+	// (faultinject.Injector.WrapConnFor) use to tag each side of a link so
+	// an asymmetric A→B partition can match only frames flowing A→B.
+	ConnWrapperFor func(machine int) func(net.Conn) net.Conn
 	// RedialAttempts / RedialBackoff override every node's redial policy
 	// (zero keeps the defaults).
 	RedialAttempts int
@@ -49,6 +54,8 @@ type Grid struct {
 
 	mu        sync.Mutex
 	locations map[string]int
+	killed    map[int]bool
+	member    *membership
 	stopped   bool
 }
 
@@ -60,7 +67,7 @@ func NewGrid(n int, opts GridOptions) (*Grid, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("fabric: grid needs at least 1 machine, got %d", n)
 	}
-	g := &Grid{locations: make(map[string]int)}
+	g := &Grid{locations: make(map[string]int), killed: make(map[int]bool)}
 	fail := func(err error) (*Grid, error) {
 		g.Stop()
 		return nil, err
@@ -70,7 +77,9 @@ func NewGrid(n int, opts GridOptions) (*Grid, error) {
 		if err != nil {
 			return fail(fmt.Errorf("fabric grid: %w", err))
 		}
-		if opts.ConnWrapper != nil {
+		if opts.ConnWrapperFor != nil {
+			node.SetConnWrapper(opts.ConnWrapperFor(i))
+		} else if opts.ConnWrapper != nil {
 			node.SetConnWrapper(opts.ConnWrapper)
 		}
 		node.SetRedialPolicy(opts.RedialAttempts, opts.RedialBackoff)
@@ -181,8 +190,37 @@ func (g *Grid) Health() broker.ClusterHealth {
 	return h
 }
 
-// Stop shuts down brokers first (draining forwarders onto still-open
-// links), then the fabric nodes. Idempotent.
+// Kill severs every connection of one machine and stops its broker — the
+// whole-machine death primitive used by fault injection and by the core
+// re-placement engine to fence a condemned machine out of the session (a
+// partitioned-but-alive incarnation physically cannot drive its old
+// fragments once its broker and links are gone). Idempotent. Kill renders
+// no verdict itself: the coordinator's membership plane (when running)
+// observes the missed leases and the downed link and declares MachineDead.
+func (g *Grid) Kill(machineID int) {
+	if machineID < 0 || machineID >= len(g.nodes) {
+		return
+	}
+	g.mu.Lock()
+	if g.killed[machineID] || g.stopped {
+		g.mu.Unlock()
+		return
+	}
+	g.killed[machineID] = true
+	g.mu.Unlock()
+	g.brokers[machineID].Stop()
+	g.nodes[machineID].Stop()
+}
+
+// Killed reports whether a machine has been expelled via Kill.
+func (g *Grid) Killed(machineID int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.killed[machineID]
+}
+
+// Stop shuts down the membership plane, then brokers (draining forwarders
+// onto still-open links), then the fabric nodes. Idempotent.
 func (g *Grid) Stop() {
 	g.mu.Lock()
 	if g.stopped {
@@ -190,7 +228,11 @@ func (g *Grid) Stop() {
 		return
 	}
 	g.stopped = true
+	member := g.member
 	g.mu.Unlock()
+	if member != nil {
+		member.stop()
+	}
 	for _, b := range g.brokers {
 		b.Stop()
 	}

@@ -9,6 +9,12 @@
 //   - fabric: Injector.WrapConn wraps each dialed/accepted net.Conn
 //     (fabric.Node.SetConnWrapper / fabric.GridOptions.ConnWrapper), counting
 //     frame writes and injecting resets and corruption on the wire.
+//     WrapConnFor additionally tags each wrapped conn with its machine so
+//     direction-aware faults can match one side of a link: NewMachineKill
+//     severs a whole grid machine (every conn plus its broker) after a
+//     scheduled write count, and NewPartition blackholes one A→B direction
+//     while the reverse path keeps flowing — the asymmetric-partition case
+//     the membership plane's corroboration logic exists for.
 //   - netsim: Injector satisfies netsim.FaultHook, adding latency spikes to
 //     simulated transfers.
 //   - core: Injector.NewAgentFault hands each explorer incarnation a
@@ -76,11 +82,18 @@ type Injector struct {
 	writes    atomic.Int64
 	transfers atomic.Int64
 
-	resets      atomic.Int64
-	corruptions atomic.Int64
-	spikes      atomic.Int64
-	agentFaults atomic.Int64
-	stalls      atomic.Int64
+	resets         atomic.Int64
+	corruptions    atomic.Int64
+	spikes         atomic.Int64
+	agentFaults    atomic.Int64
+	stalls         atomic.Int64
+	machineKills   atomic.Int64
+	partitionDrops atomic.Int64
+
+	// kills and partitions are armed before traffic flows and read on every
+	// write; the pointers swap atomically so the hot path takes no lock.
+	kills      atomic.Pointer[[]*MachineKill]
+	partitions atomic.Pointer[[]*Partition]
 }
 
 // New builds an injector for the given schedule.
@@ -103,6 +116,10 @@ type Stats struct {
 	LatencySpikes int64
 	AgentFaults   int64
 	Stalls        int64
+	// MachineKills counts fired whole-machine kill faults; PartitionDrops
+	// counts frames blackholed by armed asymmetric partitions.
+	MachineKills   int64
+	PartitionDrops int64
 	// Writes and Transfers count the observed events the schedules key on.
 	Writes    int64
 	Transfers int64
@@ -111,20 +128,22 @@ type Stats struct {
 // Stats snapshots the fired-fault counters.
 func (i *Injector) Stats() Stats {
 	return Stats{
-		ConnResets:    i.resets.Load(),
-		Corruptions:   i.corruptions.Load(),
-		LatencySpikes: i.spikes.Load(),
-		AgentFaults:   i.agentFaults.Load(),
-		Stalls:        i.stalls.Load(),
-		Writes:        i.writes.Load(),
-		Transfers:     i.transfers.Load(),
+		ConnResets:     i.resets.Load(),
+		Corruptions:    i.corruptions.Load(),
+		LatencySpikes:  i.spikes.Load(),
+		AgentFaults:    i.agentFaults.Load(),
+		Stalls:         i.stalls.Load(),
+		MachineKills:   i.machineKills.Load(),
+		PartitionDrops: i.partitionDrops.Load(),
+		Writes:         i.writes.Load(),
+		Transfers:      i.transfers.Load(),
 	}
 }
 
 // String renders the snapshot human-readably.
 func (s Stats) String() string {
-	return fmt.Sprintf("faults: resets=%d corruptions=%d spikes=%d agent=%d stalls=%d (writes=%d transfers=%d)",
-		s.ConnResets, s.Corruptions, s.LatencySpikes, s.AgentFaults, s.Stalls, s.Writes, s.Transfers)
+	return fmt.Sprintf("faults: resets=%d corruptions=%d spikes=%d agent=%d stalls=%d kills=%d partitionDrops=%d (writes=%d transfers=%d)",
+		s.ConnResets, s.Corruptions, s.LatencySpikes, s.AgentFaults, s.Stalls, s.MachineKills, s.PartitionDrops, s.Writes, s.Transfers)
 }
 
 // TransferDelay implements netsim.FaultHook: every Nth simulated transfer
@@ -142,10 +161,98 @@ func (i *Injector) TransferDelay(src, dst, size int) time.Duration {
 }
 
 // WrapConn wraps a fabric connection with the injector's write-side fault
-// schedule. It is shaped for fabric.Node.SetConnWrapper.
+// schedule. It is shaped for fabric.Node.SetConnWrapper. Conns wrapped this
+// way carry no machine tag (src -1): partitions armed for a specific source
+// machine never match them.
 func (i *Injector) WrapConn(conn net.Conn) net.Conn {
-	return &faultConn{Conn: conn, inj: i}
+	return &faultConn{Conn: conn, inj: i, src: -1}
 }
+
+// WrapConnFor returns a conn wrapper that tags every wrapped connection
+// with the wrapping machine's ID, so direction-aware faults can match the
+// (from, to) orientation of a link. Shaped for
+// fabric.GridOptions.ConnWrapperFor.
+func (i *Injector) WrapConnFor(machine int) func(net.Conn) net.Conn {
+	return func(conn net.Conn) net.Conn {
+		return &faultConn{Conn: conn, inj: i, src: machine}
+	}
+}
+
+// MachineKill is a one-shot whole-machine death schedule: once the
+// deployment-wide write count crosses the threshold, the kill callback
+// (typically fabric.Grid.Kill) fires exactly once. The callback runs on its
+// own goroutine — never inline under the triggering connection's write lock,
+// where stopping the machine's broker and severing its conns would deadlock
+// against the write path that tripped the schedule.
+type MachineKill struct {
+	inj   *Injector
+	after int64
+	kill  func()
+	fired atomic.Bool
+}
+
+// NewMachineKill arms a whole-machine kill after the given number of frame
+// writes across the deployment. The schedule is deterministic for a fixed
+// write interleaving (and the fired-fault *count* is deterministic
+// regardless); the kill callback severs the victim's conns and stops its
+// broker. Arm before traffic flows.
+func (i *Injector) NewMachineKill(afterWrites int, kill func()) *MachineKill {
+	mk := &MachineKill{inj: i, after: int64(afterWrites), kill: kill}
+	for {
+		old := i.kills.Load()
+		var next []*MachineKill
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, mk)
+		if i.kills.CompareAndSwap(old, &next) {
+			return mk
+		}
+	}
+}
+
+// Fired reports whether the kill has been triggered.
+func (mk *MachineKill) Fired() bool { return mk.fired.Load() }
+
+// Partition is an armed asymmetric link fault: once the deployment-wide
+// write count passes the trigger, frames written by machine `from` to the
+// peer listening at `toAddr` are silently blackholed — reported to the
+// writer as delivered, never received. The reverse direction keeps flowing,
+// which is exactly the half-open failure the membership plane's doubled
+// grace window exists for.
+type Partition struct {
+	inj    *Injector
+	from   int
+	toAddr string
+	after  int64
+	healed atomic.Bool
+	drops  atomic.Int64
+}
+
+// NewPartition arms an A→B drop: writes from machine `from` (-1 matches any
+// untagged or tagged source) toward toAddr are blackholed after the given
+// deployment-wide write count. Requires conns wrapped via WrapConnFor for a
+// specific `from` to tag the direction. Arm before traffic flows.
+func (i *Injector) NewPartition(from int, toAddr string, afterWrites int) *Partition {
+	p := &Partition{inj: i, from: from, toAddr: toAddr, after: int64(afterWrites)}
+	for {
+		old := i.partitions.Load()
+		var next []*Partition
+		if old != nil {
+			next = append(next, *old...)
+		}
+		next = append(next, p)
+		if i.partitions.CompareAndSwap(old, &next) {
+			return p
+		}
+	}
+}
+
+// Heal lifts the partition: subsequent writes flow again.
+func (p *Partition) Heal() { p.healed.Store(true) }
+
+// Drops reports how many writes this partition has blackholed.
+func (p *Partition) Drops() int64 { return p.drops.Load() }
 
 // corruptOffset picks a seeded byte offset within a frame of length n.
 func (i *Injector) corruptOffset(n int) int {
@@ -161,11 +268,31 @@ func (i *Injector) corruptOffset(n int) int {
 type faultConn struct {
 	net.Conn
 	inj *Injector
+	src int // wrapping machine ID, -1 when untagged (WrapConn)
 }
 
 func (c *faultConn) Write(p []byte) (int, error) {
 	inj := c.inj
 	n := inj.writes.Add(1)
+	if kills := inj.kills.Load(); kills != nil {
+		for _, mk := range *kills {
+			if n >= mk.after && mk.fired.CompareAndSwap(false, true) {
+				inj.machineKills.Add(1)
+				go mk.kill()
+			}
+		}
+	}
+	if parts := inj.partitions.Load(); parts != nil {
+		for _, pt := range *parts {
+			if n >= pt.after && !pt.healed.Load() &&
+				(pt.from == -1 || pt.from == c.src) &&
+				c.Conn.RemoteAddr().String() == pt.toAddr {
+				pt.drops.Add(1)
+				inj.partitionDrops.Add(1)
+				return len(p), nil // blackholed: the writer believes it was sent
+			}
+		}
+	}
 	if k := inj.cfg.ConnResetEveryKWrites; k > 0 && n%int64(k) == 0 {
 		inj.resets.Add(1)
 		_ = c.Conn.Close()

@@ -117,10 +117,12 @@ type Header struct {
 	// only while RelayHops > 0, decrementing per hop. Zero (the default)
 	// means star routing.
 	RelayHops uint8
-	// Round annotates dummy-benchmark messages with their round index and
+	// Round annotates dummy-benchmark messages with their round index,
 	// fragment heartbeat/weights traffic with the sending replica's
 	// incarnation epoch (so a respawned replica's peers can discard a
-	// retired incarnation's late messages).
+	// retired incarnation's late messages), and membership verdict/takeover
+	// records with the machine-death verdict epoch respectively the
+	// re-placed fragment's new incarnation epoch.
 	Round int32
 }
 
@@ -232,6 +234,25 @@ const (
 	// receiver thread blocked on its port observes the closed receive buffer
 	// and exits. Live incarnations ignore it.
 	ControlDrain
+	// ControlLeaseRenew is a machine's membership lease renewal, sent from
+	// its memberd port to the session coordinator's lease sink. The renewing
+	// machine's ID travels in ControlPayload.Machine; a coordinator that
+	// misses enough consecutive renewals (corroborated by the fabric's
+	// per-peer link state) declares the machine dead.
+	ControlLeaseRenew
+	// ControlMachineDead records an epoch-fenced machine-death verdict:
+	// ControlPayload.Machine names the dead machine and Header.Round carries
+	// the verdict epoch. The re-placement engine emits it to the controller
+	// port as the audit record for a takeover wave.
+	ControlMachineDead
+	// ControlTakeover announces that the fragment named in
+	// ControlPayload.Peer has been re-placed onto the machine in
+	// ControlPayload.Machine at the new incarnation epoch in Header.Round.
+	// Sent to the controller port for audit counting; sampler and explorer
+	// takeovers are additionally sent to the broadcast fragment, which
+	// re-broadcasts dense weights so rebuilt (or credit-starved) peers
+	// resynchronize with the committed version space.
+	ControlTakeover
 )
 
 // ControlPayload carries a control command from a controller.
@@ -248,6 +269,10 @@ type ControlPayload struct {
 	// LastRolloutID is set for ControlHeartbeat: the highest dispatched
 	// rollout header ID the replica has ingested this incarnation.
 	LastRolloutID uint64
+	// Machine is set for membership traffic: the renewing machine for
+	// ControlLeaseRenew, the dead machine for ControlMachineDead, and the
+	// fragment's new home for ControlTakeover.
+	Machine int
 }
 
 // DummyPayload is the opaque byte body used by the §5.1 data-transmission

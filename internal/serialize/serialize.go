@@ -433,6 +433,7 @@ func appendControl(out []byte, c *message.ControlPayload) []byte {
 	}
 	out = putString(out, c.Peer)
 	out = putU64(out, c.LastRolloutID)
+	out = putU64(out, uint64(int64(c.Machine)))
 	return out
 }
 
@@ -477,6 +478,7 @@ func unmarshalControl(data []byte) (*message.ControlPayload, error) {
 	}
 	c.Peer = r.str()
 	c.LastRolloutID = r.u64()
+	c.Machine = int(int64(r.u64()))
 	if r.err != nil {
 		return nil, r.err
 	}

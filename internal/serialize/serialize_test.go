@@ -136,6 +136,21 @@ func TestControlRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(in2, got) {
 		t.Fatalf("shutdown round trip = %+v", got)
 	}
+	// Membership traffic: the Machine field must survive the wire — a lease
+	// renewal that decodes as machine 0 reads as the coordinator renewing.
+	in3 := &message.ControlPayload{
+		Kind:    message.ControlLeaseRenew,
+		Machine: 3,
+		Peer:    "memberd-3",
+	}
+	data, _ = Marshal(in3)
+	got, err = Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(in3, got) {
+		t.Fatalf("lease renew round trip = %+v", got)
+	}
 }
 
 func TestDummyRoundTrip(t *testing.T) {
